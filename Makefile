@@ -1,0 +1,29 @@
+# Convenience targets; GNU make, no external dependencies.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples clean loc
+
+install:
+	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
+	  echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-dev.pth"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the paper's tables/figures without pytest.
+reproduce:
+	$(PYTHON) -m repro.cli reproduce
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+loc:
+	find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,29 @@
+"""Figure 1: the motivation study.
+
+- Fig. 1a — execution time with all data on Optane NVM, normalised to all
+  data on DRAM (paper: up to ~10x slower, worst for gather-heavy kernels).
+- Fig. 1b — execution time with all data on KNL DRAM, normalised to the
+  MCDRAM-preferred NUMA policy (paper: up to ~3x).
+"""
+
+from repro.bench.figures import fig1a, fig1b
+from repro.bench.report import emit
+
+
+def test_fig1a_nvm_vs_dram(once):
+    table = once(fig1a)
+    emit(table, "fig1a.txt")
+    ratios = [float(r[-1]) for r in table.rows]
+    # Placing everything on NVM must hurt, substantially for the big inputs.
+    assert all(r >= 1.0 for r in ratios)
+    assert max(ratios) > 3.0, "expected multi-x slowdowns on NVM"
+    assert max(ratios) < 15.0, "slowdown beyond the paper's ~10x ballpark"
+
+
+def test_fig1b_dram_vs_mcdram_preferred(once):
+    table = once(fig1b)
+    emit(table, "fig1b.txt")
+    ratios = [float(r[-1]) for r in table.rows]
+    # MCDRAM-p should help, but far less than the NVM/DRAM gap.
+    assert max(ratios) > 1.1
+    assert max(ratios) < 5.0

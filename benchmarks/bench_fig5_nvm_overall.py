@@ -1,0 +1,40 @@
+"""Figure 5: overall performance on the NVM-DRAM testbed.
+
+Paper: ATMem reaches 1.25x-8.4x over the all-NVM baseline (average
+1.7x-3.4x per app) and approaches the all-DRAM ideal.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig5
+from repro.bench.report import emit
+from repro.bench.workloads import BENCH_APPS, BENCH_DATASETS, overall_results
+
+
+def test_fig5_overall_nvm_dram(once):
+    table = once(fig5)
+    emit(table, "fig5.txt")
+    speedups = [float(r[5]) for r in table.rows]
+    assert min(speedups) > 0.95, "ATMem must never be slower than baseline"
+    assert max(speedups) > 2.5, "large datasets should see multi-x gains"
+    # Per-app averages in/near the paper's 1.7x-3.4x band.
+    for app in BENCH_APPS:
+        app_speedups = [
+            overall_results("nvm_dram", app, ds).speedup for ds in BENCH_DATASETS
+        ]
+        avg = float(np.mean(app_speedups))
+        assert 1.0 <= avg < 6.0, f"{app}: average speedup {avg:.2f}x out of band"
+
+
+def test_fig5_atmem_between_baseline_and_ideal(once):
+    def worst_violation():
+        worst = 0.0
+        for app in BENCH_APPS:
+            for ds in BENCH_DATASETS:
+                cell = overall_results("nvm_dram", app, ds)
+                # ATMem must not beat the all-DRAM ideal by more than noise
+                # nor lose to the baseline.
+                worst = max(worst, cell.reference.seconds / cell.atmem.seconds)
+        return worst
+
+    assert once(worst_violation) < 1.05

@@ -1,0 +1,35 @@
+"""Figure 6: overall performance on the MCDRAM-DRAM (KNL) testbed.
+
+Paper: 1.1x-3x over the all-DRAM baseline with 3.8%-18.2% of data on
+MCDRAM; for the datasets that exceed MCDRAM capacity (twitter, rmat27,
+friendster) ATMem *beats* the MCDRAM-preferred policy, which fills the
+fast memory with whatever was allocated first.
+"""
+
+from repro.bench.figures import fig6
+from repro.bench.report import emit
+from repro.bench.workloads import overall_results
+
+
+def test_fig6_overall_mcdram_dram(once):
+    table = once(fig6)
+    emit(table, "fig6.txt")
+    speedups = [float(r[5]) for r in table.rows]
+    assert min(speedups) > 0.9
+    assert max(speedups) > 1.3
+    assert max(speedups) < 5.0, "KNL gains should stay ~bandwidth-bound"
+
+
+def test_fig6_atmem_beats_preferred_on_oversized_datasets(once):
+    """The paper's headline KNL result (e.g. 2.79x on friendster BFS)."""
+
+    def wins():
+        count = 0
+        for app in ("BFS", "PR", "BC"):
+            for ds in ("rmat27", "friendster"):
+                cell = overall_results("mcdram_dram", app, ds)
+                if cell.atmem.seconds < cell.reference.seconds:
+                    count += 1
+        return count
+
+    assert once(wins) >= 2

@@ -1,0 +1,26 @@
+"""Figures 7 and 8: the fraction of data ATMem places on fast memory.
+
+Paper: 5%-18% on the NVM-DRAM testbed (Fig. 7) and 3.8%-18.2% on the
+MCDRAM-DRAM testbed (Fig. 8).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig7, fig8
+from repro.bench.report import emit
+
+
+def test_fig7_data_ratio_nvm(once):
+    table = once(fig7)
+    emit(table, "fig7.txt")
+    ratios = [float(r[2]) for r in table.rows]
+    assert all(0.0 < r < 0.45 for r in ratios), "partial placement expected"
+    assert float(np.median(ratios)) < 0.20, "median ratio near the paper band"
+
+
+def test_fig8_data_ratio_mcdram(once):
+    table = once(fig8)
+    emit(table, "fig8.txt")
+    ratios = [float(r[2]) for r in table.rows]
+    assert all(0.0 < r < 0.45 for r in ratios)
+    assert float(np.median(ratios)) < 0.20

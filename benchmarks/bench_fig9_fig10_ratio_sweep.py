@@ -1,0 +1,57 @@
+"""Figures 9 and 10: sensitivity of BFS time to the data ratio.
+
+The paper sweeps the epsilon of Eq. 5 to vary how much data ATMem places
+on fast memory, showing (a) performance improves steeply up to an optimal
+region, and (b) past it, adding data yields little — ATMem's default
+lands in that region.
+"""
+
+import numpy as np
+
+from repro.bench.figures import ratio_sweep
+from repro.bench.report import emit
+
+SWEEP_DATASETS = ("pokec", "rmat24", "twitter", "rmat27", "friendster")
+
+
+def _check_diminishing_returns(series, require_drop):
+    for ds, points in series.data.items():
+        pts = sorted(points)
+        ratios = np.array([p[0] for p in pts])
+        times = np.array([p[1] for p in pts])
+        # Larger ratios must not make things meaningfully worse...
+        assert times[-1] <= times[0] * 1.05, f"{ds}: more data should not hurt"
+        if require_drop:
+            # ...and the curve must actually drop from the baseline.
+            assert times.min() < 0.95 * times[0], f"{ds}: no benefit observed"
+
+
+def test_fig9_ratio_sweep_nvm(once):
+    series = once(lambda: ratio_sweep("nvm_dram", SWEEP_DATASETS))
+    emit(series, "fig9.txt")
+    _check_diminishing_returns(series, require_drop=True)
+    # The optimal region is reached at a small ratio: for each dataset the
+    # earliest point within 20% of the best *achievable-by-sweeping* time
+    # sits well below ratio 0.6.  Datasets where the sweep cannot move the
+    # needle are exempt (pokec at reproduction scale is sampling-starved:
+    # its 60k-edge adjacency produces too few PEBS events in one
+    # iteration; the paper's 31M-edge pokec is not).
+    for ds, points in series.data.items():
+        pts = sorted(points)
+        times = np.array([p[1] for p in pts])
+        swept = [t for r, t in pts if 0.0 < r < 1.0]
+        if not swept or min(swept) > 0.8 * times[0]:
+            continue
+        best = min(swept)
+        knee_ratio = next(p[0] for p in pts if p[1] <= 1.2 * best)
+        assert knee_ratio < 0.6, f"{ds}: optimal region too far right"
+
+
+def test_fig10_ratio_sweep_mcdram(once):
+    series = once(lambda: ratio_sweep("mcdram_dram", SWEEP_DATASETS))
+    emit(series, "fig10.txt")
+    _check_diminishing_returns(series, require_drop=False)
+    # MCDRAM capacity caps the maximum ratio for the oversized datasets.
+    for ds in ("rmat27", "friendster"):
+        max_ratio = max(p[0] for p in series.data[ds])
+        assert max_ratio < 1.0

@@ -1,0 +1,21 @@
+"""Section 7.4: overhead analysis.
+
+Paper: profiling costs less than 10% of the first iteration; the one-time
+profiling + migration cost is amortised within a few iterations because
+each later iteration runs faster.
+"""
+
+from repro.bench.report import emit
+from repro.bench.tables import overhead_analysis
+
+
+def test_overhead_analysis(once):
+    table = once(overhead_analysis)
+    emit(table, "overhead.txt")
+    profiling_pcts = [float(r[2]) for r in table.rows]
+    amortization = [float(r[5]) for r in table.rows]
+    # Profiling overhead below the paper's 10% bound for every workload.
+    assert max(profiling_pcts) < 10.0
+    # Most workloads amortise the one-time costs within a few iterations.
+    quick = [a for a in amortization if a < 5.0]
+    assert len(quick) >= len(amortization) * 0.7

@@ -1,0 +1,91 @@
+"""Sensitivity studies over ATMem's remaining knobs.
+
+The paper sweeps only epsilon (Figures 9/10); these benches sweep the
+other knobs with the generic sweep driver and check the robustness claims
+the design implies:
+
+- **sampling budget** (Section 5.1): thanks to the tree patch-up, the
+  final placement quality should degrade gracefully as the sampling
+  budget shrinks — not cliff off;
+- **base TR threshold** (Eq. 5's Theta): a broad plateau around the 0.5
+  default.
+"""
+
+import numpy as np
+
+from repro.bench.report import Series, Table, emit
+from repro.bench.workloads import app_factory, bench_platform
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.runtime import RuntimeConfig
+from repro.sim.experiment import run_static
+from repro.sim.sweep import run_sweep, sampling_budget_configurator
+
+DATASET = "twitter"
+
+
+def test_sensitivity_sampling_budget(once):
+    def run():
+        platform = bench_platform("nvm_dram")
+        factory = app_factory("PR", DATASET)
+        baseline = run_static(factory, platform, "slow")
+        points = run_sweep(
+            factory,
+            platform,
+            [0.25, 1.0, 4.0, 8.0, 32.0],
+            sampling_budget_configurator(),
+        )
+        return baseline.seconds, points
+
+    baseline_seconds, points = once(run)
+    table = Table(
+        title=f"Sensitivity: sampling budget (PR/{DATASET}, NVM-DRAM)",
+        columns=["samples_per_chunk", "speedup", "data_ratio", "profiling_pct"],
+        notes=["the tree patch-up keeps quality up as sampling thins out"],
+    )
+    speedups = []
+    for p in points:
+        profiling_pct = (
+            100.0
+            * p.result.profiling_overhead_seconds
+            / p.result.first_iteration.seconds
+        )
+        speedup = baseline_seconds / p.seconds
+        speedups.append(speedup)
+        table.add_row(p.value, speedup, p.data_ratio, profiling_pct)
+    emit(table, "sensitivity_sampling.txt")
+    # Graceful degradation: even the leanest budget keeps most of the win.
+    assert speedups[-1] > 1.0
+    assert speedups[0] > 0.6 * speedups[-1]
+    # And the rich budget must not blow the paper's overhead bound.
+    assert float(table.rows[-1][3]) < 10.0
+
+
+def test_sensitivity_base_tr_threshold(once):
+    def run():
+        platform = bench_platform("nvm_dram")
+        factory = app_factory("BFS", DATASET)
+        baseline = run_static(factory, platform, "slow")
+        results = []
+        for theta in (0.2, 0.35, 0.5, 0.75, 1.0):
+            config = RuntimeConfig(
+                analyzer=AnalyzerConfig(base_tr_threshold=theta)
+            )
+            from repro.sim.experiment import run_atmem
+
+            results.append((theta, run_atmem(factory, platform, runtime_config=config)))
+        return baseline.seconds, results
+
+    baseline_seconds, results = once(run)
+    table = Table(
+        title=f"Sensitivity: Eq. 5 base TR threshold (BFS/{DATASET}, NVM-DRAM)",
+        columns=["theta", "speedup", "data_ratio"],
+    )
+    speedups = []
+    for theta, result in results:
+        speedup = baseline_seconds / result.seconds
+        speedups.append(speedup)
+        table.add_row(theta, speedup, result.data_ratio)
+    emit(table, "sensitivity_theta.txt")
+    # A plateau: the best and worst theta differ by less than 40%.
+    assert max(speedups) < 1.4 * min(speedups)
+    assert min(speedups) > 1.0

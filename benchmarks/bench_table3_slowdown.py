@@ -1,0 +1,22 @@
+"""Table 3: ATMem vs the all-DRAM ideal on the NVM-DRAM testbed.
+
+Paper: per-app minimum slowdowns of 9%-54% and maximums of 1.8x-3.0x —
+ATMem bridges most of the NVM/DRAM gap with a small DRAM footprint.
+"""
+
+from repro.bench.report import emit
+from repro.bench.tables import table3
+
+
+def test_table3_slowdown_vs_ideal(once):
+    table = once(table3)
+    emit(table, "table3.txt")
+    mins = [float(r[1]) for r in table.rows]
+    maxs = [float(r[2]) for r in table.rows]
+    # Minimum slowdown per app should be modest (paper: 9%-54%).
+    assert all(m < 1.0 for m in mins), "best-case gap should be under 2x"
+    # Maximum slowdown per app should stay within a small multiple
+    # (paper: 0.8x-2.0x extra time, i.e. max 1.8x-3.0x total).
+    assert all(m < 3.0 for m in maxs)
+    # And ATMem never beats the ideal by more than noise.
+    assert all(m > -0.05 for m in mins)

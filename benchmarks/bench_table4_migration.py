@@ -1,0 +1,39 @@
+"""Table 4: the multi-stage multi-threaded migration vs mbind (PR).
+
+Paper: ATMem migrates 1.3x-2.7x faster on NVM-DRAM (avg 2.07x) and
+3.0x-8.2x faster on MCDRAM-DRAM (avg 5.32x), and dramatically reduces
+post-migration TLB misses (avg 20.98x on NVM-DRAM, 1.72x on KNL).
+"""
+
+import numpy as np
+
+from repro.bench.report import emit
+from repro.bench.tables import table4
+
+
+def test_table4_migration_comparison(once):
+    table = once(table4)
+    emit(table, "table4.txt")
+    rows = {(r[0], r[1]): (float(r[2]), float(r[3])) for r in table.rows}
+    nvm_times = [v[1] for k, v in rows.items() if k[0] == "nvm_dram"]
+    knl_times = [v[1] for k, v in rows.items() if k[0] == "mcdram_dram"]
+    nvm_tlb = [v[0] for k, v in rows.items() if k[0] == "nvm_dram"]
+    knl_tlb = [v[0] for k, v in rows.items() if k[0] == "mcdram_dram"]
+
+    # Migration time: ATMem wins except possibly on the tiniest dataset
+    # (pokec is ~300 KiB at reproduction scale, where ATMem's fixed
+    # per-region overhead dominates); the KNL gap is wider because mbind
+    # is stuck on one weak core (the paper's explanation).
+    assert sum(t <= 1.0 for t in nvm_times) <= 1
+    assert sum(t <= 1.0 for t in knl_times) <= 1
+    assert float(np.mean(knl_times)) > float(np.mean(nvm_times))
+    assert 1.2 < float(np.mean(nvm_times)) < 5.0  # paper avg 2.07x
+    assert 2.0 < float(np.mean(knl_times)) < 12.0  # paper avg 5.32x
+
+    # TLB misses: mbind's THP splitting always costs at least as much, and
+    # the Xeon testbed shows a much larger blow-up than KNL, whose tiny
+    # SMT-shared TLBs keep the baseline miss floor high (as in the paper).
+    assert min(nvm_tlb + knl_tlb) >= 0.99
+    assert max(nvm_tlb) > 5.0
+    assert float(np.mean(nvm_tlb)) > float(np.mean(knl_tlb))
+    assert 1.0 <= float(np.mean(knl_tlb)) < 3.0  # paper avg 1.72x

@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the benchmark harness.
+
+Each benchmark computes one paper table/figure exactly once (pedantic,
+one round) — the interesting output is the printed/saved artifact, not a
+timing distribution.  Heavy grids are shared between benchmarks through
+the memoised cache in :mod:`repro.bench.workloads`.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a paper-experiment callable once under pytest-benchmark timing."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,81 @@
+"""Define a custom heterogeneous memory platform.
+
+ATMem is not tied to the two testbeds of the paper: any pair of memory
+tiers works.  This example models a forward-looking CXL-attached memory
+expander (higher latency, decent bandwidth, large capacity) under a small
+local DRAM pool, and checks how each of the paper's applications behaves
+on it.
+
+Run with:  python examples/custom_platform.py
+"""
+
+from repro import dataset_by_name, make_app, run_atmem, run_static
+from repro.config import PlatformConfig
+from repro.mem.tier import MemoryTier
+
+
+def cxl_testbed() -> PlatformConfig:
+    """A hypothetical DRAM + CXL-expander platform (scaled 1/2048)."""
+    dram = MemoryTier(
+        name="DRAM",
+        capacity_bytes=32 * 2**30 // 2048,  # a deliberately small local pool
+        read_latency_ns=90.0,
+        write_latency_ns=90.0,
+        read_bandwidth_gbps=104.0,
+        write_bandwidth_gbps=104.0,
+        single_thread_bandwidth_gbps=12.0,
+    )
+    cxl = MemoryTier(
+        name="CXL-expander",
+        capacity_bytes=None,
+        read_latency_ns=250.0,  # one hop over the CXL link
+        write_latency_ns=250.0,
+        read_bandwidth_gbps=64.0,  # x16 CXL 3.0-ish
+        write_bandwidth_gbps=64.0,
+        single_thread_bandwidth_gbps=8.0,
+        random_access_amplification=1.0,  # DRAM media behind the link
+    )
+    return PlatformConfig(
+        name="cxl_dram",
+        tiers=(dram, cxl),
+        fast_tier=0,
+        slow_tier=1,
+        llc_bytes=32 * 2**10,
+        tlb_entries=16,
+        threads=64,
+        migration_threads=16,
+        mlp_per_thread=10.0,
+        compute_ns_per_access=0.35,
+        mbind_page_overhead_ns=100.0,
+        atmem_region_overhead_ns=1_000.0,
+        tlb_background_miss_rate=0.015,
+    )
+
+
+def main() -> None:
+    platform = cxl_testbed()
+    graph = dataset_by_name("twitter", scale=2048)
+    print(f"platform: {platform.name}; graph: {graph.name} "
+          f"({graph.num_vertices:,} vertices, {graph.num_edges:,} edges)\n")
+    # The local DRAM pool is smaller than the dataset, so (as on the
+    # paper's KNL testbed) the reference is the preferred NUMA policy
+    # rather than an impossible all-DRAM placement.
+    header = f"{'app':6s} {'all-CXL':>9s} {'ATMem':>9s} {'DRAM-pref':>9s} {'speedup':>8s} {'ratio':>7s}"
+    print(header)
+    print("-" * len(header))
+    for app_name in ("BFS", "SSSP", "PR", "BC", "CC"):
+        factory = lambda: make_app(app_name, graph)
+        baseline = run_static(factory, platform, "slow")
+        preferred = run_static(factory, platform, "preferred")
+        atmem = run_atmem(factory, platform)
+        print(f"{app_name:6s} {baseline.seconds * 1e3:7.2f}ms "
+              f"{atmem.seconds * 1e3:7.2f}ms {preferred.seconds * 1e3:7.2f}ms "
+              f"{baseline.seconds / atmem.seconds:7.2f}x "
+              f"{atmem.data_ratio:6.1%}")
+    print("\nWithout Optane's random-access amplification the CXL gap is "
+          "narrower than the paper's NVM one,\nbut the same small, hot "
+          "fraction of data still closes most of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Reproduce a Figure 9-style data-ratio sensitivity curve.
+
+Sweeps the epsilon parameter of the analyzer's Equation 5, which controls
+how aggressively the m-ary tree promotes prospective chunks, and plots
+(as text) the resulting data ratio vs BFS execution time on the NVM-DRAM
+testbed.  The knee of the curve is the "optimal region" of Section 7.2;
+ATMem's default lands inside it.
+
+Run with:  python examples/data_ratio_sweep.py [dataset]
+"""
+
+import sys
+
+from repro import (
+    AnalyzerConfig,
+    RuntimeConfig,
+    dataset_by_name,
+    make_app,
+    nvm_dram_testbed,
+    run_atmem,
+    run_static,
+)
+
+EPSILONS = (0.02, 0.05, 0.10, 0.18, 0.25, 0.35, 0.5, 0.7, 0.9)
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "twitter"
+    graph = dataset_by_name(dataset, scale=2048)
+    platform = nvm_dram_testbed(scale=2048)
+    factory = lambda: make_app("BFS", graph)
+
+    baseline = run_static(factory, platform, "slow")
+    ideal = run_static(factory, platform, "fast")
+    print(f"BFS on {dataset}: baseline {baseline.seconds * 1e3:.2f} ms, "
+          f"all-DRAM {ideal.seconds * 1e3:.2f} ms\n")
+
+    points = [(0.0, baseline.seconds)]
+    for eps in EPSILONS:
+        config = RuntimeConfig(analyzer=AnalyzerConfig(epsilon=eps))
+        result = run_atmem(factory, platform, runtime_config=config)
+        points.append((result.data_ratio, result.seconds))
+    points.append((1.0, ideal.seconds))
+    points.sort()
+
+    # Default configuration, for reference.
+    default = run_atmem(factory, platform)
+
+    width = 52
+    t_max = max(t for _, t in points)
+    print(f"{'data ratio':>10s}  {'time':>9s}  curve")
+    for ratio, seconds in points:
+        bar = "#" * max(1, int(width * seconds / t_max))
+        print(f"{ratio:10.3f}  {seconds * 1e3:7.2f}ms  {bar}")
+    print(f"\nATMem default chose ratio {default.data_ratio:.3f} at "
+          f"{default.seconds * 1e3:.2f} ms — inside the optimal region: "
+          "beyond it, extra data buys almost nothing (Section 7.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Shared-server scenario: three analytics tenants, one fast tier.
+
+The paper's introduction motivates per-byte-efficient placement with
+exactly this: on a server, every application competes for the same small
+high-performance memory.  This example admits three graph workloads onto
+one simulated host whose fast tier holds only a fraction of their
+combined data, and shows that chunk-granular placement serves all three.
+
+Run with:  python examples/multi_tenant_server.py
+"""
+
+from repro import dataset_by_name, make_app
+from repro.config import mcdram_dram_testbed
+from repro.sim.multitenant import MultiTenantHost
+
+TENANTS = [
+    ("rank-service", "PR", "rmat24"),
+    ("path-service", "BFS", "twitter"),
+    ("community-service", "CC", "friendster"),
+]
+
+
+def main() -> None:
+    # A deliberately tight fast tier (~4 MiB) under ~30 MiB of tenant data.
+    platform = mcdram_dram_testbed(scale=4096)
+    fast = platform.tiers[platform.fast_tier]
+    host = MultiTenantHost(platform)
+    total_data = 0
+    for name, app_name, ds in TENANTS:
+        graph = dataset_by_name(ds, scale=2048)
+        app = host.admit(name, lambda a=app_name, g=graph: make_app(a, g))
+        total_data += app.total_bytes
+        print(f"admitted {name:18s} ({app_name} on {ds}: "
+              f"{app.total_bytes / 2**20:.1f} MiB)")
+    print(f"\nfast tier: {fast.capacity_bytes / 2**20:.1f} MiB "
+          f"({fast.name}); total tenant data: {total_data / 2**20:.1f} MiB\n")
+
+    results = host.run()
+    header = (f"{'tenant':18s} {'baseline':>9s} {'optimized':>10s} "
+              f"{'speedup':>8s} {'fast KiB':>9s} {'ratio':>7s}")
+    print(header)
+    print("-" * len(header))
+    for name, r in results.items():
+        print(f"{name:18s} {r.baseline.seconds * 1e3:7.2f}ms "
+              f"{r.optimized.seconds * 1e3:8.2f}ms "
+              f"{r.speedup:7.2f}x {r.fast_bytes / 1024:9.0f} "
+              f"{r.data_ratio:6.1%}")
+    used = host.fast_tier_used_bytes()
+    print(f"\nfast tier used: {used / 2**20:.2f} MiB of "
+          f"{fast.capacity_bytes / 2**20:.1f} MiB — every tenant served, "
+          "capacity to spare (the paper's Objective I).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Sweep every ATMem knob on one workload with the generic sweep driver.
+
+The paper sweeps only epsilon (Figures 9/10); this study also sweeps the
+tree arity, the chunk-count cap, and the sampling budget, printing one
+compact table per knob.  Useful for tuning the framework on a new
+platform or workload.
+
+Run with:  python examples/sensitivity_study.py [app] [dataset]
+"""
+
+import sys
+
+from repro import dataset_by_name, make_app, nvm_dram_testbed, run_static
+from repro.sim.sweep import (
+    arity_configurator,
+    chunk_cap_configurator,
+    epsilon_configurator,
+    run_sweep,
+    sampling_budget_configurator,
+)
+
+KNOBS = [
+    ("epsilon (Eq. 5)", [0.05, 0.15, 0.25, 0.5, 0.8], epsilon_configurator),
+    ("tree arity m", [2, 4, 8, 16], arity_configurator),
+    ("max chunks", [32, 128, 1024], chunk_cap_configurator),
+    ("samples/chunk", [0.5, 2.0, 8.0, 32.0], sampling_budget_configurator),
+]
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "BFS"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "twitter"
+    graph = dataset_by_name(dataset, scale=2048)
+    platform = nvm_dram_testbed(scale=2048)
+    factory = lambda: make_app(app_name, graph)
+    baseline = run_static(factory, platform, "slow")
+    print(f"{app_name} on {dataset}: baseline {baseline.seconds * 1e3:.2f} ms "
+          f"(all data on {platform.tiers[platform.slow_tier].name})\n")
+
+    for label, values, configurator in KNOBS:
+        points = run_sweep(factory, platform, values, configurator())
+        print(f"--- {label} ---")
+        print(f"{'value':>10s} {'time_ms':>9s} {'speedup':>8s} {'ratio':>7s}")
+        for p in points:
+            print(f"{p.value:10.2f} {p.seconds * 1e3:9.3f} "
+                  f"{baseline.seconds / p.seconds:7.2f}x {p.data_ratio:6.1%}")
+        print()
+
+    print("Reading the tables: wide plateaus everywhere are the point — the "
+          "two-stage analyzer\nself-adapts, so none of the knobs needs "
+          "per-workload tuning (the paper's 'adaptive' claim).")
+
+
+if __name__ == "__main__":
+    main()

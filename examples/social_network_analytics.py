@@ -1,0 +1,65 @@
+"""Social-network analytics pipeline on a capacity-limited fast memory.
+
+The scenario motivating the paper's introduction: a server whose fast
+memory (here: MCDRAM-style, 16 GB scaled) is smaller than the social graph,
+running a multi-kernel analytics pipeline — community sizes (CC),
+influencer ranking (PR), and reachability (BFS) — over the same graph.
+
+Compares four placements per kernel:
+
+- everything on the big slow memory (baseline),
+- ``numactl -p`` (preferred) — fill fast memory first-come-first-served,
+- coarse-grained whole-object placement (Tahoe-style state of the art),
+- ATMem's adaptive chunk placement.
+
+Run with:  python examples/social_network_analytics.py
+"""
+
+from repro import (
+    dataset_by_name,
+    make_app,
+    mcdram_dram_testbed,
+    run_atmem,
+    run_coarse_grained,
+    run_static,
+)
+
+KERNELS = {
+    "community detection (CC)": ("CC", {}),
+    "influencer ranking (PR)": ("PR", {"num_sweeps": 3}),
+    "reachability (BFS)": ("BFS", {}),
+}
+
+
+def main() -> None:
+    graph = dataset_by_name("twitter", scale=2048)
+    platform = mcdram_dram_testbed(scale=2048)
+    fast = platform.tiers[platform.fast_tier]
+    print(f"graph: {graph.name}, {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges")
+    print(f"fast memory: {fast.name}, "
+          f"{fast.capacity_bytes / 2**20:.1f} MiB capacity\n")
+
+    header = (f"{'kernel':28s} {'baseline':>9s} {'numactl-p':>10s} "
+              f"{'coarse':>9s} {'ATMem':>9s} {'ATMem ratio':>12s}")
+    print(header)
+    print("-" * len(header))
+    for label, (app_name, kwargs) in KERNELS.items():
+        factory = lambda: make_app(app_name, graph, **kwargs)
+        baseline = run_static(factory, platform, "slow")
+        preferred = run_static(factory, platform, "preferred")
+        coarse = run_coarse_grained(factory, platform)
+        atmem = run_atmem(factory, platform)
+        print(f"{label:28s} {baseline.seconds * 1e3:7.2f}ms "
+              f"{preferred.seconds * 1e3:8.2f}ms "
+              f"{coarse.seconds * 1e3:7.2f}ms "
+              f"{atmem.seconds * 1e3:7.2f}ms "
+              f"{atmem.data_ratio:11.1%}")
+
+    print("\nATMem reaches (or beats) the alternatives while committing a "
+          "fraction of the fast memory,\nleaving headroom for the other "
+          "kernels and co-located services — the paper's Objective I.")
+
+
+if __name__ == "__main__":
+    main()

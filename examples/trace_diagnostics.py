@@ -1,0 +1,58 @@
+"""Inspect an application's memory behaviour before placing anything.
+
+Uses the trace-diagnostics tooling to answer, in numbers, "why does ATMem
+select what it selects?": per-object access density, read/write mix, and
+random-vs-sequential mix for each of the paper's kernels — then shows
+the selection ATMem actually makes.
+
+Run with:  python examples/trace_diagnostics.py [app] [dataset]
+"""
+
+import sys
+
+from repro import dataset_by_name, make_app, nvm_dram_testbed
+from repro.core.runtime import AtMemRuntime
+from repro.sim.executor import TraceExecutor
+from repro.sim.tracetools import analyze_trace, format_trace_report
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "PR"
+    dataset = sys.argv[2] if len(sys.argv) > 2 else "twitter"
+    graph = dataset_by_name(dataset, scale=2048)
+    platform = nvm_dram_testbed(scale=2048)
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    app = make_app(app_name, graph)
+    app.register(runtime)
+
+    print(f"{app_name} on {dataset}: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges\n")
+
+    runtime.atmem_profiling_start()
+    executor = TraceExecutor(system)
+    trace = app.run_once()
+    executor.run(trace, miss_observer=runtime)
+    runtime.atmem_profiling_stop()
+
+    print("access-trace statistics (one iteration):")
+    print(format_trace_report(analyze_trace(trace, app.objects)))
+
+    decision, migration = runtime.atmem_optimize()
+    print("\nATMem's selection from the sampled profile:")
+    for name, sel in decision.objects.items():
+        n_sel = int(sel.selected.sum())
+        n_est = int(sel.estimated.sum())
+        print(f"  {name:14s}: {n_sel:4d}/{sel.selected.size:4d} chunks "
+              f"({n_est} tree-promoted), TR threshold "
+              f"{sel.tr_threshold if sel.tr_threshold != float('inf') else 'inf'}")
+    print(f"\ndata ratio: {decision.data_ratio:.1%}; "
+          f"{migration.bytes_moved / 2**20:.2f} MiB migrated in "
+          f"{migration.regions} regions")
+    print("\nReading the table: high acc/B + high random% objects are the "
+          "ones worth fast memory;\nsequential scans (adjacency) are "
+          "prefetch-friendly and cheap to leave on the big tier.")
+
+
+if __name__ == "__main__":
+    main()

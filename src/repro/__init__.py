@@ -1,0 +1,58 @@
+"""ATMem reproduction: adaptive data placement in graph applications on
+heterogeneous memories (CGO 2020).
+
+The package reproduces the complete ATMem system in pure Python:
+
+- :mod:`repro.mem` — the simulated heterogeneous memory system (tiers,
+  page tables, LLC/TLB models, the execution-time cost model);
+- :mod:`repro.graph` — CSR graphs, generators, and the paper's five
+  datasets at reproduction scale;
+- :mod:`repro.apps` — the five graph benchmarks (BFS, SSSP, PR, BC, CC)
+  plus SpMV, computing real results while emitting memory-access traces;
+- :mod:`repro.core` — ATMem itself: the Listing 1 runtime API, the
+  PEBS-like profiler, the Eq. 1-5 analyzer, and both migration mechanisms;
+- :mod:`repro.sim` — the experiment flows of the paper's methodology;
+- :mod:`repro.bench` — the harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import make_app, dataset_by_name, nvm_dram_testbed, run_atmem
+
+    graph = dataset_by_name("friendster", scale=2048)
+    result = run_atmem(lambda: make_app("PR", graph), nvm_dram_testbed())
+    print(result.data_ratio, result.seconds)
+"""
+
+from repro.apps import APP_NAMES, make_app
+from repro.config import (
+    DEFAULT_SCALE,
+    PlatformConfig,
+    mcdram_dram_testbed,
+    nvm_dram_testbed,
+    platform_by_name,
+)
+from repro.core import AtMemRuntime
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.runtime import RuntimeConfig
+from repro.graph import CSRGraph, dataset_by_name
+from repro.sim import run_atmem, run_coarse_grained, run_static
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_NAMES",
+    "AnalyzerConfig",
+    "AtMemRuntime",
+    "CSRGraph",
+    "DEFAULT_SCALE",
+    "PlatformConfig",
+    "RuntimeConfig",
+    "dataset_by_name",
+    "make_app",
+    "mcdram_dram_testbed",
+    "nvm_dram_testbed",
+    "platform_by_name",
+    "run_atmem",
+    "run_coarse_grained",
+    "run_static",
+]

@@ -1,0 +1,67 @@
+"""Breadth-first search (level-synchronous, top-down).
+
+One ``run_once`` is a full traversal from the source vertex.  The access
+pattern per level: random gathers into ``offsets`` for the frontier,
+segmented reads of ``adjacency``, random gathers and scatters on the
+``dist`` array for the discovered neighbours — the classic frontier-driven
+irregular pattern whose hot regions track high-degree vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import GraphApp, expand_frontier
+from repro.graph.csr import CSRGraph
+from repro.mem.trace import AccessKind, AccessTrace
+
+UNVISITED = -1
+
+
+class BFS(GraphApp):
+    """Single-source breadth-first search."""
+
+    name = "BFS"
+
+    def __init__(self, graph: CSRGraph, source: int = 0) -> None:
+        super().__init__(graph)
+        if not 0 <= source < graph.num_vertices:
+            raise ValueError(f"source {source} out of range")
+        self.source = source
+
+    def property_arrays(self) -> dict[str, np.ndarray]:
+        return {"dist": np.full(self.graph.num_vertices, UNVISITED, dtype=np.int64)}
+
+    def run_once(self) -> AccessTrace:
+        trace = AccessTrace()
+        offsets = self.graph.offsets
+        adjacency = self.graph.adjacency
+        dist = self.do("dist").array
+        dist.fill(UNVISITED)
+        dist[self.source] = 0
+        frontier = np.array([self.source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            self._gather(trace, "offsets", frontier, "offsets-gather")
+            edge_idx = expand_frontier(offsets, frontier)
+            if edge_idx.size == 0:
+                break
+            trace.add(
+                self.do("adjacency").addrs_of(edge_idx),
+                kind=AccessKind.RANDOM,
+                prefetchable=True,
+                label="adjacency-read",
+            )
+            neighbors = adjacency[edge_idx]
+            self._gather(trace, "dist", neighbors, "dist-check")
+            fresh = np.unique(neighbors[dist[neighbors] == UNVISITED])
+            level += 1
+            if fresh.size:
+                self._scatter(trace, "dist", fresh, "dist-write")
+                dist[fresh] = level
+            frontier = fresh
+        return trace
+
+    def result(self) -> np.ndarray:
+        """BFS level per vertex (-1 = unreachable)."""
+        return self.do("dist").array

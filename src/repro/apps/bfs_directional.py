@@ -1,0 +1,142 @@
+"""Direction-optimising BFS (Beamer-style push/pull switching).
+
+High-performance BFS implementations (including throughput-oriented SIMD
+frameworks like the paper's GraphPhi substrate) switch direction per
+level: small frontiers *push* (top-down: expand the frontier's adjacency
+lists), large frontiers *pull* (bottom-up: every unvisited vertex scans
+its neighbour list for a visited parent).  The pull phase turns BFS into
+a PageRank-like pattern — sequential scans of the structure plus random
+gathers into the ``dist`` array — which shifts where the LLC misses land
+and therefore what ATMem selects.  Including it exercises the analyzer
+under the access mix the paper's SIMD kernels actually produce.
+
+Results are identical to the plain top-down :class:`repro.apps.bfs.BFS`
+(the traversal order differs, levels do not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import GraphApp, expand_frontier
+from repro.graph.csr import CSRGraph
+from repro.mem.trace import AccessKind, AccessTrace
+
+UNVISITED = -1
+
+
+class DirectionOptimizedBFS(GraphApp):
+    """Level-synchronous BFS with per-level push/pull direction choice."""
+
+    name = "DOBFS"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        source: int = 0,
+        *,
+        pull_threshold: float = 0.05,
+    ) -> None:
+        super().__init__(graph)
+        if not 0 <= source < graph.num_vertices:
+            raise ValueError(f"source {source} out of range")
+        if not 0.0 < pull_threshold <= 1.0:
+            raise ValueError(
+                f"pull_threshold must be in (0, 1], got {pull_threshold}"
+            )
+        self.source = source
+        #: Switch to pull once the frontier's out-edges exceed this
+        #: fraction of all edges (the classic alpha heuristic, simplified).
+        self.pull_threshold = pull_threshold
+        self.direction_log: list[str] = []
+
+    def property_arrays(self) -> dict[str, np.ndarray]:
+        return {"dist": np.full(self.graph.num_vertices, UNVISITED, dtype=np.int64)}
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> AccessTrace:
+        trace = AccessTrace()
+        dist = self.do("dist").array
+        dist.fill(UNVISITED)
+        dist[self.source] = 0
+        frontier = np.array([self.source], dtype=np.int64)
+        level = 0
+        total_edges = max(1, self.graph.num_edges)
+        self.direction_log = []
+        while frontier.size:
+            frontier_edges = int(self.graph.degrees[frontier].sum())
+            level += 1
+            if frontier_edges / total_edges > self.pull_threshold:
+                fresh = self._pull_step(trace, dist, level)
+                self.direction_log.append("pull")
+            else:
+                fresh = self._push_step(trace, dist, frontier, level)
+                self.direction_log.append("push")
+            frontier = fresh
+        return trace
+
+    def _push_step(
+        self,
+        trace: AccessTrace,
+        dist: np.ndarray,
+        frontier: np.ndarray,
+        level: int,
+    ) -> np.ndarray:
+        """Top-down: expand the frontier's adjacency lists."""
+        offsets = self.graph.offsets
+        adjacency = self.graph.adjacency
+        self._gather(trace, "offsets", frontier, "offsets-gather")
+        edge_idx = expand_frontier(offsets, frontier)
+        if edge_idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        trace.add(
+            self.do("adjacency").addrs_of(edge_idx),
+            kind=AccessKind.RANDOM,
+            prefetchable=True,
+            label="adjacency-push",
+        )
+        neighbors = adjacency[edge_idx]
+        self._gather(trace, "dist", neighbors, "dist-check")
+        fresh = np.unique(neighbors[dist[neighbors] == UNVISITED])
+        if fresh.size:
+            self._scatter(trace, "dist", fresh, "dist-write")
+            dist[fresh] = level
+        return fresh
+
+    def _pull_step(
+        self, trace: AccessTrace, dist: np.ndarray, level: int
+    ) -> np.ndarray:
+        """Bottom-up: every unvisited vertex scans for a visited parent.
+
+        Vectorised variant: scan the adjacency of all unvisited vertices
+        and keep those with at least one neighbour on the previous level.
+        """
+        offsets = self.graph.offsets
+        adjacency = self.graph.adjacency
+        unvisited = np.nonzero(dist == UNVISITED)[0]
+        if unvisited.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self._gather(trace, "offsets", unvisited, "offsets-pull")
+        edge_idx = expand_frontier(offsets, unvisited)
+        if edge_idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        trace.add(
+            self.do("adjacency").addrs_of(edge_idx),
+            kind=AccessKind.RANDOM,
+            prefetchable=True,
+            label="adjacency-pull",
+        )
+        neighbors = adjacency[edge_idx]
+        self._gather(trace, "dist", neighbors, "dist-pull-check")
+        counts = offsets[unvisited + 1] - offsets[unvisited]
+        owner = np.repeat(unvisited, counts)
+        has_parent = dist[neighbors] == level - 1
+        fresh = np.unique(owner[has_parent])
+        if fresh.size:
+            self._scatter(trace, "dist", fresh, "dist-write")
+            dist[fresh] = level
+        return fresh
+
+    def result(self) -> np.ndarray:
+        """BFS level per vertex (-1 = unreachable)."""
+        return self.do("dist").array

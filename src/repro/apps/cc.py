@@ -1,0 +1,65 @@
+"""Connected components (label propagation).
+
+Each round every vertex adopts the minimum label among itself and its
+neighbours; the run converges when no label changes.  Sequential adjacency
+scans plus random label gathers — similar in shape to PageRank, but with a
+data-dependent number of rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import GraphApp
+from repro.graph.csr import CSRGraph
+from repro.mem.trace import AccessTrace
+
+
+class ConnectedComponents(GraphApp):
+    """Min-label propagation over the symmetrised graph."""
+
+    name = "CC"
+
+    def __init__(self, graph: CSRGraph, *, max_rounds: int = 64) -> None:
+        super().__init__(graph)
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        self.max_rounds = max_rounds
+
+    def property_arrays(self) -> dict[str, np.ndarray]:
+        return {"labels": np.arange(self.graph.num_vertices, dtype=np.int64)}
+
+    def run_once(self) -> AccessTrace:
+        trace = AccessTrace()
+        v = self.graph.num_vertices
+        adjacency = self.graph.adjacency
+        labels = self.do("labels").array
+        labels[:] = np.arange(v, dtype=np.int64)
+        offsets = self.graph.offsets
+        starts = offsets[:-1]
+        nonempty = self.graph.degrees > 0
+        sentinel = np.iinfo(np.int64).max
+        # reduceat needs in-range segment starts; empty trailing segments are
+        # clipped and masked out below.
+        safe_starts = np.minimum(starts, max(0, adjacency.size - 1))
+        for _ in range(self.max_rounds):
+            self._scan(trace, "offsets", "offsets-scan")
+            self._scan(trace, "adjacency", "adjacency-scan")
+            self._gather(trace, "labels", adjacency, "label-gather")
+            if adjacency.size:
+                segment_min = np.minimum.reduceat(labels[adjacency], safe_starts)
+                neighbor_min = np.where(nonempty, segment_min, sentinel)
+            else:
+                neighbor_min = np.full(v, sentinel, dtype=np.int64)
+            new_labels = np.minimum(labels, neighbor_min)
+            changed = new_labels < labels
+            if not changed.any():
+                break
+            changed_ids = np.nonzero(changed)[0]
+            self._scatter(trace, "labels", changed_ids, "label-write")
+            labels[changed_ids] = new_labels[changed_ids]
+        return trace
+
+    def result(self) -> np.ndarray:
+        """Component label per vertex (minimum vertex id in the component)."""
+        return self.do("labels").array

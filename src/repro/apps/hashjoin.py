@@ -1,0 +1,151 @@
+"""Hash-join probe kernel (a non-graph irregular workload).
+
+The paper's Section 9 argues ATMem "also works well for other irregular
+applications"; a database hash join is the canonical one.  The kernel:
+
+- **build**: insert the build relation's keys into an open-addressing
+  (linear-probing) hash table;
+- **probe**: stream the (much larger) probe relation, hash each key, and
+  walk the table until a match or an empty slot.
+
+The probe side streams sequentially while the hash-table accesses are
+random and *skewed when the probe keys are* — a Zipf key distribution
+concentrates the table traffic on the buckets of popular keys, giving
+ATMem a dense region to place.  The table is the placement target; the
+relations are streams.
+
+One ``run_once`` is one full probe pass (the build runs during
+registration — its table is part of the registered state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import ArrayRegistry, GraphApp
+from repro.errors import ConfigurationError
+from repro.mem.trace import AccessKind, AccessTrace
+
+EMPTY = -1
+
+
+class HashJoinProbe(GraphApp):
+    """Linear-probing hash-join probe over synthetic relations.
+
+    Not graph-based: ignores the CSR protocol's graph argument by
+    synthesising its own relations.  Registered data objects:
+
+    - ``table_keys`` / ``table_values`` — the open-addressing hash table
+      built from the build relation (the placement target);
+    - ``probe_keys`` — the probe relation (streamed);
+    - ``output`` — matched values (streamed).
+    """
+
+    name = "HashJoin"
+
+    def __init__(
+        self,
+        *,
+        build_rows: int = 1 << 15,
+        probe_rows: int = 1 << 18,
+        zipf_exponent: float = 1.2,
+        load_factor: float = 0.5,
+        seed: int = 31,
+    ) -> None:
+        if build_rows <= 0 or probe_rows <= 0:
+            raise ConfigurationError("relation sizes must be positive")
+        if not 0.0 < load_factor < 0.95:
+            raise ConfigurationError(
+                f"load_factor must be in (0, 0.95), got {load_factor}"
+            )
+        # GraphApp wants a graph; this kernel has none.
+        self.graph = None  # type: ignore[assignment]
+        self.objects = {}
+        self._registered = False
+        self.build_rows = build_rows
+        self.probe_rows = probe_rows
+        self.zipf_exponent = zipf_exponent
+        rng = np.random.default_rng(seed)
+        table_slots = 1 << int(np.ceil(np.log2(build_rows / load_factor)))
+        self.table_slots = table_slots
+        self._build_keys = rng.permutation(build_rows * 4)[:build_rows].astype(
+            np.int64
+        )
+        # Zipf-ranked probe keys over the build keys: popular keys probed
+        # far more often (skewed bucket traffic).
+        ranks = (rng.zipf(zipf_exponent, size=probe_rows) - 1) % build_rows
+        self._probe_keys = self._build_keys[ranks]
+
+    # ------------------------------------------------------------------
+    def register(self, registry: ArrayRegistry) -> None:
+        if self._registered:
+            raise ConfigurationError(f"{self.name}: already registered")
+        keys = np.full(self.table_slots, EMPTY, dtype=np.int64)
+        values = np.zeros(self.table_slots, dtype=np.int64)
+        self._build_table(keys, values)
+        self.objects["table_keys"] = registry.register_array("table_keys", keys)
+        self.objects["table_values"] = registry.register_array("table_values", values)
+        self.objects["probe_keys"] = registry.register_array(
+            "probe_keys", self._probe_keys
+        )
+        self.objects["output"] = registry.register_array(
+            "output", np.zeros(self.probe_rows, dtype=np.int64)
+        )
+        self._registered = True
+
+    def property_arrays(self) -> dict[str, np.ndarray]:  # pragma: no cover
+        raise NotImplementedError("HashJoinProbe registers its own objects")
+
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        # Fibonacci hashing in uint64 (wrapping) arithmetic.
+        mixed = np.asarray(keys).astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        return ((mixed >> np.uint64(16)) & np.uint64(self.table_slots - 1)).astype(
+            np.int64
+        )
+
+    def _build_table(self, keys: np.ndarray, values: np.ndarray) -> None:
+        for key in self._build_keys:
+            slot = int(self._hash(np.array([key]))[0])
+            while keys[slot] != EMPTY:
+                slot = (slot + 1) & (self.table_slots - 1)
+            keys[slot] = key
+            values[slot] = key * 2 + 1  # any deterministic payload
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> AccessTrace:
+        trace = AccessTrace()
+        table_keys = self.do("table_keys").array
+        table_values = self.do("table_values").array
+        probe_keys = self.do("probe_keys").array
+        output = self.do("output").array
+        self._scan(trace, "probe_keys", "probe-stream")
+        slots = self._hash(probe_keys)
+        result = np.full(self.probe_rows, EMPTY, dtype=np.int64)
+        pending = np.arange(self.probe_rows, dtype=np.int64)
+        # Batched linear probing: all rows advance one slot per round.
+        while pending.size:
+            cur = slots[pending]
+            self._gather(trace, "table_keys", cur, "table-probe")
+            found = table_keys[cur] == probe_keys[pending]
+            empty = table_keys[cur] == EMPTY
+            hit_rows = pending[found]
+            if hit_rows.size:
+                self._gather(trace, "table_values", slots[hit_rows], "value-fetch")
+                result[hit_rows] = table_values[slots[hit_rows]]
+            keep = ~(found | empty)
+            pending = pending[keep]
+            slots[pending] = (slots[pending] + 1) & (self.table_slots - 1)
+        output[:] = result
+        self._scan(trace, "output", "output-stream", is_write=True)
+        return trace
+
+    def result(self) -> np.ndarray:
+        """Joined payload per probe row (EMPTY where no match)."""
+        return self.do("output").array
+
+    def expected_output(self) -> np.ndarray:
+        """Ground truth from a plain dictionary join."""
+        mapping = {int(k): int(k) * 2 + 1 for k in self._build_keys}
+        return np.array(
+            [mapping.get(int(k), EMPTY) for k in self._probe_keys], dtype=np.int64
+        )

@@ -1,0 +1,83 @@
+"""k-core decomposition (iterative peeling).
+
+A sixth irregular kernel beyond the paper's five, included because it is a
+common graph-analytics workload with yet another access shape: rounds of
+*peeling* where the active set shrinks monotonically, so the hot region
+contracts over time.  One ``run_once`` computes the full coreness array.
+
+The peeling is round-synchronous: in each round every remaining vertex
+with residual degree <= k is removed, its neighbours' residual degrees
+are decremented, and k increases when no vertex is removable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import GraphApp, expand_frontier
+from repro.graph.csr import CSRGraph
+from repro.mem.trace import AccessKind, AccessTrace
+
+
+class KCore(GraphApp):
+    """Coreness of every vertex via iterative peeling."""
+
+    name = "KCore"
+
+    def __init__(self, graph: CSRGraph, *, max_rounds: int = 10_000) -> None:
+        super().__init__(graph)
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        self.max_rounds = max_rounds
+
+    def property_arrays(self) -> dict[str, np.ndarray]:
+        v = self.graph.num_vertices
+        return {
+            "residual_degree": np.zeros(v, dtype=np.int64),
+            "coreness": np.zeros(v, dtype=np.int64),
+        }
+
+    def run_once(self) -> AccessTrace:
+        trace = AccessTrace()
+        offsets = self.graph.offsets
+        adjacency = self.graph.adjacency
+        residual = self.do("residual_degree").array
+        coreness = self.do("coreness").array
+        residual[:] = self.graph.degrees
+        coreness.fill(0)
+        self._scan(trace, "residual_degree", "residual-init", is_write=True)
+        alive = np.ones(self.graph.num_vertices, dtype=bool)
+        k = 0
+        rounds = 0
+        while alive.any() and rounds < self.max_rounds:
+            rounds += 1
+            candidates = np.nonzero(alive & (residual <= k))[0]
+            self._gather(trace, "residual_degree", np.nonzero(alive)[0], "residual-check")
+            if candidates.size == 0:
+                # Jump straight to the next populated peeling level.
+                k = max(k + 1, int(residual[alive].min()))
+                continue
+            coreness[candidates] = k
+            self._scatter(trace, "coreness", candidates, "coreness-write")
+            alive[candidates] = False
+            edge_idx = expand_frontier(offsets, candidates)
+            if edge_idx.size:
+                trace.add(
+                    self.do("adjacency").addrs_of(edge_idx),
+                    kind=AccessKind.RANDOM,
+                    prefetchable=True,
+                    label="adjacency-read",
+                )
+                neighbors = adjacency[edge_idx]
+                self._gather(trace, "residual_degree", neighbors, "residual-read")
+                decrements = np.bincount(
+                    neighbors, minlength=self.graph.num_vertices
+                )
+                touched = np.nonzero(decrements)[0]
+                self._scatter(trace, "residual_degree", touched, "residual-write")
+                residual -= decrements
+        return trace
+
+    def result(self) -> np.ndarray:
+        """Coreness (the largest k such that the vertex is in the k-core)."""
+        return self.do("coreness").array

@@ -1,0 +1,28 @@
+"""Benchmark harness library.
+
+- :mod:`repro.bench.workloads` — the benchmark configuration (apps,
+  datasets, platforms at reproduction scale) and a memoised run cache so
+  the figures and tables that share runs (Fig. 5/6/7/8, Table 3) compute
+  them once.
+- :mod:`repro.bench.figures` — one function per paper figure, returning
+  renderable tables/series.
+- :mod:`repro.bench.tables` — one function per paper table.
+- :mod:`repro.bench.report` — plain-text table/series rendering and saving.
+"""
+
+from repro.bench.report import Series, Table
+from repro.bench.workloads import (
+    BENCH_APPS,
+    BENCH_DATASETS,
+    bench_scale,
+    overall_results,
+)
+
+__all__ = [
+    "BENCH_APPS",
+    "BENCH_DATASETS",
+    "Series",
+    "Table",
+    "bench_scale",
+    "overall_results",
+]

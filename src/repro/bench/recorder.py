@@ -1,0 +1,139 @@
+"""Structured benchmark-result recording.
+
+`repro.bench.report` renders human-readable artifacts; this module keeps
+the same results as machine-readable JSON so that regression tracking,
+plotting, and `EXPERIMENTS.md` regeneration don't re-run the grid.  Each
+record stores the experiment id, the environment (scale, platform), and
+the rows, with a stable schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.bench.report import Series, Table
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ResultRecord:
+    """One experiment's recorded outcome."""
+
+    experiment: str
+    kind: str  # "table" | "series"
+    scale: int
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[str]] = field(default_factory=list)
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_table(cls, experiment: str, table: Table, *, scale: int) -> "ResultRecord":
+        return cls(
+            experiment=experiment,
+            kind="table",
+            scale=scale,
+            columns=list(table.columns),
+            rows=[list(r) for r in table.rows],
+            notes=list(table.notes),
+        )
+
+    @classmethod
+    def from_series(
+        cls, experiment: str, series: Series, *, scale: int
+    ) -> "ResultRecord":
+        return cls(
+            experiment=experiment,
+            kind="series",
+            scale=scale,
+            series={k: [tuple(p) for p in v] for k, v in series.data.items()},
+            notes=[series.title],
+        )
+
+    def column(self, name: str) -> list[str]:
+        """One column of a table record, by header name."""
+        if self.kind != "table":
+            raise ValueError(f"record {self.experiment!r} is not a table")
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"column {name!r} not in {self.columns}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+
+class ResultStore:
+    """A directory of JSON result records."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, experiment: str) -> Path:
+        safe = experiment.replace("/", "_")
+        return self.directory / f"{safe}.json"
+
+    def save(self, record: ResultRecord) -> Path:
+        path = self._path(record.experiment)
+        payload = asdict(record)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        return path
+
+    def load(self, experiment: str) -> ResultRecord:
+        path = self._path(experiment)
+        if not path.exists():
+            raise FileNotFoundError(f"no recorded result for {experiment!r}")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"record {experiment!r} has schema "
+                f"{payload.get('schema_version')}, expected {SCHEMA_VERSION}"
+            )
+        payload["series"] = {
+            k: [tuple(p) for p in v] for k, v in payload.get("series", {}).items()
+        }
+        return ResultRecord(**payload)
+
+    def list_experiments(self) -> list[str]:
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def compare(
+        self, experiment: str, new: ResultRecord, column: str, *, rel_tol: float
+    ) -> list[str]:
+        """Regression check: relative drift of one numeric column.
+
+        Returns human-readable drift messages (empty = within tolerance).
+        Rows are matched positionally; a row-count change is itself a
+        drift.
+        """
+        old = self.load(experiment)
+        if old.kind != "table" or new.kind != "table":
+            raise ValueError("compare() only supports table records")
+        drifts: list[str] = []
+        old_vals = old.column(column)
+        new_vals = new.column(column)
+        if len(old_vals) != len(new_vals):
+            return [
+                f"{experiment}: row count changed "
+                f"{len(old_vals)} -> {len(new_vals)}"
+            ]
+        for i, (a, b) in enumerate(zip(old_vals, new_vals)):
+            try:
+                fa, fb = float(a), float(b)
+            except ValueError:
+                continue
+            if fa == 0.0 and fb == 0.0:
+                continue
+            denom = max(abs(fa), abs(fb), 1e-12)
+            drift = abs(fa - fb) / denom
+            if drift > rel_tol:
+                drifts.append(
+                    f"{experiment} row {i} {column}: {fa:g} -> {fb:g} "
+                    f"({100 * drift:.1f}% drift)"
+                )
+        return drifts

@@ -1,0 +1,106 @@
+"""Summaries across recorded benchmark results.
+
+Reads the JSON records written by :func:`repro.bench.report.emit` and
+derives the headline numbers the paper's abstract reports — per-app
+average speedups, data-ratio ranges, migration improvement averages — so
+`EXPERIMENTS.md`-style summaries can be regenerated mechanically from a
+benchmark run instead of transcribed by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.recorder import ResultRecord, ResultStore
+
+
+@dataclass
+class HeadlineNumbers:
+    """The abstract-level summary of one benchmark run."""
+
+    nvm_speedup_range: tuple[float, float] | None = None
+    nvm_per_app_avg: dict[str, float] | None = None
+    mcdram_speedup_range: tuple[float, float] | None = None
+    data_ratio_range: tuple[float, float] | None = None
+    migration_time_avg: dict[str, float] | None = None
+
+    def render(self) -> str:
+        lines = ["== Headline numbers (from recorded results) =="]
+        if self.nvm_speedup_range:
+            lo, hi = self.nvm_speedup_range
+            lines.append(
+                f"NVM-DRAM speedup over all-NVM baseline: {lo:.2f}x-{hi:.2f}x "
+                "(paper: 1.25x-8.4x)"
+            )
+        if self.nvm_per_app_avg:
+            avgs = ", ".join(
+                f"{app} {value:.2f}x" for app, value in self.nvm_per_app_avg.items()
+            )
+            lines.append(f"per-app averages: {avgs} (paper: 1.7x-3.4x)")
+        if self.mcdram_speedup_range:
+            lo, hi = self.mcdram_speedup_range
+            lines.append(
+                f"MCDRAM-DRAM speedup over all-DRAM baseline: "
+                f"{lo:.2f}x-{hi:.2f}x (paper: 1.1x-3x)"
+            )
+        if self.data_ratio_range:
+            lo, hi = self.data_ratio_range
+            lines.append(
+                f"data placed on fast memory: {100 * lo:.1f}%-{100 * hi:.1f}% "
+                "(paper: 5%-18%)"
+            )
+        if self.migration_time_avg:
+            avgs = ", ".join(
+                f"{platform} {value:.2f}x"
+                for platform, value in self.migration_time_avg.items()
+            )
+            lines.append(
+                f"migration speedup over mbind: {avgs} "
+                "(paper: 2.07x / 5.32x)"
+            )
+        return "\n".join(lines)
+
+
+def _speedup_stats(record: ResultRecord) -> tuple[tuple[float, float], dict[str, float]]:
+    speedups = [float(v) for v in record.column("speedup")]
+    apps = record.column("app")
+    per_app: dict[str, list[float]] = {}
+    for app, speedup in zip(apps, speedups):
+        per_app.setdefault(app, []).append(speedup)
+    averages = {app: float(np.mean(v)) for app, v in per_app.items()}
+    return (min(speedups), max(speedups)), averages
+
+
+def summarize(results_dir: str | Path) -> HeadlineNumbers:
+    """Build the headline summary from a results JSON directory."""
+    store = ResultStore(results_dir)
+    out = HeadlineNumbers()
+    available = set(store.list_experiments())
+    if "fig5" in available:
+        out.nvm_speedup_range, out.nvm_per_app_avg = _speedup_stats(
+            store.load("fig5")
+        )
+    if "fig6" in available:
+        out.mcdram_speedup_range, _ = _speedup_stats(store.load("fig6"))
+    ratios: list[float] = []
+    for experiment in ("fig7", "fig8"):
+        if experiment in available:
+            ratios.extend(
+                float(v) for v in store.load(experiment).column("data_ratio")
+            )
+    if ratios:
+        out.data_ratio_range = (min(ratios), max(ratios))
+    if "table4" in available:
+        record = store.load("table4")
+        platforms = record.column("platform")
+        times = [float(v) for v in record.column("migration_time_ratio")]
+        grouped: dict[str, list[float]] = {}
+        for platform, value in zip(platforms, times):
+            grouped.setdefault(platform, []).append(value)
+        out.migration_time_avg = {
+            platform: float(np.mean(v)) for platform, v in grouped.items()
+        }
+    return out

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro.cli``.
+
+Subcommands:
+
+- ``run`` — run one experiment cell (app x dataset x platform) and print
+  the baseline / ATMem / reference comparison;
+- ``datasets`` — list the Table 2 inputs at a chosen scale;
+- ``sweep`` — the Figure 9/10 epsilon sweep for one dataset;
+- ``migrate`` — the Table 4 mechanism comparison for one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APP_NAMES, make_app
+from repro.config import PLATFORM_NAMES, platform_by_name
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.runtime import RuntimeConfig
+from repro.graph.datasets import DATASET_NAMES, PAPER_SIZES, dataset_by_name
+from repro.sim.experiment import run_atmem, run_static
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="friendster",
+        help="Table 2 input (default: friendster)",
+    )
+    parser.add_argument(
+        "--platform", choices=PLATFORM_NAMES, default="nvm_dram",
+        help="testbed preset (default: nvm_dram)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=2048,
+        help="1/scale of the published input sizes (default: 2048)",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = dataset_by_name(args.dataset, scale=args.scale)
+    platform = platform_by_name(args.platform, scale=max(1, args.scale // 2))
+    factory = lambda: make_app(args.app, graph)
+    reference = "fast" if args.platform == "nvm_dram" else "preferred"
+    baseline = run_static(factory, platform, "slow")
+    ref = run_static(factory, platform, reference)
+    atmem = run_atmem(factory, platform)
+    print(f"{args.app} on {args.dataset} ({graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges), platform {platform.name}:")
+    print(f"  baseline (all {platform.tiers[platform.slow_tier].name}): "
+          f"{baseline.seconds * 1e3:9.3f} ms")
+    print(f"  reference ({reference}):  {ref.seconds * 1e3:9.3f} ms")
+    print(f"  ATMem:                {atmem.seconds * 1e3:9.3f} ms  "
+          f"({baseline.seconds / atmem.seconds:.2f}x speedup, "
+          f"{atmem.data_ratio:.1%} data on fast memory)")
+    print(f"  migration: {atmem.migration.bytes_moved / 2**20:.2f} MiB, "
+          f"{atmem.migration.seconds * 1e6:.0f} us; profiling overhead "
+          f"{atmem.profiling_overhead_seconds / atmem.first_iteration.seconds:.1%}")
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'name':12s} {'paper V':>12s} {'paper E':>14s} "
+          f"{'scaled V':>10s} {'scaled E':>10s}")
+    for name in DATASET_NAMES:
+        paper_v, paper_e = PAPER_SIZES[name]
+        graph = dataset_by_name(name, scale=args.scale)
+        print(f"{name:12s} {paper_v:12,d} {paper_e:14,d} "
+              f"{graph.num_vertices:10,d} {graph.num_edges:10,d}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    graph = dataset_by_name(args.dataset, scale=args.scale)
+    platform = platform_by_name(args.platform, scale=max(1, args.scale // 2))
+    factory = lambda: make_app("BFS", graph)
+    baseline = run_static(factory, platform, "slow")
+    print(f"BFS/{args.dataset} on {platform.name}; baseline "
+          f"{baseline.seconds * 1e3:.3f} ms")
+    print(f"{'epsilon':>8s} {'data ratio':>11s} {'time (ms)':>10s}")
+    for eps in (0.02, 0.05, 0.1, 0.18, 0.25, 0.35, 0.5, 0.7, 0.9):
+        config = RuntimeConfig(analyzer=AnalyzerConfig(epsilon=eps))
+        result = run_atmem(factory, platform, runtime_config=config)
+        print(f"{eps:8.2f} {result.data_ratio:11.3f} "
+              f"{result.seconds * 1e3:10.3f}")
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    graph = dataset_by_name(args.dataset, scale=args.scale)
+    platform = platform_by_name(args.platform, scale=max(1, args.scale // 2))
+    factory = lambda: make_app("PR", graph, num_sweeps=2)
+    atmem = run_atmem(factory, platform, count_tlb=True)
+    mbind = run_atmem(
+        factory,
+        platform,
+        runtime_config=RuntimeConfig(migration_mechanism="mbind"),
+        count_tlb=True,
+    )
+    print(f"PR/{args.dataset} on {platform.name}: "
+          f"{atmem.migration.bytes_moved / 2**20:.2f} MiB migrated")
+    print(f"  migration time: mbind {mbind.migration.seconds * 1e6:9.1f} us, "
+          f"ATMem {atmem.migration.seconds * 1e6:9.1f} us "
+          f"({mbind.migration.seconds / atmem.migration.seconds:.2f}x)")
+    print(f"  iter-2 TLB misses: mbind {mbind.second_iteration.tlb_misses:,}, "
+          f"ATMem {atmem.second_iteration.tlb_misses:,} "
+          f"({mbind.second_iteration.tlb_misses / max(1, atmem.second_iteration.tlb_misses):.2f}x)")
+    return 0
+
+
+EXPERIMENT_BUILDERS = {
+    "fig1a": ("repro.bench.figures", "fig1a"),
+    "fig1b": ("repro.bench.figures", "fig1b"),
+    "fig5": ("repro.bench.figures", "fig5"),
+    "fig6": ("repro.bench.figures", "fig6"),
+    "fig7": ("repro.bench.figures", "fig7"),
+    "fig8": ("repro.bench.figures", "fig8"),
+    "table3": ("repro.bench.tables", "table3"),
+    "table4": ("repro.bench.tables", "table4"),
+    "overhead": ("repro.bench.tables", "overhead_analysis"),
+}
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate paper experiments (tables printed, artifacts saved)."""
+    import importlib
+    import os
+
+    from repro.bench.report import emit
+
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    wanted = args.experiments or list(EXPERIMENT_BUILDERS)
+    unknown = [e for e in wanted if e not in EXPERIMENT_BUILDERS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(EXPERIMENT_BUILDERS)}")
+        return 2
+    for experiment in wanted:
+        module_name, fn_name = EXPERIMENT_BUILDERS[experiment]
+        builder = getattr(importlib.import_module(module_name), fn_name)
+        emit(builder(), f"{experiment}.txt")
+    print(f"\nregenerated {len(wanted)} experiment(s); artifacts under "
+          "benchmarks/results/")
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    """Print headline numbers from recorded benchmark results."""
+    from pathlib import Path
+
+    from repro.bench.summary import summarize
+
+    default_dir = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "results" / "json"
+    )
+    results_dir = Path(args.results) if args.results else default_dir
+    if not results_dir.exists():
+        print(f"no recorded results at {results_dir}; run the benchmarks "
+              "or `repro reproduce` first")
+        return 1
+    print(summarize(results_dir).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATMem (CGO 2020) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment cell")
+    run_p.add_argument(
+        "--app", choices=APP_NAMES, default="PR", help="application (default: PR)"
+    )
+    _add_common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    ds_p = sub.add_parser("datasets", help="list the Table 2 inputs")
+    ds_p.add_argument("--scale", type=int, default=2048)
+    ds_p.set_defaults(func=cmd_datasets)
+
+    sweep_p = sub.add_parser("sweep", help="Figure 9/10 epsilon sweep (BFS)")
+    _add_common(sweep_p)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    mig_p = sub.add_parser("migrate", help="Table 4 mechanism comparison (PR)")
+    _add_common(mig_p)
+    mig_p.set_defaults(func=cmd_migrate)
+
+    rep_p = sub.add_parser(
+        "reproduce", help="regenerate paper tables/figures (no pytest needed)"
+    )
+    rep_p.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"which experiments (default: all of {sorted(EXPERIMENT_BUILDERS)})",
+    )
+    rep_p.add_argument(
+        "--scale", type=int, default=None,
+        help="override REPRO_BENCH_SCALE for this run",
+    )
+    rep_p.set_defaults(func=cmd_reproduce)
+
+    sum_p = sub.add_parser(
+        "summary", help="headline numbers from recorded benchmark results"
+    )
+    sum_p.add_argument(
+        "--results", default=None,
+        help="results JSON directory (default: benchmarks/results/json)",
+    )
+    sum_p.set_defaults(func=cmd_summary)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""ATMem core: the paper's primary contribution.
+
+The runtime framework has three components (paper Figure 2):
+
+- **Profiler** (:mod:`repro.core.profiler`, :mod:`repro.core.sampling`) —
+  PEBS-like sampling of LLC-miss addresses, attributed to adaptive-granularity
+  data chunks (:mod:`repro.core.chunks`).
+- **Analyzer** (:mod:`repro.core.analyzer`) — stage 1: hybrid local selection
+  (:mod:`repro.core.local_selection`, Eq. 1-3); stage 2: m-ary tree-based
+  global promotion (:mod:`repro.core.mtree`, :mod:`repro.core.promotion`,
+  Eq. 4-5).
+- **Optimizer** (:mod:`repro.core.migration`) — multi-stage multi-threaded
+  migration of the selected chunks onto the fast tier, with
+  :mod:`repro.core.mbind` as the system-service baseline it is compared to.
+
+:mod:`repro.core.runtime` exposes the paper's Listing 1 API
+(``atmem_malloc`` / ``atmem_free`` / ``atmem_profiling_start`` /
+``atmem_profiling_stop`` / ``atmem_optimize``).
+"""
+
+from repro.core.adaptive import AdaptiveSession
+from repro.core.analyzer import AnalyzerConfig, AtMemAnalyzer, PlacementDecision
+from repro.core.chunks import ChunkGeometry, ChunkingPolicy
+from repro.core.dataobject import DataObject
+from repro.core.local_selection import LocalSelectionConfig
+from repro.core.migration import MigrationStats, MultiStageMigrator
+from repro.core.mbind import MbindMigrator
+from repro.core.overlap import OverlapModel
+from repro.core.profiler import SamplingProfiler
+from repro.core.runtime import AtMemRuntime
+
+__all__ = [
+    "AdaptiveSession",
+    "AnalyzerConfig",
+    "AtMemAnalyzer",
+    "AtMemRuntime",
+    "ChunkGeometry",
+    "ChunkingPolicy",
+    "DataObject",
+    "LocalSelectionConfig",
+    "MbindMigrator",
+    "MigrationStats",
+    "MultiStageMigrator",
+    "OverlapModel",
+    "PlacementDecision",
+    "SamplingProfiler",
+]

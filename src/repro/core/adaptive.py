@@ -1,0 +1,120 @@
+"""Multi-query adaptation.
+
+The paper motivates dynamic placement with the observation that "effective
+data placement largely depends on ... the query at each run" (Section 1).
+:class:`AdaptiveSession` manages a long-lived application serving a stream
+of queries (e.g. BFS/SSSP from changing sources): it watches how much of
+each run's miss traffic still lands on the fast tier and triggers
+re-profiling + re-migration when the placement has gone stale.
+
+The staleness signal is the *fast-tier hit share*: the fraction of LLC
+misses served by the fast tier.  Right after optimisation it is high (the
+hot data was just moved); when the query distribution shifts, misses drift
+back to the slow tier and the share decays below ``refresh_threshold``
+relative to the share observed right after the last optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.runtime import AtMemRuntime
+from repro.errors import ConfigurationError
+from repro.mem.address_space import PAGE_SIZE
+
+if TYPE_CHECKING:  # imported for annotations only; avoids package cycles
+    from repro.apps.base import GraphApp
+    from repro.sim.executor import TraceExecutor
+    from repro.sim.metrics import RunCost
+
+
+def fast_share(cost: RunCost, fast_tier: int) -> float:
+    """Fraction of the run's LLC misses served by the fast tier."""
+    total = sum(cost.miss_by_tier.values())
+    if total == 0:
+        return 0.0
+    return cost.miss_by_tier.get(fast_tier, 0) / total
+
+
+@dataclass
+class QueryRecord:
+    """Bookkeeping for one executed query."""
+
+    cost: RunCost
+    fast_share: float
+    reoptimized: bool
+
+
+@dataclass
+class AdaptiveSession:
+    """Runs a query stream, re-optimising placement when it goes stale."""
+
+    app: "GraphApp"
+    runtime: AtMemRuntime
+    executor: "TraceExecutor"
+    #: Re-optimise when the fast-tier miss share falls below this fraction
+    #: of the share measured right after the previous optimisation.
+    refresh_threshold: float = 0.5
+    history: list[QueryRecord] = field(default_factory=list)
+    _reference_share: float | None = field(default=None, repr=False)
+    _profiled_once: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.refresh_threshold <= 1.0:
+            raise ConfigurationError(
+                f"refresh_threshold must be in (0, 1], got {self.refresh_threshold}"
+            )
+
+    @property
+    def reoptimizations(self) -> int:
+        """How many times the session re-ran the profile/migrate cycle."""
+        return sum(1 for r in self.history if r.reoptimized)
+
+    def run_query(self) -> QueryRecord:
+        """Execute the app's current query, adapting placement if stale."""
+        if not self._profiled_once:
+            record = self._profile_and_optimize()
+        else:
+            cost = self.executor.run(self.app.run_once())
+            share = fast_share(cost, self.runtime.system.fast_tier)
+            assert self._reference_share is not None
+            stale = share < self.refresh_threshold * self._reference_share
+            if stale:
+                record = self._profile_and_optimize()
+            else:
+                record = QueryRecord(cost=cost, fast_share=share, reoptimized=False)
+        self.history.append(record)
+        return record
+
+    def _profile_and_optimize(self) -> QueryRecord:
+        runtime = self.runtime
+        self._release_fast_tier()
+        runtime.atmem_profiling_start()
+        self.executor.run(self.app.run_once(), miss_observer=runtime)
+        runtime.atmem_profiling_stop()
+        runtime.atmem_optimize()
+        cost = self.executor.run(self.app.run_once())
+        share = fast_share(cost, runtime.system.fast_tier)
+        self._reference_share = max(share, 1e-9)
+        self._profiled_once = True
+        return QueryRecord(cost=cost, fast_share=share, reoptimized=True)
+
+    def _release_fast_tier(self) -> None:
+        """Demote previously promoted ranges back to the slow tier.
+
+        Frees the fast memory so the fresh decision starts from the
+        baseline placement (and a shared server reclaims the capacity
+        between query phases).
+        """
+        system = self.runtime.system
+        for obj in self.runtime.objects.values():
+            n_pages = -(-obj.nbytes // PAGE_SIZE)
+            tiers = system.address_space.range_tiers(obj.base_va, n_pages * PAGE_SIZE)
+            if (tiers == system.slow_tier).all():
+                continue
+            system.address_space.remap_range(
+                obj.base_va, n_pages * PAGE_SIZE, system.slow_tier, huge=True
+            )
+        # A fresh profiling window requires a fresh profiler.
+        self.runtime.reset_profiling()

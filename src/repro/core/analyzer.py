@@ -1,0 +1,204 @@
+"""The two-stage ATMem analyzer (paper Sections 4.2-4.3).
+
+Stage 1 (*hybrid local selection*) classifies each object's chunks with the
+Eq. 1-3 pipeline.  Stage 2 (*tree-based global promotion*) builds an m-ary
+tree per object, derives a per-object TR threshold from the Eq. 4-5 global
+weight ranking, and promotes prospective chunks.  The result is a
+:class:`PlacementDecision`: per-object chunk masks plus the merged,
+page-aligned byte regions the optimizer will migrate.
+
+If the fast tier cannot hold the full selection, the lowest-priority chunks
+are trimmed (estimated chunks drop before sampled ones at equal priority,
+because their priority estimate is zero-or-low by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.chunks import ChunkGeometry
+from repro.core.local_selection import (
+    LocalSelectionConfig,
+    categorize,
+    local_priority,
+    select_threshold,
+)
+from repro.core.mtree import MAryTree
+from repro.core.promotion import adaptive_tr_thresholds, default_epsilon, object_weight
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Knobs of both analyzer stages."""
+
+    #: Tree arity m (Section 4.3.1).
+    m: int = 4
+    #: Theta(TR), the base tree-ratio threshold of Equation 5.
+    base_tr_threshold: float = 0.5
+    #: eps of Equation 5; ``None`` means the theoretical minimum 1/m.
+    epsilon: float | None = None
+    #: Disable stage 2 entirely (ablation: sampled selection only).
+    enable_promotion: bool = True
+    local: LocalSelectionConfig = field(default_factory=LocalSelectionConfig)
+
+    def __post_init__(self) -> None:
+        if self.m < 2:
+            raise ConfigurationError(f"tree arity must be >= 2, got {self.m}")
+        if self.epsilon is not None and not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {self.epsilon}")
+
+    @property
+    def effective_epsilon(self) -> float:
+        return self.epsilon if self.epsilon is not None else default_epsilon(self.m)
+
+
+@dataclass
+class ObjectSelection:
+    """Analysis output for one data object."""
+
+    geometry: ChunkGeometry
+    priorities: np.ndarray
+    sampled: np.ndarray  # CAT bits from stage 1
+    selected: np.ndarray  # after stage-2 promotion (and capacity trimming)
+    tr_threshold: float
+
+    @property
+    def estimated(self) -> np.ndarray:
+        """Chunks added by the tree promotion (selected but not sampled)."""
+        return self.selected & ~self.sampled
+
+
+@dataclass
+class PlacementDecision:
+    """Which chunks of which objects go to the fast tier."""
+
+    objects: dict[str, ObjectSelection]
+
+    def regions(self, name: str) -> list[tuple[int, int]]:
+        """Merged byte ranges ``[start, end)`` of the selected chunks."""
+        sel = self.objects[name]
+        mask = sel.selected
+        if not mask.any():
+            return []
+        idx = np.nonzero(mask)[0]
+        breaks = np.nonzero(np.diff(idx) > 1)[0]
+        run_starts = np.concatenate(([0], breaks + 1))
+        run_ends = np.concatenate((breaks, [idx.size - 1]))
+        out = []
+        for s, e in zip(run_starts, run_ends):
+            start_byte, _ = sel.geometry.chunk_byte_range(int(idx[s]))
+            _, end_byte = sel.geometry.chunk_byte_range(int(idx[e]))
+            out.append((start_byte, end_byte))
+        return out
+
+    def selected_bytes(self, name: str | None = None) -> int:
+        """Bytes selected for the fast tier (one object, or all)."""
+        names = [name] if name is not None else list(self.objects)
+        total = 0
+        for n in names:
+            sel = self.objects[n]
+            total += int(sel.geometry.chunk_sizes()[sel.selected].sum())
+        return total
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(sel.geometry.object_bytes for sel in self.objects.values())
+
+    @property
+    def data_ratio(self) -> float:
+        """The paper's headline metric: selected bytes / total bytes."""
+        total = self.total_bytes
+        return self.selected_bytes() / total if total else 0.0
+
+    def region_count(self) -> int:
+        """Total number of contiguous regions across all objects."""
+        return sum(len(self.regions(name)) for name in self.objects)
+
+
+class AtMemAnalyzer:
+    """Runs both analyzer stages over a profiling result."""
+
+    def __init__(self, config: AnalyzerConfig | None = None) -> None:
+        self.config = config or AnalyzerConfig()
+
+    def analyze(
+        self,
+        miss_counts: dict[str, np.ndarray],
+        geometries: dict[str, ChunkGeometry],
+        *,
+        sampling_period: int,
+        capacity_bytes: int | None = None,
+    ) -> PlacementDecision:
+        """Produce the placement decision for the profiled objects."""
+        cfg = self.config
+        selections: dict[str, ObjectSelection] = {}
+        priorities: dict[str, np.ndarray] = {}
+        sampled: dict[str, np.ndarray] = {}
+        # ---------------- stage 1: hybrid local selection ----------------
+        for name, counts in miss_counts.items():
+            geometry = geometries[name]
+            pr = local_priority(counts, geometry)
+            theta = select_threshold(
+                pr,
+                sampling_period=sampling_period,
+                chunk_bytes=geometry.chunk_bytes,
+                config=cfg.local,
+            )
+            priorities[name] = pr
+            sampled[name] = categorize(pr, theta)
+        # ---------------- stage 2: tree-based global promotion -----------
+        weights = {
+            name: object_weight(priorities[name], sampled[name])
+            for name in miss_counts
+        }
+        if cfg.enable_promotion:
+            thresholds = adaptive_tr_thresholds(
+                weights,
+                base_threshold=cfg.base_tr_threshold,
+                epsilon=cfg.effective_epsilon,
+            )
+        else:
+            thresholds = {name: float("inf") for name in miss_counts}
+        for name in miss_counts:
+            geometry = geometries[name]
+            cat = sampled[name]
+            threshold = thresholds[name]
+            if cfg.enable_promotion and np.isfinite(threshold) and cat.any():
+                selected = MAryTree(cat, cfg.m).promote(threshold)
+            else:
+                selected = cat.copy()
+            selections[name] = ObjectSelection(
+                geometry=geometry,
+                priorities=priorities[name],
+                sampled=cat,
+                selected=selected,
+                tr_threshold=threshold,
+            )
+        decision = PlacementDecision(objects=selections)
+        if capacity_bytes is not None:
+            self._trim_to_capacity(decision, capacity_bytes)
+        return decision
+
+    @staticmethod
+    def _trim_to_capacity(decision: PlacementDecision, capacity_bytes: int) -> None:
+        """Drop the lowest-priority selected chunks until the budget fits."""
+        overshoot = decision.selected_bytes() - capacity_bytes
+        if overshoot <= 0:
+            return
+        # Collect (priority, object, chunk, size) for every selected chunk.
+        entries = []
+        for name, sel in decision.objects.items():
+            sizes = sel.geometry.chunk_sizes()
+            for chunk in np.nonzero(sel.selected)[0]:
+                entries.append(
+                    (float(sel.priorities[chunk]), name, int(chunk), int(sizes[chunk]))
+                )
+        entries.sort(key=lambda e: e[0])
+        for priority, name, chunk, size in entries:
+            if overshoot <= 0:
+                break
+            decision.objects[name].selected[chunk] = False
+            overshoot -= size

@@ -1,0 +1,90 @@
+"""Bandwidth-aggregation placement (paper Section 9, limitation 2).
+
+Some HMS architectures give each memory its own channels: on Knights
+Landing, MCDRAM (400 GB/s) and DDR4 (90 GB/s) can stream *concurrently*,
+so the bandwidth-optimal placement of a bandwidth-bound workload is not
+"everything hot on MCDRAM" but a split that keeps both memories busy —
+roughly proportional to their bandwidths (400:90, i.e. ~18% of traffic
+deliberately left on DRAM).  The Intel Optane NVM, by contrast, shares
+channels with DRAM, so aggregation does not apply there (the paper makes
+exactly this distinction).
+
+:func:`split_selection` post-processes an ATMem placement decision: given
+the per-chunk priorities (estimated miss traffic), it demotes the
+lowest-priority selected chunks until the projected fast-tier share of
+miss traffic matches the bandwidth-optimal fraction.
+
+Pairs with ``CostModel``'s concurrent-tier service
+(:meth:`repro.mem.costmodel.CostModel.phase_cost` with
+``concurrent_tiers=True`` via the system flag), which charges a phase the
+*maximum* over tiers instead of the sum when channels are independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analyzer import PlacementDecision
+from repro.errors import ConfigurationError
+from repro.mem.tier import MemoryTier
+
+
+def optimal_fast_share(fast: MemoryTier, slow: MemoryTier) -> float:
+    """Bandwidth-proportional share of miss traffic for the fast tier."""
+    total = fast.read_bandwidth_gbps + slow.read_bandwidth_gbps
+    return fast.read_bandwidth_gbps / total
+
+
+def projected_fast_share(decision: PlacementDecision) -> float:
+    """Fraction of estimated miss traffic hitting the selected chunks."""
+    selected = 0.0
+    total = 0.0
+    for sel in decision.objects.values():
+        sizes = sel.geometry.chunk_sizes().astype(np.float64)
+        traffic = sel.priorities * sizes  # priorities are misses/byte
+        total += float(traffic.sum())
+        selected += float(traffic[sel.selected].sum())
+    return selected / total if total > 0 else 0.0
+
+
+def split_selection(
+    decision: PlacementDecision,
+    fast: MemoryTier,
+    slow: MemoryTier,
+    *,
+    target_share: float | None = None,
+) -> int:
+    """Demote low-priority chunks until the fast-tier traffic share fits.
+
+    Mutates ``decision`` in place and returns the number of demoted chunks.
+    ``target_share`` defaults to the bandwidth-proportional optimum.
+    """
+    if target_share is None:
+        target_share = optimal_fast_share(fast, slow)
+    if not 0.0 < target_share <= 1.0:
+        raise ConfigurationError(
+            f"target_share must be in (0, 1], got {target_share}"
+        )
+    total_traffic = 0.0
+    entries: list[tuple[float, str, int, float]] = []
+    for name, sel in decision.objects.items():
+        sizes = sel.geometry.chunk_sizes().astype(np.float64)
+        traffic = sel.priorities * sizes
+        total_traffic += float(traffic.sum())
+        for chunk in np.nonzero(sel.selected)[0]:
+            entries.append(
+                (float(sel.priorities[chunk]), name, int(chunk), float(traffic[chunk]))
+            )
+    if total_traffic <= 0.0:
+        return 0
+    selected_traffic = sum(e[3] for e in entries)
+    budget = target_share * total_traffic
+    demoted = 0
+    entries.sort(key=lambda e: e[0])
+    for priority, name, chunk, traffic in entries:
+        if selected_traffic <= budget:
+            break
+        decision.objects[name].selected[chunk] = False
+        selected_traffic -= traffic
+        demoted += 1
+    return demoted

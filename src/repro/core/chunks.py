@@ -1,0 +1,94 @@
+"""Adaptive data chunks (paper Section 4.1).
+
+A data object is split into N equal-sized chunks; chunks in *different*
+objects may have different sizes.  The chunk size adapts to the object size:
+large objects get more chunks (finer placement), but the count is capped so
+profiling metadata and migration bookkeeping stay bounded, and the size is
+floored at the base page so migrated regions stay page-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.address_space import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class ChunkGeometry:
+    """Chunking of one data object: ``n_chunks`` chunks of ``chunk_bytes``."""
+
+    object_bytes: int
+    chunk_bytes: int
+    n_chunks: int
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0 or self.chunk_bytes & (self.chunk_bytes - 1):
+            raise ConfigurationError(
+                f"chunk size must be a positive power of two, got {self.chunk_bytes}"
+            )
+        expected = max(1, -(-self.object_bytes // self.chunk_bytes))
+        if self.n_chunks != expected:
+            raise ConfigurationError(
+                f"n_chunks {self.n_chunks} inconsistent with "
+                f"{self.object_bytes} B objects of {self.chunk_bytes} B chunks"
+            )
+
+    def chunk_of_offsets(self, byte_offsets: np.ndarray) -> np.ndarray:
+        """Chunk index of each byte offset within the object."""
+        shift = self.chunk_bytes.bit_length() - 1
+        return np.asarray(byte_offsets, dtype=np.int64) >> shift
+
+    def chunk_byte_range(self, chunk: int) -> tuple[int, int]:
+        """Byte range ``[start, end)`` of one chunk, clipped to the object."""
+        if not 0 <= chunk < self.n_chunks:
+            raise IndexError(f"chunk {chunk} out of range [0, {self.n_chunks})")
+        start = chunk * self.chunk_bytes
+        return start, min(start + self.chunk_bytes, self.object_bytes)
+
+    def chunk_sizes(self) -> np.ndarray:
+        """Actual byte size of each chunk (the last may be partial)."""
+        sizes = np.full(self.n_chunks, self.chunk_bytes, dtype=np.int64)
+        remainder = self.object_bytes - (self.n_chunks - 1) * self.chunk_bytes
+        sizes[-1] = remainder
+        return sizes
+
+
+@dataclass(frozen=True)
+class ChunkingPolicy:
+    """How the runtime picks a chunk granularity per object (Section 4.1).
+
+    ``chunk_bytes = max(min_chunk_bytes, 2 ** ceil(log2(bytes / max_chunks)))``
+
+    - ``max_chunks`` caps metadata and profiling overhead ("coarsening the
+      granularity of data chunks");
+    - ``min_chunk_bytes`` keeps migrated regions page-aligned (defaults to
+      the base page size).
+    """
+
+    max_chunks: int = 1024
+    min_chunk_bytes: int = PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.max_chunks <= 0:
+            raise ConfigurationError(f"max_chunks must be positive, got {self.max_chunks}")
+        if self.min_chunk_bytes <= 0 or self.min_chunk_bytes & (self.min_chunk_bytes - 1):
+            raise ConfigurationError(
+                f"min_chunk_bytes must be a power of two, got {self.min_chunk_bytes}"
+            )
+
+    def geometry(self, object_bytes: int) -> ChunkGeometry:
+        """Pick the chunk geometry for an object of the given size."""
+        if object_bytes <= 0:
+            raise ConfigurationError(f"object size must be positive, got {object_bytes}")
+        target = max(1, -(-object_bytes // self.max_chunks))
+        chunk_bytes = self.min_chunk_bytes
+        while chunk_bytes < target:
+            chunk_bytes <<= 1
+        n_chunks = max(1, -(-object_bytes // chunk_bytes))
+        return ChunkGeometry(
+            object_bytes=object_bytes, chunk_bytes=chunk_bytes, n_chunks=n_chunks
+        )

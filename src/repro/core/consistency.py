@@ -1,0 +1,127 @@
+"""NVM crash-consistency cost model (paper Section 9, limitation 1).
+
+"Our future work will extend the heuristic in data management to guarantee
+data consistency (particularly for NVM) when on demand."  When application
+data on byte-addressable NVM must survive crashes, every store needs to be
+made durable — on the paper's hardware with cache-line write-back
+(``clwb``) instructions plus ordering fences, and, for multi-word
+consistency, undo/redo logging that doubles the write traffic.
+
+This module prices that choice so placement decisions can account for it:
+
+- :class:`ConsistencyModel` charges the extra time of durable stores on a
+  phase's NVM writes (flush per dirty line + amortised fence, optional
+  logging amplification);
+- :func:`durable_phase_overhead` is the per-phase helper the experiment
+  wrapper uses;
+- :func:`run_with_consistency` re-prices a run's write phases, yielding
+  the "consistency tax" an application pays for keeping its NVM-resident
+  data crash-consistent — and, by comparison with an ATMem placement, how
+  much of that tax migration to DRAM avoids (DRAM data is not persistent,
+  so durable structures must stay on NVM: the model also supports pinning
+  objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import LINE_SIZE
+from repro.mem.system import HeterogeneousMemorySystem
+from repro.mem.trace import AccessTrace
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """Durability cost parameters for NVM-resident data.
+
+    ``flush_ns`` — issuing a ``clwb`` for one dirty line (the line is
+    already travelling to the DIMM; the cost is the instruction plus queue
+    pressure).  ``fence_ns`` — an ``sfence`` ordering point, charged once
+    per phase (stores within a vectorised phase are batched under one
+    ordering point, the common optimisation).  ``log_amplification`` —
+    extra write traffic for undo/redo logging: 2.0 doubles every durable
+    write, 1.0 models flush-only durability (e.g. for idempotent data).
+    """
+
+    flush_ns: float = 12.0
+    fence_ns: float = 60.0
+    log_amplification: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.flush_ns < 0 or self.fence_ns < 0:
+            raise ConfigurationError("flush/fence costs must be non-negative")
+        if self.log_amplification < 1.0:
+            raise ConfigurationError(
+                f"log_amplification must be >= 1, got {self.log_amplification}"
+            )
+
+    def durable_write_seconds(
+        self,
+        n_dirty_lines: int,
+        nvm_write_bandwidth_gbps: float,
+    ) -> float:
+        """Extra time to persist ``n_dirty_lines`` on NVM."""
+        if n_dirty_lines <= 0:
+            return 0.0
+        flush = n_dirty_lines * self.flush_ns * 1e-9
+        extra_traffic = (
+            n_dirty_lines * LINE_SIZE * (self.log_amplification - 1.0)
+        ) / (nvm_write_bandwidth_gbps * 1e9)
+        return flush + extra_traffic + self.fence_ns * 1e-9
+
+
+def durable_phase_overhead(
+    model: ConsistencyModel,
+    system: HeterogeneousMemorySystem,
+    write_addrs: np.ndarray,
+    *,
+    pinned_ranges: list[tuple[int, int]] | None = None,
+) -> float:
+    """Durability overhead of one write phase.
+
+    Only stores that land on the slow (NVM) tier pay; ``pinned_ranges``
+    restricts durability to the address ranges the application declared
+    persistent (default: every NVM-resident write is durable).
+    """
+    addrs = np.asarray(write_addrs, dtype=np.int64)
+    if addrs.size == 0:
+        return 0.0
+    on_nvm = system.address_space.tiers_of(addrs) == system.slow_tier
+    addrs = addrs[on_nvm]
+    if pinned_ranges is not None and addrs.size:
+        mask = np.zeros(addrs.size, dtype=bool)
+        for lo, hi in pinned_ranges:
+            mask |= (addrs >= lo) & (addrs < hi)
+        addrs = addrs[mask]
+    if addrs.size == 0:
+        return 0.0
+    n_dirty = int(np.unique(addrs >> 6).size)
+    return model.durable_write_seconds(
+        n_dirty, system.slow.write_bandwidth_gbps
+    )
+
+
+def run_with_consistency(
+    model: ConsistencyModel,
+    system: HeterogeneousMemorySystem,
+    trace: AccessTrace,
+    base_seconds: float,
+    *,
+    pinned_ranges: list[tuple[int, int]] | None = None,
+) -> tuple[float, float]:
+    """Total (seconds, consistency_tax_seconds) for a priced run.
+
+    ``base_seconds`` is the run's time from the ordinary cost model; the
+    tax re-prices every write phase's NVM stores as durable.
+    """
+    tax = 0.0
+    for phase in trace:
+        if phase.is_write:
+            tax += durable_phase_overhead(
+                model, system, phase.addrs, pinned_ranges=pinned_ranges
+            )
+    return base_seconds + tax, tax

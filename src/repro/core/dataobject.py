@@ -1,0 +1,65 @@
+"""Registered data objects.
+
+A :class:`DataObject` pairs a host NumPy array (the real data the
+application computes on) with the virtual address range that backs it in the
+simulated memory system.  Every component of ATMem — the profiler's
+address-to-chunk attribution, the analyzer's per-object chunking, and the
+migrator's region remapping — operates on these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+
+@dataclass
+class DataObject:
+    """A host array registered with the runtime at a fixed virtual address."""
+
+    name: str
+    array: np.ndarray
+    base_va: int
+
+    def __post_init__(self) -> None:
+        if self.array.ndim != 1:
+            raise AllocationError(
+                f"data object {self.name!r}: only 1-D arrays are supported, "
+                f"got shape {self.array.shape}"
+            )
+        if self.base_va < 0:
+            raise AllocationError(f"data object {self.name!r}: negative base address")
+
+    # ------------------------------------------------------------------
+    @property
+    def itemsize(self) -> int:
+        return int(self.array.itemsize)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def end_va(self) -> int:
+        """One past the last byte of the object."""
+        return self.base_va + self.nbytes
+
+    def addrs_of(self, indices: np.ndarray) -> np.ndarray:
+        """Virtual byte addresses of the given element indices."""
+        return self.base_va + np.asarray(indices, dtype=np.int64) * self.itemsize
+
+    def all_addrs(self) -> np.ndarray:
+        """Addresses of every element, in order (a full sequential scan)."""
+        return self.base_va + np.arange(self.array.size, dtype=np.int64) * self.itemsize
+
+    def contains(self, addrs: np.ndarray) -> np.ndarray:
+        """Boolean mask of which addresses fall inside this object."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        return (addrs >= self.base_va) & (addrs < self.end_va)
+
+    def byte_offsets(self, addrs: np.ndarray) -> np.ndarray:
+        """Byte offsets of the given addresses from the object base."""
+        return np.asarray(addrs, dtype=np.int64) - self.base_va

@@ -1,0 +1,134 @@
+"""Hybrid local selection — stage 1 of the analyzer (paper Section 4.2).
+
+For each data object independently:
+
+- **Equation 1** — local priority of chunk ``j`` of object ``i``::
+
+      PR_local(DC_ij) = LLC_miss(DC_ij) / Size(DC_ij)
+
+  The size normalisation makes priorities comparable across objects with
+  different chunk sizes (needed by the global stage).
+
+- **Equation 2** — the selection threshold::
+
+      theta(DO_i) = max(P_n . max PR, min PR / Freq_sample)
+
+  a top-N percentile cut, adjusted by a derivative-based search ("similar
+  to a k-means clustering technique") that moves the cut to the largest
+  relative drop near it: a highly skewed distribution pulls the cut up
+  (select fewer), an even distribution pushes it down (select more).  The
+  second operand is the theoretical minimum priority — the score of a
+  single sample scaled by the sampling period — so isolated stray samples
+  never qualify on their own.
+
+- **Equation 3** — categorisation: ``CAT(DC_ij) = 1`` iff
+  ``PR_local > theta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunks import ChunkGeometry
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LocalSelectionConfig:
+    """Knobs of the hybrid top-N + derivative threshold search."""
+
+    #: The N of the top-N base selection (fraction of chunks).
+    top_fraction: float = 0.10
+    #: A drop between adjacent sorted scores counts as a knee when it
+    #: exceeds this fraction of the maximum priority.
+    knee_drop_fraction: float = 0.25
+    #: The derivative search scans this factor around the top-N index.
+    search_span: float = 3.0
+    #: The relative cut: chunks scoring at least this fraction of the
+    #: object's maximum priority qualify even beyond the top-N count —
+    #: the "even distribution selects more than N%" case of Section 4.2.
+    rel_max_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.top_fraction <= 1.0:
+            raise ConfigurationError(
+                f"top_fraction must be in (0, 1], got {self.top_fraction}"
+            )
+        if self.knee_drop_fraction <= 0.0:
+            raise ConfigurationError("knee_drop_fraction must be positive")
+        if self.search_span < 1.0:
+            raise ConfigurationError("search_span must be >= 1")
+        if not 0.0 < self.rel_max_fraction < 1.0:
+            raise ConfigurationError(
+                f"rel_max_fraction must be in (0, 1), got {self.rel_max_fraction}"
+            )
+
+
+def local_priority(miss_counts: np.ndarray, geometry: ChunkGeometry) -> np.ndarray:
+    """Equation 1: per-chunk priority = estimated misses / chunk size."""
+    counts = np.asarray(miss_counts, dtype=np.float64)
+    if counts.shape != (geometry.n_chunks,):
+        raise ConfigurationError(
+            f"expected {geometry.n_chunks} chunk counts, got shape {counts.shape}"
+        )
+    return counts / geometry.chunk_sizes()
+
+
+def select_threshold(
+    priorities: np.ndarray,
+    *,
+    sampling_period: int,
+    chunk_bytes: int,
+    config: LocalSelectionConfig,
+) -> float:
+    """Equation 2: the adaptive selection threshold for one object.
+
+    The threshold combines three terms per the equation's structure:
+
+    - a top-N percentile cut, adjusted by the derivative-based knee search
+      ("skewed distribution -> select fewer");
+    - a cut *relative to the maximum priority* (``P_n . max PR``): chunks
+      within ``rel_max_fraction`` of the hottest chunk qualify even beyond
+      the top-N count ("even distribution -> select more");
+    - the theoretical minimum — the priority of a single sample at this
+      chunk size and sampling rate — as a floor, so stray samples never
+      qualify on their own.
+
+    Returns ``inf`` when the object received no samples (nothing selected).
+    """
+    pr = np.asarray(priorities, dtype=np.float64)
+    max_pr = float(pr.max(initial=0.0))
+    if max_pr <= 0.0:
+        return float("inf")
+    ranked = np.sort(pr)[::-1]
+    n = ranked.size
+    top_n_idx = max(0, int(np.ceil(n * config.top_fraction)) - 1)
+
+    # Derivative-based adjustment: inside a window around the top-N cut,
+    # move the cut to the largest relative drop if one is pronounced enough.
+    window_hi = min(n - 1, int(np.ceil((top_n_idx + 1) * config.search_span)))
+    cut_idx = top_n_idx
+    if window_hi >= 1:
+        drops = (ranked[:window_hi] - ranked[1 : window_hi + 1]) / max_pr
+        knees = np.nonzero(drops >= config.knee_drop_fraction)[0]
+        if knees.size:
+            # The knee nearest the top-N cut wins; ties prefer selecting less.
+            cut_idx = int(knees[np.argmin(np.abs(knees - top_n_idx))])
+    # Threshold sits just below the last selected score: chunks scoring
+    # strictly above qualify (Equation 3 uses a strict comparison).
+    percentile_threshold = float(np.nextafter(ranked[cut_idx], 0.0))
+
+    # Relative-to-max cut: whichever of the two admits more chunks wins.
+    relative_threshold = config.rel_max_fraction * max_pr
+    combined = min(percentile_threshold, relative_threshold)
+
+    # Theoretical minimum: one sample represents `sampling_period` misses.
+    min_priority = float(sampling_period) / float(chunk_bytes)
+    return max(combined, min_priority)
+
+
+def categorize(priorities: np.ndarray, threshold: float) -> np.ndarray:
+    """Equation 3: CAT = 1 (critical) iff priority strictly above threshold."""
+    return np.asarray(priorities, dtype=np.float64) > threshold

@@ -1,0 +1,105 @@
+"""The m-ary tree over data chunks (paper Section 4.3.1).
+
+Leaves are the per-chunk CAT bits from the local selection stage.  Each
+internal node's *value* is the sum of its children's values; its *tree
+ratio* (TR) is value / number of descendant leaves — the density of
+critical chunks in the address range the node covers.  ``m`` controls the
+address-range granularity of internal nodes and how many distinct TR values
+exist (a quad-tree has more threshold steps than a binary tree).
+
+The top-down promotion (Section 4.3.3) starts at the root, finds nodes
+whose TR meets the object's threshold, and promotes every chunk under such
+a node — filling the sampled-as-non-critical gaps in dense regions so
+migration moves few, large, contiguous regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class MAryTree:
+    """An m-ary aggregation tree over a boolean chunk-classification array."""
+
+    def __init__(self, leaf_values: np.ndarray, m: int) -> None:
+        if m < 2:
+            raise ConfigurationError(f"tree arity must be >= 2, got {m}")
+        leaves = np.asarray(leaf_values)
+        if leaves.ndim != 1 or leaves.size == 0:
+            raise ConfigurationError("leaf_values must be a non-empty 1-D array")
+        if leaves.dtype != bool and not np.all((leaves == 0) | (leaves == 1)):
+            raise ConfigurationError("leaf values must be 0/1 (CAT bits)")
+        self.m = m
+        self.n_leaves = int(leaves.size)
+        # levels[0] is the leaf level; levels[-1] is the root level.
+        # Each level stores (values, leaf_counts) with leaf_counts = the
+        # number of real (unpadded) leaves under each node.
+        values = leaves.astype(np.int64)
+        counts = np.ones(self.n_leaves, dtype=np.int64)
+        self._values = [values]
+        self._counts = [counts]
+        while self._values[-1].size > 1:
+            values, counts = self._aggregate(self._values[-1], self._counts[-1])
+            self._values.append(values)
+            self._counts.append(counts)
+
+    def _aggregate(
+        self, values: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = values.size
+        n_parents = -(-n // self.m)
+        padded = n_parents * self.m
+        v = np.zeros(padded, dtype=np.int64)
+        c = np.zeros(padded, dtype=np.int64)
+        v[:n] = values
+        c[:n] = counts
+        return v.reshape(n_parents, self.m).sum(axis=1), c.reshape(
+            n_parents, self.m
+        ).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of levels including leaves (a single leaf has depth 1)."""
+        return len(self._values)
+
+    def level_values(self, level: int) -> np.ndarray:
+        """Node values at ``level`` (0 = leaves, depth-1 = root)."""
+        return self._values[level].copy()
+
+    def tree_ratio(self, level: int) -> np.ndarray:
+        """TR of every node at ``level``: value / descendant leaf count."""
+        counts = self._counts[level]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            tr = self._values[level] / np.maximum(counts, 1)
+        return np.where(counts > 0, tr, 0.0)
+
+    @property
+    def root_ratio(self) -> float:
+        """TR of the root: overall critical-chunk density of the object."""
+        return float(self.tree_ratio(self.depth - 1)[0])
+
+    # ------------------------------------------------------------------
+    def promote(self, threshold: float) -> np.ndarray:
+        """Top-down promotion: leaves under any node with TR >= threshold.
+
+        Returns the promoted leaf mask, which always includes the originally
+        critical leaves (a critical leaf is itself a node with TR = 1).
+        Descends level by level: once a node qualifies, its whole subtree is
+        filled, turning fragmented dense regions into contiguous ones.
+        """
+        if threshold <= 0:
+            # Degenerate: everything qualifies.
+            return np.ones(self.n_leaves, dtype=bool)
+        qualified = self.tree_ratio(self.depth - 1) >= threshold
+        for level in range(self.depth - 2, -1, -1):
+            n = self._values[level].size
+            inherit = np.repeat(qualified, self.m)[:n]
+            qualified = inherit | (self.tree_ratio(level) >= threshold)
+        return qualified
+
+    def sampled_leaves(self) -> np.ndarray:
+        """The original CAT bits (leaf values) as a boolean mask."""
+        return self._values[0].astype(bool)

@@ -1,0 +1,85 @@
+"""Overlapped migration (paper Section 9, limitation 3).
+
+"ATMem migrates data during the iterations of graph execution.  Using
+advanced compiler analysis to automatically insert ATMem API between
+iterations could overlap the data movement."  This module models that
+future-work optimisation: instead of a stop-the-world migration between
+iterations 1 and 2, the copies proceed concurrently with iteration 2.
+
+The model:
+
+- the migration's copy stages share the memory system with the running
+  iteration, slowing the iteration by a bandwidth-contention factor for
+  the duration of the overlap;
+- the migrated regions only *benefit* iteration 3 (they are not remapped
+  under the running iteration's feet — the staging/remap scheme of
+  Figure 4 makes the cut-over safe at an iteration boundary);
+- visible one-time cost drops from ``t_mig`` to the contention-induced
+  slowdown of one iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.migration import MigrationStats
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a package cycle
+    from repro.sim.metrics import RunCost
+
+
+@dataclass(frozen=True)
+class OverlapModel:
+    """How much the concurrent copies slow the running iteration.
+
+    ``contention`` is the fractional slowdown of the co-running iteration
+    while migration traffic is in flight (memory-bus sharing); 0.15 means
+    the overlapped portion of the iteration runs 15% slower.
+    """
+
+    contention: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.contention < 1.0:
+            raise ConfigurationError(
+                f"contention must be in [0, 1), got {self.contention}"
+            )
+
+    def overlapped_iteration_seconds(
+        self, iteration: RunCost, migration: MigrationStats
+    ) -> float:
+        """Duration of an iteration co-running with the migration copies."""
+        overlap_window = min(iteration.seconds, migration.seconds)
+        return iteration.seconds + overlap_window * self.contention
+
+    def visible_overhead_seconds(
+        self, iteration: RunCost, migration: MigrationStats
+    ) -> float:
+        """One-time cost exposed to the application with overlap enabled.
+
+        The copies hidden under the iteration cost only their contention;
+        any migration tail longer than the iteration remains exposed.
+        """
+        overlap_window = min(iteration.seconds, migration.seconds)
+        exposed_tail = migration.seconds - overlap_window
+        return exposed_tail + overlap_window * self.contention
+
+    def amortization_iterations(
+        self,
+        *,
+        baseline_iteration_seconds: float,
+        optimized_iteration_seconds: float,
+        iteration_during_overlap: RunCost,
+        migration: MigrationStats,
+        profiling_seconds: float,
+    ) -> float:
+        """Iterations needed to amortise the one-time costs with overlap."""
+        gain = baseline_iteration_seconds - optimized_iteration_seconds
+        if gain <= 0:
+            return float("inf")
+        one_time = profiling_seconds + self.visible_overhead_seconds(
+            iteration_during_overlap, migration
+        )
+        return one_time / gain

@@ -1,0 +1,82 @@
+"""Global adaptive TR thresholds — stage 2 of the analyzer (Section 4.3.2).
+
+- **Equation 4** — the *weight* of a data object: the mean priority of its
+  selected (critical) chunks::
+
+      W(DO_i) = sum_j PR_local(DC_ij) * CAT(DC_ij) / sum_j CAT(DC_ij)
+
+  A structure with few, very hot chunks weighs more than one with many
+  lukewarm chunks.
+
+- **Equation 5** — the per-object tree-ratio threshold::
+
+      theta(TR_i)' = eps + Theta(TR) * (max W - W(DO_i)) / ||min W - max W||
+
+  The hottest object (W = max W) gets the lowest threshold (``eps``) and is
+  promoted most aggressively; the coldest gets ``eps + Theta(TR)``.  ``eps``
+  is the theoretical minimum meaningful TR, which depends on the arity
+  (``1/m`` — e.g. 0.125 for an octree): below it a node's ratio carries no
+  information because a single critical child already reaches it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def object_weight(priorities: np.ndarray, cat: np.ndarray) -> float:
+    """Equation 4: mean priority over the selected chunks (0 if none)."""
+    pr = np.asarray(priorities, dtype=np.float64)
+    selected = np.asarray(cat, dtype=bool)
+    if pr.shape != selected.shape:
+        raise ConfigurationError(
+            f"priorities shape {pr.shape} != CAT shape {selected.shape}"
+        )
+    n_selected = int(selected.sum())
+    if n_selected == 0:
+        return 0.0
+    return float(pr[selected].sum() / n_selected)
+
+
+def default_epsilon(m: int) -> float:
+    """The theoretical minimum TR threshold for an m-ary tree (1/m)."""
+    if m < 2:
+        raise ConfigurationError(f"tree arity must be >= 2, got {m}")
+    return 1.0 / m
+
+
+def adaptive_tr_thresholds(
+    weights: dict[str, float],
+    *,
+    base_threshold: float,
+    epsilon: float,
+) -> dict[str, float]:
+    """Equation 5: per-object TR thresholds from the global weight ranking.
+
+    Objects with zero weight (no sampled-critical chunks) get an infinite
+    threshold — nothing is promoted in an object the sampling found cold.
+    """
+    if not 0.0 < base_threshold <= 1.0:
+        raise ConfigurationError(
+            f"base TR threshold must be in (0, 1], got {base_threshold}"
+        )
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    active = {name: w for name, w in weights.items() if w > 0.0}
+    thresholds: dict[str, float] = {
+        name: float("inf") for name in weights if name not in active
+    }
+    if not active:
+        return thresholds
+    w_values = np.array(list(active.values()))
+    w_max = float(w_values.max())
+    w_min = float(w_values.min())
+    spread = abs(w_max - w_min)
+    for name, w in active.items():
+        if spread == 0.0:
+            thresholds[name] = epsilon
+        else:
+            thresholds[name] = epsilon + base_threshold * (w_max - w) / spread
+    return thresholds

@@ -1,0 +1,316 @@
+"""The ATMem runtime and its Listing 1 API (paper Section 5.2).
+
+The runtime ties everything together:
+
+- ``atmem_malloc``-style registration places new data objects on the
+  baseline (slow) tier and picks their chunk geometry (Section 4.1);
+- ``atmem_profiling_start`` / ``atmem_profiling_stop`` bracket the
+  profiling window; the simulation executor delivers the LLC-miss address
+  stream to :meth:`AtMemRuntime.observe_misses` while it is open;
+- ``atmem_optimize`` runs the two-stage analyzer and migrates the selected
+  regions onto the fast tier with the configured migration mechanism.
+
+The class also implements the :class:`repro.apps.base.ArrayRegistry`
+protocol, so graph applications register with it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import PlatformConfig
+from repro.core.analyzer import AnalyzerConfig, AtMemAnalyzer, PlacementDecision
+from repro.core.chunks import ChunkGeometry, ChunkingPolicy
+from repro.core.dataobject import DataObject
+from repro.core.mbind import MbindMigrator
+from repro.core.migration import MigrationStats, MultiStageMigrator
+from repro.core.profiler import SamplingProfiler
+from repro.core.sampling import SamplingConfig
+from repro.errors import RuntimeStateError
+from repro.mem.address_space import PAGE_SIZE
+from repro.mem.system import HeterogeneousMemorySystem
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """All runtime knobs in one place."""
+
+    chunking: ChunkingPolicy = field(default_factory=ChunkingPolicy)
+    analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    #: "atmem" = multi-stage multi-threaded; "mbind" = system service.
+    migration_mechanism: str = "atmem"
+
+    def __post_init__(self) -> None:
+        if self.migration_mechanism not in ("atmem", "mbind"):
+            raise RuntimeStateError(
+                f"unknown migration mechanism {self.migration_mechanism!r}"
+            )
+
+
+class AtMemRuntime:
+    """The ATMem runtime for one application on one simulated system."""
+
+    def __init__(
+        self,
+        system: HeterogeneousMemorySystem,
+        *,
+        config: RuntimeConfig | None = None,
+        platform: PlatformConfig | None = None,
+        default_tier: int | None = None,
+    ) -> None:
+        self.system = system
+        self.config = config or RuntimeConfig()
+        self.platform = platform
+        self.default_tier = (
+            default_tier if default_tier is not None else system.slow_tier
+        )
+        self.objects: dict[str, DataObject] = {}
+        self.geometries: dict[str, ChunkGeometry] = {}
+        self._profiler: SamplingProfiler | None = None
+        self._profiled = False
+        self.last_decision: PlacementDecision | None = None
+        self.last_migration: MigrationStats | None = None
+
+    # ------------------------------------------------------------------
+    # Listing 1: registration
+    # ------------------------------------------------------------------
+    def atmem_malloc(
+        self, name: str, size: int, dtype: np.dtype | str = np.int64
+    ) -> DataObject:
+        """Allocate a zeroed array of ``size`` elements and register it."""
+        if size <= 0:
+            raise RuntimeStateError(f"atmem_malloc size must be positive, got {size}")
+        return self.register_array(name, np.zeros(size, dtype=dtype))
+
+    def register_array(
+        self, name: str, array: np.ndarray, *, tier: int | None = None
+    ) -> DataObject:
+        """Register an existing host array (the registry protocol).
+
+        The array is placed on ``tier`` (default: the runtime's baseline
+        tier) and chunked by the runtime's chunking policy.
+        """
+        if name in self.objects:
+            raise RuntimeStateError(f"data object {name!r} already registered")
+        placement = self.default_tier if tier is None else tier
+        space = self.system.address_space
+        va = space.reserve(array.nbytes)
+        n_pages = -(-array.nbytes // PAGE_SIZE)
+        space.map_range(va, n_pages * PAGE_SIZE, placement, huge=True)
+        obj = DataObject(name=name, array=array, base_va=va)
+        self.objects[name] = obj
+        self.geometries[name] = self.config.chunking.geometry(array.nbytes)
+        return obj
+
+    def register_array_preferred(self, name: str, array: np.ndarray) -> DataObject:
+        """Register with ``numactl -p``-style placement.
+
+        The preferred NUMA policy places pages on the fast node until it is
+        full and silently spills the remainder — at *page* granularity, in
+        allocation order.  Early, large allocations (the adjacency array)
+        therefore monopolise the fast memory and later allocations (the hot
+        vertex arrays) land entirely on the slow node, which is exactly the
+        behaviour ATMem beats in the paper's Figure 6.
+        """
+        if name in self.objects:
+            raise RuntimeStateError(f"data object {name!r} already registered")
+        space = self.system.address_space
+        va = space.reserve(array.nbytes)
+        n_pages = -(-array.nbytes // PAGE_SIZE)
+        fast_alloc = self.system.allocators[self.system.fast_tier]
+        free = fast_alloc.free_bytes
+        n_fast = n_pages if free is None else min(n_pages, free // PAGE_SIZE)
+        if n_fast > 0:
+            space.map_range(va, n_fast * PAGE_SIZE, self.system.fast_tier, huge=True)
+        if n_fast < n_pages:
+            space.map_range(
+                va + n_fast * PAGE_SIZE,
+                (n_pages - n_fast) * PAGE_SIZE,
+                self.system.slow_tier,
+                huge=True,
+            )
+        obj = DataObject(name=name, array=array, base_va=va)
+        self.objects[name] = obj
+        self.geometries[name] = self.config.chunking.geometry(array.nbytes)
+        return obj
+
+    def register_array_interleaved(self, name: str, array: np.ndarray) -> DataObject:
+        """Register with ``numactl -i``-style round-robin page placement.
+
+        The interleave NUMA policy alternates pages between the nodes to
+        spread bandwidth; it stops using the fast node once it fills.  A
+        classic static baseline: it gets half the bandwidth benefit with
+        no placement intelligence, and wastes fast capacity on cold data.
+        """
+        if name in self.objects:
+            raise RuntimeStateError(f"data object {name!r} already registered")
+        system = self.system
+        space = system.address_space
+        va = space.reserve(array.nbytes)
+        n_pages = -(-array.nbytes // PAGE_SIZE)
+        fast_alloc = system.allocators[system.fast_tier]
+        page = 0
+        while page < n_pages:
+            use_fast = page % 2 == 0 and fast_alloc.can_allocate(1)
+            tier = system.fast_tier if use_fast else system.slow_tier
+            # Coalesce the run of pages landing on the same tier.
+            run_end = page + 1
+            if not use_fast:
+                while run_end < n_pages and (
+                    run_end % 2 == 1 or not fast_alloc.can_allocate(1)
+                ):
+                    run_end += 1
+            space.map_range(
+                va + page * PAGE_SIZE,
+                (run_end - page) * PAGE_SIZE,
+                tier,
+                huge=False,  # interleaving defeats THP in practice
+            )
+            page = run_end
+        obj = DataObject(name=name, array=array, base_va=va)
+        self.objects[name] = obj
+        self.geometries[name] = self.config.chunking.geometry(array.nbytes)
+        return obj
+
+    def atmem_free(self, obj: DataObject | str) -> None:
+        """Unregister a data object and release its physical frames."""
+        name = obj if isinstance(obj, str) else obj.name
+        if name not in self.objects:
+            raise RuntimeStateError(f"atmem_free: unknown data object {name!r}")
+        target = self.objects.pop(name)
+        self.geometries.pop(name)
+        n_pages = -(-target.nbytes // PAGE_SIZE)
+        self.system.address_space.unmap_range(target.base_va, n_pages * PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Listing 1: profiling
+    # ------------------------------------------------------------------
+    def atmem_profiling_start(self) -> SamplingProfiler:
+        """Pick the sampling period (Section 5.1) and enable the profiler."""
+        if not self.objects:
+            raise RuntimeStateError("profiling started with no registered objects")
+        if self._profiler is not None and self._profiler.enabled:
+            raise RuntimeStateError("profiling is already running")
+        total_chunks = sum(g.n_chunks for g in self.geometries.values())
+        total_bytes = sum(o.nbytes for o in self.objects.values())
+        period = self.config.sampling.choose_period(
+            total_chunks=total_chunks,
+            total_bytes=total_bytes,
+            threads=self.system.threads,
+        )
+        profiler = SamplingProfiler(period)
+        for name, obj in self.objects.items():
+            profiler.watch(obj, self.geometries[name])
+        profiler.start()
+        self._profiler = profiler
+        return profiler
+
+    def observe_misses(self, miss_addrs: np.ndarray) -> None:
+        """Deliver LLC-miss addresses (called by the simulation executor)."""
+        if self._profiler is not None and self._profiler.enabled:
+            self._profiler.feed(miss_addrs)
+
+    def atmem_profiling_stop(self) -> None:
+        """Disable the profiler, keeping the collected counts."""
+        if self._profiler is None:
+            raise RuntimeStateError("profiling was never started")
+        self._profiler.stop()
+        self._profiled = True
+
+    @property
+    def profiler(self) -> SamplingProfiler | None:
+        return self._profiler
+
+    def reset_profiling(self) -> None:
+        """Discard the current profiler so a fresh window can start.
+
+        Used by adaptive flows that re-profile after a workload shift.
+        """
+        if self._profiler is not None and self._profiler.enabled:
+            raise RuntimeStateError("cannot reset while profiling is running")
+        self._profiler = None
+        self._profiled = False
+
+    def profiling_overhead_seconds(self) -> float:
+        """Modelled cost of the samples taken so far (Section 7.4)."""
+        if self._profiler is None:
+            return 0.0
+        return self._profiler.overhead_seconds(
+            self.config.sampling.per_sample_overhead_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Listing 1: optimisation
+    # ------------------------------------------------------------------
+    def atmem_optimize(
+        self, *, analyzer: AtMemAnalyzer | None = None
+    ) -> tuple[PlacementDecision, MigrationStats]:
+        """Analyze the profile and migrate critical chunks to the fast tier."""
+        if not self._profiled or self._profiler is None:
+            raise RuntimeStateError(
+                "atmem_optimize requires a completed profiling window"
+            )
+        analyzer = analyzer or AtMemAnalyzer(self.config.analyzer)
+        fast_free = self.system.fast_free_bytes()
+        if fast_free is not None:
+            # Slack for per-object page rounding of migrated regions plus
+            # the staging buffer the multi-stage migrator needs on target.
+            fast_free = max(0, fast_free - PAGE_SIZE * (len(self.objects) + 1))
+        decision = analyzer.analyze(
+            self._profiler.estimated_miss_counts(),
+            self.geometries,
+            sampling_period=self._profiler.period,
+            capacity_bytes=fast_free,
+        )
+        migrator = self._make_migrator()
+        stats = MigrationStats(mechanism=self.config.migration_mechanism)
+        for name in decision.objects:
+            regions = decision.regions(name)
+            if regions:
+                stats.merge(
+                    migrator.migrate(self.objects[name], regions, self.system.fast_tier)
+                )
+        stats.mechanism = self.config.migration_mechanism
+        self.last_decision = decision
+        self.last_migration = stats
+        return decision, stats
+
+    def _make_migrator(self):
+        if self.config.migration_mechanism == "mbind":
+            overhead = (
+                self.platform.mbind_page_overhead_ns if self.platform else 100.0
+            )
+            return MbindMigrator(self.system, page_overhead_ns=overhead)
+        threads = (
+            self.platform.migration_threads if self.platform else 16
+        )
+        overhead = (
+            self.platform.atmem_region_overhead_ns if self.platform else 20_000.0
+        )
+        return MultiStageMigrator(
+            self.system, migration_threads=threads, region_overhead_ns=overhead
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Total registered data size."""
+        return sum(o.nbytes for o in self.objects.values())
+
+    def fast_tier_ratio(self) -> float:
+        """Fraction of registered data currently mapped to the fast tier."""
+        total = self.total_bytes
+        if total == 0:
+            return 0.0
+        fast = 0
+        space = self.system.address_space
+        for obj in self.objects.values():
+            n_pages = -(-obj.nbytes // PAGE_SIZE)
+            tiers = space.range_tiers(obj.base_va, n_pages * PAGE_SIZE)
+            fast += int(np.count_nonzero(tiers == self.system.fast_tier)) * PAGE_SIZE
+        return min(1.0, fast / total)

@@ -1,0 +1,75 @@
+"""Sampling-rate adaption (paper Section 5.1).
+
+Before enabling the PMU, ATMem "combines the size and number of all data
+chunks and the number of application threads to adjust an empirical sampling
+rate" — high enough frequency to characterise every chunk, low enough to
+keep profiling overhead under ~10% of the first iteration.
+
+The period here is the PEBS reset value: one sample is taken every
+``period`` LLC-miss events.  The heuristic targets an expected sample budget
+proportional to the number of chunks (so each chunk can accumulate a
+meaningful count) and inversely scales with thread count (each hardware
+thread has its own PMU, multiplying the aggregate sample rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Knobs of the empirical sampling-rate heuristic."""
+
+    #: Desired samples per data chunk, summed over the profiling window.
+    samples_per_chunk: float = 8.0
+    #: Expected re-accesses per resident line within one iteration; graph
+    #: gathers revisit hot lines, multiplying the miss volume beyond the
+    #: first-touch floor.
+    reuse_factor: float = 8.0
+    #: Hard floor on the period: never take every miss (PEBS cannot anyway).
+    min_period: int = 4
+    #: Hard ceiling, so tiny workloads still produce samples.
+    max_period: int = 4096
+    #: Modelled CPU cost of servicing one PEBS sample.  Scaled by the same
+    #: 1/1024 factor as the data (a real sample costs ~100 ns-1 us against
+    #: second-long iterations; our iterations are milliseconds), preserving
+    #: the paper's <10%-of-first-iteration overhead ratio (Section 7.4).
+    per_sample_overhead_ns: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.samples_per_chunk <= 0:
+            raise ConfigurationError("samples_per_chunk must be positive")
+        if self.reuse_factor <= 0:
+            raise ConfigurationError("reuse_factor must be positive")
+        if not 1 <= self.min_period <= self.max_period:
+            raise ConfigurationError(
+                f"need 1 <= min_period <= max_period, got "
+                f"[{self.min_period}, {self.max_period}]"
+            )
+        if self.per_sample_overhead_ns < 0:
+            raise ConfigurationError("per_sample_overhead_ns must be non-negative")
+
+    def choose_period(
+        self, *, total_chunks: int, total_bytes: int, threads: int
+    ) -> int:
+        """Pick the PEBS period for the registered data footprint.
+
+        The expected miss volume of one graph iteration is roughly
+        proportional to the data footprint (streams touch every byte once,
+        gathers re-touch hot regions); dividing by the target sample budget
+        gives the period.
+        """
+        if total_chunks <= 0 or total_bytes <= 0 or threads <= 0:
+            raise ConfigurationError(
+                "total_chunks, total_bytes and threads must all be positive"
+            )
+        target_samples = self.samples_per_chunk * total_chunks
+        expected_misses = total_bytes / 64.0 * self.reuse_factor
+        period = int(expected_misses / target_samples)
+        # More threads -> more PMUs sampling concurrently -> stretch the
+        # per-PMU period to hold the aggregate budget.
+        period = max(period, threads // 8)
+        return int(min(self.max_period, max(self.min_period, period)))

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Keeping a small, explicit set of exception types lets callers distinguish
+configuration mistakes (``ConfigurationError``), resource exhaustion
+(``CapacityError``), and misuse of the runtime API (``RuntimeStateError``,
+``AllocationError``) without string-matching messages.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid platform or component configuration was supplied."""
+
+
+class CapacityError(ReproError):
+    """A memory tier ran out of capacity during allocation or migration."""
+
+
+class AllocationError(ReproError):
+    """A virtual-address-space or data-object allocation failed."""
+
+
+class RuntimeStateError(ReproError):
+    """The ATMem runtime API was used in the wrong order.
+
+    For example calling ``atmem_optimize`` before any profiling has run,
+    or ``atmem_free`` on an unknown pointer.
+    """
+
+
+class TraceError(ReproError):
+    """An access trace is malformed (wrong dtype, negative addresses, ...)."""

@@ -1,0 +1,24 @@
+"""Graph substrate: CSR graphs, generators, datasets, IO, statistics.
+
+The paper evaluates on five graphs (Table 2): pokec, rMat24, twitter,
+rMat27, and friendster.  :mod:`repro.graph.datasets` regenerates each at
+reproduction scale (1/1024 by default) with the same relative sizes and
+degree skew, using the R-MAT generator for the rMat graphs and a Chung-Lu
+style power-law generator for the social networks.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASET_NAMES, dataset_by_name
+from repro.graph.generators import chung_lu_graph, rmat_graph, uniform_random_graph
+from repro.graph.stats import degree_skew, gini_coefficient
+
+__all__ = [
+    "CSRGraph",
+    "DATASET_NAMES",
+    "chung_lu_graph",
+    "dataset_by_name",
+    "degree_skew",
+    "gini_coefficient",
+    "rmat_graph",
+    "uniform_random_graph",
+]

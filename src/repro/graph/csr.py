@@ -1,0 +1,152 @@
+"""Compressed-sparse-row graph representation.
+
+The CSR layout matches what the paper's SIMD graph framework (GraphPhi [28])
+uses and is exactly the layout whose skewed access patterns ATMem exploits:
+
+- ``offsets`` — ``int64[V + 1]``, neighbour-list start per vertex;
+- ``adjacency`` — ``int64[E]``, concatenated neighbour lists;
+- ``weights`` — optional ``int64[E]`` edge weights (SSSP).
+
+Graphs are stored directed; the generators symmetrise so the one structure
+serves every kernel.  Vertex ids are dense ``0..V-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CSRGraph:
+    """An immutable CSR graph."""
+
+    offsets: np.ndarray
+    adjacency: np.ndarray
+    weights: np.ndarray | None = None
+    name: str = "graph"
+    _degrees: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        self.adjacency = np.ascontiguousarray(self.adjacency, dtype=np.int64)
+        if self.weights is not None:
+            self.weights = np.ascontiguousarray(self.weights, dtype=np.int64)
+            if self.weights.shape != self.adjacency.shape:
+                raise ValueError(
+                    f"weights shape {self.weights.shape} does not match "
+                    f"adjacency shape {self.adjacency.shape}"
+                )
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or self.offsets.size < 1:
+            raise ValueError("offsets must be a 1-D array of size V+1 >= 1")
+        if self.offsets[0] != 0:
+            raise ValueError(f"offsets must start at 0, got {self.offsets[0]}")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if int(self.offsets[-1]) != self.adjacency.size:
+            raise ValueError(
+                f"offsets end at {self.offsets[-1]} but adjacency has "
+                f"{self.adjacency.size} entries"
+            )
+        if self.adjacency.size:
+            lo, hi = int(self.adjacency.min()), int(self.adjacency.max())
+            if lo < 0 or hi >= self.num_vertices:
+                raise ValueError(
+                    f"adjacency targets [{lo}, {hi}] out of range for "
+                    f"{self.num_vertices} vertices"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.adjacency.size
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.offsets)
+        return self._degrees
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """The neighbour list of vertex ``v`` (a view, do not mutate)."""
+        return self.adjacency[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_weights_of(self, v: int) -> np.ndarray:
+        """Weights of ``v``'s out-edges (requires a weighted graph)."""
+        if self.weights is None:
+            raise ValueError(f"graph {self.name!r} has no edge weights")
+        return self.weights[self.offsets[v] : self.offsets[v + 1]]
+
+    def with_weights(self, rng: np.random.Generator, max_weight: int = 16) -> "CSRGraph":
+        """Return a copy with pseudo-random integer weights in [1, max_weight].
+
+        Weights are *symmetric*: the edge (u, v) carries the same weight in
+        both stored directions, derived from a salted hash of the unordered
+        vertex pair — as benchmark suites generate weights for undirected
+        inputs.
+        """
+        salt = int(rng.integers(1, np.iinfo(np.int64).max))
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+        lo = np.minimum(src, self.adjacency)
+        hi = np.maximum(src, self.adjacency)
+        key = (lo * np.int64(self.num_vertices) + hi) ^ np.int64(salt)
+        # Cheap integer mix (Knuth multiplicative hashing) for even spread.
+        mixed = (key * np.int64(2654435761)) & np.int64(0x7FFFFFFFFFFF)
+        weights = (mixed >> 8) % max_weight + 1
+        return CSRGraph(self.offsets, self.adjacency, weights, name=self.name)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        symmetrize: bool = True,
+        dedup: bool = True,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from an edge list.
+
+        Self-loops are dropped.  With ``symmetrize`` each edge is inserted in
+        both directions; with ``dedup`` parallel edges are merged.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src/dst arrays must have equal length")
+        if src.size:
+            if int(min(src.min(), dst.min())) < 0 or int(
+                max(src.max(), dst.max())
+            ) >= num_vertices:
+                raise ValueError("edge endpoint out of vertex range")
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if dedup and src.size:
+            key = src * num_vertices + dst
+            _, unique_idx = np.unique(key, return_index=True)
+            src, dst = src[unique_idx], dst[unique_idx]
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(offsets, src + 1, 1)
+        np.cumsum(offsets, out=offsets)
+        return cls(offsets, dst, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, V={self.num_vertices}, "
+            f"E={self.num_edges}, weighted={self.weights is not None})"
+        )

@@ -1,0 +1,91 @@
+"""On-disk caching of generated graphs.
+
+Regenerating the scaled Table 2 inputs is deterministic but not free
+(R-MAT at scale 17 takes a second or two); the benchmark harness and
+repeated CLI invocations benefit from caching them as ``.npz`` files.
+
+The cache key covers everything that determines the graph: dataset name,
+scale, and generator seed.  Files are self-describing (arrays + metadata)
+and validated on load; a corrupted or stale-format file is regenerated
+rather than trusted.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+FORMAT_VERSION = 1
+
+#: Environment variable overriding the cache directory; empty disables.
+CACHE_ENV = "REPRO_GRAPH_CACHE"
+
+
+def default_cache_dir() -> Path | None:
+    """The cache directory, or ``None`` when caching is disabled."""
+    env = os.environ.get(CACHE_ENV)
+    if env is None:
+        return None  # opt-in: no env var, no disk cache
+    if env == "":
+        return None
+    return Path(env)
+
+
+def cache_path(directory: Path, name: str, scale: int, seed: int) -> Path:
+    return directory / f"{name}-s{scale}-r{seed}.npz"
+
+
+def save_graph(graph: CSRGraph, path: Path) -> None:
+    """Write a CSR graph as a compressed ``.npz``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "offsets": graph.offsets,
+        "adjacency": graph.adjacency,
+        "format_version": np.array([FORMAT_VERSION], dtype=np.int64),
+    }
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **arrays)
+    os.replace(tmp, path)
+
+
+def load_graph(path: Path, name: str) -> CSRGraph | None:
+    """Load a cached graph; returns ``None`` if missing or invalid."""
+    if not path.exists():
+        return None
+    try:
+        with np.load(path) as data:
+            if int(data["format_version"][0]) != FORMAT_VERSION:
+                return None
+            weights = data["weights"] if "weights" in data.files else None
+            return CSRGraph(
+                data["offsets"],
+                data["adjacency"],
+                weights,
+                name=name,
+            )
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def cached_generate(name: str, scale: int, seed: int, generate) -> CSRGraph:
+    """Fetch from the disk cache or generate-and-store.
+
+    ``generate`` is a zero-argument callable producing the graph; it runs
+    only on a cache miss.  With caching disabled it always runs.
+    """
+    directory = default_cache_dir()
+    if directory is None:
+        return generate()
+    path = cache_path(directory, name, scale, seed)
+    cached = load_graph(path, name)
+    if cached is not None:
+        return cached
+    graph = generate()
+    save_graph(graph, path)
+    return graph

@@ -1,0 +1,91 @@
+"""Edge-list reading and writing.
+
+Supports the plain whitespace-separated edge-list format used by SNAP /
+KONECT dumps (the paper's friendster comes from KONECT [1]): one ``src dst``
+(optionally ``src dst weight``) pair per line, ``#``-prefixed comment lines
+ignored.  Vertex ids are compacted to a dense ``0..V-1`` range on load.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def read_edge_list(
+    path: str | Path | io.TextIOBase,
+    *,
+    symmetrize: bool = True,
+    name: str | None = None,
+) -> CSRGraph:
+    """Load a CSR graph from an edge-list file or file-like object."""
+    close = False
+    if isinstance(path, (str, Path)):
+        handle = open(path, "r", encoding="utf-8")
+        close = True
+        graph_name = name or Path(path).stem
+    else:
+        handle = path
+        graph_name = name or "graph"
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    weights: list[int] = []
+    has_weights = None
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"line {lineno}: expected 'src dst [weight]', got {line!r}"
+                )
+            if has_weights is None:
+                has_weights = len(parts) == 3
+            elif has_weights != (len(parts) == 3):
+                raise ValueError(f"line {lineno}: inconsistent column count")
+            src_list.append(int(parts[0]))
+            dst_list.append(int(parts[1]))
+            if has_weights:
+                weights.append(int(parts[2]))
+    finally:
+        if close:
+            handle.close()
+    if not src_list:
+        raise ValueError("edge list is empty")
+    src = np.array(src_list, dtype=np.int64)
+    dst = np.array(dst_list, dtype=np.int64)
+    # Compact ids to 0..V-1.
+    vertex_ids, inverse = np.unique(np.concatenate([src, dst]), return_inverse=True)
+    src = inverse[: src.size]
+    dst = inverse[src.size :]
+    graph = CSRGraph.from_edges(
+        int(vertex_ids.size), src, dst, symmetrize=symmetrize, name=graph_name
+    )
+    if has_weights and not symmetrize:
+        # Weighted loading is only exact without symmetrisation/dedup; attach
+        # weights by re-sorting the original edge order.
+        order = np.lexsort((dst, src))
+        graph = CSRGraph(
+            graph.offsets,
+            graph.adjacency,
+            np.array(weights, dtype=np.int64)[order],
+            name=graph_name,
+        )
+    return graph
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path) -> None:
+    """Write a CSR graph as a plain edge list (one directed edge per line)."""
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees)
+    columns = [src, graph.adjacency]
+    if graph.weights is not None:
+        columns.append(graph.weights)
+    data = np.column_stack(columns)
+    header = f"# {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges"
+    np.savetxt(path, data, fmt="%d", header=header, comments="")

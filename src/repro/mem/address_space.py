@@ -1,0 +1,176 @@
+"""Virtual address space and page table.
+
+The address space is a single flat arena carved out by a bump allocator.
+For every *base page* (4 KB) it records:
+
+- which tier backs it (``-1`` = unmapped),
+- the physical frame id on that tier,
+- the mapping granularity as a shift (12 for 4 KB, 21 for a 2 MB huge page).
+
+The mapping granularity is what the TLB simulator keys on: a range backed by
+transparent huge pages occupies 512x fewer TLB entries than the same range
+backed by base pages.  The paper's Table 4 effect — ``mbind`` migration
+inflating TLB misses — comes from ``move_pages`` splitting THP mappings into
+base pages, while ATMem's remapping step installs fresh huge pages.
+
+All lookups are vectorised over NumPy address arrays because the cost model
+queries the tier of millions of miss addresses per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.mem.allocator import FrameAllocator
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+HUGE_PAGE_SHIFT = 21
+HUGE_PAGE_SIZE = 1 << HUGE_PAGE_SHIFT
+
+#: Base of the simulated arena; matches the example addresses in the paper's
+#: Figure 4 for readability of diagnostics.
+ARENA_BASE = 0x10000000
+
+
+class AddressSpace:
+    """A flat virtual address space with a base-page-granularity page table."""
+
+    def __init__(self, allocators: list[FrameAllocator], arena_pages: int = 1 << 20) -> None:
+        if not allocators:
+            raise ConfigurationError("address space needs at least one tier allocator")
+        for alloc in allocators:
+            if alloc.page_size != PAGE_SIZE:
+                raise ConfigurationError(
+                    "all frame allocators must use the base page size "
+                    f"{PAGE_SIZE}, got {alloc.page_size}"
+                )
+        self.allocators = allocators
+        self._arena_pages = arena_pages
+        self._bump = ARENA_BASE
+        # Page table, indexed by (vpn - base_vpn).
+        self._tier = np.full(arena_pages, -1, dtype=np.int8)
+        self._frame = np.full(arena_pages, -1, dtype=np.int64)
+        self._map_shift = np.full(arena_pages, PAGE_SHIFT, dtype=np.int8)
+
+    # ------------------------------------------------------------------
+    # reservation and mapping
+    # ------------------------------------------------------------------
+    @property
+    def base_vpn(self) -> int:
+        return ARENA_BASE >> PAGE_SHIFT
+
+    def reserve(self, nbytes: int) -> int:
+        """Reserve a page-aligned virtual range; returns its base address.
+
+        Reservation does not map pages; callers follow up with
+        :meth:`map_range`.
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"cannot reserve {nbytes} bytes")
+        va = self._bump
+        n_pages = -(-nbytes // PAGE_SIZE)
+        end = va + n_pages * PAGE_SIZE
+        if (end >> PAGE_SHIFT) - self.base_vpn > self._arena_pages:
+            raise AllocationError(
+                f"virtual arena exhausted reserving {nbytes} bytes "
+                f"({self._arena_pages} pages total)"
+            )
+        self._bump = end
+        return va
+
+    def _page_index(self, va: int) -> int:
+        return (va >> PAGE_SHIFT) - self.base_vpn
+
+    def map_range(self, va: int, nbytes: int, tier: int, huge: bool = True) -> None:
+        """Back ``[va, va + nbytes)`` with frames from ``tier``.
+
+        ``huge=True`` records 2 MB mapping granularity (the default for large
+        anonymous allocations with transparent huge pages enabled, as on the
+        paper's testbeds); ``huge=False`` records base pages.
+        """
+        self._check_range(va, nbytes)
+        n_pages = -(-nbytes // PAGE_SIZE)
+        lo = self._page_index(va)
+        frames = self.allocators[tier].allocate(n_pages)
+        sl = slice(lo, lo + n_pages)
+        if np.any(self._tier[sl] >= 0):
+            # Undo the allocation before reporting the misuse.
+            self.allocators[tier].release(frames)
+            raise AllocationError(f"range at {va:#x} (+{nbytes}) is already mapped")
+        self._tier[sl] = tier
+        self._frame[sl] = frames
+        self._map_shift[sl] = HUGE_PAGE_SHIFT if huge else PAGE_SHIFT
+
+    def unmap_range(self, va: int, nbytes: int) -> None:
+        """Release the frames backing ``[va, va + nbytes)``."""
+        self._check_range(va, nbytes)
+        n_pages = -(-nbytes // PAGE_SIZE)
+        lo = self._page_index(va)
+        sl = slice(lo, lo + n_pages)
+        tiers = self._tier[sl]
+        if np.any(tiers < 0):
+            raise AllocationError(f"range at {va:#x} (+{nbytes}) is not fully mapped")
+        for tier_id in np.unique(tiers):
+            mask = tiers == tier_id
+            self.allocators[int(tier_id)].release(self._frame[sl][mask].tolist())
+        self._tier[sl] = -1
+        self._frame[sl] = -1
+        self._map_shift[sl] = PAGE_SHIFT
+
+    def remap_range(self, va: int, nbytes: int, tier: int, huge: bool = True) -> None:
+        """Atomically move the backing of a mapped range to another tier.
+
+        This is the "remapping" step of ATMem's migration (Figure 4b): the
+        virtual addresses stay fixed while the physical frames change.
+        """
+        self.unmap_range(va, nbytes)
+        self.map_range(va, nbytes, tier, huge=huge)
+
+    def split_to_base_pages(self, va: int, nbytes: int) -> None:
+        """Record THP splitting: the range's mapping granularity drops to 4 KB.
+
+        Models the side effect of ``move_pages``/``mbind`` on transparently
+        huge-page-backed memory (the Table 4 TLB effect).
+        """
+        self._check_range(va, nbytes)
+        n_pages = -(-nbytes // PAGE_SIZE)
+        lo = self._page_index(va)
+        self._map_shift[lo : lo + n_pages] = PAGE_SHIFT
+
+    def _check_range(self, va: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise AllocationError(f"range size must be positive, got {nbytes}")
+        if va % PAGE_SIZE:
+            raise AllocationError(f"address {va:#x} is not page-aligned")
+        if va < ARENA_BASE or self._page_index(va) >= self._arena_pages:
+            raise AllocationError(f"address {va:#x} outside the arena")
+
+    # ------------------------------------------------------------------
+    # vectorised queries
+    # ------------------------------------------------------------------
+    def tiers_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Tier id (int8) backing each address; -1 for unmapped."""
+        idx = (np.asarray(addrs, dtype=np.int64) >> PAGE_SHIFT) - self.base_vpn
+        return self._tier[idx]
+
+    def map_shifts_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Mapping-granularity shift (12 or 21) for each address."""
+        idx = (np.asarray(addrs, dtype=np.int64) >> PAGE_SHIFT) - self.base_vpn
+        return self._map_shift[idx]
+
+    def tier_of_page(self, va: int) -> int:
+        """Tier backing the single page containing ``va``."""
+        return int(self._tier[self._page_index(va & ~(PAGE_SIZE - 1))])
+
+    def mapped_bytes_on(self, tier: int) -> int:
+        """Total bytes currently mapped to ``tier``."""
+        return int(np.count_nonzero(self._tier == tier)) * PAGE_SIZE
+
+    def range_tiers(self, va: int, nbytes: int) -> np.ndarray:
+        """Per-page tier ids for a virtual range."""
+        self._check_range(va, nbytes)
+        n_pages = -(-nbytes // PAGE_SIZE)
+        lo = self._page_index(va)
+        return self._tier[lo : lo + n_pages].copy()

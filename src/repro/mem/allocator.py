@@ -1,0 +1,72 @@
+"""Per-tier physical frame allocator.
+
+Frames are identified by integer ids; the allocator hands out ids, tracks the
+number of bytes in use against the tier's capacity, and recycles freed ids.
+Real frame contents live in the application's NumPy arrays — the allocator
+only does placement accounting, which is all the cost and migration models
+need.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError
+from repro.mem.tier import MemoryTier
+
+
+class FrameAllocator:
+    """Allocates physical page frames on a single memory tier."""
+
+    def __init__(self, tier: MemoryTier, page_size: int) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page_size must be a power of two, got {page_size}")
+        self.tier = tier
+        self.page_size = page_size
+        self._next_frame = 0
+        self._free: list[int] = []
+        self._used_frames = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated on this tier."""
+        return self._used_frames * self.page_size
+
+    @property
+    def free_bytes(self) -> int | None:
+        """Remaining capacity, or ``None`` for an unbounded tier."""
+        if self.tier.capacity_bytes is None:
+            return None
+        return self.tier.capacity_bytes - self.used_bytes
+
+    def can_allocate(self, n_frames: int) -> bool:
+        """Whether ``n_frames`` more frames fit within the tier capacity."""
+        if self.tier.capacity_bytes is None:
+            return True
+        return (self._used_frames + n_frames) * self.page_size <= self.tier.capacity_bytes
+
+    def allocate(self, n_frames: int) -> list[int]:
+        """Allocate ``n_frames`` frames, raising :class:`CapacityError` if full."""
+        if n_frames < 0:
+            raise ValueError(f"cannot allocate {n_frames} frames")
+        if not self.can_allocate(n_frames):
+            raise CapacityError(
+                f"tier {self.tier.name!r} full: requested "
+                f"{n_frames * self.page_size} B, free {self.free_bytes} B"
+            )
+        frames: list[int] = []
+        while self._free and len(frames) < n_frames:
+            frames.append(self._free.pop())
+        for _ in range(n_frames - len(frames)):
+            frames.append(self._next_frame)
+            self._next_frame += 1
+        self._used_frames += n_frames
+        return frames
+
+    def release(self, frames: list[int]) -> None:
+        """Return frames to the allocator."""
+        if len(frames) > self._used_frames:
+            raise ValueError(
+                f"releasing {len(frames)} frames but only "
+                f"{self._used_frames} are allocated"
+            )
+        self._free.extend(frames)
+        self._used_frames -= len(frames)

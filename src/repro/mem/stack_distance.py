@@ -1,0 +1,97 @@
+"""Exact LRU stack distances (Mattson et al.).
+
+The *stack distance* of an access is the number of distinct cache lines
+touched since the previous access to the same line; a fully-associative
+LRU cache of C lines hits exactly the accesses with stack distance < C.
+This module computes exact stack distances in O(N log N) with a Fenwick
+(binary indexed) tree over access positions — the textbook algorithm:
+
+1. keep, for every line, the position of its previous access;
+2. a Fenwick tree marks positions that are the *most recent* access of
+   their line;
+3. the stack distance of access *i* to line L with previous position p is
+   the number of marked positions in (p, i); then unmark p and mark i.
+
+Python-loop bound, so intended for validation and tests (up to ~10^5
+accesses), not for benchmark-scale traces — that is what the
+:class:`repro.mem.cache.WorkingSetCache` approximation is for.  The test
+suite uses this module as the ground truth the approximation is measured
+against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.cache import LINE_SIZE
+
+#: Stack distance reported for the first access to a line (cold miss).
+COLD = np.iinfo(np.int64).max
+
+
+class _Fenwick:
+    """A Fenwick tree over positions 1..n supporting point add / prefix sum."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of positions [0, i]."""
+        i += 1
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+
+def stack_distances(addrs: np.ndarray, line_size: int = LINE_SIZE) -> np.ndarray:
+    """Exact LRU stack distance of every access; ``COLD`` for first touches."""
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = int(addrs.size)
+    out = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return out
+    shift = line_size.bit_length() - 1
+    lines = (addrs >> shift).tolist()
+    fenwick = _Fenwick(n)
+    last_pos: dict[int, int] = {}
+    for i, line in enumerate(lines):
+        prev = last_pos.get(line)
+        if prev is not None:
+            # Distinct lines touched strictly between prev and i.
+            out[i] = fenwick.prefix(i - 1) - fenwick.prefix(prev)
+            fenwick.add(prev, -1)
+        fenwick.add(i, 1)
+        last_pos[line] = i
+    return out
+
+
+def lru_hit_mask(
+    addrs: np.ndarray, capacity_lines: int, line_size: int = LINE_SIZE
+) -> np.ndarray:
+    """Exact fully-associative LRU hit mask for the address stream."""
+    if capacity_lines <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_lines}")
+    distances = stack_distances(addrs, line_size=line_size)
+    return distances < capacity_lines
+
+
+def miss_ratio_curve(
+    addrs: np.ndarray,
+    capacities: list[int],
+    line_size: int = LINE_SIZE,
+) -> dict[int, float]:
+    """Exact LRU miss ratio at several capacities from one distance pass."""
+    distances = stack_distances(addrs, line_size=line_size)
+    n = max(1, distances.size)
+    return {
+        c: float(np.count_nonzero(distances >= c)) / n for c in capacities
+    }

@@ -1,0 +1,102 @@
+"""Per-run memory-system telemetry.
+
+Aggregates, for one simulated run, the traffic each tier served and how
+close it came to saturating its bandwidth — the counters a performance
+engineer would pull from uncore PMUs on the real machines.  The executor
+can be pointed at a :class:`TelemetryCollector` to fill one in as a run is
+priced; reports feed the diagnostics example and the bandwidth-split
+extension's sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import LINE_SIZE
+from repro.mem.system import HeterogeneousMemorySystem
+from repro.mem.tier import MemoryTier
+from repro.mem.trace import AccessKind, TracePhase
+
+
+@dataclass
+class TierTraffic:
+    """Traffic one tier served during a run."""
+
+    tier: MemoryTier
+    read_lines: int = 0
+    write_lines: int = 0
+    random_lines: int = 0
+
+    @property
+    def total_lines(self) -> int:
+        return self.read_lines + self.write_lines
+
+    @property
+    def bytes_moved(self) -> int:
+        """Line traffic in bytes, before device-level amplification."""
+        return self.total_lines * LINE_SIZE
+
+    @property
+    def device_bytes(self) -> int:
+        """Traffic the device media actually serves, with amplification."""
+        amplified = self.random_lines * LINE_SIZE * (
+            self.tier.random_access_amplification - 1.0
+        )
+        return int(self.bytes_moved + amplified)
+
+    def utilization(self, run_seconds: float) -> float:
+        """Fraction of the tier's peak bandwidth this run consumed."""
+        if run_seconds <= 0.0:
+            return 0.0
+        peak = self.tier.read_bandwidth_gbps * 1e9  # dominant direction
+        return min(1.0, self.device_bytes / (peak * run_seconds))
+
+
+@dataclass
+class TelemetryCollector:
+    """Accumulates per-tier traffic while the executor prices a run."""
+
+    system: HeterogeneousMemorySystem
+    traffic: dict[int, TierTraffic] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for tier_id, tier in enumerate(self.system.tiers):
+            self.traffic[tier_id] = TierTraffic(tier=tier)
+
+    def record_phase(
+        self, phase: TracePhase, miss_by_tier: dict[int, int]
+    ) -> None:
+        """Account one phase's misses to the tiers that served them."""
+        for tier_id, count in miss_by_tier.items():
+            entry = self.traffic[tier_id]
+            if phase.is_write:
+                entry.write_lines += count
+            else:
+                entry.read_lines += count
+            if phase.kind is AccessKind.RANDOM:
+                entry.random_lines += count
+
+    def reset(self) -> None:
+        for entry in self.traffic.values():
+            entry.read_lines = 0
+            entry.write_lines = 0
+            entry.random_lines = 0
+
+    def report(self, run_seconds: float) -> str:
+        """Human-readable per-tier traffic summary."""
+        header = (
+            f"{'tier':12s} {'read MiB':>9s} {'write MiB':>10s} "
+            f"{'random%':>8s} {'device MiB':>11s} {'bw util%':>9s}"
+        )
+        lines = [header, "-" * len(header)]
+        for entry in self.traffic.values():
+            total = max(1, entry.total_lines)
+            lines.append(
+                f"{entry.tier.name:12s} "
+                f"{entry.read_lines * LINE_SIZE / 2**20:9.2f} "
+                f"{entry.write_lines * LINE_SIZE / 2**20:10.2f} "
+                f"{100.0 * entry.random_lines / total:8.1f} "
+                f"{entry.device_bytes / 2**20:11.2f} "
+                f"{100.0 * entry.utilization(run_seconds):9.1f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Memory tier (device) specifications.
+
+A :class:`MemoryTier` captures the handful of device parameters that decide
+data-placement benefit on a heterogeneous memory system:
+
+- read/write latency (ns) — what a pointer-chasing, latency-bound workload
+  sees;
+- aggregate read/write bandwidth (GB/s) — what a streaming, bandwidth-bound
+  workload sees with many threads;
+- single-thread copy bandwidth (GB/s) — what a single-threaded migration
+  service (``mbind``) achieves;
+- capacity (bytes) — the small fast tier's limit drives the partial-placement
+  problem ATMem solves;
+- random-access amplification — Intel Optane NVM internally reads 256 B
+  blocks, so a random 64 B cache-line fill wastes 4x device bandwidth.  This
+  single parameter is what turns the "3x latency / 0.38x bandwidth" spec gap
+  into the up-to-10x application slowdown of the paper's Figure 1a.
+
+Device numbers below come from the paper (Section 2.1 and [25], [31]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryTier:
+    """Specification of one memory device in a heterogeneous system.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name, e.g. ``"DRAM"`` or ``"Optane-NVM"``.
+    capacity_bytes:
+        Usable capacity of this tier.  ``None`` means effectively unlimited
+        (used for the large tier, whose capacity never binds in the paper's
+        experiments).
+    read_latency_ns / write_latency_ns:
+        Idle access latency for a 64 B cache-line fill.
+    read_bandwidth_gbps / write_bandwidth_gbps:
+        Peak aggregate bandwidth with enough concurrent threads.
+    single_thread_bandwidth_gbps:
+        Copy bandwidth achievable from one thread (limits ``mbind``).
+    random_access_amplification:
+        Factor by which random cache-line traffic is amplified inside the
+        device (Optane: 256 B internal granularity / 64 B line = 4.0).
+    """
+
+    name: str
+    capacity_bytes: int | None
+    read_latency_ns: float
+    write_latency_ns: float
+    read_bandwidth_gbps: float
+    write_bandwidth_gbps: float
+    single_thread_bandwidth_gbps: float
+    random_access_amplification: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("memory tier needs a non-empty name")
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: capacity must be positive or None, "
+                f"got {self.capacity_bytes}"
+            )
+        for field in (
+            "read_latency_ns",
+            "write_latency_ns",
+            "read_bandwidth_gbps",
+            "write_bandwidth_gbps",
+            "single_thread_bandwidth_gbps",
+        ):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"tier {self.name!r}: {field} must be positive, got {value}"
+                )
+        if self.random_access_amplification < 1.0:
+            raise ConfigurationError(
+                f"tier {self.name!r}: random_access_amplification must be >= 1"
+            )
+
+    @property
+    def is_bounded(self) -> bool:
+        """Whether this tier has a finite capacity."""
+        return self.capacity_bytes is not None
+
+    def latency_ns(self, is_write: bool) -> float:
+        """Latency for one access of the given direction."""
+        return self.write_latency_ns if is_write else self.read_latency_ns
+
+    def bandwidth_gbps(self, is_write: bool) -> float:
+        """Aggregate bandwidth for the given direction."""
+        return self.write_bandwidth_gbps if is_write else self.read_bandwidth_gbps

@@ -1,0 +1,122 @@
+"""Access-trace containers.
+
+Applications emit their memory behaviour as an ordered list of *phases*.
+A phase is one vectorised step of a kernel — e.g. "gather ``rank[dst]`` for
+every edge" — and carries the byte addresses it touches, whether it reads or
+writes, and whether the addresses form a sequential stream or a random
+gather/scatter.  The sequential/random distinction matters because Intel
+Optane NVM amplifies random cache-line traffic (see
+:class:`repro.mem.tier.MemoryTier.random_access_amplification`).
+
+Addresses are *virtual* byte addresses of the first byte of each accessed
+element.  The cache, TLB, and cost models derive line/page numbers from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class AccessKind(enum.Enum):
+    """Spatial pattern of a trace phase."""
+
+    SEQUENTIAL = "seq"
+    RANDOM = "rand"
+
+
+@dataclass
+class TracePhase:
+    """One vectorised access phase of an application kernel.
+
+    Attributes
+    ----------
+    addrs:
+        ``int64`` array of virtual byte addresses (element starts).
+    is_write:
+        Whether the phase writes (stores) or reads (loads).
+    kind:
+        Whether the address stream is sequential or random — drives the
+        cost model's device-level random-access amplification.
+    prefetchable:
+        Whether hardware stream prefetchers cover this phase's misses (so
+        they rarely retire as sampleable LLC-miss load events).  Defaults
+        to ``kind is SEQUENTIAL``; frontier-driven adjacency reads override
+        it to True: their segment runs are prefetch-friendly even though
+        short segments still pay device-level random-access amplification.
+    label:
+        Optional human-readable tag, e.g. ``"rank-gather"``; used in
+        diagnostics only.
+    """
+
+    addrs: np.ndarray
+    is_write: bool = False
+    kind: AccessKind = AccessKind.RANDOM
+    prefetchable: bool | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.addrs = np.ascontiguousarray(self.addrs, dtype=np.int64)
+        if self.addrs.ndim != 1:
+            raise TraceError(f"phase {self.label!r}: addrs must be 1-D")
+        if self.addrs.size and int(self.addrs.min()) < 0:
+            raise TraceError(f"phase {self.label!r}: negative address in trace")
+        if self.prefetchable is None:
+            self.prefetchable = self.kind is AccessKind.SEQUENTIAL
+
+    def __len__(self) -> int:
+        return int(self.addrs.size)
+
+
+@dataclass
+class AccessTrace:
+    """An ordered sequence of :class:`TracePhase` for one application run."""
+
+    phases: list[TracePhase] = field(default_factory=list)
+
+    def add(
+        self,
+        addrs: np.ndarray,
+        *,
+        is_write: bool = False,
+        kind: AccessKind = AccessKind.RANDOM,
+        prefetchable: bool | None = None,
+        label: str = "",
+    ) -> None:
+        """Append a phase; empty address arrays are dropped."""
+        if len(addrs) == 0:
+            return
+        self.phases.append(
+            TracePhase(
+                addrs,
+                is_write=is_write,
+                kind=kind,
+                prefetchable=prefetchable,
+                label=label,
+            )
+        )
+
+    def extend(self, other: "AccessTrace") -> None:
+        """Append all phases of another trace, preserving order."""
+        self.phases.extend(other.phases)
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of element accesses across all phases."""
+        return sum(len(p) for p in self.phases)
+
+    def all_addresses(self) -> np.ndarray:
+        """Concatenate every phase's addresses in program order."""
+        if not self.phases:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([p.addrs for p in self.phases])
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)

@@ -1,0 +1,29 @@
+"""Simulation driver: runs applications on the simulated memory system.
+
+- :mod:`repro.sim.executor` — charges an access trace against the LLC,
+  page table, TLB, and cost model, optionally feeding the ATMem profiler.
+- :mod:`repro.sim.experiment` — the paper's experiment flows: static
+  placements (all-slow baseline, all-fast ideal, preferred), the full ATMem
+  two-iteration flow, and the coarse-grained whole-object baseline.
+- :mod:`repro.sim.metrics` — small result containers and derived metrics.
+"""
+
+from repro.sim.executor import TraceExecutor
+from repro.sim.experiment import (
+    AtMemRunResult,
+    StaticRunResult,
+    run_atmem,
+    run_coarse_grained,
+    run_static,
+)
+from repro.sim.metrics import RunCost
+
+__all__ = [
+    "AtMemRunResult",
+    "RunCost",
+    "StaticRunResult",
+    "TraceExecutor",
+    "run_atmem",
+    "run_coarse_grained",
+    "run_static",
+]

@@ -1,0 +1,51 @@
+"""Result containers for simulated runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunCost:
+    """Aggregated cost of one application run (one trace)."""
+
+    seconds: float = 0.0
+    n_accesses: int = 0
+    n_misses: int = 0
+    tlb_misses: int = 0
+    miss_by_tier: dict[int, int] = field(default_factory=dict)
+    #: Time per phase label (e.g. "rank-gather"), for breakdown reports.
+    seconds_by_label: dict[str, float] = field(default_factory=dict)
+
+    def add_phase(
+        self,
+        seconds: float,
+        n_accesses: int,
+        n_misses: int,
+        miss_by_tier: dict[int, int],
+        tlb_misses: int = 0,
+        label: str = "",
+    ) -> None:
+        """Fold one phase's cost into the run total."""
+        self.seconds += seconds
+        self.n_accesses += n_accesses
+        self.n_misses += n_misses
+        self.tlb_misses += tlb_misses
+        for tier, count in miss_by_tier.items():
+            self.miss_by_tier[tier] = self.miss_by_tier.get(tier, 0) + count
+        if label:
+            self.seconds_by_label[label] = (
+                self.seconds_by_label.get(label, 0.0) + seconds
+            )
+
+    def breakdown(self, top: int = 10) -> list[tuple[str, float]]:
+        """The costliest phase labels, descending."""
+        ranked = sorted(
+            self.seconds_by_label.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:top]
+
+    @property
+    def miss_rate(self) -> float:
+        """LLC miss rate of the run."""
+        return self.n_misses / self.n_accesses if self.n_accesses else 0.0

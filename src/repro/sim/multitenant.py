@@ -1,0 +1,122 @@
+"""Multi-tenant fast memory (the paper's Section 1 server scenario).
+
+"Applications running on servers need to share all resources, resulting
+in even smaller high-performance memory available to an application."
+ATMem's per-byte efficiency argument (Objective I) is strongest exactly
+there: a tenant that grabs whole structures starves its neighbours, while
+a tenant that takes only its critical chunks leaves room for everyone.
+
+:class:`MultiTenantHost` runs several applications against **one**
+memory system (shared fast-tier allocator).  Each tenant gets its own
+ATMem runtime and its own profile/optimize cycle; placement decisions
+compete for whatever fast capacity is left when they run.  The host
+reports per-tenant speedups and the fast-memory footprint each one took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.base import GraphApp
+from repro.config import PlatformConfig
+from repro.core.runtime import AtMemRuntime, RuntimeConfig
+from repro.errors import ConfigurationError
+from repro.mem.address_space import PAGE_SIZE
+from repro.sim.executor import TraceExecutor
+from repro.sim.metrics import RunCost
+
+
+@dataclass
+class TenantResult:
+    """Outcome for one tenant on the shared host."""
+
+    name: str
+    baseline: RunCost
+    optimized: RunCost
+    fast_bytes: int
+    data_ratio: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.seconds / self.optimized.seconds
+
+
+@dataclass
+class MultiTenantHost:
+    """Several applications sharing one simulated memory system."""
+
+    platform: PlatformConfig
+    runtime_config: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+    def __post_init__(self) -> None:
+        self.system = self.platform.build_system()
+        self.executor = TraceExecutor(self.system)
+        self._tenants: list[tuple[str, GraphApp, AtMemRuntime]] = []
+
+    # ------------------------------------------------------------------
+    def admit(self, name: str, app_factory: Callable[[], GraphApp]) -> GraphApp:
+        """Register a tenant's application on the shared system."""
+        if any(t[0] == name for t in self._tenants):
+            raise ConfigurationError(f"tenant {name!r} already admitted")
+        runtime = AtMemRuntime(
+            self.system, config=self.runtime_config, platform=self.platform
+        )
+        app = app_factory()
+
+        # Tenants must not collide on object names within the shared
+        # address space bookkeeping; prefix them.
+        class _PrefixedRegistry:
+            def register_array(self, obj_name, array):
+                return runtime.register_array(f"{name}/{obj_name}", array)
+
+        app.register(_PrefixedRegistry())
+        self._tenants.append((name, app, runtime))
+        return app
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict[str, TenantResult]:
+        """Profile, optimize, and measure every tenant, in admission order.
+
+        Earlier tenants optimize first and get first pick of the fast
+        tier; later tenants see whatever capacity is left — the shared-
+        server dynamics the paper describes.
+        """
+        results: dict[str, TenantResult] = {}
+        # Phase 1: everyone profiles on the baseline placement.
+        baselines: dict[str, RunCost] = {}
+        for name, app, runtime in self._tenants:
+            runtime.atmem_profiling_start()
+            baselines[name] = self.executor.run(
+                app.run_once(), miss_observer=runtime
+            )
+            runtime.atmem_profiling_stop()
+        # Phase 2: optimize in admission order (first come, first placed).
+        for name, app, runtime in self._tenants:
+            runtime.atmem_optimize()
+        # Phase 3: everyone measures on the final shared placement.
+        for name, app, runtime in self._tenants:
+            optimized = self.executor.run(app.run_once())
+            results[name] = TenantResult(
+                name=name,
+                baseline=baselines[name],
+                optimized=optimized,
+                fast_bytes=self._tenant_fast_bytes(runtime),
+                data_ratio=runtime.fast_tier_ratio(),
+            )
+        return results
+
+    def _tenant_fast_bytes(self, runtime: AtMemRuntime) -> int:
+        import numpy as np
+
+        total = 0
+        space = self.system.address_space
+        for obj in runtime.objects.values():
+            n_pages = -(-obj.nbytes // PAGE_SIZE)
+            tiers = space.range_tiers(obj.base_va, n_pages * PAGE_SIZE)
+            total += int(np.count_nonzero(tiers == self.system.fast_tier)) * PAGE_SIZE
+        return total
+
+    def fast_tier_used_bytes(self) -> int:
+        """Fast memory in use across all tenants."""
+        return self.system.allocators[self.system.fast_tier].used_bytes

@@ -1,0 +1,159 @@
+"""Generic parameter-sweep driver.
+
+The paper's Figures 9/10 sweep one analyzer parameter (epsilon); studies
+of a system like ATMem routinely sweep others — tree arity, chunk count,
+sampling budget, TR base threshold.  This module runs any such sweep with
+one call, returning a :class:`repro.bench.report.Series` ready to render,
+and is what the figure builders and the sensitivity example are built on.
+
+A sweep point is produced by rebuilding the runtime config through a
+user-supplied ``configure(value)`` function, so any knob reachable from
+:class:`repro.core.runtime.RuntimeConfig` can be swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.apps.base import GraphApp
+from repro.bench.report import Series
+from repro.config import PlatformConfig
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.chunks import ChunkingPolicy
+from repro.core.runtime import RuntimeConfig
+from repro.core.sampling import SamplingConfig
+from repro.sim.experiment import AtMemRunResult, run_atmem
+
+
+@dataclass
+class SweepPoint:
+    """One sweep evaluation."""
+
+    value: float
+    result: AtMemRunResult
+
+    @property
+    def data_ratio(self) -> float:
+        return self.result.data_ratio
+
+    @property
+    def seconds(self) -> float:
+        return self.result.seconds
+
+
+def run_sweep(
+    app_factory: Callable[[], GraphApp],
+    platform: PlatformConfig,
+    values: Iterable[float],
+    configure: Callable[[float], RuntimeConfig],
+    *,
+    label: str = "sweep",
+) -> list[SweepPoint]:
+    """Run the ATMem flow once per parameter value."""
+    points = []
+    for value in values:
+        result = run_atmem(app_factory, platform, runtime_config=configure(value))
+        points.append(SweepPoint(value=float(value), result=result))
+    return points
+
+
+def to_series(
+    points: list[SweepPoint],
+    *,
+    title: str,
+    x: str = "value",
+    y: str = "seconds",
+    label: str = "sweep",
+) -> Series:
+    """Render sweep points as a Series; x/y pick SweepPoint attributes."""
+    series = Series(title=title, x_label=x, y_label=y)
+    for p in points:
+        series.add_point(label, getattr(p, x) if x != "value" else p.value, getattr(p, y))
+    return series
+
+
+# ----------------------------------------------------------------------
+# Ready-made configurators for the knobs users actually sweep.
+# ----------------------------------------------------------------------
+def epsilon_configurator(base: RuntimeConfig | None = None):
+    """Sweep the Eq. 5 epsilon (the Figures 9/10 knob)."""
+    base = base or RuntimeConfig()
+
+    def configure(value: float) -> RuntimeConfig:
+        analyzer = AnalyzerConfig(
+            m=base.analyzer.m,
+            base_tr_threshold=base.analyzer.base_tr_threshold,
+            epsilon=float(value),
+            enable_promotion=base.analyzer.enable_promotion,
+            local=base.analyzer.local,
+        )
+        return RuntimeConfig(
+            chunking=base.chunking,
+            analyzer=analyzer,
+            sampling=base.sampling,
+            migration_mechanism=base.migration_mechanism,
+        )
+
+    return configure
+
+
+def arity_configurator(base: RuntimeConfig | None = None):
+    """Sweep the m-ary tree arity (Section 4.3.1)."""
+    base = base or RuntimeConfig()
+
+    def configure(value: float) -> RuntimeConfig:
+        analyzer = AnalyzerConfig(
+            m=int(value),
+            base_tr_threshold=base.analyzer.base_tr_threshold,
+            epsilon=base.analyzer.epsilon,
+            enable_promotion=base.analyzer.enable_promotion,
+            local=base.analyzer.local,
+        )
+        return RuntimeConfig(
+            chunking=base.chunking,
+            analyzer=analyzer,
+            sampling=base.sampling,
+            migration_mechanism=base.migration_mechanism,
+        )
+
+    return configure
+
+
+def chunk_cap_configurator(base: RuntimeConfig | None = None):
+    """Sweep the max-chunks cap (Section 4.1's metadata trade-off)."""
+    base = base or RuntimeConfig()
+
+    def configure(value: float) -> RuntimeConfig:
+        return RuntimeConfig(
+            chunking=ChunkingPolicy(
+                max_chunks=int(value),
+                min_chunk_bytes=base.chunking.min_chunk_bytes,
+            ),
+            analyzer=base.analyzer,
+            sampling=base.sampling,
+            migration_mechanism=base.migration_mechanism,
+        )
+
+    return configure
+
+
+def sampling_budget_configurator(base: RuntimeConfig | None = None):
+    """Sweep the per-chunk sample budget (Section 5.1's rate adaption)."""
+    base = base or RuntimeConfig()
+
+    def configure(value: float) -> RuntimeConfig:
+        return RuntimeConfig(
+            chunking=base.chunking,
+            analyzer=base.analyzer,
+            sampling=SamplingConfig(
+                samples_per_chunk=float(value),
+                reuse_factor=base.sampling.reuse_factor,
+                min_period=base.sampling.min_period,
+                max_period=base.sampling.max_period,
+                per_sample_overhead_ns=base.sampling.per_sample_overhead_ns,
+            ),
+            migration_mechanism=base.migration_mechanism,
+        )
+
+    return configure

@@ -1,0 +1,108 @@
+"""Trace diagnostics.
+
+Utilities for inspecting what an application's access trace looks like
+before any placement decision: per-object access/byte counts, read/write
+mix, sequential/random mix, and reuse statistics.  Useful for
+
+- understanding *why* ATMem selects what it selects (the quickstart's
+  "per-object selection" section, in numbers);
+- sanity-checking new applications' trace emission;
+- the diagnostics example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataobject import DataObject
+from repro.mem.cache import LINE_SIZE
+from repro.mem.trace import AccessKind, AccessTrace
+
+
+@dataclass
+class ObjectTraceStats:
+    """Access statistics of one data object within a trace."""
+
+    name: str
+    nbytes: int
+    reads: int = 0
+    writes: int = 0
+    random_accesses: int = 0
+    sequential_accesses: int = 0
+    touched_lines: set = field(default_factory=set, repr=False)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def accesses_per_byte(self) -> float:
+        """Access density — the first-order predictor of placement value."""
+        return self.accesses / self.nbytes if self.nbytes else 0.0
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of distinct cache lines touched."""
+        return len(self.touched_lines) * LINE_SIZE
+
+    @property
+    def random_fraction(self) -> float:
+        total = self.accesses
+        return self.random_accesses / total if total else 0.0
+
+
+def analyze_trace(
+    trace: AccessTrace, objects: dict[str, DataObject]
+) -> dict[str, ObjectTraceStats]:
+    """Aggregate per-object statistics over a trace."""
+    ordered = sorted(objects.values(), key=lambda o: o.base_va)
+    bases = np.array([o.base_va for o in ordered], dtype=np.int64)
+    ends = np.array([o.end_va for o in ordered], dtype=np.int64)
+    stats = {
+        o.name: ObjectTraceStats(name=o.name, nbytes=o.nbytes) for o in ordered
+    }
+    for phase in trace:
+        slot = np.searchsorted(bases, phase.addrs, side="right") - 1
+        valid = slot >= 0
+        valid[valid] &= phase.addrs[valid] < ends[slot[valid]]
+        for s in np.unique(slot[valid]):
+            obj = ordered[int(s)]
+            entry = stats[obj.name]
+            inside = phase.addrs[valid & (slot == s)]
+            n = int(inside.size)
+            if phase.is_write:
+                entry.writes += n
+            else:
+                entry.reads += n
+            if phase.kind is AccessKind.RANDOM:
+                entry.random_accesses += n
+            else:
+                entry.sequential_accesses += n
+            entry.touched_lines.update(np.unique(inside >> 6).tolist())
+    return stats
+
+
+def format_trace_report(stats: dict[str, ObjectTraceStats]) -> str:
+    """Human-readable table of per-object trace statistics."""
+    header = (
+        f"{'object':14s} {'KiB':>8s} {'accesses':>10s} {'acc/B':>8s} "
+        f"{'writes%':>8s} {'random%':>8s} {'footprint%':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in sorted(
+        stats.values(), key=lambda e: e.accesses_per_byte, reverse=True
+    ):
+        writes_pct = 100.0 * entry.writes / entry.accesses if entry.accesses else 0.0
+        foot_pct = (
+            100.0 * min(1.0, entry.footprint_bytes / entry.nbytes)
+            if entry.nbytes
+            else 0.0
+        )
+        lines.append(
+            f"{entry.name:14s} {entry.nbytes / 1024:8.1f} {entry.accesses:10d} "
+            f"{entry.accesses_per_byte:8.3f} {writes_pct:8.1f} "
+            f"{100 * entry.random_fraction:8.1f} {foot_pct:10.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Unit tests for the app base class, registries, and frontier expansion."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_CLASSES, APP_NAMES, make_app
+from repro.apps.base import HostRegistry, expand_frontier
+from repro.apps.bfs import BFS
+from repro.errors import RuntimeStateError
+from repro.graph.generators import chung_lu_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(50, 200, seed=1)
+
+
+class TestHostRegistry:
+    def test_assigns_page_aligned_non_overlapping(self):
+        reg = HostRegistry()
+        a = reg.register_array("a", np.zeros(1000, dtype=np.int64))
+        b = reg.register_array("b", np.zeros(10, dtype=np.int64))
+        assert a.base_va % 4096 == 0
+        assert b.base_va >= a.base_va + a.nbytes
+
+    def test_duplicate_name_rejected(self):
+        reg = HostRegistry()
+        reg.register_array("a", np.zeros(4))
+        with pytest.raises(RuntimeStateError):
+            reg.register_array("a", np.zeros(4))
+
+
+class TestExpandFrontier:
+    def test_single_vertex(self):
+        offsets = np.array([0, 2, 5, 5], dtype=np.int64)
+        assert expand_frontier(offsets, np.array([0])).tolist() == [0, 1]
+        assert expand_frontier(offsets, np.array([1])).tolist() == [2, 3, 4]
+
+    def test_multi_vertex_concatenates_in_order(self):
+        offsets = np.array([0, 2, 5, 5], dtype=np.int64)
+        idx = expand_frontier(offsets, np.array([1, 0]))
+        assert idx.tolist() == [2, 3, 4, 0, 1]
+
+    def test_empty_segments(self):
+        offsets = np.array([0, 0, 0], dtype=np.int64)
+        assert expand_frontier(offsets, np.array([0, 1])).size == 0
+
+    def test_empty_frontier(self):
+        offsets = np.array([0, 2], dtype=np.int64)
+        assert expand_frontier(offsets, np.array([], dtype=np.int64)).size == 0
+
+
+class TestGraphAppProtocol:
+    def test_register_exposes_graph_and_property_objects(self, graph):
+        app = BFS(graph)
+        app.register(HostRegistry())
+        assert {"offsets", "adjacency", "dist"} <= set(app.objects)
+
+    def test_double_register_rejected(self, graph):
+        app = BFS(graph)
+        app.register(HostRegistry())
+        with pytest.raises(RuntimeStateError):
+            app.register(HostRegistry())
+
+    def test_do_before_register_rejected(self, graph):
+        app = BFS(graph)
+        with pytest.raises(RuntimeStateError):
+            app.do("dist")
+
+    def test_total_bytes_counts_everything(self, graph):
+        app = BFS(graph)
+        app.register(HostRegistry())
+        expected = (
+            graph.offsets.nbytes + graph.adjacency.nbytes + app.do("dist").nbytes
+        )
+        assert app.total_bytes == expected
+
+    def test_make_app_factory(self, graph):
+        for name in APP_NAMES:
+            app = make_app(name, graph)
+            assert app.name == name
+            assert isinstance(app, APP_CLASSES[name])
+
+    def test_make_app_unknown_rejected(self, graph):
+        with pytest.raises(ValueError):
+            make_app("TriangleCount", graph)
+
+
+class TestTraceShapes:
+    """Trace phases must reference addresses inside registered objects."""
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_all_trace_addresses_in_registered_ranges(self, graph, name):
+        app = make_app(name, graph)
+        app.register(HostRegistry())
+        trace = app.run_once()
+        ranges = [(o.base_va, o.end_va) for o in app.objects.values()]
+        for phase in trace:
+            addr_min = int(phase.addrs.min())
+            addr_max = int(phase.addrs.max())
+            assert any(lo <= addr_min and addr_max < hi for lo, hi in ranges), (
+                f"{name}: phase {phase.label!r} addresses escape all objects"
+            )
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_trace_has_reads_and_writes(self, graph, name):
+        app = make_app(name, graph)
+        app.register(HostRegistry())
+        trace = app.run_once()
+        assert any(not p.is_write for p in trace)
+        assert any(p.is_write for p in trace)

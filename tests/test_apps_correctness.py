@@ -1,0 +1,210 @@
+"""Correctness tests: every kernel is verified against networkx.
+
+These tests exercise the apps through the same ``register`` / ``run_once``
+path the simulator uses, so a trace-emission refactor that breaks the
+computation fails here.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import BFS, SSSP, BetweennessCentrality, ConnectedComponents, PageRank, SpMV
+from repro.apps.base import HostRegistry
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chung_lu_graph, uniform_random_graph
+
+
+def to_networkx(graph: CSRGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for v in range(graph.num_vertices):
+        for i, u in enumerate(graph.neighbors(v)):
+            if graph.weights is not None:
+                w = int(graph.edge_weights_of(v)[i])
+                # Symmetric CSR stores both directions with independent
+                # weights; keep the minimum, as relaxation would.
+                if g.has_edge(v, int(u)):
+                    w = min(w, g[v][int(u)]["weight"])
+                g.add_edge(v, int(u), weight=w)
+            else:
+                g.add_edge(v, int(u))
+    return g
+
+
+def run_registered(app):
+    app.register(HostRegistry())
+    app.run_once()
+    return app.result()
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return chung_lu_graph(60, 250, seed=4, name="small")
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return uniform_random_graph(200, 1200, seed=9, name="medium")
+
+
+class TestBFS:
+    def test_levels_match_networkx(self, small_graph):
+        dist = run_registered(BFS(small_graph, source=0))
+        expected = nx.single_source_shortest_path_length(to_networkx(small_graph), 0)
+        for v in range(small_graph.num_vertices):
+            assert dist[v] == expected.get(v, -1)
+
+    def test_unreachable_marked(self):
+        # Two disconnected edges: 0-1 and 2-3.
+        g = CSRGraph.from_edges(4, np.array([0, 2]), np.array([1, 3]))
+        dist = run_registered(BFS(g, source=0))
+        assert dist.tolist() == [0, 1, -1, -1]
+
+    def test_rerun_is_idempotent(self, small_graph):
+        app = BFS(small_graph, source=3)
+        app.register(HostRegistry())
+        app.run_once()
+        first = app.result().copy()
+        app.run_once()
+        assert np.array_equal(first, app.result())
+
+    def test_invalid_source_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            BFS(small_graph, source=-1)
+        with pytest.raises(ValueError):
+            BFS(small_graph, source=10**6)
+
+    def test_trace_nonempty(self, small_graph):
+        app = BFS(small_graph)
+        app.register(HostRegistry())
+        trace = app.run_once()
+        assert trace.total_accesses > small_graph.num_edges
+
+
+class TestSSSP:
+    def test_distances_match_dijkstra(self, small_graph):
+        app = SSSP(small_graph, source=0, weight_seed=2)
+        dist = run_registered(app)
+        expected = nx.single_source_dijkstra_path_length(to_networkx(app.graph), 0)
+        for v, d in expected.items():
+            assert dist[v] == d
+
+    def test_weighted_graph_used_directly(self, small_graph):
+        weighted = small_graph.with_weights(np.random.default_rng(0))
+        app = SSSP(weighted, source=0)
+        assert app.graph is weighted
+
+    def test_source_distance_zero(self, small_graph):
+        dist = run_registered(SSSP(small_graph, source=5))
+        assert dist[5] == 0
+
+    def test_rerun_is_idempotent(self, small_graph):
+        app = SSSP(small_graph, source=0)
+        app.register(HostRegistry())
+        app.run_once()
+        first = app.result().copy()
+        app.run_once()
+        assert np.array_equal(first, app.result())
+
+
+class TestPageRank:
+    def test_matches_networkx_power_iteration(self, small_graph):
+        app = PageRank(small_graph, num_sweeps=40)
+        rank = run_registered(app)
+        expected = nx.pagerank(to_networkx(small_graph), alpha=0.85, tol=1e-12)
+        for v in range(small_graph.num_vertices):
+            assert rank[v] == pytest.approx(expected[v], rel=2e-2)
+
+    def test_scores_sum_to_one(self, medium_graph):
+        rank = run_registered(PageRank(medium_graph, num_sweeps=20))
+        assert rank.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_high_degree_ranks_higher(self, small_graph):
+        rank = run_registered(PageRank(small_graph, num_sweeps=20))
+        degrees = small_graph.degrees
+        top = int(np.argmax(degrees))
+        bottom = int(np.argmin(degrees))
+        assert rank[top] > rank[bottom]
+
+    def test_even_and_odd_sweeps_land_in_rank_object(self, small_graph):
+        even = run_registered(PageRank(small_graph, num_sweeps=2)).copy()
+        odd = run_registered(PageRank(small_graph, num_sweeps=3)).copy()
+        ten = run_registered(PageRank(small_graph, num_sweeps=10)).copy()
+        # Later sweeps should be closer to the fixpoint than earlier ones.
+        assert np.abs(odd - ten).sum() <= np.abs(even - ten).sum() + 1e-9
+
+    def test_invalid_params_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            PageRank(small_graph, damping=1.5)
+        with pytest.raises(ValueError):
+            PageRank(small_graph, num_sweeps=0)
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, medium_graph):
+        labels = run_registered(ConnectedComponents(medium_graph))
+        components = list(nx.connected_components(to_networkx(medium_graph)))
+        for comp in components:
+            comp_labels = {int(labels[v]) for v in comp}
+            assert len(comp_labels) == 1
+            assert comp_labels == {min(comp)}
+
+    def test_isolated_vertices_keep_own_label(self):
+        g = CSRGraph.from_edges(5, np.array([0]), np.array([1]))
+        labels = run_registered(ConnectedComponents(g))
+        assert labels.tolist() == [0, 0, 2, 3, 4]
+
+    def test_invalid_rounds_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            ConnectedComponents(small_graph, max_rounds=0)
+
+
+class TestBetweennessCentrality:
+    def test_all_sources_matches_networkx(self):
+        g = chung_lu_graph(24, 80, seed=6, name="tiny")
+        app = BetweennessCentrality(g, num_sources=g.num_vertices, seed=1)
+        # Force every vertex as a source for the exact comparison.
+        app.sources = np.arange(g.num_vertices, dtype=np.int64)
+        bc = run_registered(app)
+        expected = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        for v in range(g.num_vertices):
+            # networkx counts each unordered pair once; Brandes-per-source
+            # counts it twice on undirected graphs.
+            assert bc[v] / 2.0 == pytest.approx(expected[v], abs=1e-9)
+
+    def test_sampled_sources_subset(self, small_graph):
+        app = BetweennessCentrality(small_graph, num_sources=3, seed=2)
+        assert app.sources.size == 3
+        run_registered(app)
+        assert np.all(app.result() >= 0)
+
+    def test_invalid_sources_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            BetweennessCentrality(small_graph, num_sources=0)
+
+
+class TestSpMV:
+    def test_matches_dense_product(self, small_graph):
+        app = SpMV(small_graph, num_reps=1)
+        y = run_registered(app)
+        dense = np.zeros((small_graph.num_vertices, small_graph.num_vertices))
+        for v in range(small_graph.num_vertices):
+            for u in small_graph.neighbors(v):
+                dense[v, int(u)] = 1.0
+        expected = dense @ app.do("x").array
+        assert np.allclose(y, expected)
+
+    def test_weighted_matrix(self, small_graph):
+        weighted = small_graph.with_weights(np.random.default_rng(3))
+        app = SpMV(weighted, num_reps=1)
+        y = run_registered(app)
+        dense = np.zeros((weighted.num_vertices, weighted.num_vertices))
+        for v in range(weighted.num_vertices):
+            for i, u in enumerate(weighted.neighbors(v)):
+                dense[v, int(u)] = float(weighted.edge_weights_of(v)[i])
+        assert np.allclose(y, dense @ app.do("x").array)
+
+    def test_invalid_reps_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            SpMV(small_graph, num_reps=0)

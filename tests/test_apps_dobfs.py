@@ -1,0 +1,74 @@
+"""Tests for the direction-optimising BFS variant."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import HostRegistry
+from repro.apps.bfs import BFS
+from repro.apps.bfs_directional import DirectionOptimizedBFS
+from repro.graph.generators import chung_lu_graph, uniform_random_graph
+
+
+def run(app):
+    app.register(HostRegistry())
+    app.run_once()
+    return app
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(3000, 40_000, seed=14)
+
+
+class TestCorrectness:
+    def test_levels_match_plain_bfs(self, graph):
+        plain = run(BFS(graph, source=0)).result()
+        dobfs = run(DirectionOptimizedBFS(graph, source=0)).result()
+        assert np.array_equal(plain, dobfs)
+
+    def test_levels_match_on_uniform_graph(self):
+        g = uniform_random_graph(800, 4000, seed=5)
+        plain = run(BFS(g, source=3)).result()
+        dobfs = run(DirectionOptimizedBFS(g, source=3)).result()
+        assert np.array_equal(plain, dobfs)
+
+    def test_pull_direction_actually_used(self, graph):
+        app = run(DirectionOptimizedBFS(graph, source=0, pull_threshold=0.05))
+        assert "pull" in app.direction_log
+        assert "push" in app.direction_log
+
+    def test_threshold_one_never_pulls(self, graph):
+        app = run(DirectionOptimizedBFS(graph, source=0, pull_threshold=1.0))
+        assert set(app.direction_log) == {"push"}
+
+    def test_rerun_idempotent(self, graph):
+        app = DirectionOptimizedBFS(graph, source=0)
+        app.register(HostRegistry())
+        app.run_once()
+        first = app.result().copy()
+        app.run_once()
+        assert np.array_equal(first, app.result())
+
+    def test_invalid_params_rejected(self, graph):
+        with pytest.raises(ValueError):
+            DirectionOptimizedBFS(graph, source=-1)
+        with pytest.raises(ValueError):
+            DirectionOptimizedBFS(graph, pull_threshold=0.0)
+
+
+class TestAccessShape:
+    def test_pull_phase_shifts_traffic_to_dist_array(self, graph):
+        """Pull levels gather dist per edge, like PageRank's rank gathers."""
+        push_only = DirectionOptimizedBFS(graph, source=0, pull_threshold=1.0)
+        push_only.register(HostRegistry())
+        push_trace = push_only.run_once()
+        mixed = DirectionOptimizedBFS(graph, source=0, pull_threshold=0.05)
+        mixed.register(HostRegistry())
+        mixed_trace = mixed.run_once()
+
+        def dist_gathers(trace):
+            return sum(
+                len(p) for p in trace if p.label in ("dist-check", "dist-pull-check")
+            )
+
+        assert dist_gathers(mixed_trace) != dist_gathers(push_trace)

@@ -1,0 +1,112 @@
+"""Correctness and placement tests for the hash-join probe kernel."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import HostRegistry
+from repro.apps.hashjoin import EMPTY, HashJoinProbe
+from repro.config import nvm_dram_testbed
+from repro.errors import ConfigurationError
+from repro.sim.experiment import run_atmem, run_static
+
+
+def small_join(**kw):
+    defaults = dict(build_rows=512, probe_rows=4096, seed=3)
+    defaults.update(kw)
+    return HashJoinProbe(**defaults)
+
+
+class TestCorrectness:
+    def test_matches_dictionary_join(self):
+        app = small_join()
+        app.register(HostRegistry())
+        app.run_once()
+        assert np.array_equal(app.result(), app.expected_output())
+
+    def test_every_probe_key_in_build_matches(self):
+        app = small_join()
+        app.register(HostRegistry())
+        app.run_once()
+        # All probe keys are drawn from the build keys, so no EMPTY output.
+        assert not (app.result() == EMPTY).any()
+
+    def test_missing_keys_yield_empty(self):
+        app = small_join()
+        # Inject unseen keys into the probe stream.
+        app._probe_keys = app._probe_keys.copy()
+        app._probe_keys[:10] = -999 - np.arange(10)
+        app.register(HostRegistry())
+        app.run_once()
+        assert (app.result()[:10] == EMPTY).all()
+        assert np.array_equal(app.result(), app.expected_output())
+
+    def test_rerun_idempotent(self):
+        app = small_join()
+        app.register(HostRegistry())
+        app.run_once()
+        first = app.result().copy()
+        app.run_once()
+        assert np.array_equal(first, app.result())
+
+    def test_high_load_factor_still_correct(self):
+        app = small_join(load_factor=0.85)
+        app.register(HostRegistry())
+        app.run_once()
+        assert np.array_equal(app.result(), app.expected_output())
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashJoinProbe(build_rows=0)
+        with pytest.raises(ConfigurationError):
+            HashJoinProbe(load_factor=0.99)
+
+
+class TestTrace:
+    def test_table_probes_dominate_random_traffic(self):
+        app = small_join()
+        app.register(HostRegistry())
+        trace = app.run_once()
+        probes = sum(
+            len(p) for p in trace if p.label == "table-probe"
+        )
+        assert probes >= app.probe_rows  # at least one probe per row
+
+    def test_skewed_keys_concentrate_bucket_traffic(self):
+        app = small_join(probe_rows=20_000, zipf_exponent=1.5)
+        app.register(HostRegistry())
+        trace = app.run_once()
+        table = app.do("table_keys")
+        counts = np.zeros(app.table_slots, dtype=np.int64)
+        for phase in trace:
+            if phase.label == "table-probe":
+                idx = (phase.addrs - table.base_va) // table.itemsize
+                counts += np.bincount(idx, minlength=app.table_slots)
+        top_decile = np.sort(counts)[::-1][: app.table_slots // 10].sum()
+        assert top_decile > 0.5 * counts.sum()
+
+
+class TestPlacement:
+    def test_atmem_speeds_up_skewed_join(self):
+        platform = nvm_dram_testbed()
+        factory = lambda: HashJoinProbe(
+            build_rows=1 << 14, probe_rows=1 << 17, zipf_exponent=1.3, seed=5
+        )
+        baseline = run_static(factory, platform, "slow")
+        atmem = run_atmem(factory, platform)
+        assert atmem.seconds < baseline.seconds
+        assert 0.0 < atmem.data_ratio < 0.9
+        # The computed join is still correct after migration.
+        app = factory()
+        from repro.core.runtime import AtMemRuntime
+        from repro.sim.executor import TraceExecutor
+
+        system = platform.build_system()
+        rt = AtMemRuntime(system, platform=platform)
+        app.register(rt)
+        executor = TraceExecutor(system)
+        rt.atmem_profiling_start()
+        executor.run(app.run_once(), miss_observer=rt)
+        rt.atmem_profiling_stop()
+        rt.atmem_optimize()
+        app.run_once()
+        assert np.array_equal(app.result(), app.expected_output())

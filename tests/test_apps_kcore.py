@@ -1,0 +1,77 @@
+"""Correctness tests for the k-core kernel (verified against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.base import HostRegistry
+from repro.apps.kcore import KCore
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chung_lu_graph, uniform_random_graph
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for v in range(graph.num_vertices):
+        for u in graph.neighbors(v):
+            g.add_edge(v, int(u))
+    return g
+
+
+def run(app):
+    app.register(HostRegistry())
+    app.run_once()
+    return app.result()
+
+
+class TestKCore:
+    def test_matches_networkx_on_powerlaw(self):
+        graph = chung_lu_graph(120, 700, seed=7)
+        coreness = run(KCore(graph))
+        expected = nx.core_number(to_networkx(graph))
+        for v in range(graph.num_vertices):
+            assert coreness[v] == expected[v], f"vertex {v}"
+
+    def test_matches_networkx_on_uniform(self):
+        graph = uniform_random_graph(150, 900, seed=2)
+        coreness = run(KCore(graph))
+        expected = nx.core_number(to_networkx(graph))
+        for v in range(graph.num_vertices):
+            assert coreness[v] == expected[v]
+
+    def test_isolated_vertices_coreness_zero(self):
+        g = CSRGraph.from_edges(5, np.array([0]), np.array([1]))
+        coreness = run(KCore(g))
+        assert coreness[2] == 0
+        assert coreness[0] == 1
+
+    def test_clique_coreness(self):
+        # K5: every vertex has coreness 4.
+        src, dst = zip(*[(i, j) for i in range(5) for j in range(i + 1, 5)])
+        g = CSRGraph.from_edges(5, np.array(src), np.array(dst))
+        assert run(KCore(g)).tolist() == [4] * 5
+
+    def test_rerun_idempotent(self):
+        graph = chung_lu_graph(80, 400, seed=4)
+        app = KCore(graph)
+        app.register(HostRegistry())
+        app.run_once()
+        first = app.result().copy()
+        app.run_once()
+        assert np.array_equal(first, app.result())
+
+    def test_trace_addresses_in_range(self):
+        graph = chung_lu_graph(80, 400, seed=4)
+        app = KCore(graph)
+        app.register(HostRegistry())
+        trace = app.run_once()
+        ranges = [(o.base_va, o.end_va) for o in app.objects.values()]
+        for phase in trace:
+            lo, hi = int(phase.addrs.min()), int(phase.addrs.max())
+            assert any(a <= lo and hi < b for a, b in ranges)
+
+    def test_invalid_rounds_rejected(self):
+        graph = chung_lu_graph(20, 60, seed=1)
+        with pytest.raises(ValueError):
+            KCore(graph, max_rounds=0)

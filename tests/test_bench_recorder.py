@@ -1,0 +1,115 @@
+"""Unit tests for structured result recording."""
+
+import pytest
+
+from repro.bench.recorder import ResultRecord, ResultStore
+from repro.bench.report import Series, Table
+
+
+def sample_table():
+    t = Table(title="demo", columns=["app", "speedup"], notes=["n"])
+    t.add_row("BFS", 2.5)
+    t.add_row("PR", 4.903)
+    return t
+
+
+class TestResultRecord:
+    def test_from_table(self):
+        rec = ResultRecord.from_table("fig5", sample_table(), scale=2048)
+        assert rec.kind == "table"
+        assert rec.columns == ["app", "speedup"]
+        assert rec.rows[1] == ["PR", "4.903"]
+
+    def test_from_series(self):
+        s = Series(title="sweep", x_label="x", y_label="y")
+        s.add_point("a", 0.1, 2.0)
+        rec = ResultRecord.from_series("fig9", s, scale=2048)
+        assert rec.kind == "series"
+        assert rec.series["a"] == [(0.1, 2.0)]
+
+    def test_column_accessor(self):
+        rec = ResultRecord.from_table("fig5", sample_table(), scale=2048)
+        assert rec.column("speedup") == ["2.500", "4.903"]
+
+    def test_column_missing(self):
+        rec = ResultRecord.from_table("fig5", sample_table(), scale=2048)
+        with pytest.raises(KeyError):
+            rec.column("ratio")
+
+    def test_column_on_series_rejected(self):
+        rec = ResultRecord.from_series(
+            "fig9", Series(title="s", x_label="x", y_label="y"), scale=1
+        )
+        with pytest.raises(ValueError):
+            rec.column("x")
+
+
+class TestResultStore:
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        rec = ResultRecord.from_table("fig5", sample_table(), scale=2048)
+        store.save(rec)
+        loaded = store.load("fig5")
+        assert loaded == rec
+
+    def test_series_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = Series(title="sweep", x_label="x", y_label="y")
+        s.add_point("twitter", 0.15, 0.0026)
+        store.save(ResultRecord.from_series("fig9", s, scale=2048))
+        loaded = store.load("fig9")
+        assert loaded.series["twitter"] == [(0.15, 0.0026)]
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultStore(tmp_path).load("ghost")
+
+    def test_list_experiments(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(ResultRecord.from_table("b", sample_table(), scale=1))
+        store.save(ResultRecord.from_table("a", sample_table(), scale=1))
+        assert store.list_experiments() == ["a", "b"]
+
+    def test_schema_version_checked(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(ResultRecord.from_table("fig5", sample_table(), scale=1))
+        raw = (tmp_path / "fig5.json").read_text().replace(
+            '"schema_version": 1', '"schema_version": 99'
+        )
+        (tmp_path / "fig5.json").write_text(raw)
+        with pytest.raises(ValueError):
+            store.load("fig5")
+
+
+class TestCompare:
+    def test_within_tolerance_silent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(ResultRecord.from_table("fig5", sample_table(), scale=1))
+        new = ResultRecord.from_table("fig5", sample_table(), scale=1)
+        assert store.compare("fig5", new, "speedup", rel_tol=0.05) == []
+
+    def test_drift_reported(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(ResultRecord.from_table("fig5", sample_table(), scale=1))
+        drifted = Table(title="demo", columns=["app", "speedup"])
+        drifted.add_row("BFS", 2.5)
+        drifted.add_row("PR", 9.9)
+        new = ResultRecord.from_table("fig5", drifted, scale=1)
+        drifts = store.compare("fig5", new, "speedup", rel_tol=0.05)
+        assert len(drifts) == 1
+        assert "row 1" in drifts[0]
+
+    def test_row_count_change_is_drift(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(ResultRecord.from_table("fig5", sample_table(), scale=1))
+        short = Table(title="demo", columns=["app", "speedup"])
+        short.add_row("BFS", 2.5)
+        new = ResultRecord.from_table("fig5", short, scale=1)
+        drifts = store.compare("fig5", new, "speedup", rel_tol=0.05)
+        assert "row count" in drifts[0]
+
+    def test_non_numeric_cells_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(ResultRecord.from_table("fig5", sample_table(), scale=1))
+        new = ResultRecord.from_table("fig5", sample_table(), scale=1)
+        assert store.compare("fig5", new, "app", rel_tol=0.01) == []

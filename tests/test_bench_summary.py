@@ -1,0 +1,82 @@
+"""Unit tests for the recorded-results summary generator."""
+
+import pytest
+
+from repro.bench.recorder import ResultRecord, ResultStore
+from repro.bench.report import Table
+from repro.bench.summary import HeadlineNumbers, summarize
+
+
+def fig5_like():
+    t = Table(
+        title="fig5",
+        columns=["app", "dataset", "baseline_ms", "atmem_ms", "ideal_ms",
+                 "speedup", "vs_ideal"],
+    )
+    t.add_row("BFS", "pokec", 1.0, 0.8, 0.5, 1.25, 1.6)
+    t.add_row("BFS", "twitter", 10.0, 4.0, 3.0, 2.5, 1.33)
+    t.add_row("PR", "twitter", 20.0, 5.0, 4.9, 4.0, 1.02)
+    return t
+
+
+def fig7_like():
+    t = Table(
+        title="fig7",
+        columns=["app", "dataset", "data_ratio", "selected_KiB", "total_KiB"],
+    )
+    t.add_row("BFS", "pokec", 0.05, 10.0, 200.0)
+    t.add_row("PR", "twitter", 0.12, 100.0, 900.0)
+    return t
+
+
+def table4_like():
+    t = Table(
+        title="table4",
+        columns=["platform", "dataset", "tlb_miss_ratio", "migration_time_ratio"],
+    )
+    t.add_row("nvm_dram", "twitter", 12.0, 2.0)
+    t.add_row("nvm_dram", "rmat24", 80.0, 2.4)
+    t.add_row("mcdram_dram", "twitter", 1.3, 5.0)
+    return t
+
+
+@pytest.fixture()
+def store(tmp_path):
+    s = ResultStore(tmp_path)
+    s.save(ResultRecord.from_table("fig5", fig5_like(), scale=2048))
+    s.save(ResultRecord.from_table("fig7", fig7_like(), scale=2048))
+    s.save(ResultRecord.from_table("table4", table4_like(), scale=2048))
+    return tmp_path
+
+
+class TestSummarize:
+    def test_speedup_range(self, store):
+        summary = summarize(store)
+        assert summary.nvm_speedup_range == (1.25, 4.0)
+
+    def test_per_app_averages(self, store):
+        summary = summarize(store)
+        assert summary.nvm_per_app_avg["BFS"] == pytest.approx(1.875)
+        assert summary.nvm_per_app_avg["PR"] == pytest.approx(4.0)
+
+    def test_data_ratio_range(self, store):
+        summary = summarize(store)
+        assert summary.data_ratio_range == (0.05, 0.12)
+
+    def test_migration_averages_grouped_by_platform(self, store):
+        summary = summarize(store)
+        assert summary.migration_time_avg["nvm_dram"] == pytest.approx(2.2)
+        assert summary.migration_time_avg["mcdram_dram"] == pytest.approx(5.0)
+
+    def test_missing_experiments_tolerated(self, tmp_path):
+        summary = summarize(tmp_path)
+        assert summary.nvm_speedup_range is None
+        assert "Headline" in summary.render()
+
+    def test_render_mentions_paper_bands(self, store):
+        text = summarize(store).render()
+        assert "paper: 1.25x-8.4x" in text
+        assert "paper: 5%-18%" in text
+
+    def test_render_empty(self):
+        assert HeadlineNumbers().render().startswith("== Headline")

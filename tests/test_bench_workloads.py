@@ -1,0 +1,105 @@
+"""Smoke tests for the benchmark-harness library at tiny scale.
+
+These run the actual figure/table builders with ``REPRO_BENCH_SCALE`` set
+very high (tiny graphs), checking structure rather than values — the
+values are asserted by the benchmarks themselves at real scale.
+"""
+
+import numpy as np
+import pytest
+
+import repro.bench.workloads as workloads_mod
+from repro.bench.workloads import (
+    APP_KWARGS,
+    BENCH_APPS,
+    BENCH_DATASETS,
+    OverallCell,
+    app_factory,
+    bench_platform,
+    bench_scale,
+    overall_results,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "65536")
+    # The memoised grid must not leak between scales.
+    monkeypatch.setattr(workloads_mod, "_OVERALL_CACHE", {})
+
+
+class TestConfiguration:
+    def test_scale_env_honoured(self):
+        assert bench_scale() == 65536
+
+    def test_apps_cover_paper_set(self):
+        assert BENCH_APPS == ("BFS", "SSSP", "PR", "BC", "CC")
+        assert set(APP_KWARGS) == set(BENCH_APPS)
+
+    def test_platform_capacity_tracks_scale(self):
+        platform = bench_platform("mcdram_dram")
+        # Half the graph scale (symmetrised-CSR compensation).
+        assert platform.tiers[platform.fast_tier].capacity_bytes == (
+            16 * 2**30 // (65536 // 2)
+        )
+
+    def test_factory_builds_fresh_apps(self):
+        factory = app_factory("BFS", "pokec")
+        a, b = factory(), factory()
+        assert a is not b
+        assert a.graph is b.graph  # dataset cached
+
+
+class TestOverallResults:
+    def test_cell_structure(self):
+        cell = overall_results("nvm_dram", "BFS", "pokec")
+        assert isinstance(cell, OverallCell)
+        assert cell.baseline.seconds > 0
+        assert cell.reference.seconds > 0
+        assert cell.atmem.seconds > 0
+        assert cell.speedup == pytest.approx(
+            cell.baseline.seconds / cell.atmem.seconds
+        )
+
+    def test_memoised(self):
+        a = overall_results("nvm_dram", "BFS", "pokec")
+        b = overall_results("nvm_dram", "BFS", "pokec")
+        assert a is b
+
+    def test_mcdram_uses_preferred_reference(self):
+        cell = overall_results("mcdram_dram", "CC", "pokec")
+        assert cell.reference.placement == "preferred"
+
+    def test_nvm_uses_fast_reference(self):
+        cell = overall_results("nvm_dram", "CC", "pokec")
+        assert cell.reference.placement == "fast"
+
+
+class TestFigureBuilders:
+    def test_fig1a_structure(self):
+        from repro.bench.figures import FIG1_APPS, fig1a
+
+        table = fig1a()
+        assert len(table.rows) == len(FIG1_APPS) * len(BENCH_DATASETS)
+        ratios = [float(r[-1]) for r in table.rows]
+        assert all(np.isfinite(ratios))
+
+    def test_fig5_columns(self):
+        from repro.bench.figures import fig5
+
+        table = fig5()
+        assert table.columns[:2] == ["app", "dataset"]
+        assert len(table.rows) == len(BENCH_APPS) * len(BENCH_DATASETS)
+
+    def test_fig7_ratios_bounded(self):
+        from repro.bench.figures import fig7
+
+        table = fig7()
+        for row in table.rows:
+            assert 0.0 <= float(row[2]) <= 1.0
+
+    def test_table3_one_row_per_app(self):
+        from repro.bench.tables import table3
+
+        table = table3()
+        assert [r[0] for r in table.rows] == list(BENCH_APPS)

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "PR"
+        assert args.dataset == "friendster"
+        assert args.platform == "nvm_dram"
+        assert args.scale == 2048
+
+    def test_run_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "TriangleCount"])
+
+    def test_run_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--platform", "hbm"])
+
+
+class TestCommands:
+    def test_datasets_lists_all_five(self, capsys):
+        assert main(["datasets", "--scale", "8192"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pokec", "rmat24", "twitter", "rmat27", "friendster"):
+            assert name in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--app", "BFS", "--dataset", "pokec", "--scale", "8192",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "baseline" in out
+
+    def test_run_mcdram_platform(self, capsys):
+        code = main([
+            "run", "--app", "CC", "--dataset", "pokec",
+            "--platform", "mcdram_dram", "--scale", "8192",
+        ])
+        assert code == 0
+        assert "preferred" in capsys.readouterr().out
+
+    def test_migrate_small(self, capsys):
+        code = main(["migrate", "--dataset", "pokec", "--scale", "8192"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TLB misses" in out
+        assert "migration time" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(["sweep", "--dataset", "pokec", "--scale", "8192"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        # Nine sweep rows.
+        assert sum(1 for line in out.splitlines() if line.strip().startswith("0.")) >= 9
+
+
+class TestReproduceCommand:
+    def test_reproduce_single_experiment(self, capsys, monkeypatch):
+        import repro.bench.workloads as workloads_mod
+
+        monkeypatch.setattr(workloads_mod, "_OVERALL_CACHE", {})
+        code = main(["reproduce", "table3", "--scale", "65536"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "regenerated 1 experiment(s)" in out
+
+    def test_reproduce_unknown_experiment(self, capsys):
+        assert main(["reproduce", "fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_reproduce_lists_available(self):
+        from repro.cli import EXPERIMENT_BUILDERS
+
+        assert {"fig1a", "fig5", "fig6", "fig7", "fig8", "table3", "table4"} <= set(
+            EXPERIMENT_BUILDERS
+        )
+
+
+class TestSummaryCommand:
+    def test_summary_missing_dir(self, tmp_path, capsys):
+        code = main(["summary", "--results", str(tmp_path / "nope")])
+        assert code == 1
+        assert "no recorded results" in capsys.readouterr().out
+
+    def test_summary_renders_from_records(self, tmp_path, capsys):
+        from repro.bench.recorder import ResultRecord, ResultStore
+        from repro.bench.report import Table
+
+        t = Table(
+            title="fig5",
+            columns=["app", "dataset", "baseline_ms", "atmem_ms",
+                     "ideal_ms", "speedup", "vs_ideal"],
+        )
+        t.add_row("BFS", "pokec", 1.0, 0.5, 0.4, 2.0, 1.25)
+        ResultStore(tmp_path).save(
+            ResultRecord.from_table("fig5", t, scale=2048)
+        )
+        code = main(["summary", "--results", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2.00x-2.00x" in out

@@ -1,0 +1,84 @@
+"""Unit tests for platform presets."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SCALE,
+    MCDRAM_DRAM,
+    NVM_DRAM,
+    mcdram_dram_testbed,
+    nvm_dram_testbed,
+    platform_by_name,
+)
+
+
+class TestPlatformPresets:
+    def test_lookup_by_name(self):
+        assert platform_by_name(NVM_DRAM).name == NVM_DRAM
+        assert platform_by_name(MCDRAM_DRAM).name == MCDRAM_DRAM
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            platform_by_name("pmem_hbm_dram")
+
+    def test_hbm_preset(self):
+        from repro.config import hbm_dram_testbed
+
+        cfg = platform_by_name("hbm_dram")
+        assert cfg.name == hbm_dram_testbed().name
+        fast = cfg.tiers[cfg.fast_tier]
+        slow = cfg.tiers[cfg.slow_tier]
+        assert fast.name == "HBM2e"
+        assert fast.read_bandwidth_gbps > 3 * slow.read_bandwidth_gbps
+        assert cfg.concurrent_tiers
+        system = cfg.build_system()
+        assert system.fast.name == "HBM2e"
+
+    def test_nvm_testbed_roles(self):
+        cfg = nvm_dram_testbed()
+        fast = cfg.tiers[cfg.fast_tier]
+        slow = cfg.tiers[cfg.slow_tier]
+        assert fast.name == "DRAM"
+        assert slow.name == "Optane-NVM"
+        # Spec relationships from the paper: NVM ~3x latency, ~38% bandwidth.
+        assert slow.read_latency_ns / fast.read_latency_ns == pytest.approx(3.33, rel=0.1)
+        assert slow.read_bandwidth_gbps / fast.read_bandwidth_gbps == pytest.approx(
+            0.375, rel=0.05
+        )
+
+    def test_mcdram_testbed_roles(self):
+        cfg = mcdram_dram_testbed()
+        fast = cfg.tiers[cfg.fast_tier]
+        slow = cfg.tiers[cfg.slow_tier]
+        assert fast.name == "MCDRAM"
+        # MCDRAM wins on bandwidth (~4x), not latency.
+        assert fast.read_bandwidth_gbps > 4 * slow.read_bandwidth_gbps
+        assert fast.read_latency_ns >= slow.read_latency_ns
+
+    def test_fast_tier_capacity_scales(self):
+        full = nvm_dram_testbed(scale=1)
+        scaled = nvm_dram_testbed(scale=DEFAULT_SCALE)
+        fast_full = full.tiers[full.fast_tier].capacity_bytes
+        fast_scaled = scaled.tiers[scaled.fast_tier].capacity_bytes
+        assert fast_full == DEFAULT_SCALE * fast_scaled
+
+    def test_mcdram_capacity_is_the_binding_one(self):
+        cfg = mcdram_dram_testbed()
+        assert cfg.tiers[cfg.fast_tier].capacity_bytes == 16 * 2**30 // DEFAULT_SCALE
+        assert cfg.tiers[cfg.slow_tier].capacity_bytes is None
+
+    def test_build_system(self):
+        cfg = nvm_dram_testbed()
+        system = cfg.build_system()
+        assert system.fast.name == "DRAM"
+        assert system.slow.name == "Optane-NVM"
+        assert system.threads == 48
+        assert "DRAM(fast" in system.describe()
+
+    def test_build_system_is_fresh_each_time(self):
+        cfg = nvm_dram_testbed()
+        a = cfg.build_system()
+        b = cfg.build_system()
+        va = a.address_space.reserve(4096)
+        a.address_space.map_range(va, 4096, 0)
+        assert b.allocators[0].used_bytes == 0

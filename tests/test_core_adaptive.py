@@ -1,0 +1,107 @@
+"""Integration tests for the multi-query adaptive session."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFS
+from repro.config import nvm_dram_testbed
+from repro.core.adaptive import AdaptiveSession, fast_share
+from repro.core.runtime import AtMemRuntime
+from repro.errors import ConfigurationError
+from repro.graph.generators import chung_lu_graph
+from repro.sim.executor import TraceExecutor
+from repro.sim.metrics import RunCost
+
+
+def two_community_graph():
+    """Two disconnected communities: a source switch flips the hot region."""
+    a = chung_lu_graph(10_000, 120_000, seed=9, hub_shuffle=0.0)
+    b = chung_lu_graph(10_000, 120_000, seed=10, hub_shuffle=0.0)
+    n = a.num_vertices + b.num_vertices
+    src_a = np.repeat(np.arange(a.num_vertices, dtype=np.int64), a.degrees)
+    src_b = np.repeat(np.arange(b.num_vertices, dtype=np.int64), b.degrees)
+    src = np.concatenate([src_a, src_b + a.num_vertices])
+    dst = np.concatenate([a.adjacency, b.adjacency + a.num_vertices])
+    from repro.graph.csr import CSRGraph
+
+    return CSRGraph.from_edges(n, src, dst, symmetrize=False, dedup=False,
+                               name="two-community")
+
+
+def make_session(refresh_threshold=0.5):
+    graph = two_community_graph()
+    # A tightly capacity-limited fast tier (~192 KiB, smaller than the
+    # 320 KiB dist array): only one community's hot region fits, so the
+    # placement is genuinely query-specific.
+    platform = nvm_dram_testbed(scale=1 << 19)
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    app = BFS(graph, source=0)
+    app.register(runtime)
+    executor = TraceExecutor(system)
+    return AdaptiveSession(
+        app=app,
+        runtime=runtime,
+        executor=executor,
+        refresh_threshold=refresh_threshold,
+    ), app, runtime
+
+
+class TestFastShare:
+    def test_share_of_empty_run_is_zero(self):
+        assert fast_share(RunCost(), fast_tier=0) == 0.0
+
+    def test_share_computation(self):
+        cost = RunCost(miss_by_tier={0: 30, 1: 70}, n_misses=100)
+        assert fast_share(cost, fast_tier=0) == pytest.approx(0.3)
+
+
+class TestAdaptiveSession:
+    def test_first_query_profiles_and_optimizes(self):
+        session, app, runtime = make_session()
+        record = session.run_query()
+        assert record.reoptimized
+        assert runtime.fast_tier_ratio() > 0.0
+
+    def test_stable_queries_do_not_reoptimize(self):
+        session, app, runtime = make_session()
+        session.run_query()
+        for _ in range(3):
+            record = session.run_query()
+            assert not record.reoptimized
+        assert session.reoptimizations == 1
+
+    def test_query_shift_triggers_reoptimization(self):
+        session, app, runtime = make_session(refresh_threshold=0.6)
+        session.run_query()
+        before = session.reoptimizations
+        # Shift the query to the other community: the old hot region goes
+        # cold and the placement goes stale.
+        app.source = app.graph.num_vertices - 1
+        ran = [session.run_query() for _ in range(2)]
+        assert session.reoptimizations > before or any(r.reoptimized for r in ran)
+
+    def test_reoptimization_recovers_fast_share(self):
+        session, app, runtime = make_session(refresh_threshold=0.6)
+        first = session.run_query()
+        app.source = app.graph.num_vertices - 1
+        session.run_query()  # stale detection and refresh happen here/next
+        session.run_query()
+        last = session.history[-1]
+        assert last.fast_share > 0.0
+
+    def test_history_records_every_query(self):
+        session, app, runtime = make_session()
+        for _ in range(4):
+            session.run_query()
+        assert len(session.history) == 4
+
+    def test_invalid_threshold_rejected(self):
+        session, app, runtime = make_session()
+        with pytest.raises(ConfigurationError):
+            AdaptiveSession(
+                app=app,
+                runtime=runtime,
+                executor=session.executor,
+                refresh_threshold=0.0,
+            )

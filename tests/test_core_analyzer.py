@@ -1,0 +1,159 @@
+"""Unit tests for the two-stage analyzer and placement decisions."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import AnalyzerConfig, AtMemAnalyzer
+from repro.core.chunks import ChunkGeometry
+from repro.core.local_selection import LocalSelectionConfig
+from repro.errors import ConfigurationError
+
+PAGE = 4096
+
+
+def geometry(n_chunks, chunk_bytes=PAGE):
+    return ChunkGeometry(
+        object_bytes=n_chunks * chunk_bytes, chunk_bytes=chunk_bytes, n_chunks=n_chunks
+    )
+
+
+def hot_head_counts(n_chunks, hot, level=10_000):
+    """Miss counts with a hot head region and one hole inside it."""
+    counts = np.zeros(n_chunks, dtype=np.int64)
+    counts[:hot] = level
+    if hot >= 3:
+        counts[hot // 2] = 0  # the sampling "missed" one hot chunk
+    return counts
+
+
+class TestAnalyze:
+    def analyzer(self, **kw):
+        cfg = AnalyzerConfig(
+            m=4,
+            base_tr_threshold=0.5,
+            local=LocalSelectionConfig(top_fraction=0.2),
+            **kw,
+        )
+        return AtMemAnalyzer(cfg)
+
+    def test_selects_hot_region(self):
+        decision = self.analyzer().analyze(
+            {"edges": hot_head_counts(32, 6)},
+            {"edges": geometry(32)},
+            sampling_period=1,
+        )
+        sel = decision.objects["edges"]
+        assert sel.selected[:6].all()
+        assert not sel.selected[16:].any()
+
+    def test_tree_patches_sampling_hole(self):
+        decision = self.analyzer().analyze(
+            {"edges": hot_head_counts(32, 8)},
+            {"edges": geometry(32)},
+            sampling_period=1,
+        )
+        sel = decision.objects["edges"]
+        hole = 4  # zeroed by hot_head_counts
+        assert not sel.sampled[hole]
+        assert sel.selected[hole], "the m-ary tree should patch the hole"
+        assert sel.estimated[hole]
+
+    def test_promotion_disabled_keeps_hole(self):
+        decision = self.analyzer(enable_promotion=False).analyze(
+            {"edges": hot_head_counts(32, 8)},
+            {"edges": geometry(32)},
+            sampling_period=1,
+        )
+        sel = decision.objects["edges"]
+        assert not sel.selected[4]
+
+    def test_cold_object_untouched(self):
+        decision = self.analyzer().analyze(
+            {"hot": hot_head_counts(32, 4), "cold": np.zeros(32, dtype=np.int64)},
+            {"hot": geometry(32), "cold": geometry(32)},
+            sampling_period=1,
+        )
+        assert not decision.objects["cold"].selected.any()
+        assert decision.objects["hot"].selected.any()
+
+    def test_regions_merge_contiguous_chunks(self):
+        decision = self.analyzer().analyze(
+            {"edges": hot_head_counts(32, 8)},
+            {"edges": geometry(32)},
+            sampling_period=1,
+        )
+        regions = decision.regions("edges")
+        assert len(regions) == 1
+        start, end = regions[0]
+        assert start == 0
+        assert end >= 8 * PAGE
+
+    def test_data_ratio(self):
+        decision = self.analyzer().analyze(
+            {"edges": hot_head_counts(64, 4)},
+            {"edges": geometry(64)},
+            sampling_period=1,
+        )
+        assert decision.data_ratio == pytest.approx(
+            decision.selected_bytes() / (64 * PAGE)
+        )
+        assert 0.0 < decision.data_ratio < 0.5
+
+    def test_capacity_trims_lowest_priority(self):
+        counts = np.zeros(16, dtype=np.int64)
+        counts[0] = 10_000
+        counts[1] = 9_000
+        counts[2] = 800  # weakest of the selected
+        decision = self.analyzer().analyze(
+            {"edges": counts},
+            {"edges": geometry(16)},
+            sampling_period=1,
+            capacity_bytes=2 * PAGE,
+        )
+        sel = decision.objects["edges"]
+        assert decision.selected_bytes() <= 2 * PAGE
+        assert sel.selected[0]
+
+    def test_zero_capacity_selects_nothing(self):
+        decision = self.analyzer().analyze(
+            {"edges": hot_head_counts(16, 4)},
+            {"edges": geometry(16)},
+            sampling_period=1,
+            capacity_bytes=0,
+        )
+        assert decision.selected_bytes() == 0
+
+    def test_region_count(self):
+        counts = np.zeros(32, dtype=np.int64)
+        counts[0] = 10_000
+        counts[20] = 10_000
+        decision = self.analyzer(enable_promotion=False).analyze(
+            {"edges": counts}, {"edges": geometry(32)}, sampling_period=1
+        )
+        assert decision.region_count() == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalyzerConfig(m=1)
+        with pytest.raises(ConfigurationError):
+            AnalyzerConfig(epsilon=2.0)
+
+    def test_effective_epsilon_defaults_to_one_over_m(self):
+        assert AnalyzerConfig(m=8).effective_epsilon == pytest.approx(0.125)
+        assert AnalyzerConfig(m=8, epsilon=0.3).effective_epsilon == pytest.approx(0.3)
+
+    def test_hotter_object_promoted_more_aggressively(self):
+        """Equation 5: higher weight -> lower TR threshold."""
+        hot = np.zeros(32, dtype=np.int64)
+        hot[:4] = 100_000
+        warm = np.zeros(32, dtype=np.int64)
+        warm[:4] = 2_000
+        decision = self.analyzer().analyze(
+            {"hot": hot, "warm": warm},
+            {"hot": geometry(32), "warm": geometry(32)},
+            sampling_period=1,
+        )
+        assert (
+            decision.objects["hot"].tr_threshold
+            < decision.objects["warm"].tr_threshold
+        )

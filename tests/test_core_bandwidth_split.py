@@ -1,0 +1,138 @@
+"""Unit tests for the Section 9 bandwidth-aggregation extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import mcdram_dram_testbed, nvm_dram_testbed
+from repro.core.analyzer import ObjectSelection, PlacementDecision
+from repro.core.bandwidth_split import (
+    optimal_fast_share,
+    projected_fast_share,
+    split_selection,
+)
+from repro.core.chunks import ChunkGeometry
+from repro.errors import ConfigurationError
+
+PAGE = 4096
+
+
+def make_decision(priorities, selected):
+    priorities = np.asarray(priorities, dtype=np.float64)
+    selected = np.asarray(selected, dtype=bool)
+    n = priorities.size
+    geometry = ChunkGeometry(object_bytes=n * PAGE, chunk_bytes=PAGE, n_chunks=n)
+    sel = ObjectSelection(
+        geometry=geometry,
+        priorities=priorities,
+        sampled=selected.copy(),
+        selected=selected.copy(),
+        tr_threshold=0.5,
+    )
+    return PlacementDecision(objects={"data": sel})
+
+
+class TestOptimalShare:
+    def test_knl_share_matches_bandwidth_ratio(self):
+        cfg = mcdram_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        assert optimal_fast_share(fast, slow) == pytest.approx(400 / 490)
+
+    def test_nvm_share(self):
+        cfg = nvm_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        assert optimal_fast_share(fast, slow) == pytest.approx(104 / 143)
+
+
+class TestProjectedShare:
+    def test_all_selected_is_one(self):
+        decision = make_decision([1.0, 2.0, 3.0], [True, True, True])
+        assert projected_fast_share(decision) == pytest.approx(1.0)
+
+    def test_none_selected_is_zero(self):
+        decision = make_decision([1.0, 2.0], [False, False])
+        assert projected_fast_share(decision) == 0.0
+
+    def test_partial_share_weighted_by_traffic(self):
+        decision = make_decision([3.0, 1.0], [True, False])
+        assert projected_fast_share(decision) == pytest.approx(0.75)
+
+
+class TestSplitSelection:
+    def test_demotes_lowest_priority_first(self):
+        cfg = mcdram_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        decision = make_decision([10.0, 5.0, 1.0, 0.5], [True, True, True, True])
+        demoted = split_selection(decision, fast, slow, target_share=0.9)
+        sel = decision.objects["data"].selected
+        assert demoted >= 1
+        assert sel[0]  # hottest chunk stays
+        assert not sel[3]  # coldest selected chunk goes first
+
+    def test_share_reaches_target(self):
+        cfg = mcdram_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        decision = make_decision(
+            np.linspace(10, 1, 10), np.ones(10, dtype=bool)
+        )
+        split_selection(decision, fast, slow, target_share=0.6)
+        assert projected_fast_share(decision) <= 0.6 + 1e-9
+
+    def test_noop_when_already_below_target(self):
+        cfg = mcdram_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        decision = make_decision([10.0, 1.0, 1.0, 1.0], [True, False, False, False])
+        assert split_selection(decision, fast, slow, target_share=0.9) == 0
+
+    def test_zero_traffic_noop(self):
+        cfg = mcdram_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        decision = make_decision([0.0, 0.0], [False, False])
+        assert split_selection(decision, fast, slow) == 0
+
+    def test_invalid_target_rejected(self):
+        cfg = mcdram_dram_testbed()
+        fast, slow = cfg.tiers[cfg.fast_tier], cfg.tiers[cfg.slow_tier]
+        decision = make_decision([1.0], [True])
+        with pytest.raises(ConfigurationError):
+            split_selection(decision, fast, slow, target_share=0.0)
+
+
+class TestConcurrentTiersCostModel:
+    def test_knl_uses_concurrent_service(self):
+        cfg = mcdram_dram_testbed()
+        assert cfg.concurrent_tiers
+        assert cfg.build_system().cost_model.concurrent_tiers
+
+    def test_nvm_uses_serial_service(self):
+        cfg = nvm_dram_testbed()
+        assert not cfg.concurrent_tiers
+
+    def test_concurrent_max_vs_serial_sum(self):
+        from repro.mem.costmodel import CostModel
+        from repro.mem.trace import TracePhase
+
+        cfg = mcdram_dram_testbed()
+        tiers = list(cfg.tiers)
+        serial = CostModel(tiers, mlp=512, concurrent_tiers=False)
+        concurrent = CostModel(tiers, mlp=512, concurrent_tiers=True)
+        phase = TracePhase(np.arange(1000, dtype=np.int64) * 64)
+        mask = np.ones(1000, dtype=bool)
+        split_tiers = np.array([0] * 500 + [1] * 500, dtype=np.int8)
+        t_serial = serial.phase_cost(phase, mask, split_tiers).seconds
+        t_concurrent = concurrent.phase_cost(phase, mask, split_tiers).seconds
+        assert t_concurrent < t_serial
+
+    def test_single_tier_identical(self):
+        from repro.mem.costmodel import CostModel
+        from repro.mem.trace import TracePhase
+
+        cfg = mcdram_dram_testbed()
+        tiers = list(cfg.tiers)
+        serial = CostModel(tiers, mlp=512, concurrent_tiers=False)
+        concurrent = CostModel(tiers, mlp=512, concurrent_tiers=True)
+        phase = TracePhase(np.arange(100, dtype=np.int64) * 64)
+        mask = np.ones(100, dtype=bool)
+        one_tier = np.zeros(100, dtype=np.int8)
+        assert serial.phase_cost(phase, mask, one_tier).seconds == pytest.approx(
+            concurrent.phase_cost(phase, mask, one_tier).seconds
+        )

@@ -1,0 +1,89 @@
+"""Unit and property tests for adaptive chunk geometry (Section 4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import ChunkGeometry, ChunkingPolicy
+from repro.errors import ConfigurationError
+
+PAGE = 4096
+
+
+class TestChunkGeometry:
+    def test_chunk_of_offsets(self):
+        geo = ChunkGeometry(object_bytes=16 * PAGE, chunk_bytes=4 * PAGE, n_chunks=4)
+        offsets = np.array([0, 4 * PAGE - 1, 4 * PAGE, 15 * PAGE])
+        assert geo.chunk_of_offsets(offsets).tolist() == [0, 0, 1, 3]
+
+    def test_chunk_byte_range(self):
+        geo = ChunkGeometry(object_bytes=10 * PAGE, chunk_bytes=4 * PAGE, n_chunks=3)
+        assert geo.chunk_byte_range(0) == (0, 4 * PAGE)
+        # Last chunk is clipped to the object size.
+        assert geo.chunk_byte_range(2) == (8 * PAGE, 10 * PAGE)
+
+    def test_chunk_byte_range_out_of_bounds(self):
+        geo = ChunkGeometry(object_bytes=PAGE, chunk_bytes=PAGE, n_chunks=1)
+        with pytest.raises(IndexError):
+            geo.chunk_byte_range(1)
+
+    def test_chunk_sizes_sum_to_object(self):
+        geo = ChunkGeometry(object_bytes=10 * PAGE + 5, chunk_bytes=4 * PAGE, n_chunks=3)
+        assert int(geo.chunk_sizes().sum()) == 10 * PAGE + 5
+
+    def test_inconsistent_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChunkGeometry(object_bytes=10 * PAGE, chunk_bytes=4 * PAGE, n_chunks=5)
+
+    def test_non_power_of_two_chunk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChunkGeometry(object_bytes=9000, chunk_bytes=3000, n_chunks=3)
+
+
+class TestChunkingPolicy:
+    def test_small_object_single_chunk(self):
+        geo = ChunkingPolicy().geometry(100)
+        assert geo.n_chunks == 1
+        assert geo.chunk_bytes == PAGE
+
+    def test_large_object_capped_at_max_chunks(self):
+        policy = ChunkingPolicy(max_chunks=64)
+        geo = policy.geometry(1 << 24)  # 16 MiB
+        assert geo.n_chunks <= 64
+        assert geo.n_chunks >= 32  # power-of-two rounding loses at most half
+
+    def test_chunks_never_smaller_than_page(self):
+        geo = ChunkingPolicy(max_chunks=10**6).geometry(8 * PAGE)
+        assert geo.chunk_bytes >= PAGE
+
+    def test_different_objects_different_granularity(self):
+        policy = ChunkingPolicy(max_chunks=128)
+        small = policy.geometry(64 * PAGE)
+        large = policy.geometry(64 * 1024 * PAGE)
+        assert large.chunk_bytes > small.chunk_bytes
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChunkingPolicy().geometry(0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChunkingPolicy(max_chunks=0)
+        with pytest.raises(ConfigurationError):
+            ChunkingPolicy(min_chunk_bytes=3000)
+
+    @given(nbytes=st.integers(1, 1 << 30), max_chunks=st.sampled_from([16, 256, 1024]))
+    @settings(max_examples=100, deadline=None)
+    def test_geometry_invariants(self, nbytes, max_chunks):
+        geo = ChunkingPolicy(max_chunks=max_chunks).geometry(nbytes)
+        # Chunks cover the object exactly.
+        assert int(geo.chunk_sizes().sum()) == nbytes
+        # Count cap honoured, page floor honoured.
+        assert geo.n_chunks <= max_chunks
+        assert geo.chunk_bytes >= PAGE
+        # All offsets attribute to valid chunks.
+        probe = np.array([0, nbytes - 1])
+        chunks = geo.chunk_of_offsets(probe)
+        assert chunks[0] == 0
+        assert chunks[-1] == geo.n_chunks - 1

@@ -1,0 +1,136 @@
+"""Unit tests for the NVM crash-consistency cost model."""
+
+import numpy as np
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.core.consistency import (
+    ConsistencyModel,
+    durable_phase_overhead,
+    run_with_consistency,
+)
+from repro.core.runtime import AtMemRuntime
+from repro.errors import ConfigurationError
+from repro.mem.trace import AccessTrace
+
+
+def make_setup():
+    platform = nvm_dram_testbed()
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    nvm_obj = runtime.register_array("log", np.zeros(1 << 16, dtype=np.int64))
+    dram_obj = runtime.register_array(
+        "cache", np.zeros(1 << 16, dtype=np.int64), tier=system.fast_tier
+    )
+    return system, nvm_obj, dram_obj
+
+
+class TestConsistencyModel:
+    def test_zero_lines_free(self):
+        model = ConsistencyModel()
+        assert model.durable_write_seconds(0, 13.0) == 0.0
+
+    def test_flush_cost_scales_with_lines(self):
+        model = ConsistencyModel(flush_ns=10.0, fence_ns=0.0, log_amplification=1.0)
+        assert model.durable_write_seconds(100, 13.0) == pytest.approx(1e-6)
+
+    def test_logging_adds_write_traffic(self):
+        flush_only = ConsistencyModel(log_amplification=1.0)
+        logged = ConsistencyModel(log_amplification=2.0)
+        assert logged.durable_write_seconds(1000, 13.0) > flush_only.durable_write_seconds(
+            1000, 13.0
+        )
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistencyModel(flush_ns=-1.0)
+        with pytest.raises(ConfigurationError):
+            ConsistencyModel(log_amplification=0.5)
+
+
+class TestDurablePhaseOverhead:
+    def test_only_nvm_writes_pay(self):
+        system, nvm_obj, dram_obj = make_setup()
+        model = ConsistencyModel()
+        idx = np.arange(1000)
+        nvm_cost = durable_phase_overhead(model, system, nvm_obj.addrs_of(idx))
+        dram_cost = durable_phase_overhead(model, system, dram_obj.addrs_of(idx))
+        assert nvm_cost > 0.0
+        assert dram_cost == 0.0
+
+    def test_dirty_lines_deduplicated(self):
+        system, nvm_obj, _ = make_setup()
+        model = ConsistencyModel(flush_ns=10.0, fence_ns=0.0, log_amplification=1.0)
+        # 64 writes into one line flush once.
+        same_line = nvm_obj.addrs_of(np.zeros(64, dtype=np.int64))
+        spread = nvm_obj.addrs_of(np.arange(0, 64 * 8, 8))
+        assert durable_phase_overhead(model, system, same_line) < durable_phase_overhead(
+            model, system, spread
+        )
+
+    def test_pinned_ranges_restrict_durability(self):
+        system, nvm_obj, _ = make_setup()
+        model = ConsistencyModel()
+        idx = np.arange(1000)
+        addrs = nvm_obj.addrs_of(idx)
+        all_durable = durable_phase_overhead(model, system, addrs)
+        none_durable = durable_phase_overhead(
+            model, system, addrs, pinned_ranges=[(0, 1)]
+        )
+        half_durable = durable_phase_overhead(
+            model,
+            system,
+            addrs,
+            pinned_ranges=[(nvm_obj.base_va, nvm_obj.base_va + 4000)],
+        )
+        assert none_durable == 0.0
+        assert 0.0 < half_durable < all_durable
+
+    def test_empty_phase_free(self):
+        system, _, _ = make_setup()
+        assert (
+            durable_phase_overhead(
+                ConsistencyModel(), system, np.empty(0, dtype=np.int64)
+            )
+            == 0.0
+        )
+
+
+class TestRunWithConsistency:
+    def test_tax_added_to_base(self):
+        system, nvm_obj, _ = make_setup()
+        trace = AccessTrace()
+        trace.add(nvm_obj.addrs_of(np.arange(5000)), is_write=True, label="w")
+        trace.add(nvm_obj.addrs_of(np.arange(5000)), is_write=False, label="r")
+        total, tax = run_with_consistency(
+            ConsistencyModel(), system, trace, base_seconds=1.0
+        )
+        assert tax > 0.0
+        assert total == pytest.approx(1.0 + tax)
+
+    def test_reads_never_taxed(self):
+        system, nvm_obj, _ = make_setup()
+        trace = AccessTrace()
+        trace.add(nvm_obj.addrs_of(np.arange(5000)), is_write=False, label="r")
+        _, tax = run_with_consistency(
+            ConsistencyModel(), system, trace, base_seconds=1.0
+        )
+        assert tax == 0.0
+
+    def test_migration_to_dram_reduces_tax(self):
+        """Moving non-persistent data off NVM avoids its durability tax."""
+        system, nvm_obj, _ = make_setup()
+        model = ConsistencyModel()
+        trace = AccessTrace()
+        trace.add(nvm_obj.addrs_of(np.arange(5000)), is_write=True, label="w")
+        _, tax_before = run_with_consistency(model, system, trace, 0.0)
+        # Remap the object to DRAM (what ATMem's optimizer would do).
+        from repro.mem.address_space import PAGE_SIZE
+
+        n_pages = -(-nvm_obj.nbytes // PAGE_SIZE)
+        system.address_space.remap_range(
+            nvm_obj.base_va, n_pages * PAGE_SIZE, system.fast_tier
+        )
+        _, tax_after = run_with_consistency(model, system, trace, 0.0)
+        assert tax_after == 0.0
+        assert tax_before > 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for registered data objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataobject import DataObject
+from repro.errors import AllocationError
+
+
+def make_obj(size=100, dtype=np.int64, base=0x10000000):
+    return DataObject(name="d", array=np.zeros(size, dtype=dtype), base_va=base)
+
+
+class TestDataObject:
+    def test_basic_properties(self):
+        obj = make_obj(size=10)
+        assert obj.itemsize == 8
+        assert obj.nbytes == 80
+        assert obj.end_va == obj.base_va + 80
+
+    def test_addrs_of(self):
+        obj = make_obj()
+        addrs = obj.addrs_of(np.array([0, 1, 5]))
+        assert addrs.tolist() == [
+            obj.base_va,
+            obj.base_va + 8,
+            obj.base_va + 40,
+        ]
+
+    def test_addrs_of_respects_itemsize(self):
+        obj = make_obj(dtype=np.float32)
+        assert obj.addrs_of(np.array([2]))[0] == obj.base_va + 8
+
+    def test_all_addrs(self):
+        obj = make_obj(size=4)
+        assert obj.all_addrs().tolist() == [
+            obj.base_va + i * 8 for i in range(4)
+        ]
+
+    def test_contains(self):
+        obj = make_obj(size=2)
+        addrs = np.array([obj.base_va - 1, obj.base_va, obj.end_va - 1, obj.end_va])
+        assert obj.contains(addrs).tolist() == [False, True, True, False]
+
+    def test_byte_offsets(self):
+        obj = make_obj()
+        assert obj.byte_offsets(np.array([obj.base_va + 16])).tolist() == [16]
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(AllocationError):
+            DataObject(name="m", array=np.zeros((2, 2)), base_va=0)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(AllocationError):
+            DataObject(name="n", array=np.zeros(2), base_va=-1)

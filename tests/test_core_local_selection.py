@@ -1,0 +1,125 @@
+"""Unit tests for the Eq. 1-3 hybrid local selection (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import ChunkGeometry
+from repro.core.local_selection import (
+    LocalSelectionConfig,
+    categorize,
+    local_priority,
+    select_threshold,
+)
+from repro.errors import ConfigurationError
+
+PAGE = 4096
+
+
+def geometry(n_chunks, chunk_bytes=PAGE):
+    return ChunkGeometry(
+        object_bytes=n_chunks * chunk_bytes, chunk_bytes=chunk_bytes, n_chunks=n_chunks
+    )
+
+
+class TestLocalPriority:
+    def test_equation_1_normalisation(self):
+        geo = geometry(4)
+        pr = local_priority(np.array([0, 4096, 8192, 0]), geo)
+        assert pr.tolist() == [0.0, 1.0, 2.0, 0.0]
+
+    def test_partial_last_chunk_normalised_by_actual_size(self):
+        geo = ChunkGeometry(object_bytes=PAGE + PAGE // 2, chunk_bytes=PAGE, n_chunks=2)
+        pr = local_priority(np.array([PAGE, PAGE // 2]), geo)
+        assert pr[0] == pytest.approx(1.0)
+        assert pr[1] == pytest.approx(1.0)  # half the misses over half the size
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            local_priority(np.array([1, 2]), geometry(4))
+
+
+class TestSelectThreshold:
+    def config(self, **kw):
+        defaults = dict(top_fraction=0.25, knee_drop_fraction=0.10, search_span=3.0)
+        defaults.update(kw)
+        return LocalSelectionConfig(**defaults)
+
+    def test_no_samples_selects_nothing(self):
+        theta = select_threshold(
+            np.zeros(8), sampling_period=4, chunk_bytes=PAGE, config=self.config()
+        )
+        assert theta == float("inf")
+        assert not categorize(np.zeros(8), theta).any()
+
+    def test_flat_distribution_selects_widely(self):
+        # No knee and all scores within 5% of the max: the relative cut
+        # admits every chunk (the "even distribution" case of Section 4.2).
+        pr = np.array([100.0, 99.0, 98.0, 97.0, 96.0, 95.0, 94.0, 93.0])
+        theta = select_threshold(
+            pr, sampling_period=1, chunk_bytes=PAGE, config=self.config()
+        )
+        assert int(categorize(pr, theta).sum()) == 8
+
+    def test_top_n_bounds_moderate_decay(self):
+        # Decay past the relative cut with no knee: top-N governs the head
+        # and the relative cut extends it only to near-max chunks.
+        pr = np.array([100.0, 60.0, 30.0, 15.0, 8.0, 4.0, 2.0, 1.0])
+        theta = select_threshold(
+            pr,
+            sampling_period=1,
+            chunk_bytes=PAGE,
+            config=self.config(knee_drop_fraction=0.9),
+        )
+        selected = int(categorize(pr, theta).sum())
+        assert 2 <= selected <= 5
+
+    def test_skewed_distribution_selects_fewer(self):
+        # One dominant chunk: the knee right after it pulls the cut up.
+        pr = np.array([100.0, 2.0, 1.9, 1.8, 1.7, 1.6, 1.5, 1.4])
+        theta = select_threshold(
+            pr, sampling_period=1, chunk_bytes=PAGE, config=self.config()
+        )
+        assert int(categorize(pr, theta).sum()) == 1
+
+    def test_even_distribution_selects_more(self):
+        # Flat head of 6 then a deep knee: cut moves past the top-25% index.
+        pr = np.array([100.0, 99.5, 99.0, 98.5, 98.0, 97.5, 2.0, 1.0])
+        theta = select_threshold(
+            pr, sampling_period=1, chunk_bytes=PAGE, config=self.config()
+        )
+        assert int(categorize(pr, theta).sum()) == 6
+
+    def test_theoretical_minimum_filters_stray_samples(self):
+        # Every chunk saw at most one sample (period 64): nothing exceeds
+        # the one-sample floor, so nothing qualifies.
+        geo_bytes = PAGE
+        one_sample_pr = 64 / geo_bytes
+        pr = np.array([one_sample_pr, one_sample_pr, 0.0, 0.0])
+        theta = select_threshold(
+            pr, sampling_period=64, chunk_bytes=geo_bytes, config=self.config()
+        )
+        assert not categorize(pr, theta).any()
+
+    def test_single_chunk_object(self):
+        pr = np.array([5.0])
+        theta = select_threshold(
+            pr, sampling_period=1, chunk_bytes=PAGE, config=self.config()
+        )
+        assert categorize(pr, theta).tolist() == [True]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalSelectionConfig(top_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LocalSelectionConfig(knee_drop_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LocalSelectionConfig(search_span=0.5)
+
+
+class TestCategorize:
+    def test_strict_comparison(self):
+        pr = np.array([1.0, 2.0])
+        assert categorize(pr, 1.0).tolist() == [False, True]
+
+    def test_infinite_threshold(self):
+        assert not categorize(np.array([1e12]), float("inf")).any()

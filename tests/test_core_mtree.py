@@ -1,0 +1,117 @@
+"""Unit and property tests for the m-ary tree (Sections 4.3.1, 4.3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mtree import MAryTree
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_figure_3_example(self):
+        """The ternary example of Figure 3: eight leaves, m=2 variant.
+
+        Reconstructs the paper's Figure 3 scenario with a binary tree:
+        leaves [1,1,1,0, 0,0,0,0]; the node over the first four leaves has
+        TR 3/4; the root has TR 3/8.
+        """
+        tree = MAryTree(np.array([1, 1, 1, 0, 0, 0, 0, 0]), m=2)
+        level2 = tree.tree_ratio(2)  # nodes covering 4 leaves each
+        assert level2.tolist() == [0.75, 0.0]
+        assert tree.root_ratio == pytest.approx(3 / 8)
+
+    def test_internal_values_are_children_sums(self):
+        tree = MAryTree(np.array([1, 0, 1, 1, 0, 1]), m=2)
+        assert tree.level_values(1).tolist() == [1, 2, 1]
+        assert tree.level_values(tree.depth - 1).tolist() == [4]
+
+    def test_non_power_of_m_leaf_count_padded(self):
+        tree = MAryTree(np.array([1, 1, 1, 1, 1]), m=4)
+        # Root TR must use the real leaf count (5), not padding (8).
+        assert tree.root_ratio == pytest.approx(1.0)
+
+    def test_single_leaf(self):
+        tree = MAryTree(np.array([1]), m=4)
+        assert tree.depth == 1
+        assert tree.root_ratio == 1.0
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MAryTree(np.array([1, 0]), m=1)
+
+    def test_empty_leaves_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MAryTree(np.array([], dtype=np.int64), m=2)
+
+    def test_non_binary_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MAryTree(np.array([0, 2]), m=2)
+
+
+class TestPromotion:
+    def test_figure_3c_gap_fill(self):
+        """A dense half with one gap gets patched; the cold half stays."""
+        leaves = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        promoted = MAryTree(leaves, m=2).promote(0.5)
+        assert promoted.tolist() == [True, True, True, True, False, False, False, False]
+
+    def test_promotion_includes_sampled(self):
+        leaves = np.array([0, 1, 0, 0])
+        promoted = MAryTree(leaves, m=2).promote(0.9)
+        assert promoted[1]
+
+    def test_threshold_one_promotes_nothing_extra(self):
+        leaves = np.array([1, 0, 1, 0, 1, 0, 1, 0])
+        promoted = MAryTree(leaves, m=2).promote(1.0)
+        assert promoted.tolist() == leaves.astype(bool).tolist()
+
+    def test_low_threshold_promotes_everything_near_critical(self):
+        leaves = np.array([1, 0, 0, 0, 0, 0, 0, 0])
+        promoted = MAryTree(leaves, m=2).promote(1 / 8)
+        assert promoted.all()  # root TR = 1/8 meets the threshold
+
+    def test_zero_threshold_promotes_all(self):
+        leaves = np.array([0, 0, 0, 1])
+        assert MAryTree(leaves, m=4).promote(0.0).all()
+
+    def test_higher_arity_coarser_regions(self):
+        # With m=8 one hot chunk in a group of 8 can promote the whole
+        # group at a low threshold; with m=2 the same threshold promotes
+        # only the hot pair.
+        leaves = np.zeros(8, dtype=np.int64)
+        leaves[0] = 1
+        wide = MAryTree(leaves, m=8).promote(1 / 8)
+        narrow = MAryTree(leaves, m=2).promote(1 / 8)
+        assert int(wide.sum()) >= int(narrow.sum())
+
+    def test_promotion_fills_contiguous_region(self):
+        """Promotion under a qualifying node leaves no holes (Section 4.3.3)."""
+        leaves = np.array([1, 0, 1, 1, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0])
+        promoted = MAryTree(leaves, m=4).promote(0.5)
+        idx = np.nonzero(promoted)[0]
+        assert np.array_equal(idx, np.arange(idx[0], idx[-1] + 1))
+
+
+@given(
+    leaves=st.lists(st.booleans(), min_size=1, max_size=128),
+    m=st.sampled_from([2, 3, 4, 8]),
+    threshold=st.floats(0.05, 1.0),
+)
+@settings(max_examples=120, deadline=None)
+def test_promotion_properties(leaves, m, threshold):
+    arr = np.array(leaves, dtype=bool)
+    tree = MAryTree(arr, m=m)
+    promoted = tree.promote(threshold)
+    # 1. Promotion is a superset of the sampled selection.
+    assert np.all(promoted | ~arr)
+    # 2. TR values are valid densities.
+    for level in range(tree.depth):
+        tr = tree.tree_ratio(level)
+        assert np.all((tr >= 0.0) & (tr <= 1.0))
+    # 3. Monotonicity: lowering the threshold never shrinks the selection.
+    lower = tree.promote(threshold / 2)
+    assert np.all(lower | ~promoted)
+    # 4. Root consistency: root ratio equals the critical-leaf density.
+    assert tree.root_ratio == pytest.approx(arr.mean())

@@ -1,0 +1,74 @@
+"""Unit tests for the overlapped-migration model (Section 9 extension)."""
+
+import pytest
+
+from repro.core.migration import MigrationStats
+from repro.core.overlap import OverlapModel
+from repro.errors import ConfigurationError
+from repro.sim.metrics import RunCost
+
+
+def iteration(seconds):
+    return RunCost(seconds=seconds, n_accesses=1000, n_misses=100)
+
+
+def migration(seconds):
+    return MigrationStats(seconds=seconds, bytes_moved=1 << 20, regions=1)
+
+
+class TestOverlapModel:
+    def test_invalid_contention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverlapModel(contention=1.0)
+        with pytest.raises(ConfigurationError):
+            OverlapModel(contention=-0.1)
+
+    def test_migration_hidden_under_longer_iteration(self):
+        model = OverlapModel(contention=0.2)
+        visible = model.visible_overhead_seconds(iteration(10.0), migration(2.0))
+        # Fully overlapped: only the contention slowdown is exposed.
+        assert visible == pytest.approx(2.0 * 0.2)
+
+    def test_migration_tail_exposed(self):
+        model = OverlapModel(contention=0.2)
+        visible = model.visible_overhead_seconds(iteration(1.0), migration(5.0))
+        assert visible == pytest.approx(4.0 + 1.0 * 0.2)
+
+    def test_overlap_cheaper_than_stop_the_world(self):
+        model = OverlapModel(contention=0.25)
+        mig = migration(3.0)
+        visible = model.visible_overhead_seconds(iteration(10.0), mig)
+        assert visible < mig.seconds
+
+    def test_overlapped_iteration_slower(self):
+        model = OverlapModel(contention=0.3)
+        slowed = model.overlapped_iteration_seconds(iteration(4.0), migration(2.0))
+        assert slowed == pytest.approx(4.0 + 2.0 * 0.3)
+
+    def test_zero_contention_free_overlap(self):
+        model = OverlapModel(contention=0.0)
+        assert model.visible_overhead_seconds(iteration(10.0), migration(2.0)) == 0.0
+
+    def test_amortization_improves_with_overlap(self):
+        model = OverlapModel(contention=0.1)
+        kwargs = dict(
+            baseline_iteration_seconds=10.0,
+            optimized_iteration_seconds=6.0,
+            iteration_during_overlap=iteration(10.0),
+            migration=migration(8.0),
+            profiling_seconds=0.5,
+        )
+        with_overlap = model.amortization_iterations(**kwargs)
+        stop_the_world = (0.5 + 8.0) / 4.0
+        assert with_overlap < stop_the_world
+
+    def test_no_gain_never_amortizes(self):
+        model = OverlapModel()
+        result = model.amortization_iterations(
+            baseline_iteration_seconds=5.0,
+            optimized_iteration_seconds=5.0,
+            iteration_during_overlap=iteration(5.0),
+            migration=migration(1.0),
+            profiling_seconds=0.1,
+        )
+        assert result == float("inf")

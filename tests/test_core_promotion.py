@@ -1,0 +1,82 @@
+"""Unit tests for the Eq. 4-5 global adaptive thresholds (Section 4.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.promotion import adaptive_tr_thresholds, default_epsilon, object_weight
+from repro.errors import ConfigurationError
+
+
+class TestObjectWeight:
+    def test_equation_4(self):
+        pr = np.array([10.0, 2.0, 8.0, 0.5])
+        cat = np.array([True, False, True, False])
+        assert object_weight(pr, cat) == pytest.approx(9.0)
+
+    def test_no_selection_zero_weight(self):
+        assert object_weight(np.array([5.0]), np.array([False])) == 0.0
+
+    def test_few_hot_beats_many_lukewarm(self):
+        """The paper's Section 4.3.2 ranking property."""
+        hot = object_weight(np.array([100.0, 0.0]), np.array([True, False]))
+        lukewarm = object_weight(
+            np.full(10, 10.0), np.ones(10, dtype=bool)
+        )
+        assert hot > lukewarm
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            object_weight(np.array([1.0]), np.array([True, False]))
+
+
+class TestDefaultEpsilon:
+    def test_octree_example(self):
+        """The paper's example: an octree has eps = 0.125."""
+        assert default_epsilon(8) == pytest.approx(0.125)
+
+    def test_invalid_arity(self):
+        with pytest.raises(ConfigurationError):
+            default_epsilon(1)
+
+
+class TestAdaptiveThresholds:
+    def test_equation_5_endpoints(self):
+        thresholds = adaptive_tr_thresholds(
+            {"hot": 10.0, "cold": 2.0}, base_threshold=0.5, epsilon=0.25
+        )
+        # Hottest object promoted most aggressively (threshold = eps).
+        assert thresholds["hot"] == pytest.approx(0.25)
+        # Coldest gets eps + Theta(TR).
+        assert thresholds["cold"] == pytest.approx(0.75)
+
+    def test_intermediate_weight_interpolates(self):
+        thresholds = adaptive_tr_thresholds(
+            {"a": 10.0, "b": 6.0, "c": 2.0}, base_threshold=0.4, epsilon=0.25
+        )
+        assert thresholds["a"] < thresholds["b"] < thresholds["c"]
+        assert thresholds["b"] == pytest.approx(0.25 + 0.4 * 0.5)
+
+    def test_equal_weights_all_epsilon(self):
+        thresholds = adaptive_tr_thresholds(
+            {"a": 3.0, "b": 3.0}, base_threshold=0.5, epsilon=0.2
+        )
+        assert thresholds == {"a": pytest.approx(0.2), "b": pytest.approx(0.2)}
+
+    def test_zero_weight_objects_excluded(self):
+        thresholds = adaptive_tr_thresholds(
+            {"hot": 5.0, "empty": 0.0}, base_threshold=0.5, epsilon=0.25
+        )
+        assert thresholds["empty"] == float("inf")
+        assert np.isfinite(thresholds["hot"])
+
+    def test_all_zero_weights(self):
+        thresholds = adaptive_tr_thresholds(
+            {"a": 0.0, "b": 0.0}, base_threshold=0.5, epsilon=0.25
+        )
+        assert all(t == float("inf") for t in thresholds.values())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_tr_thresholds({"a": 1.0}, base_threshold=0.0, epsilon=0.25)
+        with pytest.raises(ConfigurationError):
+            adaptive_tr_thresholds({"a": 1.0}, base_threshold=0.5, epsilon=1.5)

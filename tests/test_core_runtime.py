@@ -1,0 +1,175 @@
+"""Unit tests for the ATMem runtime and its Listing 1 API."""
+
+import numpy as np
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.core.runtime import AtMemRuntime, RuntimeConfig
+from repro.errors import RuntimeStateError
+from repro.mem.address_space import PAGE_SIZE
+
+
+def make_runtime(**kwargs):
+    platform = nvm_dram_testbed()
+    system = platform.build_system()
+    return AtMemRuntime(system, platform=platform, **kwargs), system
+
+
+class TestRegistration:
+    def test_malloc_places_on_slow_tier(self):
+        rt, system = make_runtime()
+        obj = rt.atmem_malloc("edges", 10_000)
+        tiers = system.address_space.range_tiers(
+            obj.base_va, -(-obj.nbytes // PAGE_SIZE) * PAGE_SIZE
+        )
+        assert (tiers == system.slow_tier).all()
+
+    def test_malloc_zero_initialises(self):
+        rt, _ = make_runtime()
+        obj = rt.atmem_malloc("edges", 100, dtype=np.float64)
+        assert obj.array.dtype == np.float64
+        assert not obj.array.any()
+
+    def test_register_array_keeps_contents(self):
+        rt, _ = make_runtime()
+        arr = np.arange(1000, dtype=np.int64)
+        obj = rt.register_array("data", arr)
+        assert obj.array is arr
+
+    def test_register_assigns_chunk_geometry(self):
+        rt, _ = make_runtime()
+        rt.register_array("data", np.zeros(1 << 20, dtype=np.int64))
+        geo = rt.geometries["data"]
+        assert geo.n_chunks > 1
+        assert geo.object_bytes == 8 << 20
+
+    def test_explicit_tier_honoured(self):
+        rt, system = make_runtime()
+        obj = rt.register_array(
+            "hot", np.zeros(100, dtype=np.int64), tier=system.fast_tier
+        )
+        assert system.address_space.tier_of_page(obj.base_va) == system.fast_tier
+
+    def test_duplicate_name_rejected(self):
+        rt, _ = make_runtime()
+        rt.atmem_malloc("a", 10)
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_malloc("a", 10)
+
+    def test_bad_size_rejected(self):
+        rt, _ = make_runtime()
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_malloc("a", 0)
+
+    def test_free_releases_frames(self):
+        rt, system = make_runtime()
+        used_before = system.allocators[system.slow_tier].used_bytes
+        obj = rt.atmem_malloc("a", 10_000)
+        rt.atmem_free(obj)
+        assert system.allocators[system.slow_tier].used_bytes == used_before
+        assert "a" not in rt.objects
+
+    def test_free_by_name(self):
+        rt, _ = make_runtime()
+        rt.atmem_malloc("a", 10)
+        rt.atmem_free("a")
+        assert "a" not in rt.objects
+
+    def test_free_unknown_rejected(self):
+        rt, _ = make_runtime()
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_free("ghost")
+
+
+class TestProfilingWindow:
+    def test_start_picks_period_from_footprint(self):
+        rt, _ = make_runtime()
+        rt.register_array("big", np.zeros(1 << 21, dtype=np.int64))
+        profiler = rt.atmem_profiling_start()
+        assert profiler.period >= 1
+        assert profiler.enabled
+
+    def test_start_without_objects_rejected(self):
+        rt, _ = make_runtime()
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_profiling_start()
+
+    def test_double_start_rejected(self):
+        rt, _ = make_runtime()
+        rt.atmem_malloc("a", 10_000)
+        rt.atmem_profiling_start()
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_profiling_start()
+
+    def test_stop_without_start_rejected(self):
+        rt, _ = make_runtime()
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_profiling_stop()
+
+    def test_observe_misses_only_when_enabled(self):
+        rt, _ = make_runtime()
+        obj = rt.atmem_malloc("a", 10_000)
+        rt.observe_misses(obj.addrs_of(np.arange(100)))  # no window yet
+        profiler = rt.atmem_profiling_start()
+        rt.observe_misses(obj.addrs_of(np.arange(100)))
+        assert profiler.total_events == 100
+        rt.atmem_profiling_stop()
+        rt.observe_misses(obj.addrs_of(np.arange(100)))
+        assert profiler.total_events == 100
+
+    def test_overhead_seconds(self):
+        rt, _ = make_runtime()
+        obj = rt.atmem_malloc("a", 100_000)
+        rt.atmem_profiling_start()
+        rt.observe_misses(obj.addrs_of(np.arange(10_000)))
+        assert rt.profiling_overhead_seconds() > 0
+
+
+class TestOptimize:
+    def run_flow(self, mechanism="atmem"):
+        rt, system = make_runtime(
+            config=RuntimeConfig(migration_mechanism=mechanism)
+        )
+        obj = rt.register_array("edges", np.zeros(1 << 19, dtype=np.int64))
+        rt.atmem_profiling_start()
+        # Hot head: many misses in the first eighth of the object.
+        hot = np.tile(np.arange(1 << 16), 8)
+        rt.observe_misses(obj.addrs_of(hot))
+        rt.atmem_profiling_stop()
+        return rt, system, obj
+
+    def test_optimize_requires_profiling(self):
+        rt, _ = make_runtime()
+        rt.atmem_malloc("a", 10_000)
+        with pytest.raises(RuntimeStateError):
+            rt.atmem_optimize()
+
+    def test_optimize_migrates_hot_region(self):
+        rt, system, obj = self.run_flow()
+        decision, stats = rt.atmem_optimize()
+        assert stats.bytes_moved > 0
+        assert rt.fast_tier_ratio() > 0.0
+        assert system.address_space.tier_of_page(obj.base_va) == system.fast_tier
+
+    def test_data_intact_after_optimize(self):
+        rt, system, obj = self.run_flow()
+        obj.array[:] = np.arange(obj.array.size)
+        snapshot = obj.array.copy()
+        rt.atmem_optimize()
+        assert np.array_equal(obj.array, snapshot)
+
+    def test_mbind_mechanism_selectable(self):
+        rt, system, obj = self.run_flow(mechanism="mbind")
+        _, stats = rt.atmem_optimize()
+        assert stats.mechanism == "mbind"
+
+    def test_invalid_mechanism_rejected(self):
+        with pytest.raises(RuntimeStateError):
+            RuntimeConfig(migration_mechanism="teleport")
+
+    def test_decision_recorded(self):
+        rt, system, obj = self.run_flow()
+        decision, stats = rt.atmem_optimize()
+        assert rt.last_decision is decision
+        assert rt.last_migration is stats
+        assert 0.0 < decision.data_ratio < 1.0

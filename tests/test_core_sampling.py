@@ -1,0 +1,58 @@
+"""Unit tests for the sampling-rate adaption heuristic (Section 5.1)."""
+
+import pytest
+
+from repro.core.sampling import SamplingConfig
+from repro.errors import ConfigurationError
+
+
+class TestSamplingConfig:
+    def test_period_within_bounds(self):
+        cfg = SamplingConfig()
+        period = cfg.choose_period(total_chunks=1000, total_bytes=1 << 24, threads=48)
+        assert cfg.min_period <= period <= cfg.max_period
+
+    def test_bigger_data_longer_period(self):
+        cfg = SamplingConfig()
+        small = cfg.choose_period(total_chunks=512, total_bytes=1 << 22, threads=8)
+        large = cfg.choose_period(total_chunks=512, total_bytes=1 << 28, threads=8)
+        assert large >= small
+
+    def test_more_chunks_shorter_period(self):
+        cfg = SamplingConfig(min_period=1)
+        few = cfg.choose_period(total_chunks=64, total_bytes=1 << 26, threads=8)
+        many = cfg.choose_period(total_chunks=4096, total_bytes=1 << 26, threads=8)
+        assert many <= few
+
+    def test_more_threads_never_shorter(self):
+        cfg = SamplingConfig()
+        one = cfg.choose_period(total_chunks=512, total_bytes=1 << 24, threads=1)
+        many = cfg.choose_period(total_chunks=512, total_bytes=1 << 24, threads=256)
+        assert many >= one
+
+    def test_tiny_workload_clamped_to_min(self):
+        cfg = SamplingConfig(min_period=4)
+        assert cfg.choose_period(total_chunks=10**6, total_bytes=64, threads=1) == 4
+
+    def test_huge_workload_clamped_to_max(self):
+        cfg = SamplingConfig(max_period=128)
+        assert (
+            cfg.choose_period(total_chunks=1, total_bytes=1 << 40, threads=1) == 128
+        )
+
+    def test_invalid_inputs_rejected(self):
+        cfg = SamplingConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.choose_period(total_chunks=0, total_bytes=1, threads=1)
+        with pytest.raises(ConfigurationError):
+            cfg.choose_period(total_chunks=1, total_bytes=0, threads=1)
+        with pytest.raises(ConfigurationError):
+            cfg.choose_period(total_chunks=1, total_bytes=1, threads=0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(samples_per_chunk=0)
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(min_period=10, max_period=5)
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(per_sample_overhead_ns=-1)

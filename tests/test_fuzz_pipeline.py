@@ -1,0 +1,146 @@
+"""Fuzz tests: the whole ATMem pipeline on randomized synthetic workloads.
+
+Rather than graph kernels, these drive the runtime with arbitrary object
+sets and randomized access streams, asserting only system invariants:
+no crashes, capacity respected, data preserved, accounting balanced, and
+optimized runs never slower than unoptimized ones beyond tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import mcdram_dram_testbed, nvm_dram_testbed
+from repro.core.runtime import AtMemRuntime
+from repro.mem.address_space import PAGE_SIZE
+from repro.mem.trace import AccessKind, AccessTrace
+from repro.sim.executor import TraceExecutor
+
+object_spec = st.tuples(
+    st.integers(1, 64),  # size in KiB
+    st.floats(0.0, 1.0),  # hot fraction of the object
+    st.floats(0.0, 1.0),  # share of the stream hitting the hot region
+)
+
+
+@st.composite
+def workloads(draw):
+    n_objects = draw(st.integers(1, 5))
+    specs = [draw(object_spec) for _ in range(n_objects)]
+    seed = draw(st.integers(0, 1000))
+    return specs, seed
+
+
+def build_workload(platform, specs, seed):
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    rng = np.random.default_rng(seed)
+    trace = AccessTrace()
+    for i, (kib, hot_fraction, hot_share) in enumerate(specs):
+        size = kib * 1024 // 8
+        obj = runtime.register_array(f"obj{i}", np.arange(size, dtype=np.int64))
+        n_accesses = 4000
+        hot_len = max(1, int(size * hot_fraction))
+        n_hot = int(n_accesses * hot_share)
+        idx = np.concatenate([
+            rng.integers(0, hot_len, size=n_hot),
+            rng.integers(0, size, size=n_accesses - n_hot),
+        ])
+        rng.shuffle(idx)
+        trace.add(obj.addrs_of(idx), kind=AccessKind.RANDOM, label=f"gather{i}")
+        trace.add(
+            obj.addrs_of(np.arange(size)),
+            kind=AccessKind.SEQUENTIAL,
+            label=f"scan{i}",
+        )
+    return system, runtime, trace
+
+
+@given(workload=workloads())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+def test_pipeline_invariants_nvm(workload):
+    specs, seed = workload
+    platform = nvm_dram_testbed()
+    system, runtime, trace = build_workload(platform, specs, seed)
+    executor = TraceExecutor(system)
+    snapshots = {n: o.array.copy() for n, o in runtime.objects.items()}
+
+    runtime.atmem_profiling_start()
+    before = executor.run(trace, miss_observer=runtime)
+    runtime.atmem_profiling_stop()
+    decision, stats = runtime.atmem_optimize()
+    after = executor.run(trace)
+
+    # 1. Data preserved bit for bit.
+    for name, obj in runtime.objects.items():
+        assert np.array_equal(obj.array, snapshots[name])
+    # 2. Ratio and accounting sane.
+    assert 0.0 <= decision.data_ratio <= 1.0
+    for tier_id, allocator in enumerate(system.allocators):
+        assert system.address_space.mapped_bytes_on(tier_id) == allocator.used_bytes
+    # 3. Optimization never hurts (same trace, deterministic pricing).
+    assert after.seconds <= before.seconds * 1.001
+    # 4. Migration stats consistent with the decision.
+    assert stats.bytes_moved % PAGE_SIZE == 0
+    assert stats.regions >= 0
+
+
+@given(workload=workloads())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+def test_pipeline_invariants_capacity_limited(workload):
+    specs, seed = workload
+    # A fast tier of 64 KiB: almost always smaller than the selection.
+    platform = mcdram_dram_testbed(scale=1 << 18)
+    system, runtime, trace = build_workload(platform, specs, seed)
+    executor = TraceExecutor(system)
+    runtime.atmem_profiling_start()
+    executor.run(trace, miss_observer=runtime)
+    runtime.atmem_profiling_stop()
+    decision, stats = runtime.atmem_optimize()
+    cap = platform.tiers[platform.fast_tier].capacity_bytes
+    assert system.allocators[system.fast_tier].used_bytes <= cap
+    for tier_id, allocator in enumerate(system.allocators):
+        assert system.address_space.mapped_bytes_on(tier_id) == allocator.used_bytes
+
+
+@given(
+    workload=workloads(),
+    mechanism=st.sampled_from(["atmem", "mbind"]),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+def test_both_mechanisms_equivalent_placement(workload, mechanism):
+    """The two migrators must produce identical tier layouts."""
+    from repro.core.runtime import RuntimeConfig
+
+    specs, seed = workload
+    platform = nvm_dram_testbed()
+    layouts = {}
+    for mech in ("atmem", "mbind"):
+        system, runtime, trace = build_workload(platform, specs, seed)
+        runtime.config = RuntimeConfig(migration_mechanism=mech)
+        executor = TraceExecutor(system)
+        runtime.atmem_profiling_start()
+        executor.run(trace, miss_observer=runtime)
+        runtime.atmem_profiling_stop()
+        runtime.atmem_optimize()
+        layout = {}
+        for name, obj in runtime.objects.items():
+            n_pages = -(-obj.nbytes // PAGE_SIZE)
+            layout[name] = system.address_space.range_tiers(
+                obj.base_va, n_pages * PAGE_SIZE
+            ).tolist()
+        layouts[mech] = layout
+    assert layouts["atmem"] == layouts["mbind"]

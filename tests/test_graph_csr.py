@@ -1,0 +1,130 @@
+"""Unit and property tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+
+
+def triangle():
+    # 0-1, 1-2, 0-2 undirected
+    return CSRGraph.from_edges(
+        3, np.array([0, 1, 0]), np.array([1, 2, 2]), name="triangle"
+    )
+
+
+class TestConstruction:
+    def test_from_edges_symmetrizes(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 6  # 3 undirected edges, both directions
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_from_edges_directed(self):
+        g = CSRGraph.from_edges(3, np.array([0]), np.array([1]), symmetrize=False)
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == []
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(2, np.array([0, 0]), np.array([0, 1]))
+        assert g.num_edges == 2
+
+    def test_duplicates_merged(self):
+        g = CSRGraph.from_edges(2, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        assert g.num_edges == 2
+
+    def test_duplicates_kept_when_requested(self):
+        g = CSRGraph.from_edges(
+            2, np.array([0, 0]), np.array([1, 1]), symmetrize=False, dedup=False
+        )
+        assert g.num_edges == 2
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, np.array([0]), np.array([5]))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(3, np.array([0, 1]), np.array([1]))
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+
+class TestValidation:
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_offsets_must_match_adjacency(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_adjacency_targets_in_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([7]))
+
+    def test_weights_shape_checked(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]), weights=np.array([1, 2]))
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = triangle()
+        assert g.degrees.tolist() == [2, 2, 2]
+
+    def test_neighbors_sorted(self):
+        g = triangle()
+        assert g.neighbors(1).tolist() == sorted(g.neighbors(1).tolist())
+
+    def test_with_weights(self):
+        g = triangle().with_weights(np.random.default_rng(0), max_weight=5)
+        assert g.weights is not None
+        assert g.weights.min() >= 1
+        assert g.weights.max() <= 5
+        assert g.edge_weights_of(0).size == 2
+
+    def test_edge_weights_require_weighted_graph(self):
+        with pytest.raises(ValueError):
+            triangle().edge_weights_of(0)
+
+
+@given(
+    n=st.integers(2, 30),
+    edges=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=80),
+)
+@settings(max_examples=50, deadline=None)
+def test_symmetry_property(n, edges):
+    """After symmetrisation, u in N(v) iff v in N(u)."""
+    edges = [(u % n, v % n) for u, v in edges]
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    g = CSRGraph.from_edges(n, src, dst)
+    for v in range(n):
+        for u in g.neighbors(v):
+            assert v in g.neighbors(int(u))
+
+
+@given(
+    n=st.integers(2, 20),
+    edges=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_edge_conservation(n, edges):
+    """Every non-loop input edge appears in the CSR (both directions)."""
+    edges = [(u % n, v % n) for u, v in edges if u % n != v % n]
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    g = CSRGraph.from_edges(n, src, dst)
+    for u, v in edges:
+        assert v in g.neighbors(u)
+        assert u in g.neighbors(v)

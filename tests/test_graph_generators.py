@@ -1,0 +1,168 @@
+"""Unit tests for the graph generators and dataset specs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASET_NAMES, PAPER_SIZES, all_datasets, dataset_by_name
+from repro.graph.generators import chung_lu_graph, rmat_graph, uniform_random_graph
+from repro.graph.stats import degree_skew, gini_coefficient, hot_region_locality
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        g = rmat_graph(8, edge_factor=4, seed=3)
+        assert g.num_vertices == 256
+
+    def test_deterministic(self):
+        a = rmat_graph(7, edge_factor=4, seed=5)
+        b = rmat_graph(7, edge_factor=4, seed=5)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_seed_changes_graph(self):
+        a = rmat_graph(7, edge_factor=4, seed=5)
+        b = rmat_graph(7, edge_factor=4, seed=6)
+        assert not np.array_equal(a.adjacency, b.adjacency)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, edge_factor=8, seed=1)
+        assert gini_coefficient(g.degrees) > 0.4
+
+    def test_hubs_cluster_at_low_ids(self):
+        g = rmat_graph(10, edge_factor=8, seed=1)
+        degrees = g.degrees
+        low_half = degrees[: g.num_vertices // 2].sum()
+        assert low_half > 0.7 * degrees.sum()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+        with pytest.raises(ValueError):
+            rmat_graph(40)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.5, b=0.3, c=0.3)
+
+
+class TestChungLu:
+    def test_sizes_close_to_target(self):
+        g = chung_lu_graph(2000, 20_000, seed=2)
+        assert g.num_vertices == 2000
+        # Symmetrised and deduped: directed count within a factor of ~2.5.
+        assert 20_000 <= g.num_edges <= 50_000
+
+    def test_skewed_degrees(self):
+        g = chung_lu_graph(2000, 20_000, zipf_exponent=0.7, seed=2)
+        assert degree_skew(g, 0.01) > 0.05
+
+    def test_higher_exponent_more_skew(self):
+        mild = chung_lu_graph(2000, 20_000, zipf_exponent=0.3, seed=2)
+        steep = chung_lu_graph(2000, 20_000, zipf_exponent=0.9, seed=2)
+        assert gini_coefficient(steep.degrees) > gini_coefficient(mild.degrees)
+
+    def test_hub_locality_mostly_preserved(self):
+        g = chung_lu_graph(2000, 20_000, hub_shuffle=0.02, seed=2)
+        assert hot_region_locality(g, 0.02) > 0.3
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            chung_lu_graph(1, 10)
+        with pytest.raises(ValueError):
+            chung_lu_graph(10, 0)
+        with pytest.raises(ValueError):
+            chung_lu_graph(10, 10, hub_shuffle=2.0)
+
+
+class TestUniform:
+    def test_low_skew(self):
+        g = uniform_random_graph(2000, 20_000, seed=3)
+        assert gini_coefficient(g.degrees) < 0.25
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_random_graph(1, 10)
+        with pytest.raises(ValueError):
+            uniform_random_graph(10, -1)
+
+
+class TestDatasets:
+    def test_all_five_names(self):
+        assert set(DATASET_NAMES) == set(PAPER_SIZES)
+
+    def test_scaled_sizes_preserve_ordering(self):
+        graphs = all_datasets(scale=4096)
+        edges = {name: g.num_edges for name, g in graphs.items()}
+        assert edges["pokec"] < edges["rmat24"] < edges["twitter"]
+        assert edges["rmat24"] < edges["rmat27"]
+
+    def test_vertices_near_scaled_target(self):
+        g = dataset_by_name("friendster", scale=4096)
+        target = PAPER_SIZES["friendster"][0] // 4096
+        assert 0.5 * target <= g.num_vertices <= 2 * target
+
+    def test_memoised(self):
+        a = dataset_by_name("pokec", scale=4096)
+        b = dataset_by_name("pokec", scale=4096)
+        assert a is b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_by_name("orkut")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_by_name("pokec", scale=0)
+
+    def test_rmat_dataset_uses_power_of_two(self):
+        g = dataset_by_name("rmat24", scale=4096)
+        assert g.num_vertices & (g.num_vertices - 1) == 0
+
+
+class TestGrid:
+    def test_interior_degree_four(self):
+        from repro.graph.generators import grid_graph
+
+        g = grid_graph(10, 10)
+        # Interior vertex (5, 5) -> id 55 has 4 neighbours.
+        assert g.degrees[55] == 4
+        # Corner has 2.
+        assert g.degrees[0] == 2
+
+    def test_edge_count(self):
+        from repro.graph.generators import grid_graph
+
+        g = grid_graph(8, 5)
+        undirected = 8 * (5 - 1) + (8 - 1) * 5
+        assert g.num_edges == 2 * undirected
+
+    def test_diagonal_links(self):
+        from repro.graph.generators import grid_graph
+
+        plain = grid_graph(6, 6)
+        diag = grid_graph(6, 6, diagonal=True)
+        assert diag.num_edges > plain.num_edges
+
+    def test_low_skew(self):
+        from repro.graph.generators import grid_graph
+
+        g = grid_graph(30, 30)
+        assert gini_coefficient(g.degrees) < 0.1
+
+    def test_high_diameter(self):
+        """BFS from a corner needs ~rows+cols levels."""
+        from repro.apps.bfs import BFS
+        from repro.apps.base import HostRegistry
+        from repro.graph.generators import grid_graph
+
+        g = grid_graph(20, 20)
+        app = BFS(g, source=0)
+        app.register(HostRegistry())
+        app.run_once()
+        assert int(app.result().max()) == 38  # (20-1) + (20-1)
+
+    def test_invalid_dims(self):
+        from repro.graph.generators import grid_graph
+
+        with pytest.raises(ValueError):
+            grid_graph(0, 5)

@@ -1,0 +1,98 @@
+"""Unit tests for vertex reordering transforms."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.generators import chung_lu_graph
+from repro.graph.reorder import apply_permutation, degree_sort, random_relabel
+from repro.graph.stats import hot_region_locality
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(300, 2500, seed=8, hub_shuffle=0.5)
+
+
+def edge_set(g):
+    out = set()
+    for v in range(g.num_vertices):
+        for u in g.neighbors(v):
+            out.add((v, int(u)))
+    return out
+
+
+class TestApplyPermutation:
+    def test_identity_preserves_graph(self, graph):
+        same = apply_permutation(graph, np.arange(graph.num_vertices))
+        assert np.array_equal(same.offsets, graph.offsets)
+        assert np.array_equal(same.adjacency, graph.adjacency)
+
+    def test_edges_preserved_under_relabel(self, graph):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(graph.num_vertices)
+        out = apply_permutation(graph, perm)
+        expected = {(int(perm[a]), int(perm[b])) for a, b in edge_set(graph)}
+        assert edge_set(out) == expected
+
+    def test_degrees_follow_vertices(self, graph):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(graph.num_vertices)
+        out = apply_permutation(graph, perm)
+        for v in range(graph.num_vertices):
+            assert out.degrees[perm[v]] == graph.degrees[v]
+
+    def test_weights_follow_edges(self, graph):
+        weighted = graph.with_weights(np.random.default_rng(2))
+        perm = np.random.default_rng(3).permutation(graph.num_vertices)
+        out = apply_permutation(weighted, perm)
+        # Check one vertex's weighted neighbourhood explicitly.
+        v = int(np.argmax(graph.degrees))
+        original = {
+            (int(perm[u]), int(w))
+            for u, w in zip(weighted.neighbors(v), weighted.edge_weights_of(v))
+        }
+        relabeled = {
+            (int(u), int(w))
+            for u, w in zip(out.neighbors(int(perm[v])), out.edge_weights_of(int(perm[v])))
+        }
+        assert relabeled == original
+
+    def test_invalid_permutation_rejected(self, graph):
+        with pytest.raises(ValueError):
+            apply_permutation(graph, np.zeros(graph.num_vertices, dtype=np.int64))
+        with pytest.raises(ValueError):
+            apply_permutation(graph, np.arange(graph.num_vertices - 1))
+
+
+class TestDegreeSort:
+    def test_degrees_become_non_increasing(self, graph):
+        out = degree_sort(graph)
+        degrees = out.degrees
+        assert np.all(degrees[:-1] >= degrees[1:])
+
+    def test_maximises_hot_locality(self, graph):
+        sorted_g = degree_sort(graph)
+        shuffled = random_relabel(graph, seed=4)
+        assert hot_region_locality(sorted_g, 0.02) > hot_region_locality(shuffled, 0.02)
+
+    def test_connectivity_preserved(self, graph):
+        out = degree_sort(graph)
+        g1 = nx.Graph(list(edge_set(graph)))
+        g2 = nx.Graph(list(edge_set(out)))
+        assert nx.number_connected_components(g1) == nx.number_connected_components(g2)
+
+
+class TestRandomRelabel:
+    def test_deterministic_per_seed(self, graph):
+        a = random_relabel(graph, seed=5)
+        b = random_relabel(graph, seed=5)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_different_seeds_differ(self, graph):
+        a = random_relabel(graph, seed=5)
+        b = random_relabel(graph, seed=6)
+        assert not np.array_equal(a.adjacency, b.adjacency)
+
+    def test_edge_count_preserved(self, graph):
+        assert random_relabel(graph).num_edges == graph.num_edges

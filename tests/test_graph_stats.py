@@ -1,0 +1,78 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import chung_lu_graph, uniform_random_graph
+from repro.graph.stats import (
+    degree_histogram,
+    degree_skew,
+    gini_coefficient,
+    hot_region_locality,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_is_near_one(self):
+        values = np.zeros(100)
+        values[0] = 10.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 1.0]))
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, values):
+        g = gini_coefficient(np.array(values))
+        assert -1e-9 <= g <= 1.0
+
+
+class TestDegreeSkew:
+    def test_skewed_beats_uniform(self):
+        skewed = chung_lu_graph(1000, 10_000, zipf_exponent=0.8, seed=1)
+        flat = uniform_random_graph(1000, 10_000, seed=1)
+        assert degree_skew(skewed, 0.01) > degree_skew(flat, 0.01)
+
+    def test_full_fraction_is_one(self):
+        g = uniform_random_graph(100, 500, seed=1)
+        assert degree_skew(g, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_fraction(self):
+        g = uniform_random_graph(100, 500, seed=1)
+        with pytest.raises(ValueError):
+            degree_skew(g, 0.0)
+        with pytest.raises(ValueError):
+            degree_skew(g, 1.5)
+
+
+class TestHotRegionLocality:
+    def test_clustered_hubs_high(self):
+        g = chung_lu_graph(2000, 20_000, hub_shuffle=0.0, seed=3)
+        assert hot_region_locality(g, 0.01) > 0.5
+
+    def test_invalid_fraction(self):
+        g = uniform_random_graph(100, 500, seed=1)
+        with pytest.raises(ValueError):
+            hot_region_locality(g, -0.1)
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_vertices_with_degree_in_range(self):
+        g = uniform_random_graph(500, 5000, seed=2)
+        counts, edges = degree_histogram(g)
+        assert counts.sum() <= g.num_vertices
+        assert edges.size >= 2

@@ -1,0 +1,213 @@
+"""End-to-end integration tests across all subsystems.
+
+These exercise the paths the benchmarks rely on with exact cross-checks:
+application results must be identical before and after migration, the
+allocator accounting must balance, and failure injection must leave the
+system consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.config import mcdram_dram_testbed, nvm_dram_testbed
+from repro.core.runtime import AtMemRuntime
+from repro.errors import CapacityError
+from repro.graph.generators import chung_lu_graph
+from repro.mem.address_space import PAGE_SIZE
+from repro.sim.executor import TraceExecutor
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_graph(8_000, 120_000, seed=12)
+
+
+def full_flow(graph, app_name, platform):
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    app = make_app(app_name, graph)
+    app.register(runtime)
+    executor = TraceExecutor(system)
+    runtime.atmem_profiling_start()
+    executor.run(app.run_once(), miss_observer=runtime)
+    result_before = app.result().copy()
+    runtime.atmem_profiling_stop()
+    runtime.atmem_optimize()
+    executor.run(app.run_once())
+    return app, runtime, system, result_before
+
+
+class TestResultPreservation:
+    @pytest.mark.parametrize("app_name", ["BFS", "SSSP", "PR", "BC", "CC"])
+    def test_results_identical_after_migration(self, graph, app_name):
+        app, runtime, system, before = full_flow(
+            graph, app_name, nvm_dram_testbed()
+        )
+        after = app.result()
+        assert np.allclose(before, after), (
+            f"{app_name}: migration changed the computed result"
+        )
+
+    def test_graph_arrays_bitwise_identical(self, graph):
+        app, runtime, system, _ = full_flow(graph, "PR", nvm_dram_testbed())
+        assert np.array_equal(app.do("adjacency").array, graph.adjacency)
+        assert np.array_equal(app.do("offsets").array, graph.offsets)
+
+
+class TestAccountingConsistency:
+    def test_mapped_bytes_match_allocator_usage(self, graph):
+        app, runtime, system, _ = full_flow(graph, "PR", nvm_dram_testbed())
+        for tier_id, allocator in enumerate(system.allocators):
+            assert (
+                system.address_space.mapped_bytes_on(tier_id)
+                == allocator.used_bytes
+            )
+
+    def test_free_everything_balances(self, graph):
+        platform = nvm_dram_testbed()
+        system = platform.build_system()
+        runtime = AtMemRuntime(system, platform=platform)
+        app = make_app("BFS", graph)
+        app.register(runtime)
+        for name in list(runtime.objects):
+            runtime.atmem_free(name)
+        for allocator in system.allocators:
+            assert allocator.used_bytes == 0
+
+    def test_register_free_cycles_do_not_leak(self):
+        platform = nvm_dram_testbed()
+        system = platform.build_system()
+        runtime = AtMemRuntime(system, platform=platform)
+        for i in range(50):
+            runtime.atmem_malloc(f"obj{i}", 10_000)
+            runtime.atmem_free(f"obj{i}")
+        assert system.allocators[system.slow_tier].used_bytes == 0
+
+    def test_fast_ratio_matches_decision(self, graph):
+        app, runtime, system, _ = full_flow(graph, "PR", nvm_dram_testbed())
+        decision = runtime.last_decision
+        # The page-rounded migrated bytes bound the mapped fast bytes.
+        mapped_fast = system.address_space.mapped_bytes_on(system.fast_tier)
+        assert mapped_fast == runtime.last_migration.bytes_moved
+
+
+class TestFailureInjection:
+    def test_migration_capacity_failure_leaves_consistent_state(self, graph):
+        """If the fast tier fills mid-migration, what moved stays valid."""
+        platform = mcdram_dram_testbed(scale=1 << 17)  # ~128 KiB fast tier
+        system = platform.build_system()
+        runtime = AtMemRuntime(system, platform=platform)
+        app = make_app("PR", graph)
+        app.register(runtime)
+        executor = TraceExecutor(system)
+        runtime.atmem_profiling_start()
+        executor.run(app.run_once(), miss_observer=runtime)
+        runtime.atmem_profiling_stop()
+        snapshot = {n: o.array.copy() for n, o in runtime.objects.items()}
+        try:
+            runtime.atmem_optimize()
+        except CapacityError:
+            pass  # acceptable: the budget slack is per-object page rounding
+        # Regardless of outcome: data intact, accounting consistent.
+        for name, obj in runtime.objects.items():
+            assert np.array_equal(obj.array, snapshot[name])
+        for tier_id, allocator in enumerate(system.allocators):
+            assert (
+                system.address_space.mapped_bytes_on(tier_id)
+                == allocator.used_bytes
+            )
+        fast_alloc = system.allocators[system.fast_tier]
+        assert fast_alloc.used_bytes <= platform.tiers[platform.fast_tier].capacity_bytes
+
+    def test_rerun_after_optimize_is_stable(self, graph):
+        """Iterations after the migration keep producing identical traces."""
+        app, runtime, system, _ = full_flow(graph, "CC", nvm_dram_testbed())
+        executor = TraceExecutor(system)
+        a = executor.run(app.run_once())
+        b = executor.run(app.run_once())
+        assert a.n_accesses == b.n_accesses
+        assert a.seconds == pytest.approx(b.seconds)
+
+    def test_second_optimize_without_new_profile_reuses_window(self, graph):
+        app, runtime, system, _ = full_flow(graph, "BFS", nvm_dram_testbed())
+        # A second optimize on the same window is allowed and idempotent
+        # (regions already on the fast tier are skipped).
+        decision2, stats2 = runtime.atmem_optimize()
+        assert stats2.bytes_moved == 0
+
+
+class TestCrossPlatformConsistency:
+    def test_same_decision_inputs_different_platforms(self, graph):
+        """The analyzer decision depends on the profile, not the tiers."""
+        results = {}
+        for platform in (nvm_dram_testbed(), mcdram_dram_testbed()):
+            app, runtime, system, _ = full_flow(graph, "PR", platform)
+            sel = runtime.last_decision.objects["rank"]
+            results[platform.name] = int(sel.selected.sum())
+        # Equal LLC sizes would give identical profiles; sizes differ, so
+        # just require both to have selected the hot rank array meaningfully.
+        assert all(v > 0 for v in results.values())
+
+
+class TestDeterminism:
+    def test_two_fresh_runs_identical_decisions(self, graph):
+        """The whole pipeline is seeded: fresh systems reproduce exactly."""
+        decisions = []
+        times = []
+        for _ in range(2):
+            app, runtime, system, _ = full_flow(graph, "PR", nvm_dram_testbed())
+            decisions.append(
+                {
+                    name: sel.selected.copy()
+                    for name, sel in runtime.last_decision.objects.items()
+                }
+            )
+            executor = TraceExecutor(system)
+            times.append(executor.run(app.run_once()).seconds)
+        for name in decisions[0]:
+            assert np.array_equal(decisions[0][name], decisions[1][name]), name
+        assert times[0] == pytest.approx(times[1])
+
+    def test_interleaved_registration_accounting(self, graph):
+        platform = nvm_dram_testbed()
+        system = platform.build_system()
+        runtime = AtMemRuntime(system, platform=platform)
+        obj = runtime.register_array_interleaved(
+            "x", np.arange(100_000, dtype=np.int64)
+        )
+        from repro.mem.address_space import PAGE_SIZE as PG
+
+        n_pages = -(-obj.nbytes // PG)
+        tiers = system.address_space.range_tiers(obj.base_va, n_pages * PG)
+        fast_pages = int((tiers == system.fast_tier).sum())
+        assert abs(fast_pages - n_pages / 2) <= 1
+        for tier_id, allocator in enumerate(system.allocators):
+            assert (
+                system.address_space.mapped_bytes_on(tier_id)
+                == allocator.used_bytes
+            )
+
+
+class TestNegativeControl:
+    def test_grid_graph_low_benefit(self):
+        """Road-network-like input: no hubs, little for ATMem to find.
+
+        BFS on a lattice touches every vertex exactly once per run with no
+        reuse concentration, so the selected ratio stays small and the
+        speedup modest compared with a social graph of the same size.
+        """
+        from repro.graph.generators import grid_graph
+        from repro.sim.experiment import run_atmem, run_static
+
+        platform = nvm_dram_testbed()
+        grid = grid_graph(120, 120, name="road")
+        social = chung_lu_graph(14_400, grid.num_edges // 2, seed=40)
+        speedups = {}
+        for label, graph in (("grid", grid), ("social", social)):
+            factory = lambda g=graph: make_app("BFS", g)
+            baseline = run_static(factory, platform, "slow")
+            atmem = run_atmem(factory, platform)
+            speedups[label] = baseline.seconds / atmem.seconds
+        assert speedups["social"] >= speedups["grid"] * 0.95
+        assert speedups["grid"] >= 0.99  # never a regression

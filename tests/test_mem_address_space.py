@@ -1,0 +1,153 @@
+"""Unit tests for the virtual address space and page table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, CapacityError
+from repro.mem.address_space import (
+    ARENA_BASE,
+    HUGE_PAGE_SHIFT,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    AddressSpace,
+)
+from repro.mem.allocator import FrameAllocator
+from repro.mem.tier import MemoryTier
+
+
+def make_space(fast_pages=16, arena_pages=256):
+    fast = MemoryTier(
+        name="fast",
+        capacity_bytes=fast_pages * PAGE_SIZE,
+        read_latency_ns=90.0,
+        write_latency_ns=90.0,
+        read_bandwidth_gbps=100.0,
+        write_bandwidth_gbps=100.0,
+        single_thread_bandwidth_gbps=10.0,
+    )
+    slow = MemoryTier(
+        name="slow",
+        capacity_bytes=None,
+        read_latency_ns=300.0,
+        write_latency_ns=500.0,
+        read_bandwidth_gbps=39.0,
+        write_bandwidth_gbps=13.0,
+        single_thread_bandwidth_gbps=10.0,
+    )
+    allocs = [FrameAllocator(fast, PAGE_SIZE), FrameAllocator(slow, PAGE_SIZE)]
+    return AddressSpace(allocs, arena_pages=arena_pages), allocs
+
+
+FAST, SLOW = 0, 1
+
+
+class TestReserve:
+    def test_reserve_is_page_aligned(self):
+        space, _ = make_space()
+        va = space.reserve(100)
+        assert va % PAGE_SIZE == 0
+        assert va >= ARENA_BASE
+
+    def test_reservations_do_not_overlap(self):
+        space, _ = make_space()
+        a = space.reserve(3 * PAGE_SIZE + 1)
+        b = space.reserve(PAGE_SIZE)
+        assert b >= a + 4 * PAGE_SIZE
+
+    def test_zero_reserve_rejected(self):
+        space, _ = make_space()
+        with pytest.raises(AllocationError):
+            space.reserve(0)
+
+    def test_arena_exhaustion(self):
+        space, _ = make_space(arena_pages=4)
+        with pytest.raises(AllocationError):
+            space.reserve(5 * PAGE_SIZE)
+
+
+class TestMapping:
+    def test_map_assigns_tier(self):
+        space, _ = make_space()
+        va = space.reserve(2 * PAGE_SIZE)
+        space.map_range(va, 2 * PAGE_SIZE, SLOW)
+        addrs = np.array([va, va + PAGE_SIZE, va + 2 * PAGE_SIZE - 1])
+        assert space.tiers_of(addrs).tolist() == [SLOW, SLOW, SLOW]
+
+    def test_map_charges_allocator(self):
+        space, allocs = make_space()
+        va = space.reserve(3 * PAGE_SIZE)
+        space.map_range(va, 3 * PAGE_SIZE, FAST)
+        assert allocs[FAST].used_bytes == 3 * PAGE_SIZE
+
+    def test_double_map_rejected_without_leak(self):
+        space, allocs = make_space()
+        va = space.reserve(PAGE_SIZE)
+        space.map_range(va, PAGE_SIZE, FAST)
+        used = allocs[FAST].used_bytes
+        with pytest.raises(AllocationError):
+            space.map_range(va, PAGE_SIZE, FAST)
+        assert allocs[FAST].used_bytes == used
+
+    def test_map_respects_tier_capacity(self):
+        space, _ = make_space(fast_pages=2)
+        va = space.reserve(3 * PAGE_SIZE)
+        with pytest.raises(CapacityError):
+            space.map_range(va, 3 * PAGE_SIZE, FAST)
+
+    def test_unmap_releases_frames(self):
+        space, allocs = make_space()
+        va = space.reserve(2 * PAGE_SIZE)
+        space.map_range(va, 2 * PAGE_SIZE, FAST)
+        space.unmap_range(va, 2 * PAGE_SIZE)
+        assert allocs[FAST].used_bytes == 0
+        assert space.tiers_of(np.array([va])).tolist() == [-1]
+
+    def test_unmap_unmapped_rejected(self):
+        space, _ = make_space()
+        va = space.reserve(PAGE_SIZE)
+        with pytest.raises(AllocationError):
+            space.unmap_range(va, PAGE_SIZE)
+
+    def test_remap_moves_tier_keeps_va(self):
+        space, allocs = make_space()
+        va = space.reserve(4 * PAGE_SIZE)
+        space.map_range(va, 4 * PAGE_SIZE, SLOW)
+        space.remap_range(va, 2 * PAGE_SIZE, FAST)
+        tiers = space.range_tiers(va, 4 * PAGE_SIZE)
+        assert tiers.tolist() == [FAST, FAST, SLOW, SLOW]
+        assert allocs[FAST].used_bytes == 2 * PAGE_SIZE
+
+    def test_unaligned_map_rejected(self):
+        space, _ = make_space()
+        va = space.reserve(2 * PAGE_SIZE)
+        with pytest.raises(AllocationError):
+            space.map_range(va + 1, PAGE_SIZE, FAST)
+
+    def test_mapped_bytes_on(self):
+        space, _ = make_space()
+        va = space.reserve(4 * PAGE_SIZE)
+        space.map_range(va, 4 * PAGE_SIZE, SLOW)
+        assert space.mapped_bytes_on(SLOW) == 4 * PAGE_SIZE
+        assert space.mapped_bytes_on(FAST) == 0
+
+
+class TestMapShifts:
+    def test_default_mapping_is_huge(self):
+        space, _ = make_space()
+        va = space.reserve(PAGE_SIZE)
+        space.map_range(va, PAGE_SIZE, SLOW)
+        assert space.map_shifts_of(np.array([va])).tolist() == [HUGE_PAGE_SHIFT]
+
+    def test_base_page_mapping(self):
+        space, _ = make_space()
+        va = space.reserve(PAGE_SIZE)
+        space.map_range(va, PAGE_SIZE, SLOW, huge=False)
+        assert space.map_shifts_of(np.array([va])).tolist() == [PAGE_SHIFT]
+
+    def test_split_to_base_pages(self):
+        space, _ = make_space()
+        va = space.reserve(2 * PAGE_SIZE)
+        space.map_range(va, 2 * PAGE_SIZE, SLOW)
+        space.split_to_base_pages(va, PAGE_SIZE)
+        shifts = space.map_shifts_of(np.array([va, va + PAGE_SIZE]))
+        assert shifts.tolist() == [PAGE_SHIFT, HUGE_PAGE_SHIFT]

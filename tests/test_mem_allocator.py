@@ -1,0 +1,86 @@
+"""Unit tests for the per-tier frame allocator."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.mem.allocator import FrameAllocator
+from repro.mem.tier import MemoryTier
+
+PAGE = 4096
+
+
+def make_allocator(capacity_pages=8):
+    tier = MemoryTier(
+        name="fast",
+        capacity_bytes=capacity_pages * PAGE if capacity_pages else None,
+        read_latency_ns=90.0,
+        write_latency_ns=90.0,
+        read_bandwidth_gbps=100.0,
+        write_bandwidth_gbps=100.0,
+        single_thread_bandwidth_gbps=10.0,
+    )
+    return FrameAllocator(tier, page_size=PAGE)
+
+
+class TestFrameAllocator:
+    def test_allocate_returns_distinct_frames(self):
+        alloc = make_allocator()
+        frames = alloc.allocate(4)
+        assert len(set(frames)) == 4
+
+    def test_used_bytes_tracks_allocations(self):
+        alloc = make_allocator()
+        alloc.allocate(3)
+        assert alloc.used_bytes == 3 * PAGE
+        assert alloc.free_bytes == 5 * PAGE
+
+    def test_capacity_enforced(self):
+        alloc = make_allocator(capacity_pages=2)
+        alloc.allocate(2)
+        with pytest.raises(CapacityError):
+            alloc.allocate(1)
+
+    def test_release_returns_capacity(self):
+        alloc = make_allocator(capacity_pages=2)
+        frames = alloc.allocate(2)
+        alloc.release(frames)
+        assert alloc.used_bytes == 0
+        # Re-allocation after release succeeds.
+        assert len(alloc.allocate(2)) == 2
+
+    def test_released_frames_are_recycled(self):
+        alloc = make_allocator()
+        frames = alloc.allocate(2)
+        alloc.release(frames)
+        recycled = alloc.allocate(2)
+        assert set(recycled) == set(frames)
+
+    def test_unbounded_tier_never_full(self):
+        alloc = make_allocator(capacity_pages=None)
+        assert alloc.free_bytes is None
+        assert alloc.can_allocate(10**6)
+
+    def test_zero_allocation(self):
+        alloc = make_allocator()
+        assert alloc.allocate(0) == []
+
+    def test_negative_allocation_rejected(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.allocate(-1)
+
+    def test_over_release_rejected(self):
+        alloc = make_allocator()
+        frames = alloc.allocate(1)
+        with pytest.raises(ValueError):
+            alloc.release(frames + [99])
+
+    def test_non_power_of_two_page_size_rejected(self):
+        tier = make_allocator().tier
+        with pytest.raises(ValueError):
+            FrameAllocator(tier, page_size=3000)
+
+    def test_can_allocate_boundary(self):
+        alloc = make_allocator(capacity_pages=4)
+        assert alloc.can_allocate(4)
+        assert not alloc.can_allocate(5)

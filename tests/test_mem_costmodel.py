@@ -1,0 +1,147 @@
+"""Unit tests for the execution-time cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.costmodel import CostModel
+from repro.mem.tier import MemoryTier
+from repro.mem.trace import AccessKind, TracePhase
+
+DRAM = MemoryTier(
+    name="DRAM",
+    capacity_bytes=None,
+    read_latency_ns=90.0,
+    write_latency_ns=90.0,
+    read_bandwidth_gbps=104.0,
+    write_bandwidth_gbps=104.0,
+    single_thread_bandwidth_gbps=12.0,
+)
+NVM = MemoryTier(
+    name="NVM",
+    capacity_bytes=None,
+    read_latency_ns=300.0,
+    write_latency_ns=500.0,
+    read_bandwidth_gbps=39.0,
+    write_bandwidth_gbps=13.0,
+    single_thread_bandwidth_gbps=10.0,
+    random_access_amplification=4.0,
+)
+
+
+def make_model(**kwargs):
+    defaults = dict(mlp=480.0, compute_ns_per_access=0.35)
+    defaults.update(kwargs)
+    return CostModel([DRAM, NVM], **defaults)
+
+
+def phase(n, kind=AccessKind.RANDOM, is_write=False):
+    return TracePhase(np.arange(n, dtype=np.int64) * 64, is_write=is_write, kind=kind)
+
+
+class TestPhaseCost:
+    def test_no_misses_is_compute_only(self):
+        model = make_model()
+        p = phase(1000)
+        cost = model.phase_cost(p, np.zeros(1000, bool), np.empty(0, np.int8))
+        assert cost.seconds == pytest.approx(1000 * 0.35e-9)
+        assert cost.n_misses == 0
+
+    def test_miss_breakdown_by_tier(self):
+        model = make_model()
+        p = phase(100)
+        miss_mask = np.ones(100, bool)
+        tiers = np.array([0] * 60 + [1] * 40, dtype=np.int8)
+        cost = model.phase_cost(p, miss_mask, tiers)
+        assert cost.miss_by_tier == {0: 60, 1: 40}
+        assert cost.n_misses == 100
+
+    def test_nvm_random_misses_cost_more_than_dram(self):
+        model = make_model()
+        p = phase(10_000)
+        mask = np.ones(10_000, bool)
+        on_dram = model.phase_cost(p, mask, np.zeros(10_000, np.int8)).seconds
+        on_nvm = model.phase_cost(p, mask, np.ones(10_000, np.int8)).seconds
+        # Random-read amplification should make NVM several times slower.
+        assert on_nvm > 5 * on_dram
+
+    def test_sequential_nvm_penalty_is_smaller_than_random(self):
+        model = make_model()
+        mask = np.ones(10_000, bool)
+        tiers = np.ones(10_000, np.int8)
+        seq = model.phase_cost(phase(10_000, AccessKind.SEQUENTIAL), mask, tiers)
+        rand = model.phase_cost(phase(10_000, AccessKind.RANDOM), mask, tiers)
+        assert rand.seconds > 2 * seq.seconds
+
+    def test_nvm_writes_cost_more_than_reads(self):
+        model = make_model()
+        mask = np.ones(1000, bool)
+        tiers = np.ones(1000, np.int8)
+        reads = model.phase_cost(phase(1000), mask, tiers).seconds
+        writes = model.phase_cost(phase(1000, is_write=True), mask, tiers).seconds
+        assert writes > reads
+
+    def test_latency_bound_with_low_mlp(self):
+        # With MLP=1 the latency term dominates bandwidth.
+        model = make_model(mlp=1.0)
+        mask = np.ones(1000, bool)
+        cost = model.phase_cost(phase(1000), mask, np.zeros(1000, np.int8))
+        latency_bound = 1000 * 90e-9
+        assert cost.seconds >= latency_bound
+
+    def test_tlb_miss_charge(self):
+        model = make_model(tlb_miss_ns=25.0)
+        p = phase(10)
+        base = model.phase_cost(p, np.zeros(10, bool), np.empty(0, np.int8))
+        with_tlb = model.phase_cost(
+            p, np.zeros(10, bool), np.empty(0, np.int8), n_tlb_misses=100
+        )
+        assert with_tlb.seconds - base.seconds == pytest.approx(100 * 25e-9)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel([])
+        with pytest.raises(ConfigurationError):
+            CostModel([DRAM], mlp=0)
+        with pytest.raises(ConfigurationError):
+            CostModel([DRAM], compute_ns_per_access=-1)
+
+
+class TestCopySeconds:
+    def test_single_thread_uses_single_thread_bw(self):
+        model = make_model()
+        t = model.copy_seconds(1 << 30, NVM, DRAM, threads=1)
+        assert t == pytest.approx((1 << 30) / (10.0 * 1e9))
+
+    def test_many_threads_cap_at_aggregate(self):
+        model = make_model()
+        t = model.copy_seconds(1 << 30, NVM, DRAM, threads=64)
+        # NVM aggregate read (39 GB/s) is the bottleneck.
+        assert t == pytest.approx((1 << 30) / (39.0 * 1e9))
+
+    def test_same_device_copy_halves_bandwidth(self):
+        model = make_model()
+        cross = model.copy_seconds(1 << 20, DRAM, NVM, threads=64)
+        within_dram = model.copy_seconds(1 << 20, DRAM, DRAM, threads=64)
+        assert within_dram == pytest.approx((1 << 20) / (104.0 / 2 * 1e9))
+        assert cross > 0
+
+    def test_write_bandwidth_limits(self):
+        model = make_model()
+        # DRAM -> NVM bound by NVM write bandwidth (13 GB/s).
+        t = model.copy_seconds(1 << 30, DRAM, NVM, threads=64)
+        assert t == pytest.approx((1 << 30) / (13.0 * 1e9))
+
+    def test_more_threads_never_slower(self):
+        model = make_model()
+        times = [
+            model.copy_seconds(1 << 26, NVM, DRAM, threads=k) for k in (1, 2, 4, 8, 32)
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_invalid_args_rejected(self):
+        model = make_model()
+        with pytest.raises(ConfigurationError):
+            model.copy_seconds(-1, NVM, DRAM, threads=1)
+        with pytest.raises(ConfigurationError):
+            model.copy_seconds(1, NVM, DRAM, threads=0)

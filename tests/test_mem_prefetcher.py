@@ -1,0 +1,104 @@
+"""Tests for the stream-prefetcher model and its executor integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import LINE_SIZE
+from repro.mem.prefetcher import StreamPrefetcher
+
+
+def lines(*ids):
+    return np.array(ids, dtype=np.int64) * LINE_SIZE
+
+
+class TestCoveredMask:
+    def test_training_misses_uncovered(self):
+        p = StreamPrefetcher(train_length=3)
+        mask = p.covered_mask(lines(0, 1, 2, 3, 4, 5))
+        assert mask.tolist() == [False, False, False, True, True, True]
+
+    def test_random_stream_uncovered(self):
+        p = StreamPrefetcher()
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 30, size=2000) & ~np.int64(63)
+        assert p.coverage(addrs) < 0.02
+
+    def test_stream_break_retrains(self):
+        p = StreamPrefetcher(train_length=2)
+        # 0,1,2,3 then a jump, then 100,101,102.
+        mask = p.covered_mask(lines(0, 1, 2, 3, 100, 101, 102, 103))
+        assert mask.tolist() == [False, False, True, True, False, False, True, True]
+
+    def test_same_line_repeats_count_as_continuation(self):
+        p = StreamPrefetcher(train_length=2)
+        mask = p.covered_mask(lines(0, 0, 1, 1, 2))
+        assert mask[-1]
+
+    def test_descending_not_covered(self):
+        p = StreamPrefetcher(train_length=2)
+        mask = p.covered_mask(lines(10, 9, 8, 7))
+        assert not mask.any()
+
+    def test_long_stream_high_coverage(self):
+        p = StreamPrefetcher()
+        addrs = np.arange(0, 5000 * LINE_SIZE, LINE_SIZE, dtype=np.int64)
+        assert p.coverage(addrs) > 0.99
+
+    def test_empty(self):
+        p = StreamPrefetcher()
+        assert p.covered_mask(np.empty(0, dtype=np.int64)).size == 0
+        assert p.coverage(np.empty(0, dtype=np.int64)) == 0.0
+
+    def test_residual_misses(self):
+        p = StreamPrefetcher(train_length=2)
+        addrs = lines(0, 1, 2, 3)
+        residual = p.residual_misses(addrs)
+        assert residual.tolist() == lines(0, 1).tolist()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcher(train_length=0)
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcher(line_size=100)
+
+
+class TestExecutorModelMode:
+    def test_model_mode_selects_same_hot_objects_as_hint_mode(self):
+        """Both prefetch treatments must lead ATMem to the vertex arrays."""
+        from repro.apps import make_app
+        from repro.config import nvm_dram_testbed
+        from repro.core.runtime import AtMemRuntime
+        from repro.graph.generators import chung_lu_graph
+        from repro.sim.executor import TraceExecutor
+
+        graph = chung_lu_graph(15_000, 200_000, seed=19)
+        platform = nvm_dram_testbed()
+        selections = {}
+        for mode in ("hint", "model"):
+            system = platform.build_system()
+            runtime = AtMemRuntime(system, platform=platform)
+            app = make_app("PR", graph, num_sweeps=2)
+            app.register(runtime)
+            executor = TraceExecutor(system, prefetch_mode=mode)
+            runtime.atmem_profiling_start()
+            executor.run(app.run_once(), miss_observer=runtime)
+            runtime.atmem_profiling_stop()
+            decision, _ = runtime.atmem_optimize()
+            selections[mode] = {
+                name: int(sel.selected.sum())
+                for name, sel in decision.objects.items()
+            }
+        for mode in selections:
+            # The rank array is the headline selection either way.
+            assert selections[mode]["rank"] > 0
+            # The adjacency stream must not dominate the selection.
+            assert selections[mode]["adjacency"] <= selections[mode]["rank"] * 30
+
+    def test_invalid_mode_rejected(self):
+        from repro.config import nvm_dram_testbed
+        from repro.sim.executor import TraceExecutor
+
+        system = nvm_dram_testbed().build_system()
+        with pytest.raises(ValueError):
+            TraceExecutor(system, prefetch_mode="psychic")

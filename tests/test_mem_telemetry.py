@@ -1,0 +1,95 @@
+"""Unit tests for memory-system telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.core.runtime import AtMemRuntime
+from repro.mem.cache import LINE_SIZE
+from repro.mem.telemetry import TelemetryCollector, TierTraffic
+from repro.mem.trace import AccessKind, AccessTrace, TracePhase
+from repro.sim.executor import TraceExecutor
+
+
+def make_setup():
+    platform = nvm_dram_testbed()
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    obj = runtime.register_array("data", np.zeros(1 << 18, dtype=np.int64))
+    collector = TelemetryCollector(system)
+    executor = TraceExecutor(system, telemetry=collector)
+    return system, obj, collector, executor
+
+
+class TestTierTraffic:
+    def test_device_bytes_amplified_for_random(self):
+        platform = nvm_dram_testbed()
+        nvm = platform.tiers[platform.slow_tier]
+        entry = TierTraffic(tier=nvm, read_lines=100, random_lines=100)
+        assert entry.bytes_moved == 100 * LINE_SIZE
+        assert entry.device_bytes == 100 * LINE_SIZE * 4
+
+    def test_sequential_not_amplified(self):
+        platform = nvm_dram_testbed()
+        nvm = platform.tiers[platform.slow_tier]
+        entry = TierTraffic(tier=nvm, read_lines=100, random_lines=0)
+        assert entry.device_bytes == entry.bytes_moved
+
+    def test_utilization_bounded(self):
+        platform = nvm_dram_testbed()
+        dram = platform.tiers[platform.fast_tier]
+        entry = TierTraffic(tier=dram, read_lines=10**9)
+        assert entry.utilization(1e-9) == 1.0
+        assert entry.utilization(0.0) == 0.0
+
+
+class TestTelemetryCollector:
+    def test_executor_fills_collector(self):
+        system, obj, collector, executor = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)), label="scan")
+        cost = executor.run(trace)
+        slow = collector.traffic[system.slow_tier]
+        assert slow.read_lines == cost.n_misses
+        assert collector.traffic[system.fast_tier].total_lines == 0
+
+    def test_writes_and_reads_separated(self):
+        system, obj, collector, executor = make_setup()
+        trace = AccessTrace()
+        stride = obj.addrs_of(np.arange(0, 1 << 18, 8))
+        trace.add(stride, label="r")
+        trace.add(stride, is_write=True, label="w")
+        executor.run(trace)
+        slow = collector.traffic[system.slow_tier]
+        assert slow.read_lines > 0
+        assert slow.write_lines > 0
+
+    def test_random_lines_tracked(self):
+        system, obj, collector, executor = make_setup()
+        rng = np.random.default_rng(0)
+        trace = AccessTrace()
+        trace.add(
+            obj.addrs_of(rng.integers(0, 1 << 18, size=50_000)),
+            kind=AccessKind.RANDOM,
+            label="gather",
+        )
+        executor.run(trace)
+        slow = collector.traffic[system.slow_tier]
+        assert slow.random_lines == slow.total_lines
+
+    def test_reset(self):
+        system, obj, collector, executor = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)))
+        executor.run(trace)
+        collector.reset()
+        assert collector.traffic[system.slow_tier].total_lines == 0
+
+    def test_report_contains_all_tiers(self):
+        system, obj, collector, executor = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)))
+        cost = executor.run(trace)
+        report = collector.report(cost.seconds)
+        assert "DRAM" in report
+        assert "Optane-NVM" in report

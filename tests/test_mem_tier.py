@@ -1,0 +1,66 @@
+"""Unit tests for memory-tier specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.tier import MemoryTier
+
+
+def make_tier(**overrides):
+    spec = dict(
+        name="DRAM",
+        capacity_bytes=1 << 30,
+        read_latency_ns=90.0,
+        write_latency_ns=90.0,
+        read_bandwidth_gbps=100.0,
+        write_bandwidth_gbps=100.0,
+        single_thread_bandwidth_gbps=10.0,
+    )
+    spec.update(overrides)
+    return MemoryTier(**spec)
+
+
+class TestMemoryTier:
+    def test_valid_tier_constructs(self):
+        tier = make_tier()
+        assert tier.name == "DRAM"
+        assert tier.is_bounded
+
+    def test_unbounded_capacity(self):
+        tier = make_tier(capacity_bytes=None)
+        assert not tier.is_bounded
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(name="")
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(capacity_bytes=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(read_latency_ns=-1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(write_bandwidth_gbps=0.0)
+
+    def test_sub_unity_amplification_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tier(random_access_amplification=0.5)
+
+    def test_latency_selector(self):
+        tier = make_tier(read_latency_ns=90.0, write_latency_ns=120.0)
+        assert tier.latency_ns(is_write=False) == 90.0
+        assert tier.latency_ns(is_write=True) == 120.0
+
+    def test_bandwidth_selector(self):
+        tier = make_tier(read_bandwidth_gbps=39.0, write_bandwidth_gbps=13.0)
+        assert tier.bandwidth_gbps(is_write=False) == 39.0
+        assert tier.bandwidth_gbps(is_write=True) == 13.0
+
+    def test_frozen(self):
+        tier = make_tier()
+        with pytest.raises(AttributeError):
+            tier.name = "NVM"

@@ -1,0 +1,94 @@
+"""Unit tests for the page-size-aware TLB simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.address_space import HUGE_PAGE_SHIFT, PAGE_SHIFT
+from repro.mem.tlb import TLB
+
+
+def shifts(addrs, shift):
+    return np.full(len(addrs), shift, dtype=np.int64)
+
+
+class TestTLB:
+    def test_repeat_translation_hits(self):
+        tlb = TLB(16)
+        addrs = np.array([0, 8, 4000])  # same 4 KB page
+        hits = tlb.access(addrs, shifts(addrs, PAGE_SHIFT))
+        assert hits.tolist() == [False, True, True]
+
+    def test_distinct_pages_miss(self):
+        tlb = TLB(16)
+        addrs = np.array([0, 4096, 8192])
+        hits = tlb.access(addrs, shifts(addrs, PAGE_SHIFT))
+        assert hits.tolist() == [False, False, False]
+
+    def test_huge_page_covers_wide_range(self):
+        tlb = TLB(16)
+        addrs = np.array([0, 4096, 2**20, 2**21 - 1])  # all in one 2 MB page
+        hits = tlb.access(addrs, shifts(addrs, HUGE_PAGE_SHIFT))
+        assert hits.tolist() == [False, True, True, True]
+
+    def test_huge_vs_base_reach(self):
+        """Base-page mappings of the same range generate far more misses."""
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 4 * 2**21, size=4000)  # 4 x 2 MB of data
+        tlb = TLB(8)
+        huge_misses = tlb.count_misses(addrs, shifts(addrs, HUGE_PAGE_SHIFT))
+        tlb.reset()
+        base_misses = tlb.count_misses(addrs, shifts(addrs, PAGE_SHIFT))
+        assert base_misses > 10 * huge_misses
+
+    def test_mixed_granularity_no_alias(self):
+        # The same numeric block id at different shifts must not alias.
+        tlb = TLB(16)
+        a = np.array([0])
+        assert tlb.access(a, shifts(a, PAGE_SHIFT)).tolist() == [False]
+        # A 2 MB translation of address 0 is a different tag.
+        assert tlb.access(a, shifts(a, HUGE_PAGE_SHIFT)).tolist() == [False]
+
+    def test_invalidate_blocks(self):
+        tlb = TLB(16)
+        addrs = np.array([0])
+        sh = shifts(addrs, PAGE_SHIFT)
+        tlb.access(addrs, sh)
+        tlb.invalidate_blocks(TLB.translation_keys(addrs, sh))
+        assert tlb.access(addrs, sh).tolist() == [False]
+
+    def test_invalidate_only_matching_entry(self):
+        tlb = TLB(16)
+        a = np.array([0])
+        b = np.array([4096])
+        sh = shifts(a, PAGE_SHIFT)
+        tlb.access(a, sh)
+        tlb.access(b, sh)
+        tlb.invalidate_blocks(TLB.translation_keys(a, sh))
+        assert tlb.access(b, sh).tolist() == [True]
+        assert tlb.access(a, sh).tolist() == [False]
+
+    def test_reset(self):
+        tlb = TLB(16)
+        a = np.array([0])
+        sh = shifts(a, PAGE_SHIFT)
+        tlb.access(a, sh)
+        tlb.reset()
+        assert tlb.access(a, sh).tolist() == [False]
+
+    def test_empty_stream(self):
+        tlb = TLB(16)
+        empty = np.empty(0, dtype=np.int64)
+        assert tlb.access(empty, empty).size == 0
+        tlb.invalidate_blocks(empty)  # no-op
+
+    def test_bad_entry_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TLB(0)
+        with pytest.raises(ConfigurationError):
+            TLB(12)
+
+    def test_count_misses(self):
+        tlb = TLB(16)
+        addrs = np.array([0, 0, 4096])
+        assert tlb.count_misses(addrs, shifts(addrs, PAGE_SHIFT)) == 2

@@ -1,0 +1,64 @@
+"""Unit tests for access-trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.mem.trace import AccessKind, AccessTrace, TracePhase
+
+
+class TestTracePhase:
+    def test_coerces_dtype(self):
+        p = TracePhase(np.array([1, 2, 3], dtype=np.int32))
+        assert p.addrs.dtype == np.int64
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            TracePhase(np.array([-1]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(TraceError):
+            TracePhase(np.zeros((2, 2), dtype=np.int64))
+
+    def test_len(self):
+        assert len(TracePhase(np.arange(5))) == 5
+
+    def test_defaults(self):
+        p = TracePhase(np.arange(3))
+        assert not p.is_write
+        assert p.kind is AccessKind.RANDOM
+
+
+class TestAccessTrace:
+    def test_add_and_iterate(self):
+        trace = AccessTrace()
+        trace.add(np.arange(4), label="a")
+        trace.add(np.arange(2), is_write=True, kind=AccessKind.SEQUENTIAL, label="b")
+        labels = [p.label for p in trace]
+        assert labels == ["a", "b"]
+        assert trace.total_accesses == 6
+
+    def test_add_drops_empty(self):
+        trace = AccessTrace()
+        trace.add(np.empty(0, dtype=np.int64))
+        assert len(trace) == 0
+
+    def test_all_addresses_preserves_order(self):
+        trace = AccessTrace()
+        trace.add(np.array([5, 6]))
+        trace.add(np.array([1]))
+        assert trace.all_addresses().tolist() == [5, 6, 1]
+
+    def test_all_addresses_empty(self):
+        trace = AccessTrace()
+        addrs = trace.all_addresses()
+        assert addrs.size == 0
+        assert addrs.dtype == np.int64
+
+    def test_extend(self):
+        a = AccessTrace()
+        a.add(np.array([1]))
+        b = AccessTrace()
+        b.add(np.array([2]))
+        a.extend(b)
+        assert a.all_addresses().tolist() == [1, 2]

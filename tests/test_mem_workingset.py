@@ -1,0 +1,111 @@
+"""Tests for the working-set LRU approximation, validated against exact LRU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import LINE_SIZE, SetAssociativeCache, WorkingSetCache
+
+
+class TestReuseGaps:
+    def test_first_occurrences_are_max(self):
+        cache = WorkingSetCache(1024)
+        gaps = cache.reuse_gaps(np.array([0, 64, 128]))
+        assert (gaps == np.iinfo(np.int64).max).all()
+
+    def test_gap_counts_time_not_distinct(self):
+        cache = WorkingSetCache(1024)
+        gaps = cache.reuse_gaps(np.array([0, 64, 64, 0]))
+        assert gaps[2] == 1  # immediate reuse
+        assert gaps[3] == 3  # three accesses since the previous line-0 touch
+
+    def test_same_line_different_offset(self):
+        cache = WorkingSetCache(1024)
+        gaps = cache.reuse_gaps(np.array([0, 8]))
+        assert gaps[1] == 1
+
+
+class TestSolveWindow:
+    def test_footprint_fits_every_reuse_hits(self):
+        cache = WorkingSetCache(64 * LINE_SIZE)
+        addrs = np.array([0, 64, 0, 64] * 4)
+        hits = cache.hit_mask(addrs)
+        # Two cold misses, every later access is a reuse hit.
+        assert hits.tolist() == [False, False] + [True] * 14
+
+    def test_window_covers_all_finite_gaps_when_footprint_fits(self):
+        cache = WorkingSetCache(64 * LINE_SIZE)
+        gaps = cache.reuse_gaps(np.array([0, 64, 0, 64] * 4))
+        window = cache.solve_window(gaps)
+        finite = gaps[gaps < np.iinfo(np.int64).max]
+        assert window >= finite.max()
+
+    def test_empty_stream(self):
+        cache = WorkingSetCache(1024)
+        assert np.isinf(cache.solve_window(np.empty(0, dtype=np.int64)))
+
+
+class TestHitMask:
+    def test_streaming_hits_within_line_only(self):
+        """An 8 B-stride scan of a huge array hits 7 of 8 accesses per line."""
+        cache = WorkingSetCache(64 * LINE_SIZE)
+        addrs = np.arange(0, 64 * LINE_SIZE * 64, 8, dtype=np.int64)
+        hits = cache.hit_mask(addrs)
+        n_lines = addrs.size // 8
+        assert int(np.count_nonzero(~hits)) == n_lines
+
+    def test_hot_line_survives_streaming(self):
+        """A line re-touched every few accesses hits despite a cold stream."""
+        rng = np.random.default_rng(0)
+        stream = np.arange(0, 8 * (1 << 20), 64, dtype=np.int64)  # cold scan
+        addrs = stream.copy()
+        hot_positions = np.arange(0, addrs.size, 10)
+        addrs[hot_positions] = 0  # the hot line, touched every 10 accesses
+        cache = WorkingSetCache(64 * LINE_SIZE)
+        hits = cache.hit_mask(addrs)
+        hot_hits = hits[hot_positions[1:]]
+        assert hot_hits.mean() > 0.9
+
+    def test_cold_reuse_misses(self):
+        """Reuse after touching far more than C distinct lines misses."""
+        cache = WorkingSetCache(16 * LINE_SIZE)
+        scan = np.arange(0, 1024 * LINE_SIZE, 64, dtype=np.int64) + 4096 * LINE_SIZE
+        addrs = np.concatenate(([0], scan, [0]))
+        hits = cache.hit_mask(addrs)
+        assert not hits[-1]
+
+    def test_empty(self):
+        cache = WorkingSetCache(1024)
+        assert cache.hit_mask(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 16, size=5000)
+        cache = WorkingSetCache(4096)
+        a = cache.hit_mask(addrs)
+        b = cache.hit_mask(addrs)
+        assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 100), cap_lines=st.sampled_from([16, 64, 256]))
+    @settings(max_examples=20, deadline=None)
+    def test_tracks_exact_lru_miss_count(self, seed, cap_lines):
+        """Aggregate miss counts stay close to an exact fully-assoc LRU."""
+        rng = np.random.default_rng(seed)
+        # Zipf-ish line popularity over 4x the cache capacity.
+        lines = rng.zipf(1.3, size=4000) % (cap_lines * 4)
+        addrs = lines.astype(np.int64) * LINE_SIZE
+        ws = WorkingSetCache(cap_lines * LINE_SIZE)
+        exact = SetAssociativeCache(cap_lines * LINE_SIZE, ways=cap_lines)
+        ws_misses = int(np.count_nonzero(~ws.hit_mask(addrs)))
+        exact_misses = int(np.count_nonzero(~exact.access(addrs)))
+        assert ws_misses == pytest.approx(exact_misses, rel=0.35)
+
+    def test_miss_count_monotone_in_capacity(self):
+        rng = np.random.default_rng(2)
+        addrs = (rng.zipf(1.2, size=8000) % 2048).astype(np.int64) * LINE_SIZE
+        misses = [
+            int(np.count_nonzero(~WorkingSetCache(c * LINE_SIZE).hit_mask(addrs)))
+            for c in (16, 64, 256, 1024)
+        ]
+        assert all(a >= b for a, b in zip(misses, misses[1:]))

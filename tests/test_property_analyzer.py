@@ -1,0 +1,118 @@
+"""Property-based tests of the analyzer pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyzer import AnalyzerConfig, AtMemAnalyzer
+from repro.core.chunks import ChunkGeometry
+
+PAGE = 4096
+
+
+def geometry(n):
+    return ChunkGeometry(object_bytes=n * PAGE, chunk_bytes=PAGE, n_chunks=n)
+
+
+counts_strategy = st.lists(
+    st.integers(0, 100_000), min_size=2, max_size=64
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+@given(counts=counts_strategy, m=st.sampled_from([2, 4, 8]))
+@settings(max_examples=80, deadline=None)
+def test_selection_is_superset_of_sampled(counts, m):
+    analyzer = AtMemAnalyzer(AnalyzerConfig(m=m))
+    decision = analyzer.analyze(
+        {"obj": counts}, {"obj": geometry(counts.size)}, sampling_period=4
+    )
+    sel = decision.objects["obj"]
+    assert np.all(sel.selected | ~sel.sampled)
+    assert 0.0 <= decision.data_ratio <= 1.0
+
+
+@given(counts=counts_strategy)
+@settings(max_examples=60, deadline=None)
+def test_promotion_never_shrinks_selection(counts):
+    on = AtMemAnalyzer(AnalyzerConfig(enable_promotion=True)).analyze(
+        {"obj": counts}, {"obj": geometry(counts.size)}, sampling_period=4
+    )
+    off = AtMemAnalyzer(AnalyzerConfig(enable_promotion=False)).analyze(
+        {"obj": counts}, {"obj": geometry(counts.size)}, sampling_period=4
+    )
+    assert np.all(on.objects["obj"].selected | ~off.objects["obj"].selected)
+
+
+@given(
+    counts=counts_strategy,
+    cap_pages=st.integers(0, 32),
+)
+@settings(max_examples=60, deadline=None)
+def test_capacity_respected_and_monotone(counts, cap_pages):
+    analyzer = AtMemAnalyzer(AnalyzerConfig())
+    geo = {"obj": geometry(counts.size)}
+    capped = analyzer.analyze(
+        {"obj": counts}, geo, sampling_period=4, capacity_bytes=cap_pages * PAGE
+    )
+    assert capped.selected_bytes() <= cap_pages * PAGE
+    bigger = analyzer.analyze(
+        {"obj": counts}, geo, sampling_period=4, capacity_bytes=2 * cap_pages * PAGE
+    )
+    assert bigger.selected_bytes() >= capped.selected_bytes()
+
+
+@given(counts=counts_strategy)
+@settings(max_examples=60, deadline=None)
+def test_regions_cover_exactly_selected_chunks(counts):
+    analyzer = AtMemAnalyzer(AnalyzerConfig())
+    decision = analyzer.analyze(
+        {"obj": counts}, {"obj": geometry(counts.size)}, sampling_period=4
+    )
+    sel = decision.objects["obj"]
+    covered = np.zeros(counts.size, dtype=bool)
+    for start, end in decision.regions("obj"):
+        lo = start // PAGE
+        hi = -(-end // PAGE)
+        covered[lo:hi] = True
+    assert np.array_equal(covered, sel.selected)
+
+
+@given(counts=counts_strategy, scale=st.integers(2, 1000))
+@settings(max_examples=60, deadline=None)
+def test_priority_scale_invariance_of_sampled_selection(counts, scale):
+    """Multiplying every count by a constant must not change the sampled
+    selection (the thresholds are all relative), as long as the one-sample
+    floor stays non-binding."""
+    analyzer = AtMemAnalyzer(AnalyzerConfig())
+    # Lift counts clear of the one-sample floor first.
+    counts = counts * 64 + np.where(counts > 0, 64, 0)
+    base = analyzer.analyze(
+        {"obj": counts}, {"obj": geometry(counts.size)}, sampling_period=1
+    )
+    scaled = analyzer.analyze(
+        {"obj": counts * scale}, {"obj": geometry(counts.size)}, sampling_period=1
+    )
+    assert np.array_equal(
+        base.objects["obj"].sampled, scaled.objects["obj"].sampled
+    )
+
+
+@given(
+    hot=st.integers(1, 16),
+    n=st.integers(17, 64),
+    level=st.integers(1_000, 100_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_contiguous_hot_head_selected_contiguously(hot, n, level):
+    """A clean hot head must come out as one region (promotion merges)."""
+    counts = np.zeros(n, dtype=np.int64)
+    counts[:hot] = level
+    analyzer = AtMemAnalyzer(AnalyzerConfig())
+    decision = analyzer.analyze(
+        {"obj": counts}, {"obj": geometry(n)}, sampling_period=1
+    )
+    regions = decision.regions("obj")
+    assert len(regions) <= 2
+    if regions:
+        assert regions[0][0] == 0

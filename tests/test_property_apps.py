@@ -1,0 +1,111 @@
+"""Cross-kernel property tests.
+
+Relationships between kernels that must hold on any input:
+
+- SSSP with unit weights computes exactly the BFS levels;
+- PageRank mass is conserved every sweep;
+- CC labels are fixpoints (no vertex has a neighbour with a smaller label);
+- BC of a tree's leaves is zero (no shortest path passes through a leaf);
+- SpMV is linear in x.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import BFS, SSSP, BetweennessCentrality, ConnectedComponents, PageRank, SpMV
+from repro.apps.base import HostRegistry
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chung_lu_graph
+
+
+def run(app):
+    app.register(HostRegistry())
+    app.run_once()
+    return app
+
+
+graph_strategy = st.builds(
+    lambda n, e, seed: chung_lu_graph(max(4, n), max(8, e), seed=seed),
+    n=st.integers(4, 80),
+    e=st.integers(8, 400),
+    seed=st.integers(0, 50),
+)
+
+
+@given(graph=graph_strategy, source=st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_sssp_with_unit_weights_equals_bfs(graph, source):
+    source = source % graph.num_vertices
+    unit = CSRGraph(
+        graph.offsets,
+        graph.adjacency,
+        np.ones(graph.num_edges, dtype=np.int64),
+        name="unit",
+    )
+    bfs = run(BFS(graph, source=source)).result()
+    sssp = run(SSSP(unit, source=source)).result()
+    from repro.apps.sssp import INF
+
+    for v in range(graph.num_vertices):
+        if bfs[v] == -1:
+            assert sssp[v] == INF
+        else:
+            assert sssp[v] == bfs[v]
+
+
+@given(graph=graph_strategy, sweeps=st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_pagerank_mass_conserved(graph, sweeps):
+    rank = run(PageRank(graph, num_sweeps=sweeps)).result()
+    # With the symmetrised graph every vertex with an edge has out-degree
+    # > 0; isolated vertices leak their damping mass, so only require
+    # conservation when none are isolated.
+    if (graph.degrees > 0).all():
+        assert rank.sum() == pytest.approx(1.0, abs=1e-9)
+    assert (rank > 0).all()
+
+
+@given(graph=graph_strategy)
+@settings(max_examples=25, deadline=None)
+def test_cc_labels_are_fixpoints(graph):
+    labels = run(ConnectedComponents(graph)).result()
+    for v in range(graph.num_vertices):
+        neighbors = graph.neighbors(v)
+        if neighbors.size:
+            assert labels[v] <= labels[neighbors].min()
+            assert (labels[neighbors] == labels[v]).all()
+
+
+def test_bc_of_path_graph_endpoints_zero():
+    # Path 0-1-2-3-4: interior vertices carry all pair dependencies.
+    g = CSRGraph.from_edges(
+        5, np.array([0, 1, 2, 3]), np.array([1, 2, 3, 4])
+    )
+    app = BetweennessCentrality(g, num_sources=5)
+    app.sources = np.arange(5, dtype=np.int64)
+    bc = run(app).result()
+    assert bc[0] == pytest.approx(0.0)
+    assert bc[4] == pytest.approx(0.0)
+    # The centre of the path is the most central.
+    assert bc[2] == max(bc)
+
+
+@given(graph=graph_strategy, alpha=st.floats(-3.0, 3.0), beta=st.floats(-3.0, 3.0))
+@settings(max_examples=25, deadline=None)
+def test_spmv_linearity(graph, alpha, beta):
+    app = run(SpMV(graph, num_reps=1))
+    x = app.do("x").array
+    x1 = np.random.default_rng(1).random(x.size)
+    x2 = np.random.default_rng(2).random(x.size)
+
+    def product(vec):
+        x[:] = vec
+        app.run_once()
+        return app.result().copy()
+
+    y1 = product(x1)
+    y2 = product(x2)
+    y_combo = product(alpha * x1 + beta * x2)
+    assert np.allclose(y_combo, alpha * y1 + beta * y2, atol=1e-8)

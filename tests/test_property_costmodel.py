@@ -1,0 +1,130 @@
+"""Property tests of the cost model and TLB invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.costmodel import CostModel
+from repro.mem.tier import MemoryTier
+from repro.mem.tlb import TLB
+from repro.mem.trace import AccessKind, TracePhase
+
+FAST = MemoryTier(
+    name="fast",
+    capacity_bytes=None,
+    read_latency_ns=90.0,
+    write_latency_ns=90.0,
+    read_bandwidth_gbps=100.0,
+    write_bandwidth_gbps=100.0,
+    single_thread_bandwidth_gbps=10.0,
+)
+SLOW = MemoryTier(
+    name="slow",
+    capacity_bytes=None,
+    read_latency_ns=300.0,
+    write_latency_ns=500.0,
+    read_bandwidth_gbps=40.0,
+    write_bandwidth_gbps=13.0,
+    single_thread_bandwidth_gbps=8.0,
+    random_access_amplification=4.0,
+)
+
+
+def model(**kw):
+    defaults = dict(mlp=200.0, compute_ns_per_access=0.3)
+    defaults.update(kw)
+    return CostModel([FAST, SLOW], **defaults)
+
+
+def phase(n, kind=AccessKind.RANDOM, is_write=False):
+    return TracePhase(
+        np.arange(max(1, n), dtype=np.int64) * 64, kind=kind, is_write=is_write
+    )
+
+
+@given(
+    n=st.integers(1, 5000),
+    n_miss=st.integers(0, 5000),
+    fast_fraction=st.floats(0.0, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_cost_monotone_in_misses_and_tier(n, n_miss, fast_fraction):
+    n_miss = min(n, n_miss)
+    p = phase(n)
+    mask = np.zeros(n, dtype=bool)
+    mask[:n_miss] = True
+    n_fast = int(n_miss * fast_fraction)
+    tiers = np.array([0] * n_fast + [1] * (n_miss - n_fast), dtype=np.int8)
+    m = model()
+    cost = m.phase_cost(p, mask, tiers)
+    # 1. Cost is at least the compute floor and finite.
+    assert cost.seconds >= n * 0.3e-9 - 1e-15
+    assert np.isfinite(cost.seconds)
+    # 2. All-fast misses never cost more than the same misses on slow.
+    all_fast = m.phase_cost(p, mask, np.zeros(n_miss, dtype=np.int8))
+    all_slow = m.phase_cost(p, mask, np.ones(n_miss, dtype=np.int8))
+    assert all_fast.seconds <= all_slow.seconds + 1e-15
+    # 3. Mixed placement lies between the extremes.
+    assert all_fast.seconds - 1e-15 <= cost.seconds <= all_slow.seconds + 1e-15
+
+
+@given(n_miss=st.integers(1, 4000))
+@settings(max_examples=40, deadline=None)
+def test_more_misses_cost_more(n_miss):
+    m = model()
+    p = phase(4000)
+    small = np.zeros(4000, dtype=bool)
+    small[:n_miss] = True
+    big = np.zeros(4000, dtype=bool)
+    big[: min(4000, n_miss * 2)] = True
+    cost_small = m.phase_cost(p, small, np.ones(int(small.sum()), dtype=np.int8))
+    cost_big = m.phase_cost(p, big, np.ones(int(big.sum()), dtype=np.int8))
+    assert cost_big.seconds >= cost_small.seconds - 1e-15
+
+
+@given(
+    nbytes=st.integers(1, 1 << 28),
+    threads_a=st.integers(1, 64),
+    threads_b=st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_copy_time_monotone(nbytes, threads_a, threads_b):
+    m = model()
+    lo, hi = sorted((threads_a, threads_b))
+    slow_to_fast_lo = m.copy_seconds(nbytes, SLOW, FAST, threads=lo)
+    slow_to_fast_hi = m.copy_seconds(nbytes, SLOW, FAST, threads=hi)
+    # More threads never slower; more bytes never cheaper.
+    assert slow_to_fast_hi <= slow_to_fast_lo + 1e-15
+    assert m.copy_seconds(nbytes * 2, SLOW, FAST, threads=lo) >= slow_to_fast_lo
+
+
+@given(
+    page_ids=st.lists(st.integers(0, 512), min_size=1, max_size=2000),
+    entries=st.sampled_from([4, 16, 64]),
+)
+@settings(max_examples=50, deadline=None)
+def test_tlb_hits_only_on_repeats(page_ids, entries):
+    tlb = TLB(entries)
+    addrs = np.array(page_ids, dtype=np.int64) * 4096
+    shifts = np.full(len(page_ids), 12, dtype=np.int64)
+    hits = tlb.access(addrs, shifts)
+    # A hit requires an earlier access to the same page.
+    seen = set()
+    for i, page in enumerate(page_ids):
+        if hits[i]:
+            assert page in seen
+        seen.add(page)
+
+
+@given(page_ids=st.lists(st.integers(0, 100), min_size=1, max_size=500))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_larger_tlb_never_misses_more(page_ids):
+    addrs = np.array(page_ids, dtype=np.int64) * 4096
+    shifts = np.full(len(page_ids), 12, dtype=np.int64)
+    misses = []
+    for entries in (4, 16, 64, 256):
+        misses.append(TLB(entries).count_misses(addrs, shifts))
+    # Direct-mapped TLBs are not strictly inclusive, but across 4x size
+    # steps on these small traces monotonicity must hold.
+    assert all(a >= b for a, b in zip(misses, misses[1:]))

@@ -1,0 +1,158 @@
+"""Unit tests for the trace executor."""
+
+import numpy as np
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.core.runtime import AtMemRuntime
+from repro.mem.trace import AccessKind, AccessTrace
+from repro.sim.executor import TraceExecutor
+
+
+def make_setup():
+    platform = nvm_dram_testbed()
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, platform=platform)
+    obj = runtime.register_array("data", np.zeros(1 << 18, dtype=np.int64))
+    return platform, system, runtime, obj
+
+
+class TestRun:
+    def test_empty_trace(self):
+        _, system, _, _ = make_setup()
+        cost = TraceExecutor(system).run(AccessTrace())
+        assert cost.seconds == 0.0
+        assert cost.n_accesses == 0
+
+    def test_accounts_all_accesses(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(1000)), label="a")
+        trace.add(obj.addrs_of(np.arange(500)), is_write=True, label="b")
+        cost = TraceExecutor(system).run(trace)
+        assert cost.n_accesses == 1500
+        assert cost.n_misses > 0
+        assert cost.seconds > 0
+
+    def test_misses_attributed_to_backing_tier(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        # Strided cold scan: every access a distinct line -> all miss.
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)), label="scan")
+        cost = TraceExecutor(system).run(trace)
+        assert set(cost.miss_by_tier) == {system.slow_tier}
+
+    def test_fast_placement_runs_faster(self):
+        platform, system, runtime, _ = make_setup()
+        hot = runtime.register_array(
+            "hot", np.zeros(1 << 18, dtype=np.int64), tier=system.fast_tier
+        )
+        idx = np.random.default_rng(0).integers(0, 1 << 18, size=200_000)
+        slow_trace = AccessTrace()
+        slow_trace.add(runtime.objects["data"].addrs_of(idx))
+        fast_trace = AccessTrace()
+        fast_trace.add(hot.addrs_of(idx))
+        executor = TraceExecutor(system)
+        assert executor.run(fast_trace).seconds < executor.run(slow_trace).seconds
+
+    def test_miss_observer_receives_stream(self):
+        _, system, runtime, obj = make_setup()
+        received = []
+
+        class Spy:
+            def observe_misses(self, addrs):
+                received.append(addrs.copy())
+
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)), label="scan")
+        cost = TraceExecutor(system).run(trace, miss_observer=Spy())
+        assert sum(len(a) for a in received) == cost.n_misses
+
+    def test_prefetch_coverage_suppresses_sequential_samples(self):
+        _, system, _, obj = make_setup()
+        seen = []
+
+        class Spy:
+            def observe_misses(self, addrs):
+                seen.append(len(addrs))
+
+        trace = AccessTrace()
+        trace.add(
+            obj.addrs_of(np.arange(0, 1 << 18, 8)),
+            kind=AccessKind.SEQUENTIAL,
+            label="scan",
+        )
+        executor = TraceExecutor(system, prefetch_coverage=63 / 64)
+        cost = executor.run(trace, miss_observer=Spy())
+        assert sum(seen) <= cost.n_misses // 32
+
+    def test_prefetchable_random_phase_also_suppressed(self):
+        _, system, _, obj = make_setup()
+        seen = []
+
+        class Spy:
+            def observe_misses(self, addrs):
+                seen.append(len(addrs))
+
+        trace = AccessTrace()
+        trace.add(
+            obj.addrs_of(np.arange(0, 1 << 18, 8)),
+            kind=AccessKind.RANDOM,
+            prefetchable=True,
+            label="segments",
+        )
+        cost = TraceExecutor(system).run(trace, miss_observer=Spy())
+        assert sum(seen) <= cost.n_misses // 32
+
+    def test_invalid_coverage_rejected(self):
+        _, system, _, _ = make_setup()
+        with pytest.raises(ValueError):
+            TraceExecutor(system, prefetch_coverage=1.0)
+        with pytest.raises(ValueError):
+            TraceExecutor(system, prefetch_coverage=-0.1)
+
+    def test_tlb_counting(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 512)), label="pages")
+        cost = TraceExecutor(system, count_tlb=True).run(trace)
+        assert cost.tlb_misses > 0
+        cost_off = TraceExecutor(system, count_tlb=False).run(trace)
+        assert cost_off.tlb_misses == 0
+
+    def test_miss_rate_property(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.zeros(100, dtype=np.int64)))
+        cost = TraceExecutor(system).run(trace)
+        assert cost.miss_rate == pytest.approx(0.01)
+
+
+class TestBreakdown:
+    def test_phase_labels_accumulate(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)), label="scan")
+        trace.add(obj.addrs_of(np.arange(1000)), label="gather")
+        trace.add(obj.addrs_of(np.arange(1000)), label="gather")
+        cost = TraceExecutor(system).run(trace)
+        assert set(cost.seconds_by_label) == {"scan", "gather"}
+        assert sum(cost.seconds_by_label.values()) == pytest.approx(cost.seconds)
+
+    def test_breakdown_sorted_descending(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        trace.add(obj.addrs_of(np.arange(0, 1 << 18, 8)), label="big")
+        trace.add(obj.addrs_of(np.arange(10)), label="small")
+        cost = TraceExecutor(system).run(trace)
+        ranked = cost.breakdown()
+        assert ranked[0][0] == "big"
+        assert ranked[0][1] >= ranked[-1][1]
+
+    def test_breakdown_top_limits(self):
+        _, system, _, obj = make_setup()
+        trace = AccessTrace()
+        for i in range(5):
+            trace.add(obj.addrs_of(np.arange(100)), label=f"p{i}")
+        cost = TraceExecutor(system).run(trace)
+        assert len(cost.breakdown(top=2)) == 2

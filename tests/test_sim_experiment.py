@@ -1,0 +1,160 @@
+"""Integration tests for the experiment flows (the paper's methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.config import mcdram_dram_testbed, nvm_dram_testbed
+from repro.apps import make_app
+from repro.core.runtime import RuntimeConfig
+from repro.errors import ConfigurationError
+from repro.graph.generators import chung_lu_graph
+from repro.sim.experiment import run_atmem, run_coarse_grained, run_static
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Big enough that vertex arrays exceed the scaled LLC.
+    return chung_lu_graph(20_000, 300_000, seed=3, name="itest")
+
+
+def pr_factory(graph):
+    return lambda: make_app("PR", graph, num_sweeps=2)
+
+
+class TestRunStatic:
+    def test_slow_baseline_places_nothing_fast(self, graph):
+        result = run_static(pr_factory(graph), nvm_dram_testbed(), "slow")
+        assert result.fast_ratio == 0.0
+        assert result.seconds > 0
+
+    def test_fast_ideal_places_everything_fast(self, graph):
+        result = run_static(pr_factory(graph), nvm_dram_testbed(), "fast")
+        assert result.fast_ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_ideal_faster_than_baseline(self, graph):
+        baseline = run_static(pr_factory(graph), nvm_dram_testbed(), "slow")
+        ideal = run_static(pr_factory(graph), nvm_dram_testbed(), "fast")
+        assert ideal.seconds < baseline.seconds
+
+    def test_preferred_spills_when_fast_full(self, graph):
+        platform = mcdram_dram_testbed(scale=65536)  # tiny MCDRAM
+        result = run_static(pr_factory(graph), platform, "preferred")
+        assert result.fast_ratio < 1.0
+
+    def test_preferred_everything_fits_when_large(self, graph):
+        result = run_static(pr_factory(graph), mcdram_dram_testbed(), "preferred")
+        assert result.fast_ratio > 0.9
+
+    def test_unknown_placement_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            run_static(pr_factory(graph), nvm_dram_testbed(), "medium")
+
+    def test_iterations_are_consistent(self, graph):
+        result = run_static(pr_factory(graph), nvm_dram_testbed(), "slow")
+        # Same work in both iterations (the LLC model is per-run).
+        assert result.first_iteration.n_accesses == result.second_iteration.n_accesses
+
+
+class TestRunAtmem:
+    def test_atmem_between_baseline_and_ideal(self, graph):
+        platform = nvm_dram_testbed()
+        baseline = run_static(pr_factory(graph), platform, "slow")
+        ideal = run_static(pr_factory(graph), platform, "fast")
+        result = run_atmem(pr_factory(graph), platform)
+        assert ideal.seconds <= result.seconds <= baseline.seconds
+        assert result.seconds < 0.9 * baseline.seconds
+
+    def test_selects_partial_data(self, graph):
+        result = run_atmem(pr_factory(graph), nvm_dram_testbed())
+        assert 0.0 < result.data_ratio < 0.5
+
+    def test_migration_happened(self, graph):
+        result = run_atmem(pr_factory(graph), nvm_dram_testbed())
+        assert result.migration.bytes_moved > 0
+        assert result.migration.seconds > 0
+
+    def test_profiling_overhead_below_ten_percent(self, graph):
+        """The paper's Section 7.4 claim."""
+        result = run_atmem(pr_factory(graph), nvm_dram_testbed())
+        assert (
+            result.profiling_overhead_seconds
+            < 0.10 * result.first_iteration.seconds
+        )
+
+    def test_first_iteration_unoptimized(self, graph):
+        result = run_atmem(pr_factory(graph), nvm_dram_testbed())
+        assert result.first_iteration.seconds > result.second_iteration.seconds
+
+    def test_mbind_mechanism_slower_migration(self, graph):
+        platform = nvm_dram_testbed()
+        atmem = run_atmem(pr_factory(graph), platform)
+        mbind = run_atmem(
+            pr_factory(graph),
+            platform,
+            runtime_config=RuntimeConfig(migration_mechanism="mbind"),
+        )
+        assert mbind.migration.seconds > atmem.migration.seconds
+
+    def test_mbind_inflates_post_migration_tlb_misses(self, graph):
+        """Table 4: THP splitting costs TLB misses in iteration 2."""
+        platform = nvm_dram_testbed()
+        atmem = run_atmem(pr_factory(graph), platform, count_tlb=True)
+        mbind = run_atmem(
+            pr_factory(graph),
+            platform,
+            runtime_config=RuntimeConfig(migration_mechanism="mbind"),
+            count_tlb=True,
+        )
+        assert (
+            mbind.second_iteration.tlb_misses
+            > atmem.second_iteration.tlb_misses
+        )
+
+    def test_works_on_mcdram_platform(self, graph):
+        result = run_atmem(pr_factory(graph), mcdram_dram_testbed())
+        assert result.data_ratio > 0.0
+
+    def test_capacity_respected_on_tiny_fast_tier(self, graph):
+        platform = mcdram_dram_testbed(scale=65536)  # 256 KiB MCDRAM
+        result = run_atmem(pr_factory(graph), platform)
+        cap = platform.tiers[platform.fast_tier].capacity_bytes
+        assert result.decision.selected_bytes() <= cap
+
+
+class TestRunCoarseGrained:
+    def test_coarse_moves_whole_objects(self, graph):
+        result = run_coarse_grained(pr_factory(graph), nvm_dram_testbed())
+        assert result.migration.bytes_moved > 0
+        # Whole-object moves are page-rounded object sizes.
+        assert result.migration.regions <= 8
+
+    def test_atmem_more_selective_than_coarse(self, graph):
+        platform = nvm_dram_testbed()
+        coarse = run_coarse_grained(pr_factory(graph), platform)
+        atmem = run_atmem(pr_factory(graph), platform)
+        assert atmem.data_ratio <= coarse.data_ratio + 1e-9
+
+
+class TestInterleavePlacement:
+    def test_interleave_halves_fast_share(self, graph):
+        result = run_static(pr_factory(graph), nvm_dram_testbed(), "interleave")
+        assert 0.35 <= result.fast_ratio <= 0.55
+
+    def test_interleave_between_slow_and_fast(self, graph):
+        platform = nvm_dram_testbed()
+        slow = run_static(pr_factory(graph), platform, "slow")
+        fast = run_static(pr_factory(graph), platform, "fast")
+        inter = run_static(pr_factory(graph), platform, "interleave")
+        assert fast.seconds <= inter.seconds <= slow.seconds * 1.01
+
+    def test_interleave_spills_once_fast_full(self, graph):
+        platform = mcdram_dram_testbed(scale=65536)  # tiny MCDRAM
+        result = run_static(pr_factory(graph), platform, "interleave")
+        assert result.fast_ratio < 0.3
+
+    def test_atmem_beats_interleave(self, graph):
+        platform = nvm_dram_testbed()
+        inter = run_static(pr_factory(graph), platform, "interleave")
+        atmem = run_atmem(pr_factory(graph), platform)
+        assert atmem.seconds < inter.seconds
+        assert atmem.data_ratio < 0.5  # with a fraction of the fast bytes

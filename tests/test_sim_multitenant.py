@@ -1,0 +1,82 @@
+"""Tests for the multi-tenant shared-fast-memory host."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.config import mcdram_dram_testbed, nvm_dram_testbed
+from repro.errors import ConfigurationError
+from repro.graph.generators import chung_lu_graph
+from repro.sim.multitenant import MultiTenantHost
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return (
+        chung_lu_graph(12_000, 150_000, seed=31, name="tenant-a"),
+        chung_lu_graph(12_000, 150_000, seed=32, name="tenant-b"),
+    )
+
+
+class TestAdmission:
+    def test_two_tenants_coexist(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.admit("b", lambda: make_app("BFS", graphs[1]))
+        results = host.run()
+        assert set(results) == {"a", "b"}
+        assert all(r.optimized.seconds > 0 for r in results.values())
+
+    def test_duplicate_tenant_rejected(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        with pytest.raises(ConfigurationError):
+            host.admit("a", lambda: make_app("BFS", graphs[1]))
+
+    def test_object_names_prefixed(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        app = host.admit("a", lambda: make_app("PR", graphs[0]))
+        assert "offsets" in app.objects
+        # The runtime sees the prefixed name.
+        assert app.objects["offsets"].name == "a/offsets"
+
+
+class TestSharedCapacity:
+    def test_both_tenants_speed_up_with_ample_capacity(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.admit("b", lambda: make_app("PR", graphs[1]))
+        results = host.run()
+        assert results["a"].speedup > 1.2
+        assert results["b"].speedup > 1.2
+
+    def test_capacity_never_oversubscribed(self, graphs):
+        platform = mcdram_dram_testbed(scale=1 << 17)  # ~128 KiB fast tier
+        host = MultiTenantHost(platform)
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.admit("b", lambda: make_app("PR", graphs[1]))
+        host.run()
+        cap = platform.tiers[platform.fast_tier].capacity_bytes
+        assert host.fast_tier_used_bytes() <= cap
+
+    def test_first_tenant_gets_first_pick(self, graphs):
+        # Capacity for roughly one tenant's hot set only.
+        platform = mcdram_dram_testbed(scale=1 << 16)  # ~256 KiB
+        host = MultiTenantHost(platform)
+        host.admit("first", lambda: make_app("PR", graphs[0]))
+        host.admit("second", lambda: make_app("PR", graphs[1]))
+        results = host.run()
+        assert results["first"].fast_bytes >= results["second"].fast_bytes
+
+    def test_selective_tenants_leave_room(self, graphs):
+        """ATMem's Objective I: per-byte efficiency leaves capacity over."""
+        platform = nvm_dram_testbed()
+        host = MultiTenantHost(platform)
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.admit("b", lambda: make_app("CC", graphs[1]))
+        results = host.run()
+        cap = platform.tiers[platform.fast_tier].capacity_bytes
+        used = host.fast_tier_used_bytes()
+        assert used < 0.5 * cap
+        # Yet both tenants were served.
+        assert all(r.fast_bytes > 0 for r in results.values())

@@ -1,0 +1,77 @@
+"""Tests for the generic parameter-sweep driver."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.config import nvm_dram_testbed
+from repro.core.runtime import RuntimeConfig
+from repro.graph.generators import chung_lu_graph
+from repro.sim.sweep import (
+    arity_configurator,
+    chunk_cap_configurator,
+    epsilon_configurator,
+    run_sweep,
+    sampling_budget_configurator,
+    to_series,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = chung_lu_graph(6_000, 80_000, seed=23)
+    platform = nvm_dram_testbed()
+    return (lambda: make_app("BFS", graph)), platform
+
+
+class TestConfigurators:
+    def test_epsilon_configurator(self):
+        cfg = epsilon_configurator()(0.3)
+        assert cfg.analyzer.epsilon == pytest.approx(0.3)
+
+    def test_arity_configurator(self):
+        cfg = arity_configurator()(8)
+        assert cfg.analyzer.m == 8
+
+    def test_chunk_cap_configurator(self):
+        cfg = chunk_cap_configurator()(64)
+        assert cfg.chunking.max_chunks == 64
+
+    def test_sampling_budget_configurator(self):
+        cfg = sampling_budget_configurator()(2.0)
+        assert cfg.sampling.samples_per_chunk == pytest.approx(2.0)
+
+    def test_base_config_preserved(self):
+        base = RuntimeConfig(migration_mechanism="mbind")
+        cfg = epsilon_configurator(base)(0.5)
+        assert cfg.migration_mechanism == "mbind"
+
+
+class TestRunSweep:
+    def test_epsilon_sweep_ratio_monotone(self, setup):
+        factory, platform = setup
+        points = run_sweep(
+            factory, platform, [0.05, 0.4, 0.9], epsilon_configurator()
+        )
+        assert len(points) == 3
+        ratios = [p.data_ratio for p in points]
+        # Lower epsilon promotes more aggressively.
+        assert ratios[0] >= ratios[-1]
+
+    def test_points_carry_results(self, setup):
+        factory, platform = setup
+        points = run_sweep(factory, platform, [0.25], epsilon_configurator())
+        assert points[0].value == pytest.approx(0.25)
+        assert points[0].seconds > 0
+        assert points[0].result.migration is not None
+
+    def test_to_series(self, setup):
+        factory, platform = setup
+        points = run_sweep(
+            factory, platform, [0.1, 0.5], epsilon_configurator()
+        )
+        series = to_series(
+            points, title="t", x="data_ratio", y="seconds", label="bfs"
+        )
+        assert len(series.data["bfs"]) == 2
+        rendered = series.render()
+        assert "[bfs]" in rendered

@@ -1,0 +1,75 @@
+"""Unit tests for trace diagnostics."""
+
+import numpy as np
+
+from repro.apps import BFS, PageRank
+from repro.apps.base import HostRegistry
+from repro.graph.generators import chung_lu_graph
+from repro.sim.tracetools import analyze_trace, format_trace_report
+
+
+def traced_app(app_cls, **kwargs):
+    graph = chung_lu_graph(500, 4000, seed=6)
+    app = app_cls(graph, **kwargs)
+    app.register(HostRegistry())
+    trace = app.run_once()
+    return app, trace
+
+
+class TestAnalyzeTrace:
+    def test_every_object_reported(self):
+        app, trace = traced_app(BFS)
+        stats = analyze_trace(trace, app.objects)
+        assert set(stats) == set(app.objects)
+
+    def test_total_accesses_conserved(self):
+        app, trace = traced_app(BFS)
+        stats = analyze_trace(trace, app.objects)
+        assert sum(s.accesses for s in stats.values()) == trace.total_accesses
+
+    def test_reads_and_writes_split(self):
+        app, trace = traced_app(BFS)
+        stats = analyze_trace(trace, app.objects)
+        dist = stats["dist"]
+        assert dist.reads > 0
+        assert dist.writes > 0
+        # The CSR structure is never written.
+        assert stats["adjacency"].writes == 0
+        assert stats["offsets"].writes == 0
+
+    def test_pagerank_scans_are_sequential(self):
+        app, trace = traced_app(PageRank, num_sweeps=1)
+        stats = analyze_trace(trace, app.objects)
+        assert stats["adjacency"].random_fraction == 0.0
+        assert stats["rank"].random_fraction > 0.9
+
+    def test_density_ranks_vertex_arrays_above_adjacency(self):
+        app, trace = traced_app(PageRank, num_sweeps=1)
+        stats = analyze_trace(trace, app.objects)
+        assert (
+            stats["rank"].accesses_per_byte
+            > stats["adjacency"].accesses_per_byte
+        )
+
+    def test_footprint_bounded_by_object(self):
+        app, trace = traced_app(BFS)
+        stats = analyze_trace(trace, app.objects)
+        for s in stats.values():
+            # Footprint is line-granular, so allow one line of slack.
+            assert s.footprint_bytes <= s.nbytes + 64
+
+
+class TestFormatReport:
+    def test_report_contains_all_objects(self):
+        app, trace = traced_app(BFS)
+        stats = analyze_trace(trace, app.objects)
+        report = format_trace_report(stats)
+        for name in app.objects:
+            assert name in report
+
+    def test_report_sorted_by_density(self):
+        app, trace = traced_app(PageRank, num_sweeps=1)
+        stats = analyze_trace(trace, app.objects)
+        report = format_trace_report(stats)
+        # The densest object (a vertex array) appears before adjacency.
+        assert report.index("rank") < report.index("adjacency")
