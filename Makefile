@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples clean loc
+.PHONY: install test bench bench-smoke reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -13,6 +13,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# One small figure benchmark through the process pool with 2 workers;
+# wall-clock timings land in BENCH_parallel.json.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
 
 # Regenerate the paper's tables/figures without pytest.
 reproduce:

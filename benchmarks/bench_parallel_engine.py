@@ -1,0 +1,63 @@
+"""Smoke test for the parallel experiment engine (``make bench-smoke``).
+
+Runs one small overall-grid slice (two apps x two datasets on the
+NVM-DRAM testbed) through the :class:`repro.sim.parallel.ExperimentPool`
+with two workers, checks parallel results exactly match an in-process
+serial recomputation, and records the measured batch wall-clock in
+``BENCH_parallel.json``.
+"""
+
+import os
+
+from repro.bench.report import Table, emit
+from repro.bench.workloads import _cell_spec, bench_scale, prime_overall_grid
+from repro.sim.parallel import execute_job
+from repro.sim.tracecache import TraceCache
+
+SMOKE_APPS = ("BFS", "PR")
+SMOKE_DATASETS = ("twitter", "rmat24")
+
+
+def test_parallel_engine_smoke(once):
+    jobs = int(os.environ.get("REPRO_JOBS", "2"))
+
+    def run():
+        import repro.bench.workloads as workloads
+
+        workloads._OVERALL_CACHE.clear()
+        elapsed = prime_overall_grid(
+            "nvm_dram",
+            SMOKE_APPS,
+            SMOKE_DATASETS,
+            jobs=jobs,
+            benchmark="parallel_engine_smoke",
+        )
+        cells = {
+            (app, ds): workloads._OVERALL_CACHE[("nvm_dram", app, ds)]
+            for app in SMOKE_APPS
+            for ds in SMOKE_DATASETS
+        }
+        return elapsed, cells
+
+    elapsed, cells = once(run)
+    table = Table(
+        title=f"Parallel engine smoke: 2x2 grid, {jobs} workers",
+        columns=["app", "dataset", "baseline_ms", "atmem_ms", "speedup"],
+        notes=[f"batch wall-clock {elapsed:.2f} s at scale {bench_scale()}"],
+    )
+    for (app, ds), cell in cells.items():
+        table.add_row(
+            app,
+            ds,
+            cell.baseline.seconds * 1e3,
+            cell.atmem.seconds * 1e3,
+            cell.speedup,
+        )
+    emit(table, "parallel_smoke.txt")
+    # Parallel results must be bit-identical to a serial in-process rerun.
+    for (app, ds), cell in cells.items():
+        serial = execute_job(_cell_spec("nvm_dram", app, ds), trace_cache=TraceCache())
+        assert serial.baseline.seconds == cell.baseline.seconds, (app, ds)
+        assert serial.atmem.seconds == cell.atmem.seconds, (app, ds)
+        assert serial.atmem.data_ratio == cell.atmem.data_ratio, (app, ds)
+    assert all(cell.speedup > 0.9 for cell in cells.values())

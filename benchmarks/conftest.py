@@ -4,9 +4,39 @@ Each benchmark computes one paper table/figure exactly once (pedantic,
 one round) — the interesting output is the printed/saved artifact, not a
 timing distribution.  Heavy grids are shared between benchmarks through
 the memoised cache in :mod:`repro.bench.workloads`.
+
+Pass ``--jobs N`` to fan experiment cells out across N worker processes
+(sets ``REPRO_JOBS`` for the whole run); measured batch wall-clocks are
+appended to ``BENCH_parallel.json`` next to this directory.
 """
 
+import os
+from pathlib import Path
+
 import pytest
+
+
+def pytest_addoption(parser):
+    """Register the ``--jobs`` fan-out knob for benchmark runs."""
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment fan-out (sets REPRO_JOBS)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _experiment_jobs(request):
+    """Propagate --jobs to the pool and arm wall-clock recording."""
+    jobs = request.config.getoption("--jobs")
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
+    os.environ.setdefault(
+        "REPRO_PARALLEL_JSON",
+        str(Path(__file__).resolve().parent.parent / "BENCH_parallel.json"),
+    )
+    yield
 
 
 @pytest.fixture

@@ -3,9 +3,16 @@
 Each returns renderable :class:`~repro.bench.report.Table` /
 :class:`~repro.bench.report.Series` objects; the ``benchmarks/`` files call
 them, print/save the artifacts, and assert the shape conditions.
+
+Every builder that consumes a whole grid first primes it through
+:func:`repro.bench.workloads.prime_overall_grid`, so its cells fan out
+across the :class:`repro.sim.parallel.ExperimentPool` (``REPRO_JOBS``
+workers) instead of being computed one by one on cache misses.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.bench.report import Series, Table
 from repro.bench.workloads import (
@@ -13,11 +20,18 @@ from repro.bench.workloads import (
     BENCH_DATASETS,
     app_factory,
     bench_platform,
+    bench_scale,
     overall_results,
+    prime_overall_grid,
 )
 from repro.core.analyzer import AnalyzerConfig
 from repro.core.runtime import RuntimeConfig
-from repro.sim.experiment import run_atmem, run_static
+from repro.sim.parallel import (
+    ExperimentPool,
+    JobSpec,
+    record_parallel_timing,
+    resolve_jobs,
+)
 
 #: The subset of apps shown in the motivation figure.
 FIG1_APPS = ("PR", "SSSP", "BC")
@@ -30,6 +44,7 @@ def fig1a() -> Table:
         columns=["app", "dataset", "t_nvm_ms", "t_dram_ms", "normalized"],
         notes=["paper: slowdowns of up to 10x, largest for gather-heavy apps"],
     )
+    prime_overall_grid("nvm_dram", FIG1_APPS, benchmark="fig1a")
     for app in FIG1_APPS:
         for ds in BENCH_DATASETS:
             cell = overall_results("nvm_dram", app, ds)
@@ -46,6 +61,7 @@ def fig1b() -> Table:
         columns=["app", "dataset", "t_dram_ms", "t_mcdram_p_ms", "normalized"],
         notes=["paper: up to ~3x; limited MCDRAM capacity caps the gain"],
     )
+    prime_overall_grid("mcdram_dram", FIG1_APPS, benchmark="fig1b")
     for app in FIG1_APPS:
         for ds in BENCH_DATASETS:
             cell = overall_results("mcdram_dram", app, ds)
@@ -70,6 +86,7 @@ def fig5() -> Table:
         ],
         notes=["paper: 1.25x-8.4x improvement over the all-NVM baseline"],
     )
+    prime_overall_grid("nvm_dram", benchmark="fig5")
     for app in BENCH_APPS:
         for ds in BENCH_DATASETS:
             cell = overall_results("nvm_dram", app, ds)
@@ -103,6 +120,7 @@ def fig6() -> Table:
             "datasets that exceed MCDRAM capacity"
         ],
     )
+    prime_overall_grid("mcdram_dram", benchmark="fig6")
     for app in BENCH_APPS:
         for ds in BENCH_DATASETS:
             cell = overall_results("mcdram_dram", app, ds)
@@ -142,6 +160,7 @@ def _data_ratio_table(platform_name: str, title: str, note: str) -> Table:
         columns=["app", "dataset", "data_ratio", "selected_KiB", "total_KiB"],
         notes=[note],
     )
+    prime_overall_grid(platform_name, benchmark=f"data_ratio[{platform_name}]")
     for app in BENCH_APPS:
         for ds in BENCH_DATASETS:
             cell = overall_results(platform_name, app, ds)
@@ -159,8 +178,14 @@ def _data_ratio_table(platform_name: str, title: str, note: str) -> Table:
 EPSILON_SWEEP = (0.02, 0.05, 0.10, 0.18, 0.25, 0.35, 0.5, 0.7, 0.9)
 
 
-def ratio_sweep(platform_name: str, datasets=BENCH_DATASETS) -> Series:
-    """Figs. 9/10: sweep epsilon in Eq. 5 -> (data ratio, BFS time) curves."""
+def ratio_sweep(platform_name: str, datasets=BENCH_DATASETS, *, jobs=None) -> Series:
+    """Figs. 9/10: sweep epsilon in Eq. 5 -> (data ratio, BFS time) curves.
+
+    Every (dataset, epsilon) point and every static endpoint is an
+    independent job, so the whole sweep fans out across the pool; each
+    worker computes a dataset's BFS trace and hit mask once and reuses
+    them for all of that dataset's points it runs.
+    """
     figure = "Figure 9" if platform_name == "nvm_dram" else "Figure 10"
     series = Series(
         title=(
@@ -171,18 +196,50 @@ def ratio_sweep(platform_name: str, datasets=BENCH_DATASETS) -> Series:
         y_label="BFS time (s)",
     )
     platform = bench_platform(platform_name)
+    specs: list[JobSpec] = []
     for ds in datasets:
         factory = app_factory("BFS", ds)
         for eps in EPSILON_SWEEP:
             config = RuntimeConfig(
                 analyzer=AnalyzerConfig(m=4, base_tr_threshold=0.5, epsilon=eps)
             )
-            result = run_atmem(factory, platform, runtime_config=config)
-            series.add_point(ds, result.data_ratio, result.seconds)
+            specs.append(
+                JobSpec(
+                    app=factory,
+                    platform=platform,
+                    flow="atmem",
+                    runtime_config=config,
+                    value=eps,
+                    tag=ds,
+                )
+            )
         # Anchor the curve with the static endpoints.
-        baseline = run_static(factory, platform, "slow")
-        series.add_point(ds, 0.0, baseline.seconds)
+        specs.append(
+            JobSpec(app=factory, platform=platform, flow="static", placement="slow", tag=ds)
+        )
         if platform_name == "nvm_dram":
-            ideal = run_static(factory, platform, "fast")
-            series.add_point(ds, 1.0, ideal.seconds)
+            specs.append(
+                JobSpec(app=factory, platform=platform, flow="static", placement="fast", tag=ds)
+            )
+    n_jobs = resolve_jobs(jobs)
+    pool = ExperimentPool(n_jobs)
+    start = time.perf_counter()
+    results = pool.run(specs)
+    elapsed = time.perf_counter() - start
+    for spec, result in zip(specs, results):
+        if spec.flow == "atmem":
+            series.add_point(spec.tag, result.data_ratio, result.seconds)
+        else:
+            x = 1.0 if spec.placement == "fast" else 0.0
+            series.add_point(spec.tag, x, result.seconds)
+    record_parallel_timing(
+        {
+            "benchmark": f"ratio_sweep[{platform_name}]",
+            "jobs": n_jobs,
+            "mode": pool.last_mode,
+            "cells": len(specs),
+            "scale": bench_scale(),
+            "wall_seconds": round(elapsed, 3),
+        }
+    )
     return series

@@ -1,4 +1,10 @@
-"""One function per paper table (plus the Section 7.4 overhead analysis)."""
+"""One function per paper table (plus the Section 7.4 overhead analysis).
+
+Grid-shaped tables prime their cells through
+:func:`repro.bench.workloads.prime_overall_grid`; Table 4's paired
+ATMem/mbind runs are independent jobs and fan out directly across the
+:class:`repro.sim.parallel.ExperimentPool` (``REPRO_JOBS`` workers).
+"""
 
 from __future__ import annotations
 
@@ -9,9 +15,10 @@ from repro.bench.workloads import (
     app_factory,
     bench_platform,
     overall_results,
+    prime_overall_grid,
 )
 from repro.core.runtime import RuntimeConfig
-from repro.sim.experiment import run_atmem
+from repro.sim.parallel import ExperimentPool, JobSpec
 
 
 def table3() -> Table:
@@ -24,6 +31,7 @@ def table3() -> Table:
             "(slowdown = atmem_time/ideal_time - 1, shown as e.g. 0.25 = 25%)"
         ],
     )
+    prime_overall_grid("nvm_dram", benchmark="table3")
     for app in BENCH_APPS:
         slowdowns = [
             overall_results("nvm_dram", app, ds).slowdown_vs_reference - 1.0
@@ -52,24 +60,42 @@ def table4() -> Table:
             "MCDRAM-DRAM avg 1.72x TLB, 5.32x time"
         ],
     )
+    cells = []
+    specs: list[JobSpec] = []
     for platform_name in ("nvm_dram", "mcdram_dram"):
         platform = bench_platform(platform_name)
         for ds in BENCH_DATASETS:
             factory = app_factory("PR", ds)
-            atmem = run_atmem(factory, platform, count_tlb=True)
-            mbind = run_atmem(
-                factory,
-                platform,
-                runtime_config=RuntimeConfig(migration_mechanism="mbind"),
-                count_tlb=True,
+            cells.append((platform_name, ds))
+            specs.append(
+                JobSpec(
+                    app=factory,
+                    platform=platform,
+                    flow="atmem",
+                    count_tlb=True,
+                    tag=f"{platform_name}/{ds}/atmem",
+                )
             )
-            tlb_ratio = mbind.second_iteration.tlb_misses / max(
-                1, atmem.second_iteration.tlb_misses
+            specs.append(
+                JobSpec(
+                    app=factory,
+                    platform=platform,
+                    flow="atmem",
+                    runtime_config=RuntimeConfig(migration_mechanism="mbind"),
+                    count_tlb=True,
+                    tag=f"{platform_name}/{ds}/mbind",
+                )
             )
-            time_ratio = mbind.migration.seconds / max(
-                1e-12, atmem.migration.seconds
-            )
-            table.add_row(platform_name, ds, tlb_ratio, time_ratio)
+    results = ExperimentPool().run(specs)
+    for i, (platform_name, ds) in enumerate(cells):
+        atmem, mbind = results[2 * i], results[2 * i + 1]
+        tlb_ratio = mbind.second_iteration.tlb_misses / max(
+            1, atmem.second_iteration.tlb_misses
+        )
+        time_ratio = mbind.migration.seconds / max(
+            1e-12, atmem.migration.seconds
+        )
+        table.add_row(platform_name, ds, tlb_ratio, time_ratio)
     return table
 
 
@@ -89,6 +115,9 @@ def overhead_analysis() -> Table:
             "paper: profiling < 10% of the first iteration; most benchmarks "
             "amortize the one-time costs within a few iterations"
         ],
+    )
+    prime_overall_grid(
+        "nvm_dram", datasets=("rmat24", "friendster"), benchmark="overhead_analysis"
     )
     for app in BENCH_APPS:
         for ds in ("rmat24", "friendster"):

@@ -5,6 +5,13 @@ of runs: {5 apps} x {5 datasets} x {baseline, reference, ATMem} on each
 testbed.  ``overall_results`` computes each cell once per process and every
 figure/table renders from the cache.
 
+Whole grids go through :func:`prime_overall_grid`, which fans the cells
+out across the :class:`repro.sim.parallel.ExperimentPool` (``REPRO_JOBS``
+workers, serial when 1) and records the measured wall-clock per batch in
+``BENCH_parallel.json``.  A cell job runs its three placements against one
+shared trace-cache entry, so the app's deterministic trace and LLC hit
+mask are computed once per (app, dataset) rather than once per run.
+
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
 (default 2048, i.e. 1/2048 of the published input sizes; platform capacity
 scaling tracks it automatically).
@@ -13,13 +20,20 @@ scaling tracks it automatically).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.apps import make_app
-from repro.apps.base import GraphApp
 from repro.config import PlatformConfig, platform_by_name
-from repro.graph.datasets import DATASET_NAMES, dataset_by_name
-from repro.sim.experiment import AtMemRunResult, StaticRunResult, run_atmem, run_static
+from repro.graph.datasets import DATASET_NAMES
+from repro.sim.experiment import AtMemRunResult, StaticRunResult
+from repro.sim.parallel import (
+    AppSpec,
+    ExperimentPool,
+    JobSpec,
+    record_parallel_timing,
+    resolve_jobs,
+)
 
 #: Apps in the order of the paper's figures.
 BENCH_APPS = ("BFS", "SSSP", "PR", "BC", "CC")
@@ -52,14 +66,24 @@ def bench_platform(name: str) -> PlatformConfig:
     return platform_by_name(name, scale=max(1, bench_scale() // 2))
 
 
-def app_factory(app_name: str, dataset: str):
-    """A zero-argument factory building a fresh app on the cached dataset."""
-    graph = dataset_by_name(dataset, scale=bench_scale())
+def app_factory(app_name: str, dataset: str) -> AppSpec:
+    """A zero-argument factory building a fresh app on the cached dataset.
 
-    def factory() -> GraphApp:
-        return make_app(app_name, graph, **APP_KWARGS[app_name])
+    Returns a picklable :class:`repro.sim.parallel.AppSpec`, so the same
+    factory drives in-process runs (call it) and pool fan-out (ship it).
+    """
+    return AppSpec.make(
+        app_name, dataset, scale=bench_scale(), **APP_KWARGS[app_name]
+    )
 
-    return factory
+
+def reference_placement(platform_name: str) -> str:
+    """The paper's reference placement for a testbed.
+
+    All-DRAM on the NVM testbed; MCDRAM-preferred (``numactl -p``) on the
+    capacity-limited KNL testbed.
+    """
+    return "fast" if platform_name == "nvm_dram" else "preferred"
 
 
 @dataclass
@@ -84,22 +108,77 @@ class OverallCell:
 _OVERALL_CACHE: dict[tuple[str, str, str], OverallCell] = {}
 
 
+def _cell_spec(platform_name: str, app_name: str, dataset: str) -> JobSpec:
+    return JobSpec(
+        app=app_factory(app_name, dataset),
+        platform=bench_platform(platform_name),
+        flow="cell",
+        placement=reference_placement(platform_name),
+        tag=f"{platform_name}/{app_name}/{dataset}",
+    )
+
+
+def prime_overall_grid(
+    platform_name: str,
+    apps: Sequence[str] = BENCH_APPS,
+    datasets: Iterable[str] = BENCH_DATASETS,
+    *,
+    jobs: int | None = None,
+    benchmark: str | None = None,
+) -> float:
+    """Compute (and cache) every missing cell of a grid, in parallel.
+
+    Returns the wall-clock seconds the batch took and appends a timing
+    record to ``BENCH_parallel.json`` so speedups are measured artifacts,
+    not claims.  Cached cells are skipped; a fully-cached grid costs
+    nothing and records nothing.
+    """
+    pending = [
+        (app, ds)
+        for app in apps
+        for ds in datasets
+        if (platform_name, app, ds) not in _OVERALL_CACHE
+    ]
+    if not pending:
+        return 0.0
+    n_jobs = resolve_jobs(jobs)
+    pool = ExperimentPool(n_jobs)
+    start = time.perf_counter()
+    cells = pool.run([_cell_spec(platform_name, app, ds) for app, ds in pending])
+    elapsed = time.perf_counter() - start
+    for (app, ds), cell in zip(pending, cells):
+        _OVERALL_CACHE[(platform_name, app, ds)] = OverallCell(
+            baseline=cell.baseline, reference=cell.reference, atmem=cell.atmem
+        )
+    record_parallel_timing(
+        {
+            "benchmark": benchmark or f"overall_grid[{platform_name}]",
+            "jobs": n_jobs,
+            "mode": pool.last_mode,
+            "cells": len(pending),
+            "scale": bench_scale(),
+            "wall_seconds": round(elapsed, 3),
+        }
+    )
+    return elapsed
+
+
 def overall_results(platform_name: str, app_name: str, dataset: str) -> OverallCell:
     """Compute (memoised) one cell of the overall grid.
 
     The reference placement follows the paper: all-DRAM on the NVM testbed,
     MCDRAM-preferred (``numactl -p``) on the capacity-limited KNL testbed.
+    Single cells run in-process (one cell cannot fan out), but still share
+    the process trace cache with everything else.
     """
     key = (platform_name, app_name, dataset)
     if key in _OVERALL_CACHE:
         return _OVERALL_CACHE[key]
-    platform = bench_platform(platform_name)
-    factory = app_factory(app_name, dataset)
-    reference_placement = "fast" if platform_name == "nvm_dram" else "preferred"
-    cell = OverallCell(
-        baseline=run_static(factory, platform, "slow"),
-        reference=run_static(factory, platform, reference_placement),
-        atmem=run_atmem(factory, platform),
+    from repro.sim.parallel import execute_job
+
+    cell = execute_job(_cell_spec(platform_name, app_name, dataset))
+    result = OverallCell(
+        baseline=cell.baseline, reference=cell.reference, atmem=cell.atmem
     )
-    _OVERALL_CACHE[key] = cell
-    return cell
+    _OVERALL_CACHE[key] = result
+    return result

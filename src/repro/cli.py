@@ -7,6 +7,11 @@ Subcommands:
 - ``datasets`` — list the Table 2 inputs at a chosen scale;
 - ``sweep`` — the Figure 9/10 epsilon sweep for one dataset;
 - ``migrate`` — the Table 4 mechanism comparison for one dataset.
+
+``run``, ``sweep``, ``migrate``, and ``reproduce`` accept ``--jobs N``
+(defaulting to the ``REPRO_JOBS`` environment variable, then 1) to fan
+independent experiment jobs out across worker processes through
+:class:`repro.sim.parallel.ExperimentPool`.
 """
 
 from __future__ import annotations
@@ -14,12 +19,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps import APP_NAMES, make_app
+from repro.apps import APP_NAMES
 from repro.config import PLATFORM_NAMES, platform_by_name
-from repro.core.analyzer import AnalyzerConfig
 from repro.core.runtime import RuntimeConfig
 from repro.graph.datasets import DATASET_NAMES, PAPER_SIZES, dataset_by_name
-from repro.sim.experiment import run_atmem, run_static
+from repro.sim.parallel import AppSpec, ExperimentPool, JobSpec, execute_job
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -35,16 +39,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--scale", type=int, default=2048,
         help="1/scale of the published input sizes (default: 2048)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for independent jobs "
+             "(default: REPRO_JOBS env, then 1)",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     graph = dataset_by_name(args.dataset, scale=args.scale)
     platform = platform_by_name(args.platform, scale=max(1, args.scale // 2))
-    factory = lambda: make_app(args.app, graph)
     reference = "fast" if args.platform == "nvm_dram" else "preferred"
-    baseline = run_static(factory, platform, "slow")
-    ref = run_static(factory, platform, reference)
-    atmem = run_atmem(factory, platform)
+    spec = JobSpec(
+        app=AppSpec.make(args.app, args.dataset, scale=args.scale),
+        platform=platform,
+        flow="cell",
+        placement=reference,
+        tag=f"cli/{args.app}/{args.dataset}",
+    )
+    cell = execute_job(spec)
+    baseline, ref, atmem = cell.baseline, cell.reference, cell.atmem
     print(f"{args.app} on {args.dataset} ({graph.num_vertices:,} vertices, "
           f"{graph.num_edges:,} edges), platform {platform.name}:")
     print(f"  baseline (all {platform.tiers[platform.slow_tier].name}): "
@@ -71,32 +85,44 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    graph = dataset_by_name(args.dataset, scale=args.scale)
+    from repro.sim.sweep import epsilon_configurator, run_sweep
+
     platform = platform_by_name(args.platform, scale=max(1, args.scale // 2))
-    factory = lambda: make_app("BFS", graph)
-    baseline = run_static(factory, platform, "slow")
+    factory = AppSpec.make("BFS", args.dataset, scale=args.scale)
+    baseline = execute_job(
+        JobSpec(app=factory, platform=platform, flow="static", placement="slow")
+    )
     print(f"BFS/{args.dataset} on {platform.name}; baseline "
           f"{baseline.seconds * 1e3:.3f} ms")
     print(f"{'epsilon':>8s} {'data ratio':>11s} {'time (ms)':>10s}")
-    for eps in (0.02, 0.05, 0.1, 0.18, 0.25, 0.35, 0.5, 0.7, 0.9):
-        config = RuntimeConfig(analyzer=AnalyzerConfig(epsilon=eps))
-        result = run_atmem(factory, platform, runtime_config=config)
-        print(f"{eps:8.2f} {result.data_ratio:11.3f} "
-              f"{result.seconds * 1e3:10.3f}")
+    values = (0.02, 0.05, 0.1, 0.18, 0.25, 0.35, 0.5, 0.7, 0.9)
+    points = run_sweep(
+        factory,
+        platform,
+        values,
+        epsilon_configurator(),
+        label=f"BFS/{args.dataset}",
+        jobs=args.jobs,
+    )
+    for point in points:
+        print(f"{point.value:8.2f} {point.data_ratio:11.3f} "
+              f"{point.seconds * 1e3:10.3f}")
     return 0
 
 
 def cmd_migrate(args: argparse.Namespace) -> int:
-    graph = dataset_by_name(args.dataset, scale=args.scale)
     platform = platform_by_name(args.platform, scale=max(1, args.scale // 2))
-    factory = lambda: make_app("PR", graph, num_sweeps=2)
-    atmem = run_atmem(factory, platform, count_tlb=True)
-    mbind = run_atmem(
-        factory,
-        platform,
-        runtime_config=RuntimeConfig(migration_mechanism="mbind"),
-        count_tlb=True,
-    )
+    factory = AppSpec.make("PR", args.dataset, scale=args.scale, num_sweeps=2)
+    atmem, mbind = ExperimentPool(args.jobs).run([
+        JobSpec(app=factory, platform=platform, flow="atmem", count_tlb=True),
+        JobSpec(
+            app=factory,
+            platform=platform,
+            flow="atmem",
+            runtime_config=RuntimeConfig(migration_mechanism="mbind"),
+            count_tlb=True,
+        ),
+    ])
     print(f"PR/{args.dataset} on {platform.name}: "
           f"{atmem.migration.bytes_moved / 2**20:.2f} MiB migrated")
     print(f"  migration time: mbind {mbind.migration.seconds * 1e6:9.1f} us, "
@@ -127,9 +153,15 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     import os
 
     from repro.bench.report import emit
+    from repro.sim.parallel import JOBS_ENV, PARALLEL_JSON_DEFAULT, PARALLEL_JSON_ENV
 
     if args.scale is not None:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.jobs is not None:
+        os.environ[JOBS_ENV] = str(args.jobs)
+        # Arm wall-clock recording so parallel reproduction runs leave
+        # measured timings behind (BENCH_parallel.json unless overridden).
+        os.environ.setdefault(PARALLEL_JSON_ENV, PARALLEL_JSON_DEFAULT)
     wanted = args.experiments or list(EXPERIMENT_BUILDERS)
     unknown = [e for e in wanted if e not in EXPERIMENT_BUILDERS]
     if unknown:
@@ -200,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--scale", type=int, default=None,
         help="override REPRO_BENCH_SCALE for this run",
+    )
+    rep_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for experiment fan-out (sets REPRO_JOBS)",
     )
     rep_p.set_defaults(func=cmd_reproduce)
 

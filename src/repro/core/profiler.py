@@ -53,9 +53,15 @@ class SamplingProfiler:
         self._gap_buffer = np.empty(0, dtype=np.int64)
         self._gap_pos = 0
         self._profiles: dict[str, ObjectProfile] = {}
+        self._order: list[ObjectProfile] = []
         self._bases: np.ndarray | None = None
         self._ends: np.ndarray | None = None
         self._names: list[str] = []
+        # Flat chunk-index space across the watched objects (VA order):
+        # object i's chunks occupy [_chunk_starts[i], _chunk_starts[i+1]),
+        # and chunk-of-offset is a right shift by _chunk_shifts[i].
+        self._chunk_starts: np.ndarray = np.zeros(1, dtype=np.int64)
+        self._chunk_shifts: np.ndarray = np.zeros(0, dtype=np.int64)
         self._enabled = False
         self._phase = 0  # events until the next sample fires
         self.total_events = 0
@@ -83,9 +89,17 @@ class SamplingProfiler:
             raise RuntimeStateError(f"object {obj.name!r} is already watched")
         self._profiles[obj.name] = ObjectProfile(obj=obj, geometry=geometry)
         order = sorted(self._profiles.values(), key=lambda p: p.obj.base_va)
+        self._order = order
         self._names = [p.obj.name for p in order]
         self._bases = np.array([p.obj.base_va for p in order], dtype=np.int64)
         self._ends = np.array([p.obj.end_va for p in order], dtype=np.int64)
+        n_chunks = np.array([p.geometry.n_chunks for p in order], dtype=np.int64)
+        self._chunk_starts = np.concatenate(
+            ([0], np.cumsum(n_chunks))
+        ).astype(np.int64)
+        self._chunk_shifts = np.array(
+            [p.geometry.chunk_bytes.bit_length() - 1 for p in order], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # sampling
@@ -120,12 +134,41 @@ class SamplingProfiler:
         if pos >= n:
             self._phase = pos - n
             return
-        indices: list[int] = []
+        if self.period == 1:
+            sampled = miss_addrs[pos:]
+            self._phase = 0
+            self.total_samples += int(sampled.size)
+            self._attribute(sampled)
+            return
+        # Vectorised equivalent of `while pos < n: emit(pos); pos += gap()`:
+        # cumulative sums over the buffered gaps give all candidate sample
+        # positions at once.  Gap values are consumed in exactly the order
+        # and batch boundaries of the scalar loop, so the sample sequence
+        # (and every downstream count) is bit-identical.
+        pieces: list[np.ndarray] = []
         while pos < n:
-            indices.append(pos)
-            pos += self._next_gap()
+            if self._gap_pos >= self._gap_buffer.size:
+                self._gap_buffer = self._rng.geometric(
+                    1.0 / self.period, size=self._GAP_BATCH
+                ).astype(np.int64)
+                self._gap_pos = 0
+            gaps = self._gap_buffer[self._gap_pos :]
+            cands = pos + np.concatenate(([0], np.cumsum(gaps)))
+            emit = int(np.searchsorted(cands, n, side="left"))
+            if emit > gaps.size:
+                # Every candidate is in range but the buffer ran dry: the
+                # last candidate's own gap must come from a fresh batch,
+                # so hold it for the next loop turn.
+                pieces.append(cands[:-1])
+                self._gap_pos = self._gap_buffer.size
+                pos = int(cands[-1])
+            else:
+                pieces.append(cands[:emit])
+                self._gap_pos += emit
+                pos = int(cands[emit])
         self._phase = pos - n
-        sampled = miss_addrs[np.array(indices, dtype=np.int64)]
+        indices = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        sampled = miss_addrs[indices]
         self.total_samples += int(sampled.size)
         self._attribute(sampled)
 
@@ -135,14 +178,21 @@ class SamplingProfiler:
         slot = np.searchsorted(self._bases, addrs, side="right") - 1
         valid = slot >= 0
         valid[valid] &= addrs[valid] < self._ends[slot[valid]]
-        for s in np.unique(slot[valid]):
-            profile = self._profiles[self._names[int(s)]]
-            inside = addrs[valid & (slot == s)]
-            offsets = profile.obj.byte_offsets(inside)
-            chunks = profile.geometry.chunk_of_offsets(offsets)
-            profile.sample_counts += np.bincount(
-                chunks, minlength=profile.geometry.n_chunks
-            )
+        slot = slot[valid]
+        addrs = addrs[valid]
+        if addrs.size == 0:
+            return
+        # One global bincount over a flat chunk-index space replaces the
+        # per-object mask/unique passes; per-chunk byte offsets reduce to
+        # a shift because chunk sizes are powers of two.
+        flat = self._chunk_starts[slot] + (
+            (addrs - self._bases[slot]) >> self._chunk_shifts[slot]
+        )
+        counts = np.bincount(flat, minlength=int(self._chunk_starts[-1]))
+        for i, profile in enumerate(self._order):
+            profile.sample_counts += counts[
+                self._chunk_starts[i] : self._chunk_starts[i + 1]
+            ]
 
     # ------------------------------------------------------------------
     # results

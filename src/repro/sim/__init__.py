@@ -6,6 +6,10 @@
   placements (all-slow baseline, all-fast ideal, preferred), the full ATMem
   two-iteration flow, and the coarse-grained whole-object baseline.
 - :mod:`repro.sim.metrics` — small result containers and derived metrics.
+- :mod:`repro.sim.parallel` — the parallel experiment engine: picklable
+  job specs fanned out across a process pool, with serial fallback.
+- :mod:`repro.sim.tracecache` — content-keyed cache reusing deterministic
+  traces and LLC hit masks across placements and sweep points.
 """
 
 from repro.sim.executor import TraceExecutor
@@ -17,13 +21,34 @@ from repro.sim.experiment import (
     run_static,
 )
 from repro.sim.metrics import RunCost
+from repro.sim.parallel import (
+    AppSpec,
+    CellResult,
+    ExperimentJobError,
+    ExperimentPool,
+    JobSpec,
+    execute_job,
+    resolve_jobs,
+    run_jobs,
+)
+from repro.sim.tracecache import TraceCache, process_trace_cache
 
 __all__ = [
+    "AppSpec",
     "AtMemRunResult",
+    "CellResult",
+    "ExperimentJobError",
+    "ExperimentPool",
+    "JobSpec",
     "RunCost",
     "StaticRunResult",
+    "TraceCache",
     "TraceExecutor",
+    "execute_job",
+    "process_trace_cache",
+    "resolve_jobs",
     "run_atmem",
     "run_coarse_grained",
+    "run_jobs",
     "run_static",
 ]

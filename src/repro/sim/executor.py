@@ -91,13 +91,22 @@ class TraceExecutor:
         trace: AccessTrace,
         *,
         miss_observer: MissObserver | None = None,
+        hits: np.ndarray | None = None,
     ) -> RunCost:
-        """Simulate one application run described by ``trace``."""
+        """Simulate one application run described by ``trace``.
+
+        ``hits`` optionally supplies a precomputed LLC hit mask for the
+        trace (one bool per access, program order) — the mask is a pure
+        function of the address stream and the LLC geometry, so callers
+        that run the same trace repeatedly (see
+        :mod:`repro.sim.tracecache`) can solve the working-set model once.
+        """
         system = self.system
         cost = RunCost()
         if not len(trace):
             return cost
-        hits = system.llc.hit_mask(trace.all_addresses())
+        if hits is None:
+            hits = system.llc.hit_mask(trace.all_addresses())
         offset = 0
         for phase in trace:
             n = len(phase)

@@ -29,10 +29,39 @@ from repro.core.migration import MigrationStats, MultiStageMigrator
 from repro.core.runtime import AtMemRuntime, RuntimeConfig
 from repro.errors import ConfigurationError
 from repro.mem.address_space import PAGE_SIZE
+from repro.mem.trace import AccessTrace
 from repro.sim.executor import TraceExecutor
 from repro.sim.metrics import RunCost
+from repro.sim.tracecache import TraceCache
 
 PLACEMENTS = ("slow", "fast", "preferred", "interleave")
+
+
+class _RunPlan:
+    """Trace + hit-mask supplier for one flow's two iterations.
+
+    Without a cache this regenerates the trace per iteration (the legacy
+    behaviour, correct for any app).  With a cache, the trace and its LLC
+    hit mask are computed once per content key and shared across
+    iterations, placements, and sweep points — valid because ``run_once``
+    is contractually idempotent and virtual addresses are assigned
+    deterministically in registration order (verified by
+    ``tests/test_sim_tracecache.py``).
+    """
+
+    def __init__(self, app: GraphApp, system, cache: TraceCache | None, key) -> None:
+        self._app = app
+        self._system = system
+        self._cache = cache if key is not None else None
+        self._key = key
+
+    def next_run(self) -> tuple[AccessTrace, np.ndarray | None]:
+        """The (trace, hits) pair for the next iteration."""
+        if self._cache is None:
+            return self._app.run_once(), None
+        trace = self._cache.trace(self._key, self._app.run_once)
+        hits = self._cache.hit_mask(self._key, self._system.llc, trace)
+        return trace, hits
 
 
 @dataclass
@@ -112,6 +141,8 @@ def run_static(
     placement: str,
     *,
     count_tlb: bool = False,
+    trace_cache: TraceCache | None = None,
+    trace_key=None,
 ) -> StaticRunResult:
     """Run an app twice under a fixed placement; report the second iteration."""
     system = platform.build_system()
@@ -119,8 +150,11 @@ def run_static(
     app = app_factory()
     _register_static(app, runtime, placement)
     executor = TraceExecutor(system, count_tlb=count_tlb)
-    first = executor.run(app.run_once())
-    second = executor.run(app.run_once())
+    plan = _RunPlan(app, system, trace_cache, trace_key)
+    trace, hits = plan.next_run()
+    first = executor.run(trace, hits=hits)
+    trace, hits = plan.next_run()
+    second = executor.run(trace, hits=hits)
     return StaticRunResult(
         placement=placement,
         first_iteration=first,
@@ -135,6 +169,8 @@ def run_atmem(
     *,
     runtime_config: RuntimeConfig | None = None,
     count_tlb: bool = False,
+    trace_cache: TraceCache | None = None,
+    trace_key=None,
 ) -> AtMemRunResult:
     """The full ATMem flow (paper Section 6 methodology).
 
@@ -146,12 +182,15 @@ def run_atmem(
     app = app_factory()
     app.register(runtime)
     executor = TraceExecutor(system, count_tlb=count_tlb)
+    plan = _RunPlan(app, system, trace_cache, trace_key)
 
     runtime.atmem_profiling_start()
-    first = executor.run(app.run_once(), miss_observer=runtime)
+    trace, hits = plan.next_run()
+    first = executor.run(trace, miss_observer=runtime, hits=hits)
     runtime.atmem_profiling_stop()
     decision, migration = runtime.atmem_optimize()
-    second = executor.run(app.run_once())
+    trace, hits = plan.next_run()
+    second = executor.run(trace, hits=hits)
     return AtMemRunResult(
         first_iteration=first,
         second_iteration=second,
@@ -165,6 +204,9 @@ def run_atmem(
 def run_coarse_grained(
     app_factory: Callable[[], GraphApp],
     platform: PlatformConfig,
+    *,
+    trace_cache: TraceCache | None = None,
+    trace_key=None,
 ) -> AtMemRunResult:
     """Whole-data-structure placement baseline (Tahoe-style).
 
@@ -177,9 +219,11 @@ def run_coarse_grained(
     app = app_factory()
     app.register(runtime)
     executor = TraceExecutor(system)
+    plan = _RunPlan(app, system, trace_cache, trace_key)
 
     runtime.atmem_profiling_start()
-    first = executor.run(app.run_once(), miss_observer=runtime)
+    trace, hits = plan.next_run()
+    first = executor.run(trace, miss_observer=runtime, hits=hits)
     runtime.atmem_profiling_stop()
 
     profiler = runtime.profiler
@@ -208,7 +252,8 @@ def run_coarse_grained(
     decision = analyzer.analyze(
         counts, runtime.geometries, sampling_period=profiler.period
     )
-    second = executor.run(app.run_once())
+    trace, hits = plan.next_run()
+    second = executor.run(trace, hits=hits)
     return AtMemRunResult(
         first_iteration=first,
         second_iteration=second,

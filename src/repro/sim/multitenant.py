@@ -83,12 +83,20 @@ class MultiTenantHost:
         server dynamics the paper describes.
         """
         results: dict[str, TenantResult] = {}
-        # Phase 1: everyone profiles on the baseline placement.
+        # Phase 1: everyone profiles on the baseline placement.  Each
+        # tenant's trace and LLC hit mask are kept for phase 3: run_once
+        # is contractually idempotent and the hit mask depends only on
+        # the address stream, so the measured iteration reuses both
+        # instead of recomputing them.
         baselines: dict[str, RunCost] = {}
+        plans: dict[str, tuple] = {}
         for name, app, runtime in self._tenants:
             runtime.atmem_profiling_start()
+            trace = app.run_once()
+            hits = self.system.llc.hit_mask(trace.all_addresses())
+            plans[name] = (trace, hits)
             baselines[name] = self.executor.run(
-                app.run_once(), miss_observer=runtime
+                trace, miss_observer=runtime, hits=hits
             )
             runtime.atmem_profiling_stop()
         # Phase 2: optimize in admission order (first come, first placed).
@@ -96,7 +104,8 @@ class MultiTenantHost:
             runtime.atmem_optimize()
         # Phase 3: everyone measures on the final shared placement.
         for name, app, runtime in self._tenants:
-            optimized = self.executor.run(app.run_once())
+            trace, hits = plans[name]
+            optimized = self.executor.run(trace, hits=hits)
             results[name] = TenantResult(
                 name=name,
                 baseline=baselines[name],
@@ -120,3 +129,33 @@ class MultiTenantHost:
     def fast_tier_used_bytes(self) -> int:
         """Fast memory in use across all tenants."""
         return self.system.allocators[self.system.fast_tier].used_bytes
+
+
+def run_scenarios(
+    scenarios,
+    platform: PlatformConfig,
+    *,
+    runtime_config: RuntimeConfig | None = None,
+    jobs: int | None = None,
+) -> list[dict[str, TenantResult]]:
+    """Run independent shared-host scenarios, fanned out across workers.
+
+    Each scenario is a sequence of ``(tenant_name, AppSpec)`` pairs; every
+    scenario gets its own host (its own memory system), so scenarios are
+    independent cells and parallelise through
+    :class:`repro.sim.parallel.ExperimentPool` behind the ``jobs`` /
+    ``REPRO_JOBS`` knob.  Results come back in scenario order.
+    """
+    from repro.sim.parallel import ExperimentPool, JobSpec
+
+    specs = [
+        JobSpec(
+            app=None,
+            platform=platform,
+            flow="multitenant",
+            runtime_config=runtime_config,
+            tenants=tuple(scenario),
+        )
+        for scenario in scenarios
+    ]
+    return ExperimentPool(jobs).run(specs)

@@ -1,0 +1,396 @@
+"""Parallel experiment engine: process-pool fan-out of experiment cells.
+
+The paper's evaluation is a large grid — apps x datasets x placements,
+plus parameter sweeps — and every cell is *independent*: it builds its own
+simulated memory system, registers a fresh application, and reports its
+own result.  This module fans those cells out across worker processes:
+
+- :class:`AppSpec` — a picklable, callable recipe for an application
+  (app name, dataset name, scale, constructor kwargs).  It satisfies the
+  ``app_factory`` contract of :mod:`repro.sim.experiment`, so the same
+  object drives serial and parallel runs.
+- :class:`JobSpec` — one experiment cell: an app spec, a platform, a flow
+  (``static`` / ``atmem`` / ``coarse`` / ``cell`` / ``multitenant``), and
+  the cell's knobs.  Specs are frozen, hashable, and picklable.
+- :class:`ExperimentPool` — runs a batch of specs on a
+  ``ProcessPoolExecutor``, collecting results in submission order.  A
+  worker failure surfaces as :class:`ExperimentJobError` with the failing
+  spec attached.  ``max_workers=1`` (or a pool that cannot start) falls
+  back to in-process serial execution of the *same* job path.
+
+Determinism: every job runs :func:`execute_job`, which seeds NumPy's
+global RNG from the spec's content hash before executing, and all model
+randomness (sampling profiler, dataset generators) is already locally
+seeded.  Workers share no mutable state — each process keeps its own
+memoised datasets and :class:`repro.sim.tracecache.TraceCache` — so a
+parallel grid is bit-identical to a serial one (see
+``tests/test_sim_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import traceback
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.config import PlatformConfig
+from repro.core.runtime import RuntimeConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.sim.experiment import (
+    AtMemRunResult,
+    StaticRunResult,
+    run_atmem,
+    run_coarse_grained,
+    run_static,
+)
+from repro.sim.tracecache import TraceCache, process_trace_cache
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable overriding where wall-clock timings are recorded.
+PARALLEL_JSON_ENV = "REPRO_PARALLEL_JSON"
+
+#: Default timing-record file (relative to the current directory).
+PARALLEL_JSON_DEFAULT = "BENCH_parallel.json"
+
+FLOWS = ("static", "atmem", "coarse", "cell", "multitenant")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: explicit arg, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(JOBS_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    return 1
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppSpec:
+    """Picklable application recipe; calling it instantiates the app.
+
+    Datasets are resolved by name in whatever process the spec is called
+    in (memoised per process by :mod:`repro.graph.datasets`), so shipping
+    an ``AppSpec`` to a worker costs a few hundred bytes, not a graph.
+    """
+
+    app: str
+    dataset: str
+    scale: int = 1024
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    dataset_seed: int = 7
+
+    @classmethod
+    def make(
+        cls, app: str, dataset: str, *, scale: int = 1024, dataset_seed: int = 7, **kwargs
+    ) -> "AppSpec":
+        """Build a spec from plain constructor kwargs."""
+        return cls(
+            app=app,
+            dataset=dataset,
+            scale=scale,
+            dataset_seed=dataset_seed,
+            kwargs=tuple(sorted(kwargs.items())),
+        )
+
+    def __call__(self):
+        from repro.apps import make_app
+        from repro.graph.datasets import dataset_by_name
+
+        graph = dataset_by_name(self.dataset, scale=self.scale, seed=self.dataset_seed)
+        return make_app(self.app, graph, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment cell, fully described by picklable values.
+
+    ``flow`` selects the experiment:
+
+    - ``"static"`` — :func:`repro.sim.experiment.run_static` under
+      ``placement``;
+    - ``"atmem"`` — the full ATMem flow with ``runtime_config``;
+    - ``"coarse"`` — the whole-object baseline;
+    - ``"cell"`` — one overall-grid cell: baseline (all-slow), reference
+      (``placement``), and ATMem, sharing one trace-cache entry;
+    - ``"multitenant"`` — a shared-host scenario over ``tenants``.
+
+    ``value`` and ``tag`` are caller bookkeeping (sweep coordinate, series
+    label) carried through untouched.
+    """
+
+    app: AppSpec | None
+    platform: PlatformConfig
+    flow: str = "atmem"
+    placement: str = "slow"
+    runtime_config: RuntimeConfig | None = None
+    count_tlb: bool = False
+    value: float | None = None
+    seed: int | None = None
+    tag: str = ""
+    tenants: tuple[tuple[str, AppSpec], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.flow not in FLOWS:
+            raise ConfigurationError(
+                f"unknown flow {self.flow!r}; expected one of {FLOWS}"
+            )
+        if self.flow == "multitenant":
+            if not self.tenants:
+                raise ConfigurationError("multitenant flow requires tenants")
+        elif self.app is None:
+            raise ConfigurationError(f"flow {self.flow!r} requires an app spec")
+
+    def trace_key(self) -> tuple:
+        """Content key of the app's deterministic access trace."""
+        app = self.app
+        if app is None:
+            return ("multitenant", self.tenants)
+        return (app.app, app.dataset, app.scale, app.kwargs, app.dataset_seed)
+
+    def job_seed(self) -> int:
+        """Deterministic per-job seed, independent of scheduling order."""
+        if self.seed is not None:
+            return self.seed
+        blob = repr(
+            (
+                self.trace_key(),
+                self.platform.name,
+                self.flow,
+                self.placement,
+                self.runtime_config,
+                self.count_tlb,
+                self.value,
+                self.tag,
+            )
+        ).encode()
+        return zlib.crc32(blob)
+
+
+@dataclass
+class CellResult:
+    """Baseline / reference / ATMem triple for one overall-grid cell."""
+
+    baseline: StaticRunResult
+    reference: StaticRunResult
+    atmem: AtMemRunResult
+
+    @property
+    def speedup(self) -> float:
+        """ATMem speedup over the all-slow baseline."""
+        return self.baseline.seconds / self.atmem.seconds
+
+    @property
+    def slowdown_vs_reference(self) -> float:
+        """ATMem time relative to the reference placement."""
+        return self.atmem.seconds / self.reference.seconds
+
+
+class ExperimentJobError(ReproError):
+    """A worker failed; carries the failing spec and the worker traceback."""
+
+    def __init__(self, spec: JobSpec, kind: str, message: str, worker_tb: str = "") -> None:
+        self.spec = spec
+        self.kind = kind
+        self.worker_traceback = worker_tb
+        super().__init__(f"experiment job failed ({kind}: {message}) for spec {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# job execution (shared by workers and the serial fallback)
+# ----------------------------------------------------------------------
+def execute_job(spec: JobSpec, *, trace_cache: TraceCache | None = None):
+    """Run one job in the current process.
+
+    Seeds the global NumPy RNG from the spec content first, so any code
+    that (incorrectly) reaches for global randomness still behaves
+    identically regardless of which worker runs the job or in what order.
+    """
+    np.random.seed(spec.job_seed() & 0x7FFFFFFF)
+    cache = process_trace_cache() if trace_cache is None else trace_cache
+    key = spec.trace_key()
+    if spec.flow == "static":
+        return run_static(
+            spec.app,
+            spec.platform,
+            spec.placement,
+            count_tlb=spec.count_tlb,
+            trace_cache=cache,
+            trace_key=key,
+        )
+    if spec.flow == "atmem":
+        return run_atmem(
+            spec.app,
+            spec.platform,
+            runtime_config=spec.runtime_config,
+            count_tlb=spec.count_tlb,
+            trace_cache=cache,
+            trace_key=key,
+        )
+    if spec.flow == "coarse":
+        return run_coarse_grained(
+            spec.app, spec.platform, trace_cache=cache, trace_key=key
+        )
+    if spec.flow == "cell":
+        return CellResult(
+            baseline=run_static(
+                spec.app, spec.platform, "slow",
+                count_tlb=spec.count_tlb, trace_cache=cache, trace_key=key,
+            ),
+            reference=run_static(
+                spec.app, spec.platform, spec.placement,
+                count_tlb=spec.count_tlb, trace_cache=cache, trace_key=key,
+            ),
+            atmem=run_atmem(
+                spec.app, spec.platform,
+                runtime_config=spec.runtime_config,
+                count_tlb=spec.count_tlb, trace_cache=cache, trace_key=key,
+            ),
+        )
+    # multitenant: imported lazily to avoid a module cycle.
+    from repro.sim.multitenant import MultiTenantHost
+
+    host = MultiTenantHost(
+        spec.platform, runtime_config=spec.runtime_config or RuntimeConfig()
+    )
+    for name, app_spec in spec.tenants:
+        host.admit(name, app_spec)
+    return host.run()
+
+
+def _pool_entry(spec: JobSpec):
+    """Worker-side wrapper: never lets an exception cross unpickled."""
+    try:
+        return ("ok", execute_job(spec))
+    except Exception as exc:  # noqa: BLE001 — re-raised with spec in parent
+        return ("err", type(exc).__name__, str(exc), traceback.format_exc())
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class ExperimentPool:
+    """Fan a batch of :class:`JobSpec` out across worker processes.
+
+    Results come back in submission order.  With ``max_workers=1``, a
+    single-spec batch, or a pool that fails to start (sandboxed
+    environments, missing semaphores), execution degrades to an in-process
+    serial loop over the *same* :func:`execute_job` path, so results are
+    identical either way.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = resolve_jobs(max_workers)
+        #: Filled after each :meth:`run`: how the batch actually executed.
+        self.last_mode: str = "unstarted"
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> list:
+        """Execute every spec; return their results in order."""
+        specs = list(specs)
+        if not specs:
+            self.last_mode = "empty"
+            return []
+        workers = min(self.max_workers, len(specs))
+        if workers <= 1:
+            return self._run_serial(specs)
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._mp_context()
+            )
+        except (OSError, ValueError, PermissionError):
+            return self._run_serial(specs)
+        try:
+            with executor:
+                futures = [executor.submit(_pool_entry, s) for s in specs]
+                results = []
+                for spec, future in zip(specs, futures):
+                    payload = future.result()
+                    if payload[0] == "err":
+                        _, kind, message, worker_tb = payload
+                        raise ExperimentJobError(spec, kind, message, worker_tb)
+                    results.append(payload[1])
+        except BrokenProcessPool:
+            # The pool died before producing results (fork bombs out in
+            # some sandboxes); the jobs themselves are side-effect free,
+            # so rerunning serially is safe.
+            return self._run_serial(specs)
+        self.last_mode = f"parallel[{workers}]"
+        return results
+
+    def _run_serial(self, specs: Sequence[JobSpec]) -> list:
+        self.last_mode = "serial"
+        return [execute_job(spec) for spec in specs]
+
+    @staticmethod
+    def _mp_context():
+        # fork shares the parent's memoised datasets copy-on-write, which
+        # avoids regenerating graphs per worker; fall back to the platform
+        # default where fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_jobs(specs: Sequence[JobSpec], jobs: int | None = None) -> list:
+    """One-shot convenience: ``ExperimentPool(jobs).run(specs)``."""
+    return ExperimentPool(jobs).run(specs)
+
+
+# ----------------------------------------------------------------------
+# wall-clock bookkeeping
+# ----------------------------------------------------------------------
+def parallel_json_path(path: str | Path | None = None) -> Path | None:
+    """Where harness wall-clock timings are recorded (``None``: disabled).
+
+    Recording is armed by an explicit path or by ``REPRO_PARALLEL_JSON``
+    (the benchmark harness and ``repro reproduce --jobs`` arm it); plain
+    unit-test runs leave no timing files behind.
+    """
+    if path is not None:
+        return Path(path)
+    env = os.environ.get(PARALLEL_JSON_ENV)
+    return Path(env) if env else None
+
+
+def record_parallel_timing(entry: dict, path: str | Path | None = None) -> Path | None:
+    """Append one timing record to ``BENCH_parallel.json`` (best effort).
+
+    The file holds a JSON list of records ``{"benchmark", "jobs", "cells",
+    "wall_seconds", ...}`` so speedups are measured, not asserted.
+    """
+    target = parallel_json_path(path)
+    if target is None:
+        return None
+    records: list = []
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text(encoding="utf-8"))
+            if isinstance(existing, list):
+                records = existing
+        except (OSError, json.JSONDecodeError):
+            records = []
+    records.append(entry)
+    try:
+        target.write_text(json.dumps(records, indent=2) + "\n", encoding="utf-8")
+    except OSError:
+        pass
+    return target

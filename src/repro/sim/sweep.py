@@ -8,22 +8,30 @@ and is what the figure builders and the sensitivity example are built on.
 
 A sweep point is produced by rebuilding the runtime config through a
 user-supplied ``configure(value)`` function, so any knob reachable from
-:class:`repro.core.runtime.RuntimeConfig` can be swept.
+:class:`repro.core.runtime.RuntimeConfig` can be swept.  Configurators
+derive each point's config with :func:`dataclasses.replace`, so new
+config fields ride along automatically instead of being silently dropped.
+
+Sweeps parallelise: when the app factory is a picklable
+:class:`repro.sim.parallel.AppSpec`, the points fan out across an
+:class:`repro.sim.parallel.ExperimentPool` (``jobs`` argument, or the
+``REPRO_JOBS`` environment variable), and each worker reuses the app's
+deterministic trace across its points via the per-process trace cache.
+Arbitrary callables still run serially in-process.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.apps.base import GraphApp
 from repro.bench.report import Series
 from repro.config import PlatformConfig
-from repro.core.analyzer import AnalyzerConfig
-from repro.core.chunks import ChunkingPolicy
 from repro.core.runtime import RuntimeConfig
-from repro.core.sampling import SamplingConfig
 from repro.sim.experiment import AtMemRunResult, run_atmem
+from repro.sim.parallel import AppSpec, ExperimentPool, JobSpec, resolve_jobs
 
 
 @dataclass
@@ -32,6 +40,7 @@ class SweepPoint:
 
     value: float
     result: AtMemRunResult
+    label: str = "sweep"
 
     @property
     def data_ratio(self) -> float:
@@ -49,13 +58,37 @@ def run_sweep(
     configure: Callable[[float], RuntimeConfig],
     *,
     label: str = "sweep",
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
-    """Run the ATMem flow once per parameter value."""
-    points = []
-    for value in values:
-        result = run_atmem(app_factory, platform, runtime_config=configure(value))
-        points.append(SweepPoint(value=float(value), result=result))
-    return points
+    """Run the ATMem flow once per parameter value.
+
+    ``label`` tags every returned point (and flows into
+    :func:`to_series`); ``jobs`` fans the points out across worker
+    processes when the factory is an :class:`~repro.sim.parallel.AppSpec`.
+    """
+    values = [float(v) for v in values]
+    if isinstance(app_factory, AppSpec):
+        specs = [
+            JobSpec(
+                app=app_factory,
+                platform=platform,
+                flow="atmem",
+                runtime_config=configure(value),
+                value=value,
+                tag=label,
+            )
+            for value in values
+        ]
+        results = ExperimentPool(resolve_jobs(jobs)).run(specs)
+    else:
+        results = [
+            run_atmem(app_factory, platform, runtime_config=configure(value))
+            for value in values
+        ]
+    return [
+        SweepPoint(value=value, result=result, label=label)
+        for value, result in zip(values, results)
+    ]
 
 
 def to_series(
@@ -64,12 +97,20 @@ def to_series(
     title: str,
     x: str = "value",
     y: str = "seconds",
-    label: str = "sweep",
+    label: str | None = None,
 ) -> Series:
-    """Render sweep points as a Series; x/y pick SweepPoint attributes."""
+    """Render sweep points as a Series; x/y pick SweepPoint attributes.
+
+    Points group under their own ``label`` unless an explicit ``label``
+    overrides it for the whole series.
+    """
     series = Series(title=title, x_label=x, y_label=y)
     for p in points:
-        series.add_point(label, getattr(p, x) if x != "value" else p.value, getattr(p, y))
+        series.add_point(
+            label if label is not None else p.label,
+            getattr(p, x) if x != "value" else p.value,
+            getattr(p, y),
+        )
     return series
 
 
@@ -81,18 +122,8 @@ def epsilon_configurator(base: RuntimeConfig | None = None):
     base = base or RuntimeConfig()
 
     def configure(value: float) -> RuntimeConfig:
-        analyzer = AnalyzerConfig(
-            m=base.analyzer.m,
-            base_tr_threshold=base.analyzer.base_tr_threshold,
-            epsilon=float(value),
-            enable_promotion=base.analyzer.enable_promotion,
-            local=base.analyzer.local,
-        )
-        return RuntimeConfig(
-            chunking=base.chunking,
-            analyzer=analyzer,
-            sampling=base.sampling,
-            migration_mechanism=base.migration_mechanism,
+        return dataclasses.replace(
+            base, analyzer=dataclasses.replace(base.analyzer, epsilon=float(value))
         )
 
     return configure
@@ -103,18 +134,8 @@ def arity_configurator(base: RuntimeConfig | None = None):
     base = base or RuntimeConfig()
 
     def configure(value: float) -> RuntimeConfig:
-        analyzer = AnalyzerConfig(
-            m=int(value),
-            base_tr_threshold=base.analyzer.base_tr_threshold,
-            epsilon=base.analyzer.epsilon,
-            enable_promotion=base.analyzer.enable_promotion,
-            local=base.analyzer.local,
-        )
-        return RuntimeConfig(
-            chunking=base.chunking,
-            analyzer=analyzer,
-            sampling=base.sampling,
-            migration_mechanism=base.migration_mechanism,
+        return dataclasses.replace(
+            base, analyzer=dataclasses.replace(base.analyzer, m=int(value))
         )
 
     return configure
@@ -125,14 +146,8 @@ def chunk_cap_configurator(base: RuntimeConfig | None = None):
     base = base or RuntimeConfig()
 
     def configure(value: float) -> RuntimeConfig:
-        return RuntimeConfig(
-            chunking=ChunkingPolicy(
-                max_chunks=int(value),
-                min_chunk_bytes=base.chunking.min_chunk_bytes,
-            ),
-            analyzer=base.analyzer,
-            sampling=base.sampling,
-            migration_mechanism=base.migration_mechanism,
+        return dataclasses.replace(
+            base, chunking=dataclasses.replace(base.chunking, max_chunks=int(value))
         )
 
     return configure
@@ -143,17 +158,11 @@ def sampling_budget_configurator(base: RuntimeConfig | None = None):
     base = base or RuntimeConfig()
 
     def configure(value: float) -> RuntimeConfig:
-        return RuntimeConfig(
-            chunking=base.chunking,
-            analyzer=base.analyzer,
-            sampling=SamplingConfig(
-                samples_per_chunk=float(value),
-                reuse_factor=base.sampling.reuse_factor,
-                min_period=base.sampling.min_period,
-                max_period=base.sampling.max_period,
-                per_sample_overhead_ns=base.sampling.per_sample_overhead_ns,
+        return dataclasses.replace(
+            base,
+            sampling=dataclasses.replace(
+                base.sampling, samples_per_chunk=float(value)
             ),
-            migration_mechanism=base.migration_mechanism,
         )
 
     return configure

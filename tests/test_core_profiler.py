@@ -132,3 +132,59 @@ class TestSampling:
         profiler.start()
         profiler.feed(np.empty(0, dtype=np.int64))
         assert profiler.total_events == 0
+
+
+def _reference_attribute(profiler, addrs):
+    """The pre-vectorisation per-slot loop, kept as the parity oracle."""
+    counts = {name: np.zeros_like(p.sample_counts)
+              for name, p in profiler._profiles.items()}
+    for name, profile in profiler._profiles.items():
+        obj, geometry = profile.obj, profile.geometry
+        inside = addrs[(addrs >= obj.base_va) & (addrs < obj.end_va)]
+        chunk_ids = geometry.chunk_of_offsets(inside - obj.base_va)
+        ids, per_chunk = np.unique(chunk_ids, return_counts=True)
+        counts[name][ids] += per_chunk
+    return counts
+
+
+class TestVectorizedAttribution:
+    """The bincount-based _attribute must match the old per-slot loop."""
+
+    def _objects(self):
+        return [
+            make_object("lo", 4, 0x10000000),
+            make_object("mid", 8, 0x20000000),
+            make_object("hi", 2, 0x30000000),
+        ]
+
+    def _mixed_addresses(self, objects, rng):
+        parts = [
+            obj.base_va + rng.integers(0, obj.nbytes, size=400) for obj in objects
+        ]
+        # Plus strays below, between, and above the watched ranges.
+        parts.append(np.array([0x100, 0x18000000, 0x40000000], dtype=np.int64))
+        addrs = np.concatenate(parts).astype(np.int64)
+        rng.shuffle(addrs)
+        return addrs
+
+    def test_counts_identical_to_reference_loop(self):
+        objects = self._objects()
+        profiler = make_profiler(1, objects)
+        addrs = self._mixed_addresses(objects, np.random.default_rng(42))
+        expected = _reference_attribute(profiler, addrs)
+        profiler.start()
+        profiler.feed(addrs)
+        for name, counts in profiler.estimated_miss_counts().items():
+            np.testing.assert_array_equal(counts, expected[name], err_msg=name)
+
+    def test_counts_identical_across_many_batches(self):
+        objects = self._objects()
+        profiler = make_profiler(1, objects)
+        rng = np.random.default_rng(7)
+        addrs = self._mixed_addresses(objects, rng)
+        expected = _reference_attribute(profiler, addrs)
+        profiler.start()
+        for part in np.array_split(addrs, 11):
+            profiler.feed(part)
+        for name, counts in profiler.estimated_miss_counts().items():
+            np.testing.assert_array_equal(counts, expected[name], err_msg=name)

@@ -1,0 +1,150 @@
+"""Parallel experiment engine: parity with serial, errors, determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.errors import ConfigurationError
+from repro.sim.parallel import (
+    AppSpec,
+    ExperimentJobError,
+    ExperimentPool,
+    JobSpec,
+    execute_job,
+    resolve_jobs,
+    run_jobs,
+)
+
+#: Huge divisor -> every dataset collapses to its floor size; jobs stay tiny.
+TINY = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return nvm_dram_testbed(scale=512)
+
+
+def _grid_specs(platform):
+    return [
+        JobSpec(
+            app=AppSpec.make(app, ds, scale=TINY),
+            platform=platform,
+            flow="cell",
+            placement="fast",
+            tag=f"{app}/{ds}",
+        )
+        for app in ("BFS", "PR")
+        for ds in ("twitter", "rmat24")
+    ]
+
+
+class TestParitySerialVsParallel:
+    def test_pool_matches_serial_exactly(self, platform):
+        """The tentpole invariant: fan-out must not change a single bit."""
+        specs = _grid_specs(platform)
+        parallel_pool = ExperimentPool(max_workers=4)
+        parallel = parallel_pool.run(specs)
+        serial_pool = ExperimentPool(max_workers=1)
+        serial = serial_pool.run(specs)
+        assert serial_pool.last_mode == "serial"
+        assert len(parallel) == len(serial) == len(specs)
+        for spec, par, ser in zip(specs, parallel, serial):
+            assert par.baseline.seconds == ser.baseline.seconds, spec.tag
+            assert par.reference.seconds == ser.reference.seconds, spec.tag
+            assert par.atmem.seconds == ser.atmem.seconds, spec.tag
+            assert par.atmem.data_ratio == ser.atmem.data_ratio, spec.tag
+            assert (
+                par.atmem.migration.bytes_moved == ser.atmem.migration.bytes_moved
+            ), spec.tag
+            assert par.atmem.migration.seconds == ser.atmem.migration.seconds, spec.tag
+            assert (
+                par.atmem.migration.pages_touched == ser.atmem.migration.pages_touched
+            ), spec.tag
+
+    def test_results_come_back_in_submission_order(self, platform):
+        specs = _grid_specs(platform)
+        results = run_jobs(specs, jobs=2)
+        for spec, result in zip(specs, results):
+            direct = execute_job(spec)
+            assert result.atmem.seconds == direct.atmem.seconds, spec.tag
+
+
+class TestErrorPropagation:
+    def test_worker_exception_carries_its_spec(self, platform):
+        """A failing job surfaces as ExperimentJobError with the spec attached."""
+        bad = JobSpec(
+            app=AppSpec.make("PR", "twitter", scale=TINY, bogus_kwarg=1),
+            platform=platform,
+            flow="atmem",
+            tag="doomed",
+        )
+        good = _grid_specs(platform)[0]
+        with pytest.raises(ExperimentJobError) as excinfo:
+            ExperimentPool(max_workers=2).run([good, bad])
+        err = excinfo.value
+        assert err.spec is bad
+        assert err.spec.tag == "doomed"
+        assert err.kind  # the worker-side exception type name
+        assert "bogus_kwarg" in str(err) or "bogus_kwarg" in err.worker_traceback
+
+    def test_unknown_flow_rejected_at_construction(self, platform):
+        with pytest.raises(ConfigurationError):
+            JobSpec(
+                app=AppSpec.make("PR", "twitter", scale=TINY),
+                platform=platform,
+                flow="warp",
+            )
+
+    def test_multitenant_flow_requires_tenants(self, platform):
+        with pytest.raises(ConfigurationError):
+            JobSpec(app=None, platform=platform, flow="multitenant")
+
+
+class TestDeterministicSeeding:
+    def test_job_seed_depends_on_content_not_order(self, platform):
+        specs = _grid_specs(platform)
+        seeds = [s.job_seed() for s in specs]
+        assert len(set(seeds)) == len(seeds), "distinct cells get distinct seeds"
+        # Rebuilding the same spec reproduces the same seed.
+        rebuilt = _grid_specs(platform)
+        assert [s.job_seed() for s in rebuilt] == seeds
+
+    def test_explicit_seed_wins(self, platform):
+        spec = dataclasses.replace(_grid_specs(platform)[0], seed=1234)
+        assert spec.job_seed() == 1234
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestSerialFallback:
+    def test_single_worker_never_forks(self, platform):
+        pool = ExperimentPool(max_workers=1)
+        pool.run(_grid_specs(platform)[:1])
+        assert pool.last_mode == "serial"
+
+    def test_single_spec_batch_runs_serially(self, platform):
+        pool = ExperimentPool(max_workers=8)
+        pool.run(_grid_specs(platform)[:1])
+        assert pool.last_mode == "serial"
+
+    def test_empty_batch(self):
+        pool = ExperimentPool(max_workers=4)
+        assert pool.run([]) == []
+        assert pool.last_mode == "empty"

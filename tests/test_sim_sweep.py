@@ -75,3 +75,49 @@ class TestRunSweep:
         assert len(series.data["bfs"]) == 2
         rendered = series.render()
         assert "[bfs]" in rendered
+
+
+class TestSweepLabels:
+    def test_label_threads_into_every_point(self, setup):
+        factory, platform = setup
+        points = run_sweep(
+            factory, platform, [0.25], epsilon_configurator(), label="eps/BFS"
+        )
+        assert all(p.label == "eps/BFS" for p in points)
+
+    def test_default_label(self, setup):
+        factory, platform = setup
+        points = run_sweep(factory, platform, [0.25], epsilon_configurator())
+        assert points[0].label == "sweep"
+
+    def test_to_series_groups_by_point_label(self, setup):
+        factory, platform = setup
+        points = run_sweep(
+            factory, platform, [0.25], epsilon_configurator(), label="one"
+        ) + run_sweep(
+            factory, platform, [0.25], epsilon_configurator(), label="two"
+        )
+        series = to_series(points, title="t", x="data_ratio", y="seconds")
+        assert set(series.data) == {"one", "two"}
+        # An explicit label still overrides per-point labels.
+        merged = to_series(
+            points, title="t", x="data_ratio", y="seconds", label="all"
+        )
+        assert set(merged.data) == {"all"}
+
+
+class TestParallelSweep:
+    def test_appspec_sweep_matches_serial_callable(self, setup):
+        """AppSpec-driven pool sweeps equal in-process callable sweeps."""
+        from repro.sim.parallel import AppSpec
+
+        _, platform = setup
+        spec = AppSpec.make("BFS", "twitter", scale=1 << 20)
+        serial = run_sweep(spec, platform, [0.1, 0.5], epsilon_configurator())
+        parallel = run_sweep(
+            spec, platform, [0.1, 0.5], epsilon_configurator(), jobs=2
+        )
+        for s, p in zip(serial, parallel):
+            assert p.value == s.value
+            assert p.seconds == s.seconds
+            assert p.data_ratio == s.data_ratio
