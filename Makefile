@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke reproduce examples clean loc
+.PHONY: install test bench bench-smoke chaos reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -18,6 +18,12 @@ bench:
 # wall-clock timings land in BENCH_parallel.json.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
+
+# Fault-injection seed matrix: every injected fault must be survived
+# with results bit-identical to a fault-free run (see DESIGN.md).
+chaos:
+	$(PYTHON) -m pytest tests/ -m chaos
+	$(PYTHON) -m repro.cli chaos
 
 # Regenerate the paper's tables/figures without pytest.
 reproduce:

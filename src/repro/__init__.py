@@ -12,6 +12,8 @@ The package reproduces the complete ATMem system in pure Python:
 - :mod:`repro.core` — ATMem itself: the Listing 1 runtime API, the
   PEBS-like profiler, the Eq. 1-5 analyzer, and both migration mechanisms;
 - :mod:`repro.sim` — the experiment flows of the paper's methodology;
+- :mod:`repro.faults` — deterministic fault injection and the chaos
+  seed matrix proving the runtime survives every injectable fault;
 - :mod:`repro.bench` — the harness regenerating every table and figure.
 
 Quickstart::
@@ -34,6 +36,7 @@ from repro.config import (
 from repro.core import AtMemRuntime
 from repro.core.analyzer import AnalyzerConfig
 from repro.core.runtime import RuntimeConfig
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, parse_plan
 from repro.graph import CSRGraph, dataset_by_name
 from repro.sim import run_atmem, run_coarse_grained, run_static
 
@@ -45,10 +48,14 @@ __all__ = [
     "AtMemRuntime",
     "CSRGraph",
     "DEFAULT_SCALE",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "PlatformConfig",
     "RuntimeConfig",
     "dataset_by_name",
     "make_app",
+    "parse_plan",
     "mcdram_dram_testbed",
     "nvm_dram_testbed",
     "platform_by_name",

@@ -6,12 +6,20 @@ Subcommands:
   the baseline / ATMem / reference comparison;
 - ``datasets`` — list the Table 2 inputs at a chosen scale;
 - ``sweep`` — the Figure 9/10 epsilon sweep for one dataset;
-- ``migrate`` — the Table 4 mechanism comparison for one dataset.
+- ``migrate`` — the Table 4 mechanism comparison for one dataset;
+- ``chaos`` — run the fault-injection seed matrix and report whether
+  every injected fault was survived with fault-free results.
 
 ``run``, ``sweep``, ``migrate``, and ``reproduce`` accept ``--jobs N``
 (defaulting to the ``REPRO_JOBS`` environment variable, then 1) to fan
 independent experiment jobs out across worker processes through
 :class:`repro.sim.parallel.ExperimentPool`.
+
+``reproduce`` additionally accepts ``--chaos PLAN`` (a
+:func:`repro.faults.plan.parse_plan` clause or raw JSON, exported to
+workers via ``REPRO_FAULT_PLAN``) and ``--job-timeout SECONDS``
+(``REPRO_JOB_TIMEOUT``) so any reproduction run can be executed under
+injected faults with a hang watchdog armed.
 """
 
 from __future__ import annotations
@@ -153,7 +161,13 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     import os
 
     from repro.bench.report import emit
-    from repro.sim.parallel import JOBS_ENV, PARALLEL_JSON_DEFAULT, PARALLEL_JSON_ENV
+    from repro.faults.plan import FAULT_PLAN_ENV, parse_plan
+    from repro.sim.parallel import (
+        JOB_TIMEOUT_ENV,
+        JOBS_ENV,
+        PARALLEL_JSON_DEFAULT,
+        PARALLEL_JSON_ENV,
+    )
 
     if args.scale is not None:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
@@ -162,6 +176,14 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         # Arm wall-clock recording so parallel reproduction runs leave
         # measured timings behind (BENCH_parallel.json unless overridden).
         os.environ.setdefault(PARALLEL_JSON_ENV, PARALLEL_JSON_DEFAULT)
+    if args.job_timeout is not None:
+        os.environ[JOB_TIMEOUT_ENV] = str(args.job_timeout)
+    if args.chaos is not None:
+        # Validate eagerly (a typo should fail here, not in a worker),
+        # then export as JSON so every worker process sees the same plan.
+        plan = parse_plan(args.chaos)
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+        print(f"chaos plan armed: {len(plan.specs)} fault spec(s)")
     wanted = args.experiments or list(EXPERIMENT_BUILDERS)
     unknown = [e for e in wanted if e not in EXPERIMENT_BUILDERS]
     if unknown:
@@ -174,6 +196,21 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         emit(builder(), f"{experiment}.txt")
     print(f"\nregenerated {len(wanted)} experiment(s); artifacts under "
           "benchmarks/results/")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection seed matrix and report recovery."""
+    from repro.faults.chaos import render_outcomes, run_seed_matrix
+
+    outcomes = run_seed_matrix(jobs=args.jobs or 2, names=args.cases or None)
+    print(render_outcomes(outcomes))
+    failed = [o.case for o in outcomes if not o.recovered]
+    if failed:
+        print(f"\nFAILED: {', '.join(failed)}")
+        return 1
+    print(f"\nall {len(outcomes)} chaos case(s) recovered with "
+          "fault-free results")
     return 0
 
 
@@ -237,7 +274,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for experiment fan-out (sets REPRO_JOBS)",
     )
+    rep_p.add_argument(
+        "--chaos", default=None, metavar="PLAN",
+        help="fault plan to inject (parse_plan syntax or JSON; "
+             "sets REPRO_FAULT_PLAN for all workers)",
+    )
+    rep_p.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (sets REPRO_JOB_TIMEOUT)",
+    )
     rep_p.set_defaults(func=cmd_reproduce)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run the fault-injection seed matrix"
+    )
+    chaos_p.add_argument(
+        "cases", nargs="*",
+        help="seed-matrix case names (default: the whole matrix)",
+    )
+    chaos_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the pool cases (default: 2)",
+    )
+    chaos_p.set_defaults(func=cmd_chaos)
 
     sum_p = sub.add_parser(
         "summary", help="headline numbers from recorded benchmark results"

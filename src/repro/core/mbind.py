@@ -22,8 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dataobject import DataObject
-from repro.core.migration import MigrationStats, _page_span
-from repro.errors import CapacityError
+from repro.core.migration import MigrationStats, validate_regions
 from repro.mem.address_space import PAGE_SIZE
 from repro.mem.system import HeterogeneousMemorySystem
 from repro.mem.tlb import TLB
@@ -53,23 +52,13 @@ class MbindMigrator:
         model = system.cost_model
         dst = system.tiers[dst_tier]
         itemsize = obj.itemsize
-        for start, end in regions:
-            if not 0 <= start < end <= obj.nbytes:
-                raise ValueError(
-                    f"region [{start}, {end}) outside object {obj.name!r} "
-                    f"of {obj.nbytes} bytes"
-                )
-            va, nbytes = _page_span(obj, start, end)
-            src_tier = system.address_space.tier_of_page(va)
-            if src_tier == dst_tier:
-                continue
-            src = system.tiers[src_tier]
+        # Bounds and total destination capacity are validated before any
+        # page moves, matching the transactional migrator's contract.
+        for planned in validate_regions(system, obj, regions, dst_tier):
+            start, end = planned.start, planned.end
+            va, nbytes = planned.va, planned.nbytes
+            src = system.tiers[planned.src_tier]
             n_pages = nbytes // PAGE_SIZE
-            if not system.allocators[dst_tier].can_allocate(n_pages):
-                raise CapacityError(
-                    f"tier {dst.name!r} cannot hold a {nbytes} B region of "
-                    f"{obj.name!r}"
-                )
             # One single-threaded pass over the data...
             stats.seconds += model.copy_seconds(nbytes, src, dst, threads=1)
             # ...plus the per-page kernel overhead.

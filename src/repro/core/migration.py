@@ -15,6 +15,17 @@ Data crosses memories once and moves once within the target memory; the
 modelled time is charged accordingly with the platform's migration thread
 count.  The copies are performed *for real* on the host arrays (through an
 actual staging buffer), so tests can assert byte preservation.
+
+The pass is **transactional**: every region bound and the total
+destination capacity are validated before any byte moves, each region's
+progress is journalled, and any mid-pass failure (including faults
+injected through :mod:`repro.faults` at the ``migrate.stage1/2/3`` sites)
+rolls the already-touched regions back — bytes restored from the staging
+snapshot, virtual ranges remapped to their source tier at the original
+granularity, TLB entries invalidated — before :class:`MigrationAborted`
+is raised.  After an abort the system state is exactly the pre-call
+state, so the caller can retry or degrade without leaking frames or
+stranding a half-migrated object.
 """
 
 from __future__ import annotations
@@ -24,15 +35,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.dataobject import DataObject
-from repro.errors import CapacityError
-from repro.mem.address_space import PAGE_SIZE
+from repro.errors import CapacityError, MigrationError
+from repro.faults.injector import MigrationStageFault, fault_point
+from repro.faults.plan import (
+    SITE_MIGRATE_STAGE1,
+    SITE_MIGRATE_STAGE2,
+    SITE_MIGRATE_STAGE3,
+)
+from repro.mem.address_space import HUGE_PAGE_SHIFT, PAGE_SIZE
 from repro.mem.system import HeterogeneousMemorySystem
 from repro.mem.tlb import TLB
 
 
 @dataclass
 class MigrationStats:
-    """Accounting for one migration pass."""
+    """Accounting for one migration pass (plus its recovery telemetry)."""
 
     seconds: float = 0.0
     bytes_moved: int = 0
@@ -41,6 +58,17 @@ class MigrationStats:
     tlb_shootdowns: int = 0
     mechanism: str = "atmem"
     per_object: dict[str, int] = field(default_factory=dict)
+    #: Rolled-back migration passes survived via retry.
+    aborts: int = 0
+    #: Regions undone by those rollbacks.
+    rolled_back_regions: int = 0
+    #: Modelled time spent on work that was later rolled back.  Kept out
+    #: of ``seconds`` so committed accounting matches a fault-free pass.
+    wasted_seconds: float = 0.0
+    #: Selection bytes dropped under capacity pressure (degradation).
+    degraded_bytes: int = 0
+    #: Cold resident bytes demoted to the slow tier to make room.
+    demoted_bytes: int = 0
 
     def merge(self, other: "MigrationStats") -> None:
         self.seconds += other.seconds
@@ -48,8 +76,26 @@ class MigrationStats:
         self.regions += other.regions
         self.pages_touched += other.pages_touched
         self.tlb_shootdowns += other.tlb_shootdowns
+        self.aborts += other.aborts
+        self.rolled_back_regions += other.rolled_back_regions
+        self.wasted_seconds += other.wasted_seconds
+        self.degraded_bytes += other.degraded_bytes
+        self.demoted_bytes += other.demoted_bytes
         for name, nbytes in other.per_object.items():
             self.per_object[name] = self.per_object.get(name, 0) + nbytes
+
+
+class MigrationAborted(MigrationError):
+    """A migration pass failed mid-flight and was fully rolled back.
+
+    ``partial`` accounts the work that was done and undone (its
+    ``seconds`` are the wasted time, ``rolled_back_regions`` the regions
+    restored); ``__cause__`` is the original failure.
+    """
+
+    def __init__(self, message: str, *, partial: MigrationStats) -> None:
+        super().__init__(message)
+        self.partial = partial
 
 
 def _page_span(obj: DataObject, start: int, end: int) -> tuple[int, int]:
@@ -60,8 +106,72 @@ def _page_span(obj: DataObject, start: int, end: int) -> tuple[int, int]:
     return va, va_end - va
 
 
+@dataclass
+class _PlannedRegion:
+    """One validated region that actually needs to move."""
+
+    start: int
+    end: int
+    va: int
+    nbytes: int
+    src_tier: int
+
+
+def validate_regions(
+    system: HeterogeneousMemorySystem,
+    obj: DataObject,
+    regions: list[tuple[int, int]],
+    dst_tier: int,
+) -> list[_PlannedRegion]:
+    """Validate bounds and destination capacity *before* any byte moves.
+
+    Returns the page-aligned regions not already on ``dst_tier``.  Raises
+    ``ValueError`` on a bad bound and :class:`repro.errors.CapacityError`
+    when the destination cannot hold the whole batch — in both cases with
+    the system untouched, so a failed pass can never strand partial
+    progress.
+    """
+    planned: list[_PlannedRegion] = []
+    total_pages = 0
+    for start, end in regions:
+        if not 0 <= start < end <= obj.nbytes:
+            raise ValueError(
+                f"region [{start}, {end}) outside object {obj.name!r} "
+                f"of {obj.nbytes} bytes"
+            )
+        va, nbytes = _page_span(obj, start, end)
+        src_tier = system.address_space.tier_of_page(va)
+        if src_tier == dst_tier:
+            continue
+        planned.append(
+            _PlannedRegion(start=start, end=end, va=va, nbytes=nbytes,
+                           src_tier=src_tier)
+        )
+        total_pages += nbytes // PAGE_SIZE
+    if planned and not system.allocators[dst_tier].can_allocate(total_pages):
+        dst = system.tiers[dst_tier]
+        raise CapacityError(
+            f"tier {dst.name!r} cannot hold {total_pages * PAGE_SIZE} B "
+            f"({len(planned)} regions) of {obj.name!r}; free "
+            f"{system.allocators[dst_tier].free_bytes} B"
+        )
+    return planned
+
+
+@dataclass
+class _JournalEntry:
+    """Undo record for one region of an in-flight migration pass."""
+
+    region: _PlannedRegion
+    lo_item: int
+    hi_item: int
+    staged: np.ndarray
+    old_shift: int
+    remapped: bool = False
+
+
 class MultiStageMigrator:
-    """ATMem's application-level staged migration."""
+    """ATMem's application-level staged migration (transactional)."""
 
     def __init__(
         self,
@@ -80,55 +190,129 @@ class MultiStageMigrator:
         regions: list[tuple[int, int]],
         dst_tier: int,
     ) -> MigrationStats:
-        """Move the given byte regions of ``obj`` onto ``dst_tier``."""
+        """Move the given byte regions of ``obj`` onto ``dst_tier``.
+
+        All-or-nothing: on any mid-pass failure the already-moved regions
+        are rolled back and :class:`MigrationAborted` is raised with the
+        pre-call state fully restored.
+        """
         stats = MigrationStats(mechanism="atmem")
+        planned = validate_regions(self.system, obj, regions, dst_tier)
+        journal: list[_JournalEntry] = []
+        try:
+            for region in planned:
+                self._migrate_region(obj, region, dst_tier, stats, journal)
+        except Exception as exc:
+            rolled_back = self._rollback(obj, journal, stats)
+            partial = stats
+            partial.rolled_back_regions = rolled_back
+            raise MigrationAborted(
+                f"migration of {obj.name!r} aborted after "
+                f"{rolled_back} journalled region(s): {exc}",
+                partial=partial,
+            ) from exc
+        return stats
+
+    # ------------------------------------------------------------------
+    def _migrate_region(
+        self,
+        obj: DataObject,
+        region: _PlannedRegion,
+        dst_tier: int,
+        stats: MigrationStats,
+        journal: list[_JournalEntry],
+    ) -> None:
         system = self.system
         model = system.cost_model
+        src = system.tiers[region.src_tier]
         dst = system.tiers[dst_tier]
         itemsize = obj.itemsize
-        for start, end in regions:
-            if not 0 <= start < end <= obj.nbytes:
-                raise ValueError(
-                    f"region [{start}, {end}) outside object {obj.name!r} "
-                    f"of {obj.nbytes} bytes"
+        va, nbytes = region.va, region.nbytes
+        if fault_point(SITE_MIGRATE_STAGE1, tag=obj.name):
+            raise MigrationStageFault(
+                f"injected abort in stage 1 (staging) of {obj.name!r}"
+            )
+        # Stage 1: concurrent copy into a staging buffer on the target.
+        lo_item = region.start // itemsize
+        hi_item = -(-region.end // itemsize)
+        staging = obj.array[lo_item:hi_item].copy()
+        old_shift = int(system.address_space.map_shifts_of(np.array([va]))[0])
+        journal.append(
+            _JournalEntry(
+                region=region, lo_item=lo_item, hi_item=hi_item,
+                staged=staging, old_shift=old_shift,
+            )
+        )
+        stats.seconds += model.copy_seconds(
+            nbytes, src, dst, threads=self.migration_threads
+        )
+        if fault_point(SITE_MIGRATE_STAGE2, tag=obj.name):
+            raise MigrationStageFault(
+                f"injected abort in stage 2 (remap) of {obj.name!r}"
+            )
+        # Stage 2: remap the virtual range to fresh huge pages on target.
+        system.address_space.remap_range(va, nbytes, dst_tier, huge=True)
+        journal[-1].remapped = True
+        stats.tlb_shootdowns += self._invalidate(va, nbytes, old_shift)
+        stats.seconds += self.region_overhead_ns * 1e-9
+        if fault_point(SITE_MIGRATE_STAGE3, tag=obj.name):
+            raise MigrationStageFault(
+                f"injected abort in stage 3 (move) of {obj.name!r}"
+            )
+        # Stage 3: concurrent copy from the staging buffer back in place.
+        obj.array[lo_item:hi_item] = staging
+        stats.seconds += model.copy_seconds(
+            nbytes, dst, dst, threads=self.migration_threads
+        )
+        stats.bytes_moved += nbytes
+        stats.regions += 1
+        stats.pages_touched += nbytes // PAGE_SIZE
+        stats.per_object[obj.name] = stats.per_object.get(obj.name, 0) + nbytes
+
+    def _invalidate(self, va: int, nbytes: int, shift: int) -> int:
+        """Shoot down the TLB translations covering a remapped range."""
+        n_translations = max(1, nbytes >> shift)
+        block_addrs = va + np.arange(n_translations, dtype=np.int64) * (1 << shift)
+        keys = TLB.translation_keys(
+            block_addrs, np.full(n_translations, shift, dtype=np.int64)
+        )
+        self.system.tlb.invalidate_blocks(keys)
+        return n_translations
+
+    def _rollback(
+        self,
+        obj: DataObject,
+        journal: list[_JournalEntry],
+        stats: MigrationStats,
+    ) -> int:
+        """Undo every journalled region, newest first.
+
+        Restores bytes from the staging snapshots, remaps remapped ranges
+        back to their source tier at the original granularity, and
+        invalidates the target-side TLB translations, leaving allocators
+        and the page table exactly as before the pass.
+        """
+        model = self.system.cost_model
+        for entry in reversed(journal):
+            region = entry.region
+            if entry.remapped:
+                # Undo the remap: the dst-granularity translations die and
+                # the source tier gets its (huge-or-not) mapping back.
+                stats.tlb_shootdowns += self._invalidate(
+                    region.va, region.nbytes, HUGE_PAGE_SHIFT
                 )
-            va, nbytes = _page_span(obj, start, end)
-            src_tier = system.address_space.tier_of_page(va)
-            if src_tier == dst_tier:
-                continue
-            src = system.tiers[src_tier]
-            if not system.allocators[dst_tier].can_allocate(nbytes // PAGE_SIZE):
-                raise CapacityError(
-                    f"tier {dst.name!r} cannot hold a {nbytes} B region of "
-                    f"{obj.name!r}"
+                self.system.address_space.remap_range(
+                    region.va,
+                    region.nbytes,
+                    region.src_tier,
+                    huge=entry.old_shift == HUGE_PAGE_SHIFT,
                 )
-            # Stage 1: concurrent copy into a staging buffer on the target.
-            lo_item = start // itemsize
-            hi_item = -(-end // itemsize)
-            staging = obj.array[lo_item:hi_item].copy()
-            stats.seconds += model.copy_seconds(
-                nbytes, src, dst, threads=self.migration_threads
-            )
-            # Stage 2: remap the virtual range to fresh huge pages on target.
-            old_shifts = system.address_space.map_shifts_of(np.array([va]))
-            system.address_space.remap_range(va, nbytes, dst_tier, huge=True)
-            n_translations = max(1, nbytes >> int(old_shifts[0]))
-            block_addrs = va + np.arange(n_translations, dtype=np.int64) * (
-                1 << int(old_shifts[0])
-            )
-            keys = TLB.translation_keys(
-                block_addrs, np.full(n_translations, old_shifts[0], dtype=np.int64)
-            )
-            system.tlb.invalidate_blocks(keys)
-            stats.tlb_shootdowns += n_translations
-            stats.seconds += self.region_overhead_ns * 1e-9
-            # Stage 3: concurrent copy from the staging buffer back in place.
-            obj.array[lo_item:hi_item] = staging
-            stats.seconds += model.copy_seconds(
-                nbytes, dst, dst, threads=self.migration_threads
-            )
-            stats.bytes_moved += nbytes
-            stats.regions += 1
-            stats.pages_touched += nbytes // PAGE_SIZE
-            stats.per_object[obj.name] = stats.per_object.get(obj.name, 0) + nbytes
-        return stats
+                stats.seconds += model.copy_seconds(
+                    region.nbytes,
+                    self.system.tiers[region.src_tier],
+                    self.system.tiers[region.src_tier],
+                    threads=self.migration_threads,
+                )
+            # Restore the bytes the pass may have partially written.
+            obj.array[entry.lo_item:entry.hi_item] = entry.staged
+        return len(journal)

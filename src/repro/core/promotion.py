@@ -17,6 +17,11 @@
   is the theoretical minimum meaningful TR, which depends on the arity
   (``1/m`` — e.g. 0.125 for an octree): below it a node's ratio carries no
   information because a single critical child already reaches it.
+
+The module also hosts :func:`truncate_by_marginal_benefit`, the
+selection-side half of the runtime's capacity-pressure graceful
+degradation: it shrinks an existing selection chunk by chunk, cheapest
+benefit first, instead of letting migration fail outright.
 """
 
 from __future__ import annotations
@@ -24,6 +29,48 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+
+def truncate_by_marginal_benefit(
+    objects: dict, bytes_to_free: int
+) -> list[tuple[str, int, int]]:
+    """Unselect the least-beneficial selected chunks until enough bytes free.
+
+    The graceful-degradation half of capacity pressure handling: when the
+    fast tier cannot hold the analyzer's full selection (a capacity
+    squeeze, a competing tenant, page-rounding slack), the runtime drops
+    the chunks with the lowest *marginal benefit* — estimated priority
+    per byte, with tree-estimated chunks sorting below sampled ones at
+    equal priority — rather than failing the whole migration.
+
+    ``objects`` maps names to :class:`repro.core.analyzer.ObjectSelection`
+    (duck-typed: ``priorities``, ``sampled``, ``selected``, ``geometry``).
+    Selections are modified in place.  Returns the dropped chunks as
+    ``(object name, chunk index, chunk bytes)``, ending as soon as the
+    freed bytes reach ``bytes_to_free``; the list is empty when nothing
+    was selected to drop.
+    """
+    if bytes_to_free <= 0:
+        return []
+    candidates: list[tuple[float, int, str, int, int]] = []
+    for name, sel in objects.items():
+        sizes = sel.geometry.chunk_sizes()
+        for idx in np.nonzero(sel.selected)[0]:
+            idx = int(idx)
+            benefit = float(sel.priorities[idx]) / max(1, int(sizes[idx]))
+            candidates.append(
+                (benefit, int(bool(sel.sampled[idx])), name, idx, int(sizes[idx]))
+            )
+    candidates.sort()
+    freed = 0
+    dropped: list[tuple[str, int, int]] = []
+    for _, _, name, idx, nbytes in candidates:
+        if freed >= bytes_to_free:
+            break
+        objects[name].selected[idx] = False
+        dropped.append((name, idx, nbytes))
+        freed += nbytes
+    return dropped
 
 
 def object_weight(priorities: np.ndarray, cat: np.ndarray) -> float:

@@ -25,12 +25,22 @@ from repro.core.analyzer import AnalyzerConfig, AtMemAnalyzer, PlacementDecision
 from repro.core.chunks import ChunkGeometry, ChunkingPolicy
 from repro.core.dataobject import DataObject
 from repro.core.mbind import MbindMigrator
-from repro.core.migration import MigrationStats, MultiStageMigrator
+from repro.core.migration import (
+    MigrationAborted,
+    MigrationStats,
+    MultiStageMigrator,
+    _page_span,
+)
 from repro.core.profiler import SamplingProfiler
+from repro.core.promotion import truncate_by_marginal_benefit
 from repro.core.sampling import SamplingConfig
-from repro.errors import RuntimeStateError
+from repro.errors import CapacityError, RuntimeStateError
 from repro.mem.address_space import PAGE_SIZE
 from repro.mem.system import HeterogeneousMemorySystem
+from repro.mem.telemetry import EventLog
+
+#: Bounded retry for migration passes that aborted and rolled back.
+MAX_MIGRATION_RETRIES = 3
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,8 @@ class AtMemRuntime:
         self._profiled = False
         self.last_decision: PlacementDecision | None = None
         self.last_migration: MigrationStats | None = None
+        #: Recovery / degradation decisions taken by this runtime.
+        self.events = EventLog()
 
     # ------------------------------------------------------------------
     # Listing 1: registration
@@ -265,18 +277,175 @@ class AtMemRuntime:
             sampling_period=self._profiler.period,
             capacity_bytes=fast_free,
         )
-        migrator = self._make_migrator()
-        stats = MigrationStats(mechanism=self.config.migration_mechanism)
-        for name in decision.objects:
-            regions = decision.regions(name)
-            if regions:
-                stats.merge(
-                    migrator.migrate(self.objects[name], regions, self.system.fast_tier)
-                )
-        stats.mechanism = self.config.migration_mechanism
+        stats = self.migrate_decision(decision)
         self.last_decision = decision
         self.last_migration = stats
         return decision, stats
+
+    def migrate_decision(
+        self, decision: PlacementDecision, *, migrator=None
+    ) -> MigrationStats:
+        """Migrate a decision's selected regions to the fast tier — safely.
+
+        Two failure modes are survived here rather than propagated:
+
+        - a **rolled-back pass** (:class:`MigrationAborted`, e.g. an
+          injected stage fault): state is already restored, so the pass
+          is simply retried, up to :data:`MAX_MIGRATION_RETRIES` times;
+          the wasted work lands in ``stats.wasted_seconds`` /
+          ``stats.aborts`` so committed accounting still matches a
+          fault-free run;
+        - **capacity pressure** (:class:`CapacityError` from the up-front
+          validation, e.g. an injected squeeze or a competing tenant):
+          cold fast-tier-resident regions outside the decision are
+          demoted first, then the selection is truncated by marginal
+          benefit until it fits.  Both decisions are recorded in the
+          stats and the runtime :class:`~repro.mem.telemetry.EventLog`.
+        """
+        migrator = migrator or self._make_migrator()
+        stats = MigrationStats(mechanism=self.config.migration_mechanism)
+        pending = [
+            (name, decision.regions(name))
+            for name in decision.objects
+            if decision.regions(name)
+        ]
+        retries = 0
+        i = 0
+        while i < len(pending):
+            name, regions = pending[i]
+            if not regions:
+                i += 1
+                continue
+            try:
+                stats.merge(
+                    migrator.migrate(
+                        self.objects[name], regions, self.system.fast_tier
+                    )
+                )
+                i += 1
+            except MigrationAborted as exc:
+                stats.aborts += 1
+                stats.rolled_back_regions += exc.partial.rolled_back_regions
+                stats.wasted_seconds += (
+                    exc.partial.seconds + exc.partial.wasted_seconds
+                )
+                self.events.record(
+                    "migration-abort",
+                    f"{name}: {exc.__cause__}",
+                    amount=retries + 1,
+                )
+                retries += 1
+                if retries > MAX_MIGRATION_RETRIES:
+                    raise
+            except CapacityError as exc:
+                remaining = [n for n, _ in pending[i:]]
+                freed = self._relieve_pressure(
+                    decision, name, regions, stats, remaining
+                )
+                if freed <= 0:
+                    raise
+                self.events.record(
+                    "capacity-degradation",
+                    f"{name}: {exc}",
+                    amount=freed,
+                )
+                # Truncation may have shrunk any object's selection;
+                # refresh every pending region list.
+                pending = [
+                    (n, decision.regions(n)) for n, _ in pending
+                ]
+        stats.mechanism = self.config.migration_mechanism
+        return stats
+
+    def _relieve_pressure(
+        self,
+        decision: PlacementDecision,
+        name: str,
+        regions: list[tuple[int, int]],
+        stats: MigrationStats,
+        remaining: list[str],
+    ) -> int:
+        """Free fast-tier room for ``name``'s regions; returns bytes freed.
+
+        Policy: demote cold resident regions first (they contribute
+        nothing to the selection), then truncate the selection by
+        marginal benefit.  Returns 0 when neither lever can free
+        anything, in which case the caller re-raises the capacity error.
+        """
+        obj = self.objects[name]
+        required = 0
+        space = self.system.address_space
+        for start, end in regions:
+            va, nbytes = _page_span(obj, start, end)
+            if space.tier_of_page(va) != self.system.fast_tier:
+                required += nbytes
+        free = self.system.fast_free_bytes()
+        shortfall = required - (free if free is not None else required)
+        if shortfall <= 0:
+            # can_allocate said no but free_bytes disagrees (e.g. a squeeze
+            # was lifted between checks); demand one page of slack.
+            shortfall = PAGE_SIZE
+        demoted = self.demote_cold_regions(keep=decision)
+        if demoted:
+            stats.demoted_bytes += demoted
+            self.events.record(
+                "demote-cold", f"freed {demoted} B for {name!r}", amount=demoted
+            )
+        if demoted >= shortfall:
+            return demoted
+        # Truncate only the not-yet-migrated selections: dropping a chunk
+        # that already moved would free nothing (it would merely become
+        # cold, to be demoted on a later pressure event).
+        dropped = truncate_by_marginal_benefit(
+            {n: decision.objects[n] for n in remaining if n in decision.objects},
+            shortfall - demoted,
+        )
+        degraded = sum(nbytes for _, _, nbytes in dropped)
+        if degraded:
+            stats.degraded_bytes += degraded
+            self.events.record(
+                "truncate-selection",
+                f"dropped {len(dropped)} chunk(s) under capacity pressure",
+                amount=degraded,
+            )
+        return demoted + degraded
+
+    def demote_cold_regions(
+        self, *, keep: PlacementDecision | None = None, migrator=None
+    ) -> int:
+        """Demote fast-tier pages outside ``keep``'s selection to slow.
+
+        The Olson-style degradation lever: when the fast tier is under
+        pressure, resident data that the current decision does *not* want
+        there is moved back to the baseline tier instead of failing the
+        new placement.  Returns the bytes demoted.
+        """
+        migrator = migrator or self._make_migrator()
+        space = self.system.address_space
+        fast, slow = self.system.fast_tier, self.system.slow_tier
+        demoted = 0
+        for name, obj in self.objects.items():
+            n_pages = -(-obj.nbytes // PAGE_SIZE)
+            tiers = space.range_tiers(obj.base_va, n_pages * PAGE_SIZE)
+            on_fast = tiers == fast
+            if not on_fast.any():
+                continue
+            keep_mask = np.zeros(n_pages, dtype=bool)
+            if keep is not None and name in keep.objects:
+                for start, end in keep.regions(name):
+                    keep_mask[start // PAGE_SIZE : -(-end // PAGE_SIZE)] = True
+            cold = np.nonzero(on_fast & ~keep_mask)[0]
+            if cold.size == 0:
+                continue
+            breaks = np.nonzero(np.diff(cold) > 1)[0]
+            run_starts = np.concatenate(([0], breaks + 1))
+            run_ends = np.concatenate((breaks, [cold.size - 1]))
+            for s, e in zip(run_starts, run_ends):
+                lo = int(cold[s]) * PAGE_SIZE
+                hi = min(obj.nbytes, (int(cold[e]) + 1) * PAGE_SIZE)
+                demo = migrator.migrate(obj, [(lo, hi)], slow)
+                demoted += demo.bytes_moved
+        return demoted
 
     def _make_migrator(self):
         if self.config.migration_mechanism == "mbind":

@@ -33,3 +33,21 @@ class RuntimeStateError(ReproError):
 
 class TraceError(ReproError):
     """An access trace is malformed (wrong dtype, negative addresses, ...)."""
+
+
+class MigrationError(ReproError):
+    """A migration pass failed; see :class:`MigrationAborted` for rollback."""
+
+
+class ConsistencyError(ReproError):
+    """A post-run audit found allocator / page-table state out of sync."""
+
+
+class FaultInjectionError(ReproError):
+    """Base class for deterministic faults raised by :mod:`repro.faults`.
+
+    Recovery code uses this marker (or the ``injected`` attribute the
+    subclasses set) to tell chaos-mode faults from genuine failures.
+    """
+
+    injected = True

@@ -1,0 +1,80 @@
+"""Deterministic fault injection for chaos-mode runs.
+
+The subsystem has three layers:
+
+- :mod:`repro.faults.plan` — declarative :class:`FaultPlan` /
+  :class:`FaultSpec` descriptions of which injection sites fire and when,
+  serialisable through the ``REPRO_FAULT_PLAN`` environment variable;
+- :mod:`repro.faults.injector` — the process-wide :class:`FaultInjector`
+  and the :func:`fault_point` primitive the runtime calls at each site;
+- :mod:`repro.faults.chaos` (imported explicitly — it pulls in the
+  experiment stack) — the seed matrix of named plans and the harness
+  that proves every injected fault is survived with fault-free results.
+
+See DESIGN.md §"Fault model & recovery" for the site inventory and the
+recovery guarantees each one is paired with.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedCapacityError,
+    InjectedWorkerCrash,
+    MigrationStageFault,
+    active_injector,
+    capacity_squeeze_fraction,
+    fault_point,
+    injected,
+    install,
+    is_injected,
+    job_context,
+    reset,
+    uninstall,
+)
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    SITE_ALLOC,
+    SITE_CACHE_CORRUPT,
+    SITE_CAPACITY_SQUEEZE,
+    SITE_MIGRATE_STAGE1,
+    SITE_MIGRATE_STAGE2,
+    SITE_MIGRATE_STAGE3,
+    SITE_POOL_CRASH,
+    SITE_POOL_EXIT,
+    SITE_POOL_HANG,
+    SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    parse_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "SITES",
+    "SITE_ALLOC",
+    "SITE_CACHE_CORRUPT",
+    "SITE_CAPACITY_SQUEEZE",
+    "SITE_MIGRATE_STAGE1",
+    "SITE_MIGRATE_STAGE2",
+    "SITE_MIGRATE_STAGE3",
+    "SITE_POOL_CRASH",
+    "SITE_POOL_EXIT",
+    "SITE_POOL_HANG",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCapacityError",
+    "InjectedWorkerCrash",
+    "MigrationStageFault",
+    "active_injector",
+    "capacity_squeeze_fraction",
+    "fault_point",
+    "injected",
+    "install",
+    "is_injected",
+    "job_context",
+    "parse_plan",
+    "reset",
+    "uninstall",
+]

@@ -1,0 +1,461 @@
+"""The chaos seed matrix and the harness that proves recovery works.
+
+Every entry of :func:`seed_matrix` is a named, fixed-seed
+:class:`~repro.faults.plan.FaultPlan` exercising one injection site.
+:func:`run_case` executes the matching experiment flow twice — once
+fault-free, once under the plan — and checks the recovery contract:
+
+- the chaos run **completes** (no fault escapes the recovery paths);
+- for transient faults its committed figures are **bit-identical** to
+  the fault-free run (an aborted migration pass rolls back and retries,
+  a crashed worker is resubmitted, a corrupted cache entry is recomputed
+  — none of it may leak into reported numbers);
+- for the in-process flows the memory system passes the allocator /
+  page-table **consistency audit** afterwards (no leaked or double-freed
+  frames survive a rollback);
+- the plan actually **fired** (a chaos case that injects nothing proves
+  nothing).
+
+The persistent ``capacity.squeeze`` plan is the one deliberate
+exception to bit-identity: it models a smaller fast tier, so the run
+must *degrade* — complete, stay consistent, and place no more fast-tier
+bytes than the fault-free run — rather than reproduce it.
+
+``make chaos`` and ``repro chaos`` run the whole matrix; the
+``chaos``-marked tests in ``tests/test_chaos_matrix.py`` do the same
+under pytest.  Import note: this module pulls in the experiment stack,
+which is why ``repro.faults`` does not import it eagerly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.config import PlatformConfig, nvm_dram_testbed
+from repro.core.analyzer import AtMemAnalyzer
+from repro.core.runtime import AtMemRuntime, RuntimeConfig
+from repro.mem.address_space import PAGE_SIZE
+from repro.faults.injector import injected
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    SITE_ALLOC,
+    SITE_CACHE_CORRUPT,
+    SITE_CAPACITY_SQUEEZE,
+    SITE_MIGRATE_STAGE1,
+    SITE_MIGRATE_STAGE2,
+    SITE_MIGRATE_STAGE3,
+    SITE_POOL_CRASH,
+    SITE_POOL_EXIT,
+    SITE_POOL_HANG,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.sim.executor import TraceExecutor
+from repro.sim.parallel import (
+    JOB_BACKOFF_ENV,
+    JOB_TIMEOUT_ENV,
+    AppSpec,
+    ExperimentPool,
+    JobSpec,
+    execute_job,
+)
+from repro.sim.tracecache import TraceCache
+
+#: Huge scale divisor — datasets collapse to their floor size (fast jobs).
+TINY_SCALE = 1 << 20
+
+#: Injected hangs sleep this long; the harness timeout is far below it.
+HANG_SECONDS = 5.0
+
+#: Job timeout the harness applies while a hang plan is armed.
+HARNESS_TIMEOUT = 1.0
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One named plan of the seed matrix plus its recovery contract."""
+
+    name: str
+    plan: FaultPlan
+    #: Which harness flow exercises the site: runtime / cache / pool.
+    kind: str = "runtime"
+    #: Transient faults must reproduce fault-free figures exactly;
+    #: persistent capacity loss is only required to degrade gracefully.
+    expect_identical: bool = True
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos case actually did."""
+
+    case: str
+    completed: bool = False
+    fired: int = 0
+    identical: bool | None = None
+    consistent: bool | None = None
+    detail: str = ""
+    figures: dict = field(default_factory=dict)
+    reference: dict = field(default_factory=dict)
+
+    @property
+    def recovered(self) -> bool:
+        """The case's full contract: completed, fired, matched, consistent."""
+        return (
+            self.completed
+            and self.fired > 0
+            and self.identical is not False
+            and self.consistent is not False
+        )
+
+
+def seed_matrix() -> tuple[ChaosCase, ...]:
+    """The fixed seed matrix: one plan per injection site."""
+    return (
+        ChaosCase(
+            "alloc-transient",
+            FaultPlan((FaultSpec(SITE_ALLOC, times=2),), seed=101),
+        ),
+        ChaosCase(
+            "migrate-stage1-abort",
+            FaultPlan((FaultSpec(SITE_MIGRATE_STAGE1),), seed=102),
+        ),
+        ChaosCase(
+            "migrate-stage2-abort",
+            FaultPlan((FaultSpec(SITE_MIGRATE_STAGE2),), seed=103),
+        ),
+        ChaosCase(
+            "migrate-stage3-abort",
+            FaultPlan((FaultSpec(SITE_MIGRATE_STAGE3),), seed=104),
+        ),
+        ChaosCase(
+            "capacity-squeeze",
+            FaultPlan(
+                (FaultSpec(SITE_CAPACITY_SQUEEZE, match="DRAM", param=0.99999),),
+                seed=105,
+            ),
+            kind="squeeze",
+            expect_identical=False,
+        ),
+        ChaosCase(
+            "cache-corruption",
+            FaultPlan((FaultSpec(SITE_CACHE_CORRUPT),), seed=106),
+            kind="cache",
+        ),
+        ChaosCase(
+            "worker-crash",
+            FaultPlan((FaultSpec(SITE_POOL_CRASH),), seed=107),
+            kind="pool",
+        ),
+        ChaosCase(
+            "worker-exit",
+            FaultPlan((FaultSpec(SITE_POOL_EXIT),), seed=108),
+            kind="pool",
+        ),
+        ChaosCase(
+            "worker-hang",
+            FaultPlan(
+                (FaultSpec(SITE_POOL_HANG, param=HANG_SECONDS),), seed=109
+            ),
+            kind="pool",
+        ),
+    )
+
+
+def case_by_name(name: str) -> ChaosCase:
+    """Look a seed-matrix case up by name."""
+    for case in seed_matrix():
+        if case.name == name:
+            return case
+    known = ", ".join(c.name for c in seed_matrix())
+    raise KeyError(f"unknown chaos case {name!r}; known cases: {known}")
+
+
+# ----------------------------------------------------------------------
+# committed figures — what must survive recovery bit-identically
+# ----------------------------------------------------------------------
+def committed_figures(result) -> dict:
+    """The reported numbers of a run result, flattened for comparison.
+
+    Only *committed* work appears here — wasted/rolled-back accounting
+    (``aborts``, ``wasted_seconds``) is deliberately excluded, because a
+    chaos run earns those while producing the same committed outputs.
+    """
+    from repro.sim.experiment import AtMemRunResult, StaticRunResult
+    from repro.sim.parallel import CellResult
+
+    if isinstance(result, CellResult):
+        figures = {}
+        for label, part in (
+            ("baseline", result.baseline),
+            ("reference", result.reference),
+            ("atmem", result.atmem),
+        ):
+            for key, value in committed_figures(part).items():
+                figures[f"{label}.{key}"] = value
+        return figures
+    if isinstance(result, AtMemRunResult):
+        return {
+            "seconds": result.seconds,
+            "first_seconds": result.first_iteration.seconds,
+            "data_ratio": result.data_ratio,
+            "migration_bytes": result.migration.bytes_moved,
+            "migration_seconds": result.migration.seconds,
+            "pages_touched": result.migration.pages_touched,
+        }
+    if isinstance(result, StaticRunResult):
+        return {
+            "seconds": result.seconds,
+            "first_seconds": result.first_iteration.seconds,
+            "fast_ratio": result.fast_ratio,
+        }
+    return {"value": result}
+
+
+def figures_identical(a: dict, b: dict) -> bool:
+    """Exact equality — recovery must not perturb a single bit."""
+    return a.keys() == b.keys() and all(a[k] == b[k] for k in a)
+
+
+# ----------------------------------------------------------------------
+# harness flows
+# ----------------------------------------------------------------------
+def _default_app() -> AppSpec:
+    return AppSpec.make("PR", "twitter", scale=TINY_SCALE)
+
+
+def _atmem_insitu(
+    platform: PlatformConfig, app_spec: AppSpec
+) -> tuple[dict, "HeterogeneousMemorySystem", AtMemRuntime]:
+    """The full ATMem flow, keeping the system in hand for the audit."""
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, config=RuntimeConfig(), platform=platform)
+    app = app_spec()
+    app.register(runtime)
+    executor = TraceExecutor(system)
+    runtime.atmem_profiling_start()
+    first = executor.run(app.run_once(), miss_observer=runtime)
+    runtime.atmem_profiling_stop()
+    _, migration = runtime.atmem_optimize()
+    second = executor.run(app.run_once())
+    figures = {
+        "seconds": second.seconds,
+        "first_seconds": first.seconds,
+        "data_ratio": runtime.fast_tier_ratio(),
+        "migration_bytes": migration.bytes_moved,
+        "migration_seconds": migration.seconds,
+        "pages_touched": migration.pages_touched,
+    }
+    return figures, system, runtime
+
+
+def _run_runtime_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
+    outcome = ChaosOutcome(case=case.name)
+    reference, ref_system, _ = _atmem_insitu(platform, _default_app())
+    outcome.reference = reference
+    ref_violations = ref_system.check_consistency()
+    with injected(case.plan) as injector:
+        figures, system, _ = _atmem_insitu(platform, _default_app())
+        outcome.fired = len(injector.log)
+        violations = system.check_consistency()
+    outcome.completed = True
+    outcome.figures = figures
+    outcome.consistent = not violations and not ref_violations
+    outcome.identical = figures_identical(figures, reference)
+    outcome.detail = (
+        "consistency audit clean"
+        if outcome.consistent
+        else "; ".join(violations or ref_violations)
+    )
+    return outcome
+
+
+def _run_squeeze_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
+    """Capacity drops *after* analysis — the mid-run competing tenant.
+
+    The decision is computed at full capacity; the squeeze is installed
+    only around migration and the second iteration, so the runtime's
+    pressure path (demote cold residents, truncate by marginal benefit)
+    has to absorb it — the analyzer cannot.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    reference, ref_system, _ = _atmem_insitu(platform, _default_app())
+    outcome.reference = reference
+    ref_violations = ref_system.check_consistency()
+    system = platform.build_system()
+    runtime = AtMemRuntime(system, config=RuntimeConfig(), platform=platform)
+    app = _default_app()()
+    app.register(runtime)
+    executor = TraceExecutor(system)
+    runtime.atmem_profiling_start()
+    first = executor.run(app.run_once(), miss_observer=runtime)
+    runtime.atmem_profiling_stop()
+    analyzer = AtMemAnalyzer(runtime.config.analyzer)
+    fast_free = system.fast_free_bytes()
+    if fast_free is not None:
+        fast_free = max(0, fast_free - PAGE_SIZE * (len(runtime.objects) + 1))
+    decision = analyzer.analyze(
+        runtime.profiler.estimated_miss_counts(),
+        runtime.geometries,
+        sampling_period=runtime.profiler.period,
+        capacity_bytes=fast_free,
+    )
+    with injected(case.plan):
+        migration = runtime.migrate_decision(decision)
+        second = executor.run(app.run_once())
+        violations = system.check_consistency()
+    outcome.completed = True
+    outcome.figures = {
+        "seconds": second.seconds,
+        "first_seconds": first.seconds,
+        "data_ratio": runtime.fast_tier_ratio(),
+        "migration_bytes": migration.bytes_moved,
+        "migration_seconds": migration.seconds,
+        "pages_touched": migration.pages_touched,
+    }
+    outcome.fired = len(runtime.events)
+    outcome.consistent = not violations and not ref_violations
+    outcome.identical = None
+    if outcome.figures["data_ratio"] > reference["data_ratio"]:
+        outcome.consistent = False
+        outcome.detail = "squeeze placed more fast-tier data than fault-free"
+    else:
+        degraded = migration.degraded_bytes + migration.demoted_bytes
+        outcome.detail = (
+            f"degraded {degraded} B "
+            f"(ratio {outcome.figures['data_ratio']:.3f} vs "
+            f"{reference['data_ratio']:.3f}); "
+            + ("audit clean" if outcome.consistent else "; ".join(violations))
+        )
+    return outcome
+
+
+def _run_cache_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
+    outcome = ChaosOutcome(case=case.name)
+    spec = JobSpec(
+        app=_default_app(), platform=platform, flow="cell", placement="fast"
+    )
+    reference = committed_figures(execute_job(spec, trace_cache=TraceCache()))
+    outcome.reference = reference
+    with injected(case.plan) as injector:
+        cache = TraceCache()
+        result = execute_job(spec, trace_cache=cache)
+        outcome.fired = len(injector.log)
+    outcome.completed = True
+    outcome.figures = committed_figures(result)
+    outcome.identical = figures_identical(outcome.figures, reference)
+    outcome.consistent = None  # per-job systems; audited by runtime cases
+    outcome.detail = (
+        f"{cache.stats.corruption_discards} corrupted entr"
+        f"{'y' if cache.stats.corruption_discards == 1 else 'ies'} recomputed"
+    )
+    return outcome
+
+
+def _run_pool_case(
+    case: ChaosCase, platform: PlatformConfig, jobs: int
+) -> ChaosOutcome:
+    outcome = ChaosOutcome(case=case.name)
+    specs = [
+        JobSpec(
+            app=AppSpec.make(app, dataset, scale=TINY_SCALE),
+            platform=platform,
+            flow="atmem",
+            tag=f"chaos/{app}/{dataset}",
+        )
+        for app, dataset in (("PR", "twitter"), ("BFS", "twitter"), ("PR", "rmat24"))
+    ]
+    reference = [committed_figures(r) for r in ExperimentPool(jobs).run(specs)]
+    outcome.reference = {"jobs": reference}
+    overrides = {JOB_TIMEOUT_ENV: str(HARNESS_TIMEOUT), JOB_BACKOFF_ENV: "0"}
+    saved = {key: os.environ.get(key) for key in overrides}
+    saved[FAULT_PLAN_ENV] = os.environ.get(FAULT_PLAN_ENV)
+    os.environ.update(overrides)
+    os.environ[FAULT_PLAN_ENV] = case.plan.to_json()
+    try:
+        with injected(case.plan):
+            pool = ExperimentPool(jobs)
+            results = pool.run(specs)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    outcome.completed = True
+    figures = [committed_figures(r) for r in results]
+    outcome.figures = {"jobs": figures}
+    outcome.identical = len(figures) == len(reference) and all(
+        figures_identical(a, b) for a, b in zip(figures, reference)
+    )
+    outcome.consistent = None  # per-worker systems; audited by runtime cases
+    health = pool.health
+    outcome.fired = (
+        health.timeouts + health.crashes + health.retries + health.pool_restarts
+    )
+    outcome.detail = (
+        f"mode={pool.last_mode} timeouts={health.timeouts} "
+        f"crashes={health.crashes} retries={health.retries} "
+        f"restarts={health.pool_restarts}"
+    )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def run_case(
+    case: ChaosCase | str,
+    *,
+    platform: PlatformConfig | None = None,
+    jobs: int = 2,
+) -> ChaosOutcome:
+    """Run one seed-matrix case against its fault-free reference."""
+    if isinstance(case, str):
+        case = case_by_name(case)
+    platform = platform or nvm_dram_testbed(scale=512)
+    if case.kind == "pool":
+        return _run_pool_case(case, platform, jobs)
+    if case.kind == "cache":
+        return _run_cache_case(case, platform)
+    if case.kind == "squeeze":
+        return _run_squeeze_case(case, platform)
+    return _run_runtime_case(case, platform)
+
+
+def run_seed_matrix(
+    *,
+    platform: PlatformConfig | None = None,
+    jobs: int = 2,
+    names: list[str] | None = None,
+) -> list[ChaosOutcome]:
+    """Run the whole matrix (or a named subset); outcomes in matrix order."""
+    outcomes = []
+    for case in seed_matrix():
+        if names and case.name not in names:
+            continue
+        outcomes.append(run_case(case, platform=platform, jobs=jobs))
+    return outcomes
+
+
+def render_outcomes(outcomes: list[ChaosOutcome]) -> str:
+    """A fixed-width report of a matrix run, one line per case."""
+    lines = [
+        f"{'case':<22} {'ok':<4} {'fired':>5} {'identical':>9} "
+        f"{'consistent':>10}  detail",
+        "-" * 78,
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.case:<22} "
+            f"{'yes' if outcome.recovered else 'NO':<4} "
+            f"{outcome.fired:>5} "
+            f"{_tri(outcome.identical):>9} "
+            f"{_tri(outcome.consistent):>10}  "
+            f"{outcome.detail}"
+        )
+    return "\n".join(lines)
+
+
+def _tri(value: bool | None) -> str:
+    return "n/a" if value is None else ("yes" if value else "NO")

@@ -1,0 +1,233 @@
+"""The process-wide fault injector and its injection-site helpers.
+
+Injection sites are ordinary function calls compiled into the runtime —
+:func:`fault_point` — that cost one global read and a ``None`` check when
+no injector is installed.  When a :class:`FaultInjector` is active (via
+:func:`install`, the :func:`injected` context manager, or lazily from the
+``REPRO_FAULT_PLAN`` environment variable), a site consults the plan and
+either *fires* — returning the matching :class:`FaultSpec`, with the
+firing logged — or stays quiet.
+
+Call sites decide what a firing means: the allocator raises an
+:class:`InjectedCapacityError`, the migrator raises a
+:class:`MigrationStageFault`, the experiment-pool worker crashes, exits,
+or hangs, and the trace cache corrupts its own entry.  The exception
+types all carry ``injected = True`` (and derive from
+:class:`repro.errors.FaultInjectionError`), so recovery code can tell a
+deterministic chaos fault from a genuine resource failure when it needs
+to.
+
+Worker processes inherit the installed injector through ``fork``; spawn
+start methods (and fresh processes in general) pick the plan up from the
+environment instead.  Firing counters are therefore *per process*, which
+is why pool-level faults gate on the job's retry ``attempt`` — a counter
+that survives worker death because the parent tracks it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+from repro.errors import CapacityError, FaultInjectionError
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    SITE_CAPACITY_SQUEEZE,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    parse_plan,
+)
+
+
+class InjectedCapacityError(FaultInjectionError, CapacityError):
+    """A deterministic, transient allocation failure."""
+
+    injected = True
+
+
+class MigrationStageFault(FaultInjectionError):
+    """An injected abort inside one stage of the multi-stage migration."""
+
+    injected = True
+
+
+class InjectedWorkerCrash(FaultInjectionError):
+    """An injected exception inside an experiment-pool worker."""
+
+    injected = True
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at each injection site.
+
+    The injector is deliberately dumb: it only decides *whether* a site
+    fires and keeps a log of firings.  All recovery behaviour lives at
+    the call sites, where the surrounding invariants are known.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._fired: dict[int, int] = {}  # spec index -> in-process firings
+        self._lock = threading.Lock()
+        self.log: list[FaultEvent] = []
+        self._context = threading.local()
+
+    # ------------------------------------------------------------------
+    # job context (retry attempt + tag), set by the experiment pool
+    # ------------------------------------------------------------------
+    @property
+    def attempt(self) -> int:
+        return getattr(self._context, "attempt", 0)
+
+    @property
+    def tag(self) -> str:
+        return getattr(self._context, "tag", "")
+
+    @contextmanager
+    def job_context(self, *, attempt: int = 0, tag: str = ""):
+        previous = (self.attempt, self.tag)
+        self._context.attempt = attempt
+        self._context.tag = tag
+        try:
+            yield self
+        finally:
+            self._context.attempt, self._context.tag = previous
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def fire(self, site: str, *, tag: str = "", detail: str = "") -> FaultSpec | None:
+        """The armed spec for ``site`` if it fires now, else ``None``."""
+        context_tag = tag or self.tag
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                if spec.match and spec.match not in context_tag:
+                    continue
+                if self.attempt >= spec.max_attempt:
+                    continue
+                count = self._fired.get(index, 0)
+                if spec.times and count >= spec.times:
+                    continue
+                self._fired[index] = count + 1
+                self.log.append(
+                    FaultEvent(
+                        site=site, attempt=self.attempt, tag=context_tag,
+                        detail=detail,
+                    )
+                )
+                return spec
+        return None
+
+    def squeeze_fraction(self, tag: str) -> float:
+        """Active capacity squeeze for a tier (persistent modifier, unlogged).
+
+        Unlike one-shot faults, a squeeze applies to every capacity query
+        of the matched tier for as long as the injector is installed;
+        ``times``/``max_attempt`` do not apply.
+        """
+        fraction = 0.0
+        for spec in self.plan.specs:
+            if spec.site != SITE_CAPACITY_SQUEEZE:
+                continue
+            if spec.match and spec.match not in tag:
+                continue
+            fraction = max(fraction, min(1.0, max(0.0, spec.param)))
+        return fraction
+
+    def fired_sites(self) -> list[str]:
+        return [event.site for event in self.log]
+
+
+# ----------------------------------------------------------------------
+# process-wide installation
+# ----------------------------------------------------------------------
+_ACTIVE: FaultInjector | None = None
+_ENV_CHECKED = False
+
+
+def install(plan: FaultPlan | FaultInjector) -> FaultInjector:
+    """Install the process-wide injector (replacing any previous one)."""
+    global _ACTIVE, _ENV_CHECKED
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    _ACTIVE = injector
+    _ENV_CHECKED = True
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the process-wide injector (environment plans stay ignored)."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = True
+
+
+def reset() -> None:
+    """Forget everything, re-arming lazy environment pickup (tests)."""
+    global _ACTIVE, _ENV_CHECKED
+    _ACTIVE = None
+    _ENV_CHECKED = False
+
+
+def active_injector() -> FaultInjector | None:
+    """The installed injector, lazily created from ``REPRO_FAULT_PLAN``."""
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        raw = os.environ.get(FAULT_PLAN_ENV)
+        if raw:
+            _ACTIVE = FaultInjector(parse_plan(raw))
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Scoped installation: ``with injected(plan) as injector: ...``."""
+    previous = _ACTIVE
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)
+
+
+def fault_point(site: str, *, tag: str = "", detail: str = "") -> FaultSpec | None:
+    """The injection-site primitive: fires against the active plan.
+
+    Returns the firing :class:`FaultSpec` (caller applies the failure) or
+    ``None``.  Near-zero cost when no plan is installed.
+    """
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.fire(site, tag=tag, detail=detail)
+
+
+def capacity_squeeze_fraction(tag: str) -> float:
+    """Active capacity-squeeze fraction for a tier name (0.0 = none)."""
+    injector = active_injector()
+    if injector is None:
+        return 0.0
+    return injector.squeeze_fraction(tag)
+
+
+@contextmanager
+def job_context(*, attempt: int = 0, tag: str = ""):
+    """Tag the current thread's work with a pool job's attempt + tag."""
+    injector = active_injector()
+    if injector is None:
+        yield None
+    else:
+        with injector.job_context(attempt=attempt, tag=tag):
+            yield injector
+
+
+def is_injected(exc: BaseException) -> bool:
+    """Whether an exception came from the fault injector."""
+    return isinstance(exc, FaultInjectionError) or getattr(exc, "injected", False)

@@ -1,0 +1,179 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative, picklable description of which
+faults to inject where.  Each :class:`FaultSpec` names one *injection
+site* — a string constant compiled into the runtime at the point where
+the corresponding failure can happen on real hardware — and says when it
+fires:
+
+- ``times`` bounds how often the fault fires within one process (0 means
+  "every time the site is reached");
+- ``max_attempt`` gates pool-level faults on the job's retry attempt, so
+  a crash or hang injected on attempt 0 is *not* re-injected into the
+  retried job — the deterministic analogue of a transient fault, and the
+  property that lets chaos runs converge to the fault-free figures;
+- ``match`` restricts the fault to contexts whose tag contains the given
+  substring (a tier name for allocation faults, a job tag for pool
+  faults);
+- ``param`` carries a site-specific magnitude (seconds for a hang,
+  capacity fraction for a squeeze).
+
+Plans serialise to JSON (``to_json`` / ``from_json``) so the CLI can ship
+one to worker processes through the ``REPRO_FAULT_PLAN`` environment
+variable, and parse from a compact command-line syntax::
+
+    migrate.stage2                      # one abort in migration stage 2
+    pool.hang:param=30;cache.corrupt    # a 30 s hang plus one corruption
+    alloc.frames:times=2,match=DRAM     # two DRAM allocation failures
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Environment variable carrying a JSON-serialised plan to worker processes.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Allocation of physical frames fails (transient ENOMEM).
+SITE_ALLOC = "alloc.frames"
+#: Abort inside migration stage 1 (staging copy), 2 (remap), 3 (move back).
+SITE_MIGRATE_STAGE1 = "migrate.stage1"
+SITE_MIGRATE_STAGE2 = "migrate.stage2"
+SITE_MIGRATE_STAGE3 = "migrate.stage3"
+#: A pool worker raises mid-job (recoverable crash).
+SITE_POOL_CRASH = "pool.crash"
+#: A pool worker dies outright (``os._exit`` → ``BrokenProcessPool``).
+SITE_POOL_EXIT = "pool.exit"
+#: A pool worker hangs (sleeps ``param`` seconds, default 30).
+SITE_POOL_HANG = "pool.hang"
+#: A cached trace is corrupted in place before its next use.
+SITE_CACHE_CORRUPT = "cache.corrupt"
+#: The matched tier hides ``param`` fraction of its capacity.
+SITE_CAPACITY_SQUEEZE = "capacity.squeeze"
+
+SITES = (
+    SITE_ALLOC,
+    SITE_MIGRATE_STAGE1,
+    SITE_MIGRATE_STAGE2,
+    SITE_MIGRATE_STAGE3,
+    SITE_POOL_CRASH,
+    SITE_POOL_EXIT,
+    SITE_POOL_HANG,
+    SITE_CACHE_CORRUPT,
+    SITE_CAPACITY_SQUEEZE,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault at one injection site."""
+
+    site: str
+    times: int = 1
+    max_attempt: int = 1
+    match: str = ""
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; expected one of {SITES}"
+            )
+        if self.times < 0:
+            raise ConfigurationError(f"times must be >= 0, got {self.times}")
+        if self.max_attempt < 0:
+            raise ConfigurationError(
+                f"max_attempt must be >= 0, got {self.max_attempt}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of armed faults plus the chaos seed."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def for_site(self, site: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.site == site)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "specs": [asdict(s) for s in self.specs]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bad fault plan JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "specs" not in payload:
+            raise ConfigurationError(
+                "fault plan JSON must be an object with a 'specs' list"
+            )
+        specs = tuple(FaultSpec(**entry) for entry in payload["specs"])
+        return cls(specs=specs, seed=int(payload.get("seed", 0)))
+
+
+def parse_plan(text: str, *, seed: int = 0) -> FaultPlan:
+    """Parse the compact CLI syntax (``site:key=val,...;site2...``).
+
+    Accepts raw JSON too, so ``REPRO_FAULT_PLAN`` round-trips through
+    either format.
+    """
+    text = text.strip()
+    if not text:
+        return FaultPlan(seed=seed)
+    if text.startswith("{"):
+        return FaultPlan.from_json(text)
+    specs: list[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        site, _, rest = clause.partition(":")
+        kwargs: dict = {}
+        if rest:
+            for pair in rest.split(","):
+                key, eq, value = pair.partition("=")
+                key = key.strip()
+                if not eq:
+                    raise ConfigurationError(
+                        f"bad fault clause {clause!r}: expected key=value, "
+                        f"got {pair!r}"
+                    )
+                if key in ("times", "max_attempt"):
+                    kwargs[key] = int(value)
+                elif key == "param":
+                    kwargs[key] = float(value)
+                elif key == "match":
+                    kwargs[key] = value.strip()
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault spec key {key!r} in {clause!r}"
+                    )
+        specs.append(FaultSpec(site=site.strip(), **kwargs))
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+@dataclass
+class FaultEvent:
+    """One fired fault, recorded by the injector for post-run inspection."""
+
+    site: str
+    attempt: int
+    tag: str
+    detail: str = ""
+    context: dict = field(default_factory=dict)

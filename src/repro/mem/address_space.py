@@ -21,8 +21,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import AllocationError, ConfigurationError
+from repro.errors import AllocationError, CapacityError, ConfigurationError
+from repro.faults.injector import is_injected
 from repro.mem.allocator import FrameAllocator
+
+#: Transient (injected) allocation failures are retried this many times.
+TRANSIENT_ALLOC_RETRIES = 3
 
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
@@ -93,7 +97,7 @@ class AddressSpace:
         self._check_range(va, nbytes)
         n_pages = -(-nbytes // PAGE_SIZE)
         lo = self._page_index(va)
-        frames = self.allocators[tier].allocate(n_pages)
+        frames = self._allocate_with_retry(tier, n_pages)
         sl = slice(lo, lo + n_pages)
         if np.any(self._tier[sl] >= 0):
             # Undo the allocation before reporting the misuse.
@@ -102,6 +106,21 @@ class AddressSpace:
         self._tier[sl] = tier
         self._frame[sl] = frames
         self._map_shift[sl] = HUGE_PAGE_SHIFT if huge else PAGE_SHIFT
+
+    def _allocate_with_retry(self, tier: int, n_pages: int) -> list[int]:
+        """Allocate frames, absorbing injected *transient* failures.
+
+        A real kernel retries (after reclaim) when an allocation fails
+        transiently; genuine capacity exhaustion still propagates so the
+        caller's degradation policy can engage.
+        """
+        for _ in range(TRANSIENT_ALLOC_RETRIES):
+            try:
+                return self.allocators[tier].allocate(n_pages)
+            except CapacityError as exc:
+                if not is_injected(exc):
+                    raise
+        return self.allocators[tier].allocate(n_pages)
 
     def unmap_range(self, va: int, nbytes: int) -> None:
         """Release the frames backing ``[va, va + nbytes)``."""
@@ -124,9 +143,44 @@ class AddressSpace:
 
         This is the "remapping" step of ATMem's migration (Figure 4b): the
         virtual addresses stay fixed while the physical frames change.
+
+        The operation is atomic: if backing the range on the new tier
+        fails after the old mapping was torn down, the previous per-page
+        tier/granularity layout is restored (on fresh frames — frame ids
+        are accounting handles, not identities) before the error
+        propagates, so the range is never left unmapped.
         """
+        self._check_range(va, nbytes)
+        n_pages = -(-nbytes // PAGE_SIZE)
+        lo = self._page_index(va)
+        old_tiers = self._tier[lo : lo + n_pages].copy()
+        old_shifts = self._map_shift[lo : lo + n_pages].copy()
         self.unmap_range(va, nbytes)
-        self.map_range(va, nbytes, tier, huge=huge)
+        try:
+            self.map_range(va, nbytes, tier, huge=huge)
+        except CapacityError:
+            self._restore_layout(va, old_tiers, old_shifts)
+            raise
+
+    def _restore_layout(
+        self, va: int, tiers: np.ndarray, shifts: np.ndarray
+    ) -> None:
+        """Re-map a just-unmapped range to its recorded per-page layout."""
+        n_pages = tiers.size
+        page = 0
+        while page < n_pages:
+            run = page + 1
+            while run < n_pages and (
+                tiers[run] == tiers[page] and shifts[run] == shifts[page]
+            ):
+                run += 1
+            self.map_range(
+                va + page * PAGE_SIZE,
+                (run - page) * PAGE_SIZE,
+                int(tiers[page]),
+                huge=int(shifts[page]) == HUGE_PAGE_SHIFT,
+            )
+            page = run
 
     def split_to_base_pages(self, va: int, nbytes: int) -> None:
         """Record THP splitting: the range's mapping granularity drops to 4 KB.
@@ -167,6 +221,10 @@ class AddressSpace:
     def mapped_bytes_on(self, tier: int) -> int:
         """Total bytes currently mapped to ``tier``."""
         return int(np.count_nonzero(self._tier == tier)) * PAGE_SIZE
+
+    def mapped_frames_on(self, tier: int) -> list[int]:
+        """Frame ids currently backing pages on ``tier`` (for audits)."""
+        return self._frame[self._tier == tier].tolist()
 
     def range_tiers(self, va: int, nbytes: int) -> np.ndarray:
         """Per-page tier ids for a virtual range."""

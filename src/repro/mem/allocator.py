@@ -5,11 +5,30 @@ number of bytes in use against the tier's capacity, and recycles freed ids.
 Real frame contents live in the application's NumPy arrays — the allocator
 only does placement accounting, which is all the cost and migration models
 need.
+
+Two fault-injection hooks from :mod:`repro.faults` are wired here:
+
+- the ``alloc.frames`` site makes :meth:`FrameAllocator.allocate` raise a
+  transient :class:`repro.faults.injector.InjectedCapacityError` (the
+  address space retries those, modelling a transient ENOMEM);
+- the ``capacity.squeeze`` modifier hides a fraction of the tier's
+  capacity from :meth:`can_allocate` / :attr:`free_bytes`, putting the
+  runtime's graceful-degradation path under pressure.
+
+:meth:`FrameAllocator.audit` is the post-run consistency check: given the
+frame ids the page table currently maps on this tier, it verifies that no
+frame leaked, none was double-freed, and the byte accounting agrees.
 """
 
 from __future__ import annotations
 
 from repro.errors import CapacityError
+from repro.faults.injector import (
+    InjectedCapacityError,
+    capacity_squeeze_fraction,
+    fault_point,
+)
+from repro.faults.plan import SITE_ALLOC
 from repro.mem.tier import MemoryTier
 
 
@@ -30,23 +49,40 @@ class FrameAllocator:
         """Bytes currently allocated on this tier."""
         return self._used_frames * self.page_size
 
+    def _effective_capacity(self) -> int | None:
+        """Tier capacity minus any injected squeeze (``None`` = unbounded)."""
+        capacity = self.tier.capacity_bytes
+        if capacity is None:
+            return None
+        squeeze = capacity_squeeze_fraction(self.tier.name)
+        if squeeze > 0.0:
+            capacity = int(capacity * (1.0 - squeeze))
+        return capacity
+
     @property
     def free_bytes(self) -> int | None:
         """Remaining capacity, or ``None`` for an unbounded tier."""
-        if self.tier.capacity_bytes is None:
+        capacity = self._effective_capacity()
+        if capacity is None:
             return None
-        return self.tier.capacity_bytes - self.used_bytes
+        return capacity - self.used_bytes
 
     def can_allocate(self, n_frames: int) -> bool:
         """Whether ``n_frames`` more frames fit within the tier capacity."""
-        if self.tier.capacity_bytes is None:
+        capacity = self._effective_capacity()
+        if capacity is None:
             return True
-        return (self._used_frames + n_frames) * self.page_size <= self.tier.capacity_bytes
+        return (self._used_frames + n_frames) * self.page_size <= capacity
 
     def allocate(self, n_frames: int) -> list[int]:
         """Allocate ``n_frames`` frames, raising :class:`CapacityError` if full."""
         if n_frames < 0:
             raise ValueError(f"cannot allocate {n_frames} frames")
+        if fault_point(SITE_ALLOC, tag=self.tier.name):
+            raise InjectedCapacityError(
+                f"injected transient allocation failure on tier "
+                f"{self.tier.name!r} ({n_frames} frames)"
+            )
         if not self.can_allocate(n_frames):
             raise CapacityError(
                 f"tier {self.tier.name!r} full: requested "
@@ -70,3 +106,59 @@ class FrameAllocator:
             )
         self._free.extend(frames)
         self._used_frames -= len(frames)
+
+    # ------------------------------------------------------------------
+    # consistency audit
+    # ------------------------------------------------------------------
+    def audit(self, mapped_frames: list[int]) -> list[str]:
+        """Check allocator state against the page table's view of this tier.
+
+        ``mapped_frames`` are the frame ids the address space currently
+        maps on this tier.  Returns a list of violation descriptions
+        (empty means consistent):
+
+        - every mapped frame must be accounted as in use and be unique
+          (no double mapping);
+        - no mapped frame may sit on the free list (double free);
+        - in-use + free frame counts must add up to all frames ever
+          created (no leaked ids);
+        - the in-use count must equal the mapped count (no leaked or
+          phantom allocation).
+        """
+        problems: list[str] = []
+        name = self.tier.name
+        mapped = list(mapped_frames)
+        unique = set(mapped)
+        if len(unique) != len(mapped):
+            problems.append(
+                f"{name}: {len(mapped) - len(unique)} frame id(s) mapped "
+                "more than once"
+            )
+        free = set(self._free)
+        if len(free) != len(self._free):
+            problems.append(
+                f"{name}: free list holds duplicate frame ids (double free)"
+            )
+        overlap = unique & free
+        if overlap:
+            problems.append(
+                f"{name}: {len(overlap)} frame(s) both mapped and free, "
+                f"e.g. {sorted(overlap)[:4]}"
+            )
+        if self._used_frames != len(mapped):
+            problems.append(
+                f"{name}: allocator counts {self._used_frames} frames in "
+                f"use but the page table maps {len(mapped)}"
+            )
+        if self._used_frames + len(self._free) != self._next_frame:
+            problems.append(
+                f"{name}: {self._used_frames} used + {len(self._free)} free "
+                f"!= {self._next_frame} created (leaked frame ids)"
+            )
+        out_of_range = [f for f in unique | free if not 0 <= f < self._next_frame]
+        if out_of_range:
+            problems.append(
+                f"{name}: frame ids outside [0, {self._next_frame}): "
+                f"{sorted(out_of_range)[:4]}"
+            )
+        return problems

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConsistencyError
 from repro.mem.address_space import AddressSpace
 from repro.mem.allocator import FrameAllocator
 from repro.mem.cache import LINE_SIZE, WorkingSetCache
@@ -94,6 +94,32 @@ class HeterogeneousMemorySystem:
         """Cold-start the LLC and TLB (between independent runs)."""
         self.llc.reset()
         self.tlb.reset()
+
+    # ------------------------------------------------------------------
+    # consistency audit (chaos tests' post-run invariant)
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> list[str]:
+        """Audit every tier's allocator against the page table.
+
+        Returns a list of human-readable violations — leaked frames,
+        double frees, double mappings, or byte accounting that disagrees
+        between an allocator and the address space.  Empty means the
+        system is consistent; chaos tests call this after every recovered
+        fault.
+        """
+        problems: list[str] = []
+        for tier_id, allocator in enumerate(self.allocators):
+            mapped = self.address_space.mapped_frames_on(tier_id)
+            problems.extend(allocator.audit(mapped))
+        return problems
+
+    def assert_consistent(self) -> None:
+        """Raise :class:`repro.errors.ConsistencyError` on any violation."""
+        problems = self.check_consistency()
+        if problems:
+            raise ConsistencyError(
+                "memory system inconsistent: " + "; ".join(problems)
+            )
 
     # ------------------------------------------------------------------
     def miss_tiers(self, miss_addrs: np.ndarray) -> np.ndarray:

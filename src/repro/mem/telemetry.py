@@ -53,6 +53,52 @@ class TierTraffic:
 
 
 @dataclass
+class RuntimeEvent:
+    """One noteworthy runtime decision (degradation, abort, demotion)."""
+
+    kind: str
+    detail: str
+    #: Free-form numeric payload (bytes freed, retry number, ...).
+    amount: float = 0.0
+
+
+class EventLog:
+    """Append-only log of runtime recovery / degradation decisions.
+
+    The ATMem runtime records here why a placement deviated from the
+    analyzer's selection — capacity-pressure truncation, cold-region
+    demotion, migration aborts survived by retry — so a chaos run's
+    behaviour is auditable after the fact.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[RuntimeEvent] = []
+
+    def record(self, kind: str, detail: str, amount: float = 0.0) -> RuntimeEvent:
+        event = RuntimeEvent(kind=kind, detail=detail, amount=amount)
+        self.events.append(event)
+        return event
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def render(self) -> str:
+        """Human-readable event listing (one line each)."""
+        if not self.events:
+            return "(no runtime events)"
+        return "\n".join(
+            f"[{e.kind}] {e.detail}" + (f" ({e.amount:g})" if e.amount else "")
+            for e in self.events
+        )
+
+
+@dataclass
 class TelemetryCollector:
     """Accumulates per-tier traffic while the executor prices a run."""
 

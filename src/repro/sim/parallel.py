@@ -18,6 +18,19 @@ own result.  This module fans those cells out across worker processes:
   spec attached.  ``max_workers=1`` (or a pool that cannot start) falls
   back to in-process serial execution of the *same* job path.
 
+The pool is **self-healing**: each job gets a wall-clock budget
+(``REPRO_JOB_TIMEOUT`` seconds; unset disables) and a bounded retry
+budget (``REPRO_JOB_RETRIES``, default 2) with exponential backoff
+(``REPRO_JOB_BACKOFF`` base seconds).  A job that crashes is retried; a
+worker that dies outright (``BrokenProcessPool``) or hangs past the
+timeout gets the whole pool killed and re-created, with every unfinished
+job resubmitted at the next attempt number.  Attempt numbers feed the
+:mod:`repro.faults` job context, so chaos faults gated on ``max_attempt``
+fire exactly once and the retried batch converges to fault-free results
+(jobs re-seed their RNG from spec content, so a rerun is bit-identical).
+:class:`PoolHealth` on the pool records timeouts, crashes, retries, and
+pool restarts for post-run inspection.
+
 Determinism: every job runs :func:`execute_job`, which seeds NumPy's
 global RNG from the spec's content hash before executing, and all model
 randomness (sampling profiler, dataset generators) is already locally
@@ -32,11 +45,13 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
 import traceback
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -45,6 +60,13 @@ import numpy as np
 from repro.config import PlatformConfig
 from repro.core.runtime import RuntimeConfig
 from repro.errors import ConfigurationError, ReproError
+from repro.faults.injector import (
+    InjectedWorkerCrash,
+    fault_point,
+    is_injected,
+    job_context,
+)
+from repro.faults.plan import SITE_POOL_CRASH, SITE_POOL_EXIT, SITE_POOL_HANG
 from repro.sim.experiment import (
     AtMemRunResult,
     StaticRunResult,
@@ -56,6 +78,18 @@ from repro.sim.tracecache import TraceCache, process_trace_cache
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Per-job wall-clock budget in seconds (unset / <= 0 disables).
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Retries per failed / timed-out job (default 2).
+JOB_RETRIES_ENV = "REPRO_JOB_RETRIES"
+
+#: Base seconds of the exponential retry backoff (default 0.05).
+JOB_BACKOFF_ENV = "REPRO_JOB_BACKOFF"
+
+#: How long an injected ``pool.hang`` sleeps when the spec has no param.
+DEFAULT_HANG_SECONDS = 30.0
 
 #: Environment variable overriding where wall-clock timings are recorded.
 PARALLEL_JSON_ENV = "REPRO_PARALLEL_JSON"
@@ -277,10 +311,121 @@ def execute_job(spec: JobSpec, *, trace_cache: TraceCache | None = None):
     return host.run()
 
 
-def _pool_entry(spec: JobSpec):
-    """Worker-side wrapper: never lets an exception cross unpickled."""
+def job_timeout() -> float | None:
+    """Per-job wall-clock budget from ``REPRO_JOB_TIMEOUT`` (``None``: off)."""
+    raw = os.environ.get(JOB_TIMEOUT_ENV)
+    if raw is None or raw == "":
+        return None
     try:
-        return ("ok", execute_job(spec))
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOB_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
+def job_retries() -> int:
+    """Retries per failed job from ``REPRO_JOB_RETRIES`` (default 2)."""
+    raw = os.environ.get(JOB_RETRIES_ENV)
+    if raw is None or raw == "":
+        return 2
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOB_RETRIES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"{JOB_RETRIES_ENV} must be >= 0, got {value}")
+    return value
+
+
+def job_backoff() -> float:
+    """Base seconds of the retry backoff from ``REPRO_JOB_BACKOFF``."""
+    raw = os.environ.get(JOB_BACKOFF_ENV)
+    if raw is None or raw == "":
+        return 0.05
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{JOB_BACKOFF_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    return max(0.0, value)
+
+
+@dataclass
+class PoolHealth:
+    """What it took to finish the batch: every recovery, counted."""
+
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+    pool_restarts: int = 0
+    serial_fallbacks: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    @property
+    def clean(self) -> bool:
+        """True when the batch needed no recovery at all."""
+        return (
+            self.timeouts == 0
+            and self.crashes == 0
+            and self.retries == 0
+            and self.pool_restarts == 0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "retries": self.retries,
+            "pool_restarts": self.pool_restarts,
+            "serial_fallbacks": self.serial_fallbacks,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class _Job:
+    """Parent-side tracking record for one spec in flight."""
+
+    spec: JobSpec
+    index: int
+    attempt: int = 0
+
+
+def _pool_entry(spec: JobSpec, attempt: int = 0):
+    """Worker-side wrapper: never lets an exception cross unpickled.
+
+    ``attempt`` is the parent-tracked retry number; it scopes the
+    :mod:`repro.faults` job context so ``max_attempt``-gated pool faults
+    disarm on retry even though a fresh worker process has fresh firing
+    counters.  The three pool sites model the three worker pathologies:
+    an exception (``pool.crash``), sudden death (``pool.exit`` —
+    ``os._exit``, which the parent sees as ``BrokenProcessPool``), and a
+    hang (``pool.hang`` — sleeps ``param`` seconds, which the parent's
+    job timeout must catch).
+    """
+    try:
+        with job_context(attempt=attempt, tag=spec.tag):
+            fired = fault_point(SITE_POOL_EXIT, tag=spec.tag, detail="worker exit")
+            if fired is not None:
+                os._exit(int(fired.param) if fired.param else 17)
+            fired = fault_point(SITE_POOL_HANG, tag=spec.tag, detail="worker hang")
+            if fired is not None:
+                time.sleep(fired.param if fired.param else DEFAULT_HANG_SECONDS)
+            fired = fault_point(SITE_POOL_CRASH, tag=spec.tag, detail="worker crash")
+            if fired is not None:
+                raise InjectedWorkerCrash(
+                    f"injected crash in job {spec.tag or spec.flow!r} "
+                    f"(attempt {attempt})"
+                )
+            return ("ok", execute_job(spec))
     except Exception as exc:  # noqa: BLE001 — re-raised with spec in parent
         return ("err", type(exc).__name__, str(exc), traceback.format_exc())
 
@@ -296,50 +441,246 @@ class ExperimentPool:
     environments, missing semaphores), execution degrades to an in-process
     serial loop over the *same* :func:`execute_job` path, so results are
     identical either way.
+
+    Recovery, in escalating order:
+
+    - a job whose worker returns an ``err`` payload is resubmitted up to
+      ``REPRO_JOB_RETRIES`` times with exponential backoff;
+    - a job that exceeds ``REPRO_JOB_TIMEOUT`` or whose worker dies
+      (``BrokenProcessPool``) gets the executor killed and re-created,
+      with *every* unfinished job resubmitted one attempt later — the
+      attempt bump is what bounds crash rounds, because chaos faults
+      gate on ``max_attempt`` in the parent-tracked attempt number;
+    - a pool that cannot be restarted (restart budget exhausted or the
+      host refuses new pools) falls back to the serial path for whatever
+      is still unfinished.
+
+    Jobs are side-effect free and content-seeded, so a retried or
+    serially-rerun job is bit-identical to its first try.  The tally of
+    recoveries lands in :attr:`health`.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = resolve_jobs(max_workers)
         #: Filled after each :meth:`run`: how the batch actually executed.
         self.last_mode: str = "unstarted"
+        #: Recovery tally of the last :meth:`run`.
+        self.health = PoolHealth()
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> list:
         """Execute every spec; return their results in order."""
         specs = list(specs)
+        self.health = PoolHealth()
         if not specs:
             self.last_mode = "empty"
             return []
+        jobs = [_Job(spec=spec, index=i) for i, spec in enumerate(specs)]
+        results: list = [None] * len(specs)
+        done = [False] * len(specs)
         workers = min(self.max_workers, len(specs))
-        if workers <= 1:
-            return self._run_serial(specs)
-        try:
-            executor = ProcessPoolExecutor(
-                max_workers=workers, mp_context=self._mp_context()
-            )
-        except (OSError, ValueError, PermissionError):
-            return self._run_serial(specs)
-        try:
-            with executor:
-                futures = [executor.submit(_pool_entry, s) for s in specs]
-                results = []
-                for spec, future in zip(specs, futures):
-                    payload = future.result()
-                    if payload[0] == "err":
-                        _, kind, message, worker_tb = payload
-                        raise ExperimentJobError(spec, kind, message, worker_tb)
-                    results.append(payload[1])
-        except BrokenProcessPool:
-            # The pool died before producing results (fork bombs out in
-            # some sandboxes); the jobs themselves are side-effect free,
-            # so rerunning serially is safe.
-            return self._run_serial(specs)
-        self.last_mode = f"parallel[{workers}]"
+        if workers > 1:
+            self._run_parallel(jobs, results, done, workers)
+        self._run_serial(jobs, results, done)
         return results
 
-    def _run_serial(self, specs: Sequence[JobSpec]) -> list:
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self, jobs: list[_Job], results: list, done: list[bool], workers: int
+    ) -> None:
+        """Drive the executor until every job finishes or the pool gives up.
+
+        Leaves unfinished jobs for the serial path instead of raising on
+        pool-level failures; only a job that exhausts its own retry
+        budget raises.
+        """
+        timeout = job_timeout()
+        retries = job_retries()
+        max_restarts = retries + 2
+        try:
+            executor = self._make_executor(workers)
+        except (OSError, ValueError, PermissionError):
+            return
+        self.last_mode = f"parallel[{workers}]"
+        try:
+            while not all(done):
+                pending = [job for job in jobs if not done[job.index]]
+                futures = {
+                    executor.submit(_pool_entry, job.spec, job.attempt): job
+                    for job in pending
+                }
+                failure = None
+                for future, job in futures.items():
+                    try:
+                        payload = future.result(timeout=timeout)
+                    except FutureTimeoutError:
+                        self.health.timeouts += 1
+                        self.health.note(
+                            f"job {job.index} exceeded {timeout}s "
+                            f"(attempt {job.attempt}); restarting pool"
+                        )
+                        failure = "timeout"
+                        break
+                    except BrokenProcessPool:
+                        self.health.crashes += 1
+                        self.health.note(
+                            f"worker died on job {job.index} "
+                            f"(attempt {job.attempt}); restarting pool"
+                        )
+                        failure = "crash"
+                        break
+                    self._settle(job, payload, results, done, retries)
+                if failure is None:
+                    continue
+                self._harvest(futures, results, done, retries)
+                self._kill_executor(executor)
+                for job in jobs:
+                    if not done[job.index]:
+                        job.attempt += 1
+                        if job.attempt > retries:
+                            raise ExperimentJobError(
+                                job.spec,
+                                failure,
+                                f"job still unfinished after "
+                                f"{retries} retries ({failure})",
+                            )
+                self.health.pool_restarts += 1
+                if self.health.pool_restarts > max_restarts:
+                    self.health.note(
+                        "pool restart budget exhausted; "
+                        "finishing remaining jobs serially"
+                    )
+                    return
+                try:
+                    executor = self._make_executor(workers)
+                except (OSError, ValueError, PermissionError):
+                    self.health.note(
+                        "pool could not be restarted; "
+                        "finishing remaining jobs serially"
+                    )
+                    return
+        finally:
+            self._kill_executor(executor)
+
+    def _settle(
+        self, job: _Job, payload: tuple, results: list, done: list[bool], retries: int
+    ) -> None:
+        """Apply one worker payload: record the result or schedule a retry."""
+        if payload[0] == "ok":
+            results[job.index] = payload[1]
+            done[job.index] = True
+            return
+        _, kind, message, worker_tb = payload
+        job.attempt += 1
+        if job.attempt > retries:
+            raise ExperimentJobError(job.spec, kind, message, worker_tb)
+        self.health.retries += 1
+        self.health.note(
+            f"job {job.index} failed ({kind}); retrying as attempt {job.attempt}"
+        )
+        self._backoff(job.attempt)
+
+    def _harvest(
+        self, futures: dict, results: list, done: list[bool], retries: int
+    ) -> None:
+        """Collect whatever finished before a pool failure: work not wasted."""
+        for future, job in futures.items():
+            if done[job.index] or not future.done():
+                continue
+            try:
+                payload = future.result(timeout=0)
+            except (BrokenProcessPool, CancelledError, FutureTimeoutError):
+                continue
+            self._settle(job, payload, results, done, retries)
+
+    def _run_serial(self, jobs: list[_Job], results: list, done: list[bool]) -> None:
+        """In-process execution of whatever is unfinished, with retries."""
+        pending = [job for job in jobs if not done[job.index]]
+        if not pending:
+            return
+        if self.last_mode.startswith("parallel"):
+            self.health.serial_fallbacks += 1
         self.last_mode = "serial"
-        return [execute_job(spec) for spec in specs]
+        timeout = job_timeout()
+        retries = job_retries()
+        for job in pending:
+            while True:
+                try:
+                    results[job.index] = self._serial_attempt(job, timeout)
+                    done[job.index] = True
+                    break
+                except Exception as exc:  # noqa: BLE001 — bounded retry below
+                    job.attempt += 1
+                    if job.attempt > retries:
+                        raise ExperimentJobError(
+                            job.spec, type(exc).__name__, str(exc),
+                            traceback.format_exc(),
+                        ) from exc
+                    self.health.retries += 1
+                    if is_injected(exc):
+                        self.health.crashes += 1
+                    self.health.note(
+                        f"job {job.index} failed serially "
+                        f"({type(exc).__name__}); retrying as attempt {job.attempt}"
+                    )
+                    self._backoff(job.attempt)
+
+    def _serial_attempt(self, job: _Job, timeout: float | None):
+        """One in-process try, with the pool fault sites mapped to raises.
+
+        There is no separate process to kill here, so ``pool.exit``
+        degrades to a crash and ``pool.hang`` to a (bounded) stall that
+        is then *detected*: the method sleeps at most the job timeout and
+        raises, which is exactly what the parent-side watchdog does to a
+        hung worker.
+        """
+        spec = job.spec
+        with job_context(attempt=job.attempt, tag=spec.tag):
+            fired = fault_point(
+                SITE_POOL_EXIT, tag=spec.tag, detail="worker exit (serial)"
+            ) or fault_point(SITE_POOL_CRASH, tag=spec.tag, detail="worker crash")
+            if fired is not None:
+                raise InjectedWorkerCrash(
+                    f"injected crash in job {spec.tag or spec.flow!r} "
+                    f"(serial, attempt {job.attempt})"
+                )
+            fired = fault_point(SITE_POOL_HANG, tag=spec.tag, detail="worker hang")
+            if fired is not None:
+                stall = fired.param if fired.param else DEFAULT_HANG_SECONDS
+                if timeout:
+                    time.sleep(min(stall, timeout))
+                self.health.timeouts += 1
+                raise InjectedWorkerCrash(
+                    f"injected hang in job {spec.tag or spec.flow!r} detected "
+                    f"(serial, attempt {job.attempt})"
+                )
+            return execute_job(spec)
+
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        base = job_backoff()
+        if base > 0:
+            time.sleep(min(2.0, base * (2 ** max(0, attempt - 1))))
+
+    @staticmethod
+    def _make_executor(workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers, mp_context=ExperimentPool._mp_context()
+        )
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Tear an executor down even if its workers are hung or dead."""
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                process.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except (OSError, RuntimeError):
+            pass
 
     @staticmethod
     def _mp_context():

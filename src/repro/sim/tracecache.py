@@ -23,17 +23,28 @@ it) because grid traces are large.  ``REPRO_TRACE_CACHE`` overrides the
 bound; ``0`` disables caching entirely.  Each worker process of
 :mod:`repro.sim.parallel` owns an independent cache, so no state is shared
 across processes and parallel results stay bit-identical to serial ones.
+
+**Integrity:** every cached trace carries a CRC32 content checksum taken
+at insertion.  A hit whose trace no longer matches its checksum — or a
+hit mask whose shape disagrees with its trace — is discarded and
+recomputed from scratch instead of silently feeding wrong figures
+downstream.  The ``cache.corrupt`` fault-injection site flips bytes in a
+cached trace on lookup, which is exactly what the checksum path must
+catch (``stats.corruption_discards`` counts the recoveries).
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.faults.injector import fault_point
+from repro.faults.plan import SITE_CACHE_CORRUPT
 from repro.mem.trace import AccessTrace
 
 #: Environment variable overriding the trace-entry bound (0 disables).
@@ -54,6 +65,16 @@ def configured_max_traces() -> int:
     return value
 
 
+def trace_checksum(trace: AccessTrace) -> int:
+    """CRC32 over the trace's program-order address bytes.
+
+    Goes through ``all_addresses()`` (the only method the cache requires
+    of a trace), so any phase-level corruption changes the checksum.
+    """
+    addrs = np.ascontiguousarray(trace.all_addresses(), dtype=np.int64)
+    return zlib.crc32(addrs.view(np.uint8).data)
+
+
 @dataclass
 class TraceCacheStats:
     """Hit/miss counters, split by artifact kind."""
@@ -63,6 +84,8 @@ class TraceCacheStats:
     mask_hits: int = 0
     mask_misses: int = 0
     evictions: int = 0
+    #: Corrupted / shape-mismatched entries dropped and recomputed.
+    corruption_discards: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -71,7 +94,16 @@ class TraceCacheStats:
             "mask_hits": self.mask_hits,
             "mask_misses": self.mask_misses,
             "evictions": self.evictions,
+            "corruption_discards": self.corruption_discards,
         }
+
+
+@dataclass
+class _TraceEntry:
+    """A cached trace plus the checksum it must keep matching."""
+
+    trace: AccessTrace
+    checksum: int
 
 
 class TraceCache:
@@ -80,31 +112,51 @@ class TraceCache:
     Keys are caller-chosen hashable content keys (the parallel engine uses
     :meth:`repro.sim.parallel.JobSpec.trace_key`).  Correctness relies on
     the key covering everything the trace depends on; two cells that share
-    a key *must* produce byte-identical traces.
+    a key *must* produce byte-identical traces.  Entries are
+    checksum-verified on every hit; a mismatch (bit rot, an injected
+    ``cache.corrupt`` fault, an aliased key) discards the entry and
+    recomputes it.
     """
 
     def __init__(self, max_traces: int | None = None) -> None:
         self.max_traces = (
             configured_max_traces() if max_traces is None else max_traces
         )
-        self._traces: OrderedDict[Hashable, AccessTrace] = OrderedDict()
+        self._traces: OrderedDict[Hashable, _TraceEntry] = OrderedDict()
         self._masks: dict[Hashable, dict[tuple, np.ndarray]] = {}
         self.stats = TraceCacheStats()
 
     # ------------------------------------------------------------------
+    def _discard(self, key: Hashable) -> None:
+        self._traces.pop(key, None)
+        self._masks.pop(key, None)
+        self.stats.corruption_discards += 1
+
+    def _verified(self, key: Hashable) -> AccessTrace | None:
+        """The cached trace if present and intact, else ``None``."""
+        entry = self._traces.get(key)
+        if entry is None:
+            return None
+        if fault_point(SITE_CACHE_CORRUPT, tag=str(key)):
+            _corrupt_trace(entry.trace)
+        if trace_checksum(entry.trace) != entry.checksum:
+            self._discard(key)
+            return None
+        return entry.trace
+
     def trace(self, key: Hashable, builder: Callable[[], AccessTrace]) -> AccessTrace:
         """The trace under ``key``, built once via ``builder()``."""
         if self.max_traces == 0:
             self.stats.trace_misses += 1
             return builder()
-        cached = self._traces.get(key)
+        cached = self._verified(key)
         if cached is not None:
             self.stats.trace_hits += 1
             self._traces.move_to_end(key)
             return cached
         self.stats.trace_misses += 1
         trace = builder()
-        self._traces[key] = trace
+        self._traces[key] = _TraceEntry(trace=trace, checksum=trace_checksum(trace))
         self._masks.setdefault(key, {})
         while len(self._traces) > self.max_traces:
             evicted, _ = self._traces.popitem(last=False)
@@ -117,7 +169,8 @@ class TraceCache:
 
         The mask key extends the trace key with the cache-model geometry,
         so the same trace evaluated on different platforms (different LLC
-        sizes) gets independent masks.
+        sizes) gets independent masks.  A cached mask whose shape does not
+        match the trace is treated as corrupt and recomputed.
         """
         if self.max_traces == 0 or key not in self._masks:
             self.stats.mask_misses += 1
@@ -125,6 +178,15 @@ class TraceCache:
         llc_sig = (type(llc).__name__, llc.size_bytes, llc.line_size)
         masks = self._masks[key]
         cached = masks.get(llc_sig)
+        expected = getattr(trace, "total_accesses", None)
+        if (
+            cached is not None
+            and expected is not None
+            and cached.shape != (expected,)
+        ):
+            masks.pop(llc_sig, None)
+            self.stats.corruption_discards += 1
+            cached = None
         if cached is not None:
             self.stats.mask_hits += 1
             return cached
@@ -141,6 +203,19 @@ class TraceCache:
         """Drop every cached artifact (counters are kept)."""
         self._traces.clear()
         self._masks.clear()
+
+
+def _corrupt_trace(trace: AccessTrace) -> None:
+    """Flip bits in a trace's largest phase (the injected corruption)."""
+    phases = getattr(trace, "phases", None)
+    if not phases:
+        return
+    phase = max(phases, key=lambda p: p.addrs.size)
+    if phase.addrs.size:
+        writable = phase.addrs.flags.writeable
+        phase.addrs.flags.writeable = True
+        phase.addrs[phase.addrs.size // 2] ^= 0x5A5A
+        phase.addrs.flags.writeable = writable
 
 
 _PROCESS_CACHE: TraceCache | None = None

@@ -1,0 +1,32 @@
+"""The chaos seed matrix as a pytest suite (``-m chaos`` / ``make chaos``).
+
+Excluded from the default tier-1 run by the ``chaos`` marker (see
+``pyproject.toml``); each case runs an experiment flow fault-free and
+again under a fixed-seed fault plan, then checks the full recovery
+contract — completed, fired, bit-identical committed figures (or
+graceful degradation for the capacity squeeze), consistent memory
+system.  See :mod:`repro.faults.chaos` for the harness.
+"""
+
+import pytest
+
+from repro.faults.chaos import render_outcomes, run_case, seed_matrix
+
+CASES = seed_matrix()
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_seed_matrix_case_recovers(case):
+    outcome = run_case(case)
+    assert outcome.recovered, render_outcomes([outcome])
+
+
+@pytest.mark.chaos
+def test_matrix_covers_every_site():
+    from repro.faults import SITES
+
+    covered = {spec.site for case in CASES for spec in case.plan.specs}
+    assert covered == set(SITES), (
+        f"seed matrix misses sites: {set(SITES) - covered}"
+    )

@@ -1,0 +1,205 @@
+"""Unit tests for the fault-injection plans and the injector itself."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FaultInjectionError, ReproError
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    SITE_ALLOC,
+    SITE_CAPACITY_SQUEEZE,
+    SITE_MIGRATE_STAGE2,
+    SITE_POOL_CRASH,
+    SITE_POOL_HANG,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCapacityError,
+    active_injector,
+    capacity_squeeze_fraction,
+    fault_point,
+    injected,
+    is_injected,
+    parse_plan,
+    reset,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector(monkeypatch):
+    """Every test starts and ends with no plan installed or in the env."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    reset()
+    yield
+    reset()
+
+
+class TestFaultSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("migrate.stage9")
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE_ALLOC, times=-1)
+
+    def test_negative_max_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE_ALLOC, max_attempt=-2)
+
+
+class TestPlanParsing:
+    def test_compact_syntax(self):
+        plan = parse_plan("migrate.stage2;pool.hang:param=30")
+        assert len(plan.specs) == 2
+        assert plan.specs[0].site == SITE_MIGRATE_STAGE2
+        assert plan.specs[1].site == SITE_POOL_HANG
+        assert plan.specs[1].param == 30.0
+
+    def test_compact_syntax_all_keys(self):
+        (spec,) = parse_plan(
+            "alloc.frames:times=3,max_attempt=2,match=DRAM,param=0.5"
+        ).specs
+        assert spec.times == 3
+        assert spec.max_attempt == 2
+        assert spec.match == "DRAM"
+        assert spec.param == 0.5
+
+    def test_bad_clause_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("alloc.frames:times")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("alloc.frames:bogus=1")
+
+    def test_json_roundtrip(self):
+        plan = parse_plan("pool.crash:max_attempt=2;capacity.squeeze:param=0.3")
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_raw_json_accepted(self):
+        plan = parse_plan(FaultPlan((FaultSpec(SITE_ALLOC),), seed=5).to_json())
+        assert plan.seed == 5
+        assert plan.specs[0].site == SITE_ALLOC
+
+    def test_empty_plan(self):
+        assert parse_plan("") == FaultPlan()
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_json("{not json")
+
+
+class TestFiring:
+    def test_times_bounds_firings(self):
+        injector = FaultInjector(FaultPlan((FaultSpec(SITE_ALLOC, times=2),)))
+        assert injector.fire(SITE_ALLOC) is not None
+        assert injector.fire(SITE_ALLOC) is not None
+        assert injector.fire(SITE_ALLOC) is None
+
+    def test_times_zero_fires_forever(self):
+        injector = FaultInjector(FaultPlan((FaultSpec(SITE_ALLOC, times=0),)))
+        for _ in range(10):
+            assert injector.fire(SITE_ALLOC) is not None
+
+    def test_other_sites_stay_quiet(self):
+        injector = FaultInjector(FaultPlan((FaultSpec(SITE_ALLOC),)))
+        assert injector.fire(SITE_MIGRATE_STAGE2) is None
+
+    def test_match_restricts_by_tag_substring(self):
+        injector = FaultInjector(
+            FaultPlan((FaultSpec(SITE_ALLOC, match="DRAM"),))
+        )
+        assert injector.fire(SITE_ALLOC, tag="Optane-NVM") is None
+        assert injector.fire(SITE_ALLOC, tag="DRAM") is not None
+
+    def test_max_attempt_disarms_retries(self):
+        injector = FaultInjector(
+            FaultPlan((FaultSpec(SITE_POOL_CRASH, times=0, max_attempt=1),))
+        )
+        with injector.job_context(attempt=0):
+            assert injector.fire(SITE_POOL_CRASH) is not None
+        with injector.job_context(attempt=1):
+            assert injector.fire(SITE_POOL_CRASH) is None
+
+    def test_firings_are_logged(self):
+        injector = FaultInjector(FaultPlan((FaultSpec(SITE_ALLOC),)))
+        injector.fire(SITE_ALLOC, tag="DRAM", detail="unit test")
+        assert injector.fired_sites() == [SITE_ALLOC]
+        assert injector.log[0].tag == "DRAM"
+
+
+class TestSqueeze:
+    def test_fraction_matches_tier(self):
+        injector = FaultInjector(
+            FaultPlan((FaultSpec(SITE_CAPACITY_SQUEEZE, match="DRAM", param=0.4),))
+        )
+        assert injector.squeeze_fraction("DRAM") == 0.4
+        assert injector.squeeze_fraction("Optane-NVM") == 0.0
+
+    def test_fraction_clamped(self):
+        injector = FaultInjector(
+            FaultPlan((FaultSpec(SITE_CAPACITY_SQUEEZE, param=7.0),))
+        )
+        assert injector.squeeze_fraction("anything") == 1.0
+
+    def test_module_helper_without_injector(self):
+        assert capacity_squeeze_fraction("DRAM") == 0.0
+
+
+class TestInstallation:
+    def test_fault_point_quiet_without_injector(self):
+        assert fault_point(SITE_ALLOC) is None
+
+    def test_injected_context_scopes_plan(self):
+        with injected(FaultPlan((FaultSpec(SITE_ALLOC),))) as injector:
+            assert active_injector() is injector
+            assert fault_point(SITE_ALLOC) is not None
+        assert active_injector() is None
+        assert fault_point(SITE_ALLOC) is None
+
+    def test_injected_contexts_nest(self):
+        outer = FaultPlan((FaultSpec(SITE_ALLOC),))
+        inner = FaultPlan((FaultSpec(SITE_MIGRATE_STAGE2),))
+        with injected(outer):
+            with injected(inner):
+                assert fault_point(SITE_MIGRATE_STAGE2) is not None
+                assert fault_point(SITE_ALLOC) is None
+            assert fault_point(SITE_ALLOC) is not None
+
+    def test_env_pickup_is_lazy(self, monkeypatch):
+        plan = FaultPlan((FaultSpec(SITE_ALLOC, times=3),), seed=42)
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        reset()
+        injector = active_injector()
+        assert injector is not None
+        assert injector.plan == plan
+
+    def test_env_compact_syntax_accepted(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "pool.hang:param=9")
+        reset()
+        assert active_injector().plan.specs[0].param == 9.0
+
+    def test_uninstall_ignores_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "alloc.frames")
+        reset()
+        assert active_injector() is not None
+        uninstall()
+        assert active_injector() is None
+
+
+class TestExceptionTaxonomy:
+    def test_injected_errors_are_flagged(self):
+        exc = InjectedCapacityError("boom")
+        assert is_injected(exc)
+        assert not is_injected(ValueError("boom"))
+
+    def test_fault_errors_derive_repro_error(self):
+        assert issubclass(FaultInjectionError, ReproError)
+
+    def test_injected_capacity_error_is_both(self):
+        from repro.errors import CapacityError
+
+        assert issubclass(InjectedCapacityError, CapacityError)
+        assert issubclass(InjectedCapacityError, FaultInjectionError)

@@ -1,0 +1,337 @@
+"""Recovery guarantees under injected faults.
+
+The contracts the fault-injection subsystem exists to prove:
+
+- a mid-pass migration failure rolls back completely — bytes, page
+  table, and allocator accounting are exactly the pre-call state, and a
+  retried pass produces bit-identical committed stats;
+- validation (bounds + total destination capacity) happens before any
+  byte moves, so a rejected pass never strands partial progress;
+- capacity pressure degrades the selection by marginal benefit instead
+  of failing;
+- a corrupted trace-cache entry is detected by checksum and recomputed;
+- transient allocation failures are absorbed by the address space while
+  persistent ones still propagate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.core.analyzer import ObjectSelection, PlacementDecision
+from repro.core.chunks import ChunkGeometry
+from repro.core.dataobject import DataObject
+from repro.core.migration import (
+    MigrationAborted,
+    MultiStageMigrator,
+    validate_regions,
+)
+from repro.core.promotion import truncate_by_marginal_benefit
+from repro.errors import CapacityError, ConsistencyError
+from repro.faults import (
+    SITE_ALLOC,
+    SITE_CACHE_CORRUPT,
+    SITE_CAPACITY_SQUEEZE,
+    SITE_MIGRATE_STAGE1,
+    SITE_MIGRATE_STAGE2,
+    SITE_MIGRATE_STAGE3,
+    FaultPlan,
+    FaultSpec,
+    injected,
+    reset,
+)
+from repro.mem.address_space import HUGE_PAGE_SHIFT, PAGE_SIZE
+from repro.sim.tracecache import TraceCache
+
+STAGE_SITES = (SITE_MIGRATE_STAGE1, SITE_MIGRATE_STAGE2, SITE_MIGRATE_STAGE3)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    reset()
+    yield
+    reset()
+
+
+def make_setup(n_pages=64):
+    platform = nvm_dram_testbed()
+    system = platform.build_system()
+    array = np.arange(n_pages * PAGE_SIZE // 8, dtype=np.int64)
+    space = system.address_space
+    va = space.reserve(array.nbytes)
+    space.map_range(va, n_pages * PAGE_SIZE, platform.slow_tier, huge=True)
+    obj = DataObject(name="edges", array=array, base_va=va)
+    return system, obj
+
+
+def snapshot(system, obj, n_pages=64):
+    space = system.address_space
+    return {
+        "bytes": obj.array.copy(),
+        "tiers": space.range_tiers(obj.base_va, n_pages * PAGE_SIZE),
+        "used": [alloc.used_bytes for alloc in system.allocators],
+    }
+
+
+def assert_state_restored(system, obj, before, n_pages=64):
+    space = system.address_space
+    assert np.array_equal(obj.array, before["bytes"]), "bytes corrupted"
+    assert np.array_equal(
+        space.range_tiers(obj.base_va, n_pages * PAGE_SIZE), before["tiers"]
+    ), "page table not restored"
+    after = [alloc.used_bytes for alloc in system.allocators]
+    assert after == before["used"], "allocator accounting drifted"
+    assert system.check_consistency() == []
+
+
+class TestTransactionalRollback:
+    @pytest.mark.parametrize("site", STAGE_SITES)
+    def test_single_region_rolls_back(self, site):
+        system, obj = make_setup()
+        before = snapshot(system, obj)
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        with injected(FaultPlan((FaultSpec(site, match="edges"),))):
+            with pytest.raises(MigrationAborted):
+                migrator.migrate(obj, [(0, 8 * PAGE_SIZE)], system.fast_tier)
+        assert_state_restored(system, obj, before)
+
+    def test_multi_region_pass_rolls_back_earlier_regions(self, monkeypatch):
+        """A failure in region 3 must also undo committed regions 1 and 2."""
+        system, obj = make_setup()
+        before = snapshot(system, obj)
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        regions = [
+            (0, 2 * PAGE_SIZE),
+            (8 * PAGE_SIZE, 10 * PAGE_SIZE),
+            (16 * PAGE_SIZE, 18 * PAGE_SIZE),
+        ]
+        real = MultiStageMigrator._migrate_region
+        calls = {"n": 0}
+
+        def flaky(self, obj, region, dst_tier, stats, journal):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("synthetic mid-pass failure")
+            real(self, obj, region, dst_tier, stats, journal)
+
+        monkeypatch.setattr(MultiStageMigrator, "_migrate_region", flaky)
+        with pytest.raises(MigrationAborted) as excinfo:
+            migrator.migrate(obj, regions, system.fast_tier)
+        assert excinfo.value.partial.rolled_back_regions == 2
+        assert_state_restored(system, obj, before)
+
+    def test_partial_stats_account_wasted_not_committed(self):
+        system, obj = make_setup()
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        plan = FaultPlan((FaultSpec(SITE_MIGRATE_STAGE3, match="edges"),))
+        with injected(plan):
+            with pytest.raises(MigrationAborted) as excinfo:
+                migrator.migrate(obj, [(0, 4 * PAGE_SIZE)], system.fast_tier)
+        partial = excinfo.value.partial
+        assert partial.bytes_moved == 0, "aborted pass committed bytes"
+        assert partial.rolled_back_regions == 1
+        assert partial.seconds > 0, "rollback work must be accounted"
+
+    def test_retry_after_abort_is_bit_identical(self):
+        """The transactional contract: a retried pass == a fault-free pass."""
+        ref_system, ref_obj = make_setup()
+        reference = MultiStageMigrator(
+            ref_system, migration_threads=16
+        ).migrate(ref_obj, [(0, 8 * PAGE_SIZE)], ref_system.fast_tier)
+        system, obj = make_setup()
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        with injected(FaultPlan((FaultSpec(SITE_MIGRATE_STAGE2),))):
+            with pytest.raises(MigrationAborted):
+                migrator.migrate(obj, [(0, 8 * PAGE_SIZE)], system.fast_tier)
+            retried = migrator.migrate(
+                obj, [(0, 8 * PAGE_SIZE)], system.fast_tier
+            )
+        assert retried.seconds == reference.seconds
+        assert retried.bytes_moved == reference.bytes_moved
+        assert retried.pages_touched == reference.pages_touched
+        assert retried.tlb_shootdowns == reference.tlb_shootdowns
+        assert np.array_equal(obj.array, ref_obj.array)
+        assert system.check_consistency() == []
+
+    def test_mapping_granularity_restored_on_rollback(self):
+        system, obj = make_setup()
+        space = system.address_space
+        with injected(FaultPlan((FaultSpec(SITE_MIGRATE_STAGE3),))):
+            with pytest.raises(MigrationAborted):
+                MultiStageMigrator(system, migration_threads=16).migrate(
+                    obj, [(0, 4 * PAGE_SIZE)], system.fast_tier
+                )
+        shift = int(space.map_shifts_of(np.array([obj.base_va]))[0])
+        assert shift == HUGE_PAGE_SHIFT
+
+
+class TestUpFrontValidation:
+    def test_bad_bounds_rejected_before_any_move(self):
+        system, obj = make_setup()
+        before = snapshot(system, obj)
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        with pytest.raises(ValueError):
+            migrator.migrate(
+                obj,
+                [(0, PAGE_SIZE), (obj.nbytes - 10, obj.nbytes + 10)],
+                system.fast_tier,
+            )
+        assert_state_restored(system, obj, before)
+
+    def test_capacity_checked_for_whole_batch(self):
+        """Total destination capacity is validated before byte one moves."""
+        system, obj = make_setup()
+        before = snapshot(system, obj)
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        squeeze = FaultPlan(
+            (FaultSpec(SITE_CAPACITY_SQUEEZE, match="DRAM", param=0.999999),)
+        )
+        with injected(squeeze):
+            with pytest.raises(CapacityError):
+                migrator.migrate(obj, [(0, 8 * PAGE_SIZE)], system.fast_tier)
+            assert_state_restored(system, obj, before)
+
+    def test_validate_regions_skips_resident_regions(self):
+        system, obj = make_setup()
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        migrator.migrate(obj, [(0, 4 * PAGE_SIZE)], system.fast_tier)
+        planned = validate_regions(
+            system,
+            obj,
+            [(0, 4 * PAGE_SIZE), (8 * PAGE_SIZE, 12 * PAGE_SIZE)],
+            system.fast_tier,
+        )
+        assert len(planned) == 1
+        assert planned[0].va == obj.base_va + 8 * PAGE_SIZE
+
+
+class TestTransientAllocation:
+    def test_transient_alloc_failures_absorbed(self):
+        system, obj = make_setup()
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        plan = FaultPlan((FaultSpec(SITE_ALLOC, times=2, match="DRAM"),))
+        with injected(plan) as injector:
+            stats = migrator.migrate(
+                obj, [(0, 4 * PAGE_SIZE)], system.fast_tier
+            )
+            assert len(injector.log) == 2
+        assert stats.bytes_moved == 4 * PAGE_SIZE
+        assert system.check_consistency() == []
+
+    def test_persistent_alloc_failure_still_raises(self):
+        system, obj = make_setup()
+        before = snapshot(system, obj)
+        migrator = MultiStageMigrator(system, migration_threads=16)
+        plan = FaultPlan((FaultSpec(SITE_ALLOC, times=0, match="DRAM"),))
+        with injected(plan):
+            with pytest.raises(MigrationAborted):
+                migrator.migrate(obj, [(0, 4 * PAGE_SIZE)], system.fast_tier)
+        assert_state_restored(system, obj, before)
+
+
+class TestConsistencyAudit:
+    def test_clean_system_passes(self):
+        system, obj = make_setup()
+        MultiStageMigrator(system, migration_threads=16).migrate(
+            obj, [(0, 8 * PAGE_SIZE)], system.fast_tier
+        )
+        assert system.check_consistency() == []
+        system.assert_consistent()
+
+    def test_tampered_accounting_is_detected(self):
+        system, _ = make_setup()
+        system.allocators[system.fast_tier]._used_frames += 3
+        violations = system.check_consistency()
+        assert violations, "audit missed a phantom allocation"
+        with pytest.raises(ConsistencyError):
+            system.assert_consistent()
+
+    def test_double_mapping_is_detected(self):
+        system, obj = make_setup()
+        space = system.address_space
+        lo = space._page_index(obj.base_va)
+        space._frame[lo + 1] = space._frame[lo]
+        violations = system.check_consistency()
+        assert any("more than once" in v for v in violations)
+
+
+def _selection(priorities, sampled, selected, chunk_bytes=1024):
+    n = len(priorities)
+    geometry = ChunkGeometry(
+        object_bytes=n * chunk_bytes, chunk_bytes=chunk_bytes, n_chunks=n
+    )
+    return ObjectSelection(
+        geometry=geometry,
+        priorities=np.asarray(priorities, dtype=np.float64),
+        sampled=np.asarray(sampled, dtype=bool),
+        selected=np.asarray(selected, dtype=bool),
+        tr_threshold=0.5,
+    )
+
+
+class TestMarginalBenefitTruncation:
+    def test_lowest_benefit_dropped_first(self):
+        sel = _selection(
+            priorities=[10.0, 1.0, 5.0],
+            sampled=[True, True, True],
+            selected=[True, True, True],
+        )
+        dropped = truncate_by_marginal_benefit({"edges": sel}, 1024)
+        assert dropped == [("edges", 1, 1024)]
+        assert list(sel.selected) == [True, False, True]
+
+    def test_estimated_chunks_drop_before_sampled_at_equal_benefit(self):
+        sel = _selection(
+            priorities=[2.0, 2.0],
+            sampled=[True, False],  # chunk 1 was tree-estimated
+            selected=[True, True],
+        )
+        dropped = truncate_by_marginal_benefit({"edges": sel}, 1024)
+        assert dropped == [("edges", 1, 1024)]
+
+    def test_stops_once_enough_freed(self):
+        sel = _selection(
+            priorities=[1.0, 2.0, 3.0, 4.0],
+            sampled=[True] * 4,
+            selected=[True] * 4,
+        )
+        dropped = truncate_by_marginal_benefit({"edges": sel}, 2048)
+        assert len(dropped) == 2
+        assert int(sel.selected.sum()) == 2
+
+    def test_zero_request_is_noop(self):
+        sel = _selection([1.0], [True], [True])
+        assert truncate_by_marginal_benefit({"edges": sel}, 0) == []
+        assert sel.selected.all()
+
+    def test_regions_shrink_after_truncation(self):
+        sel = _selection(
+            priorities=[5.0, 0.5, 5.0, 0.25],
+            sampled=[True] * 4,
+            selected=[True] * 4,
+        )
+        decision = PlacementDecision(objects={"edges": sel})
+        truncate_by_marginal_benefit(decision.objects, 2048)
+        assert decision.selected_bytes("edges") == 2048
+
+
+class TestTraceCacheRecovery:
+    def test_corrupted_entry_recomputed_identically(self):
+        from repro.sim.parallel import AppSpec, JobSpec, execute_job
+
+        spec = JobSpec(
+            app=AppSpec.make("PR", "twitter", scale=1 << 20),
+            platform=nvm_dram_testbed(scale=512),
+            flow="cell",
+            placement="fast",
+        )
+        reference = execute_job(spec, trace_cache=TraceCache())
+        cache = TraceCache()
+        with injected(FaultPlan((FaultSpec(SITE_CACHE_CORRUPT),))) as injector:
+            result = execute_job(spec, trace_cache=cache)
+            assert len(injector.log) == 1
+        assert cache.stats.corruption_discards == 1
+        assert result.atmem.seconds == reference.atmem.seconds
+        assert result.atmem.data_ratio == reference.atmem.data_ratio
+        assert result.baseline.seconds == reference.baseline.seconds
+        assert result.reference.seconds == reference.reference.seconds

@@ -1,0 +1,65 @@
+"""AST lint: no silent exception swallowing in the runtime source.
+
+A fault-injection subsystem is only as good as the code's willingness to
+let faults surface.  A bare ``except:`` (which also catches
+``KeyboardInterrupt``/``SystemExit``) or an ``except Exception: pass``
+turns an injected fault — or a real bug — into silence, defeating both
+the chaos matrix and the consistency audits.  Broad catches that
+*handle* (retry, roll back, wrap and re-raise) are fine; catching
+everything and doing nothing is not.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_names(node: ast.expr | None) -> bool:
+    """Whether an except clause's type includes Exception/BaseException."""
+    if node is None:  # bare except
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_broad_names(el) for el in node.elts)
+    return False
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """A handler body that does nothing: only pass/``...`` statements."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a bare docstring or `...`
+        return False
+    return True
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        where = f"{path.relative_to(SRC)}:{node.lineno}"
+        if node.type is None:
+            problems.append(f"{where}: bare `except:`")
+        elif _broad_names(node.type) and _is_silent(node.body):
+            problems.append(f"{where}: `except Exception` with empty body")
+    return problems
+
+
+def test_sources_parse_and_contain_no_silent_handlers():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources found under {SRC}"
+    problems = []
+    for path in files:
+        problems.extend(_violations(path))
+    assert not problems, (
+        "silent exception handlers in src/ (catch something specific, or "
+        "handle/re-raise):\n  " + "\n  ".join(problems)
+    )

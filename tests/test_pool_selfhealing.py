@@ -1,0 +1,232 @@
+"""Self-healing behaviour of the experiment pool under injected faults.
+
+The pool's recovery ladder, bottom to top: a job whose worker raises is
+retried with backoff; a worker that dies or hangs past the job timeout
+gets the whole pool killed and re-created with unfinished jobs bumped to
+the next attempt; a pool that cannot be (re)started finishes serially.
+Every rung must converge to results bit-identical to a fault-free run,
+because jobs are content-seeded and side-effect free.
+
+The heavier end-to-end plans (full matrix, parity across the grid) live
+in the chaos-marked ``tests/test_chaos_matrix.py``; these tests pin the
+individual mechanisms with small two-job batches.
+"""
+
+import time
+
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    SITE_POOL_CRASH,
+    SITE_POOL_EXIT,
+    SITE_POOL_HANG,
+    FaultPlan,
+    FaultSpec,
+    injected,
+    reset,
+)
+from repro.sim.parallel import (
+    JOB_BACKOFF_ENV,
+    JOB_RETRIES_ENV,
+    JOB_TIMEOUT_ENV,
+    AppSpec,
+    ExperimentJobError,
+    ExperimentPool,
+    JobSpec,
+    PoolHealth,
+    job_backoff,
+    job_retries,
+    job_timeout,
+)
+
+TINY_SCALE = 1 << 20
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for env in (FAULT_PLAN_ENV, JOB_TIMEOUT_ENV, JOB_RETRIES_ENV, JOB_BACKOFF_ENV):
+        monkeypatch.delenv(env, raising=False)
+    monkeypatch.setenv(JOB_BACKOFF_ENV, "0")
+    reset()
+    yield
+    reset()
+
+
+def _specs():
+    platform = nvm_dram_testbed(scale=512)
+    return [
+        JobSpec(
+            app=AppSpec.make(app, "twitter", scale=TINY_SCALE),
+            platform=platform,
+            flow="atmem",
+            tag=f"heal/{app}",
+        )
+        for app in ("PR", "BFS")
+    ]
+
+
+def _figures(results):
+    return [(r.seconds, r.data_ratio, r.migration.bytes_moved) for r in results]
+
+
+@pytest.fixture()
+def reference():
+    pool = ExperimentPool(1)
+    return _figures(pool.run(_specs()))
+
+
+class TestEnvKnobs:
+    def test_timeout_defaults_off(self):
+        assert job_timeout() is None
+
+    def test_timeout_parses_and_disables_on_nonpositive(self, monkeypatch):
+        monkeypatch.setenv(JOB_TIMEOUT_ENV, "2.5")
+        assert job_timeout() == 2.5
+        monkeypatch.setenv(JOB_TIMEOUT_ENV, "0")
+        assert job_timeout() is None
+
+    def test_timeout_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(JOB_TIMEOUT_ENV, "soon")
+        with pytest.raises(ConfigurationError):
+            job_timeout()
+
+    def test_retries_default_and_bounds(self, monkeypatch):
+        assert job_retries() == 2
+        monkeypatch.setenv(JOB_RETRIES_ENV, "5")
+        assert job_retries() == 5
+        monkeypatch.setenv(JOB_RETRIES_ENV, "-1")
+        with pytest.raises(ConfigurationError):
+            job_retries()
+
+    def test_backoff_clamped_non_negative(self, monkeypatch):
+        monkeypatch.setenv(JOB_BACKOFF_ENV, "-3")
+        assert job_backoff() == 0.0
+
+
+class TestPoolHealth:
+    def test_clean_until_any_recovery(self):
+        health = PoolHealth()
+        assert health.clean
+        health.retries += 1
+        assert not health.clean
+
+    def test_as_dict_round_trips_counters(self):
+        health = PoolHealth(timeouts=1, crashes=2)
+        health.note("something happened")
+        snapshot = health.as_dict()
+        assert snapshot["timeouts"] == 1
+        assert snapshot["crashes"] == 2
+        assert snapshot["notes"] == ["something happened"]
+
+
+class TestSerialRecovery:
+    def test_crash_is_retried_to_identical_results(self, reference):
+        plan = FaultPlan((FaultSpec(SITE_POOL_CRASH),))
+        pool = ExperimentPool(1)
+        with injected(plan):
+            results = pool.run(_specs())
+        assert pool.last_mode == "serial"
+        assert pool.health.retries >= 1
+        assert pool.health.crashes >= 1
+        assert _figures(results) == reference
+
+    def test_exit_degrades_to_crash_in_serial(self, reference):
+        plan = FaultPlan((FaultSpec(SITE_POOL_EXIT),))
+        pool = ExperimentPool(1)
+        with injected(plan):
+            results = pool.run(_specs())
+        assert pool.health.retries >= 1
+        assert _figures(results) == reference
+
+    def test_hang_detected_within_job_timeout(self, monkeypatch, reference):
+        monkeypatch.setenv(JOB_TIMEOUT_ENV, "0.2")
+        plan = FaultPlan((FaultSpec(SITE_POOL_HANG, param=30.0),))
+        pool = ExperimentPool(1)
+        started = time.monotonic()
+        with injected(plan):
+            results = pool.run(_specs())
+        elapsed = time.monotonic() - started
+        assert pool.health.timeouts >= 1
+        assert elapsed < 20.0, "hang was waited out instead of detected"
+        assert _figures(results) == reference
+
+    def test_retry_budget_exhaustion_raises_with_spec(self, monkeypatch):
+        monkeypatch.setenv(JOB_RETRIES_ENV, "1")
+        plan = FaultPlan((FaultSpec(SITE_POOL_CRASH, times=0, max_attempt=99),))
+        pool = ExperimentPool(1)
+        specs = _specs()
+        with injected(plan):
+            with pytest.raises(ExperimentJobError) as excinfo:
+                pool.run(specs)
+        assert excinfo.value.spec == specs[0]
+
+
+class TestParallelRecovery:
+    def _chaos_run(self, monkeypatch, plan, *, timeout=None):
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        if timeout is not None:
+            monkeypatch.setenv(JOB_TIMEOUT_ENV, str(timeout))
+        pool = ExperimentPool(2)
+        with injected(plan):
+            results = pool.run(_specs())
+        return pool, results
+
+    def test_crashing_jobs_retry_in_pool(self, monkeypatch, reference):
+        plan = FaultPlan((FaultSpec(SITE_POOL_CRASH, times=0),))
+        pool, results = self._chaos_run(monkeypatch, plan)
+        assert pool.last_mode == "parallel[2]"
+        assert pool.health.retries >= 1
+        assert pool.health.pool_restarts == 0
+        assert _figures(results) == reference
+
+    def test_dead_worker_restarts_the_pool(self, monkeypatch, reference):
+        plan = FaultPlan((FaultSpec(SITE_POOL_EXIT, times=0),))
+        pool, results = self._chaos_run(monkeypatch, plan)
+        assert pool.health.crashes >= 1
+        assert pool.health.pool_restarts >= 1
+        assert _figures(results) == reference
+
+    def test_hung_worker_times_out_and_pool_restarts(self, monkeypatch, reference):
+        plan = FaultPlan((FaultSpec(SITE_POOL_HANG, times=0, param=30.0),))
+        started = time.monotonic()
+        pool, results = self._chaos_run(monkeypatch, plan, timeout=1.0)
+        elapsed = time.monotonic() - started
+        assert pool.health.timeouts >= 1
+        assert pool.health.pool_restarts >= 1
+        assert elapsed < 20.0, "hang was waited out instead of detected"
+        assert _figures(results) == reference
+
+    def test_unrestartable_pool_falls_back_to_serial(self, monkeypatch, reference):
+        plan = FaultPlan((FaultSpec(SITE_POOL_EXIT, times=0),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        real = ExperimentPool._make_executor
+        calls = {"n": 0}
+
+        def once(workers):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise OSError("no more pools")
+            return real(workers)
+
+        monkeypatch.setattr(ExperimentPool, "_make_executor", staticmethod(once))
+        pool = ExperimentPool(2)
+        with injected(plan):
+            results = pool.run(_specs())
+        assert pool.last_mode == "serial"
+        assert pool.health.serial_fallbacks == 1
+        assert _figures(results) == reference
+
+    def test_pool_that_never_starts_runs_serially(self, monkeypatch, reference):
+        def refuse(workers):
+            raise OSError("sandboxed")
+
+        monkeypatch.setattr(
+            ExperimentPool, "_make_executor", staticmethod(refuse)
+        )
+        pool = ExperimentPool(2)
+        results = pool.run(_specs())
+        assert pool.last_mode == "serial"
+        assert _figures(results) == reference
