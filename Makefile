@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke chaos reproduce examples clean loc
+.PHONY: install test bench bench-smoke bench-scaling chaos reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -18,6 +18,12 @@ bench:
 # wall-clock timings land in BENCH_parallel.json.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
+
+# Full fig5 scaling sweep: serial vs cold/warm trace store at 2 and 4
+# workers; refreshes BENCH_parallel.json and checks artifacts stay
+# bit-identical (see benchmarks/run_scaling.py).
+bench-scaling:
+	$(PYTHON) benchmarks/run_scaling.py
 
 # Fault-injection seed matrix: every injected fault must be survived
 # with results bit-identical to a fault-free run (see DESIGN.md).

@@ -240,6 +240,11 @@ def ratio_sweep(platform_name: str, datasets=BENCH_DATASETS, *, jobs=None) -> Se
             "cells": len(specs),
             "scale": bench_scale(),
             "wall_seconds": round(elapsed, 3),
+            "cache": {
+                "cold": pool.health.cold_jobs,
+                "warm": pool.health.warm_jobs,
+                "store": pool.health.store_jobs,
+            },
         }
     )
     return series

@@ -158,6 +158,11 @@ def prime_overall_grid(
             "cells": len(pending),
             "scale": bench_scale(),
             "wall_seconds": round(elapsed, 3),
+            "cache": {
+                "cold": pool.health.cold_jobs,
+                "warm": pool.health.warm_jobs,
+                "store": pool.health.store_jobs,
+            },
         }
     )
     return elapsed

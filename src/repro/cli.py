@@ -20,6 +20,17 @@ independent experiment jobs out across worker processes through
 workers via ``REPRO_FAULT_PLAN``) and ``--job-timeout SECONDS``
 (``REPRO_JOB_TIMEOUT``) so any reproduction run can be executed under
 injected faults with a hang watchdog armed.
+
+Data-plane knobs (flags export the matching environment variable):
+
+- ``--trace-store DIR`` (``REPRO_TRACE_STORE``) — persistent mmap store
+  of traces and LLC hit masks, shared across workers and sessions;
+- ``--schedule {cache,fifo}`` (``REPRO_POOL_SCHEDULE``) — pool dispatch
+  policy: ``cache`` primes the store before fanning out, ``fifo`` is
+  plain submission order;
+- ``REPRO_CACHE_BYTES`` — combined disk budget over the trace store and
+  the graph cache (``REPRO_GRAPH_CACHE``); ``REPRO_GRAPH_SHM=0``
+  disables shared-memory graph segments.
 """
 
 from __future__ import annotations
@@ -51,6 +62,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=None,
         help="worker processes for independent jobs "
              "(default: REPRO_JOBS env, then 1)",
+    )
+    parser.add_argument(
+        "--trace-store", default=None, metavar="DIR",
+        help="persistent trace/mask store directory (sets REPRO_TRACE_STORE; "
+             "default: disabled)",
     )
 
 
@@ -283,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-timeout", type=float, default=None, metavar="SECONDS",
         help="per-job wall-clock budget (sets REPRO_JOB_TIMEOUT)",
     )
+    rep_p.add_argument(
+        "--trace-store", default=None, metavar="DIR",
+        help="persistent trace/mask store directory (sets REPRO_TRACE_STORE; "
+             "default: disabled)",
+    )
+    rep_p.add_argument(
+        "--schedule", choices=("cache", "fifo"), default=None,
+        help="pool dispatch policy (sets REPRO_POOL_SCHEDULE; default: cache "
+             "— prime the trace store, then fan out longest-first)",
+    )
     rep_p.set_defaults(func=cmd_reproduce)
 
     chaos_p = sub.add_parser(
@@ -310,7 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
+    # Data-plane flags export env vars so worker processes (and every
+    # module that consults the store) see the same configuration.
+    if getattr(args, "trace_store", None):
+        from repro.cachebudget import TRACE_STORE_ENV
+
+        os.environ[TRACE_STORE_ENV] = args.trace_store
+    if getattr(args, "schedule", None):
+        from repro.sim.parallel import SCHEDULE_ENV
+
+        os.environ[SCHEDULE_ENV] = args.schedule
     return args.func(args)
 
 

@@ -41,6 +41,7 @@ from repro.faults.plan import (
     SITE_POOL_CRASH,
     SITE_POOL_EXIT,
     SITE_POOL_HANG,
+    SITE_STORE_TORN,
     SITES,
     FaultEvent,
     FaultPlan,
@@ -60,6 +61,7 @@ __all__ = [
     "SITE_POOL_CRASH",
     "SITE_POOL_EXIT",
     "SITE_POOL_HANG",
+    "SITE_STORE_TORN",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

@@ -30,7 +30,9 @@ which is why ``repro.faults`` does not import it eagerly.
 from __future__ import annotations
 
 import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.config import PlatformConfig, nvm_dram_testbed
 from repro.core.analyzer import AtMemAnalyzer
@@ -48,10 +50,12 @@ from repro.faults.plan import (
     SITE_POOL_CRASH,
     SITE_POOL_EXIT,
     SITE_POOL_HANG,
+    SITE_STORE_TORN,
     FaultPlan,
     FaultSpec,
 )
 from repro.sim.executor import TraceExecutor
+from repro.sim.multitenant import MultiTenantHost, run_scenarios
 from repro.sim.parallel import (
     JOB_BACKOFF_ENV,
     JOB_TIMEOUT_ENV,
@@ -61,6 +65,7 @@ from repro.sim.parallel import (
     execute_job,
 )
 from repro.sim.tracecache import TraceCache
+from repro.sim.tracestore import TraceStore
 
 #: Huge scale divisor — datasets collapse to their floor size (fast jobs).
 TINY_SCALE = 1 << 20
@@ -158,6 +163,30 @@ def seed_matrix() -> tuple[ChaosCase, ...]:
                 (FaultSpec(SITE_POOL_HANG, param=HANG_SECONDS),), seed=109
             ),
             kind="pool",
+        ),
+        ChaosCase(
+            "store-torn-write",
+            FaultPlan((FaultSpec(SITE_STORE_TORN),), seed=110),
+            kind="store",
+        ),
+        ChaosCase(
+            "multitenant-worker-crash",
+            FaultPlan((FaultSpec(SITE_POOL_CRASH, match="mt/alice"),), seed=111),
+            kind="mt-pool",
+        ),
+        ChaosCase(
+            "multitenant-migrate-abort",
+            FaultPlan((FaultSpec(SITE_MIGRATE_STAGE2, match="alice/"),), seed=112),
+            kind="mt",
+        ),
+        ChaosCase(
+            "multitenant-squeeze",
+            FaultPlan(
+                (FaultSpec(SITE_CAPACITY_SQUEEZE, match="DRAM", param=0.99999),),
+                seed=113,
+            ),
+            kind="mt-squeeze",
+            expect_identical=False,
         ),
     )
 
@@ -401,6 +430,233 @@ def _run_pool_case(
     return outcome
 
 
+def _run_store_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
+    """Torn store write: the next reader must reject and recompute.
+
+    The injected fault truncates a trace array mid-commit (after the
+    manifest's checksum was taken), so the entry lands on disk corrupt.
+    The writer itself is unaffected — it holds the trace in memory — but
+    a *fresh* store view (a sibling worker, the next session) must fail
+    the CRC check, discard the entry, and rebuild identical figures.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    spec = JobSpec(
+        app=_default_app(), platform=platform, flow="cell", placement="fast"
+    )
+    reference = committed_figures(execute_job(spec, trace_cache=TraceCache(store=None)))
+    outcome.reference = reference
+    with tempfile.TemporaryDirectory(prefix="chaos-store-") as root:
+        with injected(case.plan) as injector:
+            writer = TraceCache(store=TraceStore(Path(root)))
+            torn_result = execute_job(spec, trace_cache=writer)
+            outcome.fired = len(injector.log)
+        reader_store = TraceStore(Path(root))
+        reader = TraceCache(store=reader_store)
+        reread_result = execute_job(spec, trace_cache=reader)
+    outcome.completed = True
+    outcome.figures = committed_figures(reread_result)
+    outcome.identical = figures_identical(
+        outcome.figures, reference
+    ) and figures_identical(committed_figures(torn_result), reference)
+    outcome.consistent = reader_store.stats.rejects >= 1
+    outcome.detail = (
+        f"{reader_store.stats.rejects} torn entr"
+        f"{'y' if reader_store.stats.rejects == 1 else 'ies'} rejected and rebuilt"
+        if outcome.consistent
+        else "torn store entry was not detected on re-read"
+    )
+    return outcome
+
+
+def _mt_scenario() -> tuple[tuple[str, AppSpec], ...]:
+    return (
+        ("alice", AppSpec.make("PR", "twitter", scale=TINY_SCALE)),
+        ("bob", AppSpec.make("BFS", "rmat24", scale=TINY_SCALE)),
+    )
+
+
+def _mt_scenarios() -> list[tuple[tuple[str, AppSpec], ...]]:
+    return [
+        _mt_scenario(),
+        (
+            ("carol", AppSpec.make("CC", "pokec", scale=TINY_SCALE)),
+            ("dave", AppSpec.make("PR", "rmat24", scale=TINY_SCALE)),
+        ),
+    ]
+
+
+def _mt_figures(results) -> dict:
+    """Per-tenant committed figures of one shared-host run, flattened."""
+    figures = {}
+    for name in sorted(results):
+        tenant = results[name]
+        figures[f"{name}.baseline_seconds"] = tenant.baseline.seconds
+        figures[f"{name}.optimized_seconds"] = tenant.optimized.seconds
+        figures[f"{name}.fast_bytes"] = tenant.fast_bytes
+        figures[f"{name}.data_ratio"] = tenant.data_ratio
+    return figures
+
+
+def _mt_host(platform: PlatformConfig) -> MultiTenantHost:
+    host = MultiTenantHost(platform, runtime_config=RuntimeConfig())
+    for name, app_spec in _mt_scenario():
+        host.admit(name, app_spec)
+    return host
+
+
+def _run_mt_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
+    """A fault scoped to one tenant must not perturb its neighbours.
+
+    The plan's ``match`` pins the fault to alice's prefixed objects; the
+    contract is full bit-identity — alice recovers, and bob (sharing the
+    same fast tier and allocator) never sees a ripple.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    ref_host = _mt_host(platform)
+    reference = _mt_figures(ref_host.run())
+    outcome.reference = reference
+    ref_violations = ref_host.system.check_consistency()
+    with injected(case.plan) as injector:
+        host = _mt_host(platform)
+        figures = _mt_figures(host.run())
+        outcome.fired = len(injector.log)
+        violations = host.system.check_consistency()
+    outcome.completed = True
+    outcome.figures = figures
+    outcome.consistent = not violations and not ref_violations
+    outcome.identical = figures_identical(figures, reference)
+    bystanders = [
+        key
+        for key in figures
+        if not key.startswith("alice.") and figures[key] != reference.get(key)
+    ]
+    if bystanders:
+        outcome.consistent = False
+        outcome.detail = f"fault on alice perturbed bystander figures: {bystanders}"
+    else:
+        outcome.detail = (
+            "audit clean; bystander tenants untouched"
+            if outcome.consistent
+            else "; ".join(violations or ref_violations)
+        )
+    return outcome
+
+
+def _run_mt_squeeze_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """Capacity squeezed mid-run while two tenants share the fast tier.
+
+    Decisions are computed at full capacity (as in the single-tenant
+    squeeze case); the squeeze lands around migration and measurement.
+    Every tenant must degrade gracefully — complete, audit clean, and
+    place no more fast-tier data than the fault-free run.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    ref_host = _mt_host(platform)
+    reference = _mt_figures(ref_host.run())
+    outcome.reference = reference
+    ref_violations = ref_host.system.check_consistency()
+    host = _mt_host(platform)
+    plans, baselines = host.profile()
+    with injected(case.plan):
+        fired = 0
+        for _, _, runtime, _ in host.tenants:
+            fast = host.system.allocators[host.system.fast_tier]
+            free_full = None
+            if fast.tier.capacity_bytes is not None:
+                # Full (unsqueezed) free capacity, minus the same page
+                # headroom the single-tenant squeeze case reserves.
+                free_full = max(
+                    0,
+                    fast.tier.capacity_bytes
+                    - fast.used_bytes
+                    - PAGE_SIZE * (len(runtime.objects) + 1),
+                )
+            analyzer = AtMemAnalyzer(runtime.config.analyzer)
+            decision = analyzer.analyze(
+                runtime.profiler.estimated_miss_counts(),
+                runtime.geometries,
+                sampling_period=runtime.profiler.period,
+                capacity_bytes=free_full,
+            )
+            runtime.migrate_decision(decision)
+            fired += len(runtime.events)
+        results = host.measure(plans, baselines)
+        violations = host.system.check_consistency()
+    outcome.completed = True
+    outcome.figures = _mt_figures(results)
+    outcome.fired = fired
+    outcome.consistent = not violations and not ref_violations
+    outcome.identical = None
+    over = [
+        name
+        for name in ("alice", "bob")
+        if outcome.figures[f"{name}.data_ratio"] > reference[f"{name}.data_ratio"]
+    ]
+    if over:
+        outcome.consistent = False
+        outcome.detail = f"squeeze placed more fast-tier data than fault-free: {over}"
+    else:
+        ratios = ", ".join(
+            f"{name} {outcome.figures[f'{name}.data_ratio']:.3f}"
+            f"<={reference[f'{name}.data_ratio']:.3f}"
+            for name in ("alice", "bob")
+        )
+        outcome.detail = f"degraded per tenant ({ratios}); " + (
+            "audit clean" if outcome.consistent else "; ".join(violations)
+        )
+    return outcome
+
+
+def _run_mt_pool_case(
+    case: ChaosCase, platform: PlatformConfig, jobs: int
+) -> ChaosOutcome:
+    """A worker crash on one shared-host scenario: both must still commit.
+
+    The plan matches the job tagged ``mt/alice...`` only; the pool
+    retries that scenario while the other proceeds untouched, and every
+    scenario's per-tenant figures must come out bit-identical to the
+    fault-free fan-out.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    scenarios = _mt_scenarios()
+    reference = [_mt_figures(r) for r in run_scenarios(scenarios, platform)]
+    outcome.reference = {"scenarios": reference}
+    overrides = {JOB_TIMEOUT_ENV: str(HARNESS_TIMEOUT), JOB_BACKOFF_ENV: "0"}
+    saved = {key: os.environ.get(key) for key in overrides}
+    saved[FAULT_PLAN_ENV] = os.environ.get(FAULT_PLAN_ENV)
+    os.environ.update(overrides)
+    os.environ[FAULT_PLAN_ENV] = case.plan.to_json()
+    try:
+        with injected(case.plan):
+            pool = ExperimentPool(jobs)
+            results = run_scenarios(scenarios, platform, pool=pool)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    outcome.completed = True
+    figures = [_mt_figures(r) for r in results]
+    outcome.figures = {"scenarios": figures}
+    outcome.identical = len(figures) == len(reference) and all(
+        figures_identical(a, b) for a, b in zip(figures, reference)
+    )
+    outcome.consistent = None  # per-worker systems; audited by runtime cases
+    health = pool.health
+    outcome.fired = (
+        health.timeouts + health.crashes + health.retries + health.pool_restarts
+    )
+    outcome.detail = (
+        f"mode={pool.last_mode} timeouts={health.timeouts} "
+        f"crashes={health.crashes} retries={health.retries} "
+        f"restarts={health.pool_restarts}"
+    )
+    return outcome
+
+
 # ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
@@ -420,6 +676,14 @@ def run_case(
         return _run_cache_case(case, platform)
     if case.kind == "squeeze":
         return _run_squeeze_case(case, platform)
+    if case.kind == "store":
+        return _run_store_case(case, platform)
+    if case.kind == "mt":
+        return _run_mt_case(case, platform)
+    if case.kind == "mt-squeeze":
+        return _run_mt_squeeze_case(case, platform)
+    if case.kind == "mt-pool":
+        return _run_mt_pool_case(case, platform, jobs)
     return _run_runtime_case(case, platform)
 
 

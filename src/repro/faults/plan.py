@@ -51,6 +51,10 @@ SITE_POOL_EXIT = "pool.exit"
 SITE_POOL_HANG = "pool.hang"
 #: A cached trace is corrupted in place before its next use.
 SITE_CACHE_CORRUPT = "cache.corrupt"
+#: A trace-store array file is committed truncated — the on-disk effect
+#: of a writer that died mid-write or a lost page flush, which the
+#: store's CRC guard must catch on the next load.
+SITE_STORE_TORN = "cache.store_torn"
 #: The matched tier hides ``param`` fraction of its capacity.
 SITE_CAPACITY_SQUEEZE = "capacity.squeeze"
 
@@ -63,6 +67,7 @@ SITES = (
     SITE_POOL_EXIT,
     SITE_POOL_HANG,
     SITE_CACHE_CORRUPT,
+    SITE_STORE_TORN,
     SITE_CAPACITY_SQUEEZE,
 )
 

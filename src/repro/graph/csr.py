@@ -106,6 +106,32 @@ class CSRGraph:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_trusted_parts(
+        cls,
+        offsets: np.ndarray,
+        adjacency: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        name: str = "graph",
+        degrees: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Wrap already-validated arrays without copying or re-validating.
+
+        Used by :mod:`repro.graph.shm` to attach read-only shared-memory
+        segments published by the pool parent: the arrays were validated
+        (and dtype-normalised) when the source graph was built, and
+        ``__post_init__``'s ``ascontiguousarray`` + O(E) range scan would
+        either copy the segment or touch every page at attach time.
+        """
+        graph = cls.__new__(cls)
+        graph.offsets = offsets
+        graph.adjacency = adjacency
+        graph.weights = weights
+        graph.name = name
+        graph._degrees = degrees
+        return graph
+
+    @classmethod
     def from_edges(
         cls,
         num_vertices: int,

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.graph import shm as graph_shm
 from repro.graph.csr import CSRGraph
 from repro.graph.diskcache import cached_generate
 from repro.graph.generators import chung_lu_graph, rmat_graph
@@ -67,7 +68,9 @@ def dataset_by_name(name: str, scale: int = 1024, *, seed: int = 7) -> CSRGraph:
 
     Results are memoised per (name, scale, seed): the generators are
     deterministic, and the benchmark harness requests the same graphs many
-    times.
+    times.  Pool workers first try to attach the graph the parent
+    published into shared memory (:mod:`repro.graph.shm`) — a zero-copy
+    view instead of a per-process regeneration.
     """
     if name not in _SPECS:
         raise ValueError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
@@ -76,6 +79,10 @@ def dataset_by_name(name: str, scale: int = 1024, *, seed: int = 7) -> CSRGraph:
     key = (name, scale, seed)
     if key in _CACHE:
         return _CACHE[key]
+    shared = graph_shm.attach_dataset(name, scale, seed)
+    if shared is not None:
+        _CACHE[key] = shared
+        return shared
 
     def generate() -> CSRGraph:
         spec = _SPECS[name]

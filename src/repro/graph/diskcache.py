@@ -8,6 +8,11 @@ The cache key covers everything that determines the graph: dataset name,
 scale, and generator seed.  Files are self-describing (arrays + metadata)
 and validated on load; a corrupted or stale-format file is regenerated
 rather than trusted.
+
+Disk usage is bounded by the ``REPRO_CACHE_BYTES`` budget shared with
+the trace store (see :mod:`repro.cachebudget`): every save triggers an
+oldest-first eviction pass over both cache roots, and loads refresh the
+file's mtime so eviction is LRU-ish.
 """
 
 from __future__ import annotations
@@ -17,12 +22,19 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cachebudget import (
+    GRAPH_CACHE_ENV,
+    enforce_cache_budget,
+    touch_entry,
+)
 from repro.graph.csr import CSRGraph
 
 FORMAT_VERSION = 1
 
 #: Environment variable overriding the cache directory; empty disables.
-CACHE_ENV = "REPRO_GRAPH_CACHE"
+#: (Alias of :data:`repro.cachebudget.GRAPH_CACHE_ENV` — the shared
+#: budget module owns the env names so both caches agree on them.)
+CACHE_ENV = GRAPH_CACHE_ENV
 
 
 def default_cache_dir() -> Path | None:
@@ -52,6 +64,7 @@ def save_graph(graph: CSRGraph, path: Path) -> None:
     tmp = path.with_suffix(".tmp.npz")
     np.savez_compressed(tmp, **arrays)
     os.replace(tmp, path)
+    enforce_cache_budget(protect={path})
 
 
 def load_graph(path: Path, name: str) -> CSRGraph | None:
@@ -85,6 +98,7 @@ def cached_generate(name: str, scale: int, seed: int, generate) -> CSRGraph:
     path = cache_path(directory, name, scale, seed)
     cached = load_graph(path, name)
     if cached is not None:
+        touch_entry(path)
         return cached
     graph = generate()
     save_graph(graph, path)

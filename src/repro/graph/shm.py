@@ -1,0 +1,219 @@
+"""Shared-memory CSR graph segments for experiment-pool workers.
+
+Without this module every worker process of
+:class:`repro.sim.parallel.ExperimentPool` resolves datasets through its
+own memoisation: under a ``spawn`` start method (or after a pool
+restart) each worker regenerates each graph it touches, which is exactly
+the redundant work that made ``--jobs 4`` slower than serial.  The pool
+parent instead builds each ``(dataset, scale, seed)`` once, *publishes*
+its CSR arrays into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`), and advertises the segment
+layout to workers through the ``REPRO_GRAPH_SHM_MANIFEST`` environment
+variable (inherited at worker start).  Workers *attach* read-only — a
+zero-copy ``np.ndarray`` view over the shared pages — before falling
+back to generation.
+
+Lifecycle is parent-owned: segments are created in
+:func:`publish_datasets` and unlinked in :func:`release`, which the pool
+calls in a ``finally`` block so segments disappear even when workers
+crash or hang mid-job (the PR 2 fault sites ``pool.crash`` /
+``pool.exit`` / ``pool.hang`` all exercise this path).  Workers
+explicitly unregister their attachments from Python's
+``resource_tracker``: the tracker would otherwise treat an attachment as
+ownership and unlink segments the parent still serves when the first
+worker exits.
+
+``REPRO_GRAPH_SHM=0`` disables publication (workers fall back to
+per-process generation); publication failures degrade the same way
+instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: Set to ``0`` / ``off`` to disable shared-memory graph publication.
+SHM_ENV = "REPRO_GRAPH_SHM"
+
+#: JSON manifest describing the published segments (parent-exported).
+MANIFEST_ENV = "REPRO_GRAPH_SHM_MANIFEST"
+
+FORMAT_VERSION = 1
+
+#: Monotonic publication counter, part of segment names so repeated
+#: pools in one parent process never collide.
+_PUBLISH_SEQ = 0
+
+#: Segments this process attached to (kept alive for the mapped views).
+_ATTACHED: list[shared_memory.SharedMemory] = []
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory graph publication is enabled."""
+    return os.environ.get(SHM_ENV, "1").strip().lower() not in ("0", "off", "no")
+
+
+@dataclass
+class PublishedGraphs:
+    """Parent-side handle on one publication: segments plus manifest."""
+
+    manifest: dict
+    segments: list[shared_memory.SharedMemory] = field(default_factory=list)
+    saved_env: str | None = None
+
+    @property
+    def segment_names(self) -> list[str]:
+        return [segment.name for segment in self.segments]
+
+
+def publish_datasets(keys) -> PublishedGraphs | None:
+    """Build each dataset once and expose its arrays as shm segments.
+
+    ``keys`` is an iterable of ``(name, scale, seed)`` tuples.  Returns
+    the handle to pass to :func:`release`, or ``None`` when publication
+    is disabled, empty, or fails (workers then generate per process).
+    """
+    global _PUBLISH_SEQ
+    keys = sorted(set(keys))
+    if not keys or not shm_enabled():
+        return None
+    from repro.graph.datasets import dataset_by_name
+
+    _PUBLISH_SEQ += 1
+    token = f"{os.getpid():x}-{_PUBLISH_SEQ:x}"
+    segments: list[shared_memory.SharedMemory] = []
+    graphs_meta: list[dict] = []
+    try:
+        for index, (name, scale, seed) in enumerate(keys):
+            graph = dataset_by_name(name, scale, seed=seed)
+            arrays: dict[str, np.ndarray] = {
+                "offsets": graph.offsets,
+                "adjacency": graph.adjacency,
+                "degrees": graph.degrees,
+            }
+            if graph.weights is not None:
+                arrays["weights"] = graph.weights
+            entry: dict = {"key": [name, scale, seed], "name": graph.name, "arrays": {}}
+            for label, array in arrays.items():
+                seg_name = f"repro-{token}-{index}-{label}"
+                segment = shared_memory.SharedMemory(
+                    name=seg_name, create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[:] = array
+                del view
+                segments.append(segment)
+                entry["arrays"][label] = {
+                    "segment": seg_name,
+                    "shape": list(array.shape),
+                    "dtype": str(array.dtype),
+                }
+            graphs_meta.append(entry)
+    except (OSError, ValueError):
+        # Publication is an optimisation; a host without (enough) shared
+        # memory degrades to per-worker generation.
+        _close_and_unlink(segments)
+        return None
+    manifest = {"format": FORMAT_VERSION, "graphs": graphs_meta}
+    published = PublishedGraphs(
+        manifest=manifest,
+        segments=segments,
+        saved_env=os.environ.get(MANIFEST_ENV),
+    )
+    os.environ[MANIFEST_ENV] = json.dumps(manifest)
+    return published
+
+
+def release(published: PublishedGraphs) -> None:
+    """Unlink every published segment and restore the manifest env."""
+    if published.saved_env is None:
+        os.environ.pop(MANIFEST_ENV, None)
+    else:
+        os.environ[MANIFEST_ENV] = published.saved_env
+    _close_and_unlink(published.segments)
+
+
+def _close_and_unlink(segments: list[shared_memory.SharedMemory]) -> None:
+    for segment in segments:
+        try:
+            segment.close()
+        except (OSError, BufferError):
+            continue
+    for segment in segments:
+        try:
+            segment.unlink()
+        except (OSError, FileNotFoundError):
+            continue
+
+
+def attach_dataset(name: str, scale: int, seed: int) -> CSRGraph | None:
+    """A zero-copy read-only view of a published dataset, or ``None``.
+
+    Called by :func:`repro.graph.datasets.dataset_by_name` before it
+    falls back to generation; any mismatch (no manifest, key absent,
+    segment gone) silently returns ``None``.
+    """
+    raw = os.environ.get(MANIFEST_ENV)
+    if not raw or not shm_enabled():
+        return None
+    try:
+        manifest = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if manifest.get("format") != FORMAT_VERSION:
+        return None
+    target = [name, scale, seed]
+    entry = next(
+        (e for e in manifest.get("graphs", ()) if e.get("key") == target), None
+    )
+    if entry is None:
+        return None
+    attached: list[shared_memory.SharedMemory] = []
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        for label, meta in entry["arrays"].items():
+            segment = shared_memory.SharedMemory(name=meta["segment"], create=False)
+            _untrack(segment)
+            attached.append(segment)
+            array = np.ndarray(
+                tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=segment.buf
+            )
+            array.flags.writeable = False
+            arrays[label] = array
+    except (OSError, KeyError, ValueError, TypeError):
+        for segment in attached:
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                continue
+        return None
+    _ATTACHED.extend(attached)
+    return CSRGraph.from_trusted_parts(
+        arrays["offsets"],
+        arrays["adjacency"],
+        arrays.get("weights"),
+        name=str(entry.get("name", name)),
+        degrees=arrays.get("degrees"),
+    )
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Undo the resource tracker's registration of an *attachment*.
+
+    CPython registers every ``SharedMemory`` — attached or created —
+    with the per-process resource tracker, whose cleanup unlinks the
+    segment when this process exits.  Only the publishing parent owns
+    unlink; a worker exiting first must not tear segments down under its
+    siblings.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except (AttributeError, KeyError, ValueError, OSError):
+        return

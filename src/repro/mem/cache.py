@@ -103,10 +103,15 @@ class DirectMappedCache:
 
 
 class SetAssociativeCache:
-    """Exact N-way set-associative LRU cache (per-access Python loop).
+    """Exact N-way set-associative LRU cache.
 
-    Quadratically slower than :class:`DirectMappedCache`; intended for tests
-    and validation studies on traces up to a few hundred thousand accesses.
+    LRU state is strictly per set, so :meth:`access` groups the stream by
+    set with a stable argsort (the same trick as
+    :class:`DirectMappedCache`) and replays each set's accesses in program
+    order against plain Python ints — an order of magnitude faster than
+    the naive per-access loop, which survives as
+    :meth:`access_reference` for parity testing.  Intended for tests and
+    validation studies on traces up to a few million accesses.
     """
 
     def __init__(self, size_bytes: int, ways: int, line_size: int = LINE_SIZE) -> None:
@@ -133,7 +138,42 @@ class SetAssociativeCache:
         self._sets = [[] for _ in range(self.n_sets)]
 
     def access(self, addrs: np.ndarray) -> np.ndarray:
-        """Simulate the address stream; returns a boolean hit mask."""
+        """Simulate the address stream; returns a boolean hit mask.
+
+        Exact: bit-identical to :meth:`access_reference`, including state
+        carried across calls (each set's LRU list continues where the
+        previous call left it).
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return np.empty(0, dtype=bool)
+        lines = addrs >> self._line_shift
+        set_ids = lines & (self.n_sets - 1)
+        order = np.argsort(set_ids, kind="stable")
+        sorted_sets = set_ids[order]
+        sorted_lines = lines[order]
+        boundaries = np.nonzero(sorted_sets[1:] != sorted_sets[:-1])[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [sorted_sets.size]))
+        hits_sorted = np.empty(addrs.size, dtype=bool)
+        ways = self.ways
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            bucket = self._sets[int(sorted_sets[start])]
+            for offset, line in enumerate(sorted_lines[start:end].tolist(), start):
+                try:
+                    bucket.remove(line)
+                    hits_sorted[offset] = True
+                except ValueError:
+                    hits_sorted[offset] = False
+                    if len(bucket) >= ways:
+                        bucket.pop(0)
+                bucket.append(line)
+        hits = np.empty(addrs.size, dtype=bool)
+        hits[order] = hits_sorted
+        return hits
+
+    def access_reference(self, addrs: np.ndarray) -> np.ndarray:
+        """The naive per-access loop, kept as the parity oracle."""
         addrs = np.asarray(addrs, dtype=np.int64)
         hits = np.empty(addrs.size, dtype=bool)
         mask = self.n_sets - 1

@@ -74,9 +74,18 @@ class TracePhase:
 
 @dataclass
 class AccessTrace:
-    """An ordered sequence of :class:`TracePhase` for one application run."""
+    """An ordered sequence of :class:`TracePhase` for one application run.
+
+    The concatenated program-order address array is cached after the
+    first :meth:`all_addresses` call — the LLC models, the trace cache's
+    checksums, and the trace store all consume the flat form repeatedly,
+    and re-concatenating a benchmark-scale trace costs hundreds of
+    milliseconds.  Anything that mutates phase contents outside
+    :meth:`add`/:meth:`extend` must call :meth:`invalidate_flat`.
+    """
 
     phases: list[TracePhase] = field(default_factory=list)
+    _flat: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def add(
         self,
@@ -99,10 +108,16 @@ class AccessTrace:
                 label=label,
             )
         )
+        self._flat = None
 
     def extend(self, other: "AccessTrace") -> None:
         """Append all phases of another trace, preserving order."""
         self.phases.extend(other.phases)
+        self._flat = None
+
+    def invalidate_flat(self) -> None:
+        """Drop the cached flat address array (after external mutation)."""
+        self._flat = None
 
     @property
     def total_accesses(self) -> int:
@@ -110,10 +125,61 @@ class AccessTrace:
         return sum(len(p) for p in self.phases)
 
     def all_addresses(self) -> np.ndarray:
-        """Concatenate every phase's addresses in program order."""
-        if not self.phases:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate([p.addrs for p in self.phases])
+        """Concatenate every phase's addresses in program order (cached)."""
+        if self._flat is None or self._flat.size != self.total_accesses:
+            if not self.phases:
+                self._flat = np.empty(0, dtype=np.int64)
+            else:
+                self._flat = np.concatenate([p.addrs for p in self.phases])
+        return self._flat
+
+    # ------------------------------------------------------------------
+    # columnar (de)serialisation, used by repro.sim.tracestore
+    # ------------------------------------------------------------------
+    def phase_records(self) -> list[dict]:
+        """Phase metadata as JSON-friendly records (addresses excluded)."""
+        return [
+            {
+                "n": len(phase),
+                "is_write": bool(phase.is_write),
+                "kind": phase.kind.value,
+                "prefetchable": bool(phase.prefetchable),
+                "label": phase.label,
+            }
+            for phase in self.phases
+        ]
+
+    @classmethod
+    def from_columnar(
+        cls, flat: np.ndarray, records: list[dict]
+    ) -> "AccessTrace":
+        """Rebuild a trace from a flat address array plus phase records.
+
+        Phases become zero-copy views into ``flat`` — when ``flat`` is a
+        memory-mapped store array, the whole trace stays page-cache
+        resident and shared across processes.
+        """
+        trace = cls()
+        start = 0
+        for record in records:
+            n = int(record["n"])
+            trace.phases.append(
+                TracePhase(
+                    flat[start : start + n],
+                    is_write=bool(record["is_write"]),
+                    kind=AccessKind(record["kind"]),
+                    prefetchable=bool(record["prefetchable"]),
+                    label=str(record.get("label", "")),
+                )
+            )
+            start += n
+        if start != flat.size:
+            raise TraceError(
+                f"phase records cover {start} accesses but the flat array "
+                f"has {flat.size}"
+            )
+        trace._flat = np.asarray(flat)
+        return trace
 
     def __iter__(self):
         return iter(self.phases)

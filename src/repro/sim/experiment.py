@@ -13,6 +13,13 @@ profile/warm on the first iteration, measure the second iteration.
 - :func:`run_coarse_grained` — the whole-data-structure placement baseline
   (Tahoe-style, Section 8 "data placement" related work): same profiling,
   but placement decisions at object granularity.
+
+All flows take their deterministic traces and LLC hit masks through a
+:class:`repro.sim.tracecache.TraceCache`, which (when ``REPRO_TRACE_STORE``
+is set) is backed by the persistent on-disk store in
+:mod:`repro.sim.tracestore` — so repeated runs of the same (app, dataset,
+scale) pay the trace/mask cost once per store lifetime, not once per
+process.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ from repro.errors import ConfigurationError
 from repro.mem.address_space import PAGE_SIZE
 from repro.sim.executor import TraceExecutor
 from repro.sim.metrics import RunCost
+from repro.sim.tracecache import TraceCache
 
 
 @dataclass
@@ -48,17 +49,34 @@ class MultiTenantHost:
 
     platform: PlatformConfig
     runtime_config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Optional shared cache for tenant traces / LLC hit masks.  Keys
+    #: cover the *whole admission chain* (see :meth:`_tenant_key`): a
+    #: tenant's virtual addresses depend on every registration before it,
+    #: so the same app admitted behind different neighbours gets a
+    #: different key and never shares a trace it shouldn't.
+    trace_cache: TraceCache | None = None
 
     def __post_init__(self) -> None:
         self.system = self.platform.build_system()
         self.executor = TraceExecutor(self.system)
-        self._tenants: list[tuple[str, GraphApp, AtMemRuntime]] = []
+        self._tenants: list[tuple[str, GraphApp, AtMemRuntime, tuple | None]] = []
 
     # ------------------------------------------------------------------
+    def _tenant_key(self, name: str, app_factory) -> tuple | None:
+        """Content key for this tenant's trace, or ``None`` if unkeyable."""
+        key_fn = getattr(app_factory, "trace_key", None)
+        if not callable(key_fn):
+            return None
+        chain = tuple((t_name, t_key) for t_name, _, _, t_key in self._tenants)
+        if any(t_key is None for _, t_key in chain):
+            return None  # an unkeyable neighbour makes the layout unkeyable
+        return ("mt", self.platform.name, chain, (name, key_fn()))
+
     def admit(self, name: str, app_factory: Callable[[], GraphApp]) -> GraphApp:
         """Register a tenant's application on the shared system."""
         if any(t[0] == name for t in self._tenants):
             raise ConfigurationError(f"tenant {name!r} already admitted")
+        key = self._tenant_key(name, app_factory)
         runtime = AtMemRuntime(
             self.system, config=self.runtime_config, platform=self.platform
         )
@@ -71,7 +89,7 @@ class MultiTenantHost:
                 return runtime.register_array(f"{name}/{obj_name}", array)
 
         app.register(_PrefixedRegistry())
-        self._tenants.append((name, app, runtime))
+        self._tenants.append((name, app, runtime, key))
         return app
 
     # ------------------------------------------------------------------
@@ -80,30 +98,52 @@ class MultiTenantHost:
 
         Earlier tenants optimize first and get first pick of the fast
         tier; later tenants see whatever capacity is left — the shared-
-        server dynamics the paper describes.
+        server dynamics the paper describes.  The three phases are public
+        so harnesses (the chaos matrix's mid-run capacity squeeze in
+        particular) can install faults between them.
         """
-        results: dict[str, TenantResult] = {}
-        # Phase 1: everyone profiles on the baseline placement.  Each
-        # tenant's trace and LLC hit mask are kept for phase 3: run_once
-        # is contractually idempotent and the hit mask depends only on
-        # the address stream, so the measured iteration reuses both
-        # instead of recomputing them.
+        plans, baselines = self.profile()
+        self.optimize()
+        return self.measure(plans, baselines)
+
+    def profile(self) -> tuple[dict[str, tuple], dict[str, RunCost]]:
+        """Phase 1: everyone profiles on the baseline placement.
+
+        Each tenant's trace and LLC hit mask are kept for the measure
+        phase: ``run_once`` is contractually idempotent and the hit mask
+        depends only on the address stream, so the measured iteration
+        reuses both instead of recomputing them.  With a
+        :attr:`trace_cache` both artifacts are fetched through it under
+        the tenant's admission-chain key.
+        """
         baselines: dict[str, RunCost] = {}
         plans: dict[str, tuple] = {}
-        for name, app, runtime in self._tenants:
+        for name, app, runtime, key in self._tenants:
             runtime.atmem_profiling_start()
-            trace = app.run_once()
-            hits = self.system.llc.hit_mask(trace.all_addresses())
+            if self.trace_cache is not None and key is not None:
+                trace = self.trace_cache.trace(key, app.run_once)
+                hits = self.trace_cache.hit_mask(key, self.system.llc, trace)
+            else:
+                trace = app.run_once()
+                hits = self.system.llc.hit_mask(trace.all_addresses())
             plans[name] = (trace, hits)
             baselines[name] = self.executor.run(
                 trace, miss_observer=runtime, hits=hits
             )
             runtime.atmem_profiling_stop()
-        # Phase 2: optimize in admission order (first come, first placed).
-        for name, app, runtime in self._tenants:
+        return plans, baselines
+
+    def optimize(self) -> None:
+        """Phase 2: optimize in admission order (first come, first placed)."""
+        for _, _, runtime, _ in self._tenants:
             runtime.atmem_optimize()
-        # Phase 3: everyone measures on the final shared placement.
-        for name, app, runtime in self._tenants:
+
+    def measure(
+        self, plans: dict[str, tuple], baselines: dict[str, RunCost]
+    ) -> dict[str, TenantResult]:
+        """Phase 3: everyone measures on the final shared placement."""
+        results: dict[str, TenantResult] = {}
+        for name, _, runtime, _ in self._tenants:
             trace, hits = plans[name]
             optimized = self.executor.run(trace, hits=hits)
             results[name] = TenantResult(
@@ -114,6 +154,11 @@ class MultiTenantHost:
                 data_ratio=runtime.fast_tier_ratio(),
             )
         return results
+
+    @property
+    def tenants(self) -> list[tuple[str, GraphApp, AtMemRuntime, tuple | None]]:
+        """The admitted tenants: ``(name, app, runtime, trace_key)``."""
+        return list(self._tenants)
 
     def _tenant_fast_bytes(self, runtime: AtMemRuntime) -> int:
         import numpy as np
@@ -137,6 +182,7 @@ def run_scenarios(
     *,
     runtime_config: RuntimeConfig | None = None,
     jobs: int | None = None,
+    pool=None,
 ) -> list[dict[str, TenantResult]]:
     """Run independent shared-host scenarios, fanned out across workers.
 
@@ -144,7 +190,9 @@ def run_scenarios(
     scenario gets its own host (its own memory system), so scenarios are
     independent cells and parallelise through
     :class:`repro.sim.parallel.ExperimentPool` behind the ``jobs`` /
-    ``REPRO_JOBS`` knob.  Results come back in scenario order.
+    ``REPRO_JOBS`` knob.  Results come back in scenario order.  Pass a
+    ``pool`` to reuse one (and read its health afterwards); jobs are
+    tagged ``mt/<tenant>+<tenant>`` so fault plans can target a scenario.
     """
     from repro.sim.parallel import ExperimentPool, JobSpec
 
@@ -155,7 +203,10 @@ def run_scenarios(
             flow="multitenant",
             runtime_config=runtime_config,
             tenants=tuple(scenario),
+            tag="mt/" + "+".join(name for name, _ in scenario),
         )
         for scenario in scenarios
     ]
-    return ExperimentPool(jobs).run(specs)
+    if pool is None:
+        pool = ExperimentPool(jobs)
+    return pool.run(specs)

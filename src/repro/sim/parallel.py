@@ -31,12 +31,26 @@ fire exactly once and the retried batch converges to fault-free results
 :class:`PoolHealth` on the pool records timeouts, crashes, retries, and
 pool restarts for post-run inspection.
 
+The pool is **cache-aware**: before fanning out it derives a dispatch
+plan from the jobs' trace keys and the persistent trace store
+(:mod:`repro.sim.tracestore`).  One "primer" job per store-cold trace
+key runs first (the heaviest of its group, so the expensive artifact is
+computed exactly once and written to the store), then the warm remainder
+fans out longest-expected-first.  ``REPRO_POOL_SCHEDULE=fifo`` restores
+plain submission order.  The parent also pre-builds every referenced
+dataset and publishes its CSR arrays as read-only shared-memory segments
+(:mod:`repro.graph.shm`), released in a ``finally`` even when workers
+crash.  Per-job cache telemetry (cold / warm / warm-from-store) lands in
+:class:`PoolHealth` and the ``BENCH_parallel.json`` records.
+
 Determinism: every job runs :func:`execute_job`, which seeds NumPy's
 global RNG from the spec's content hash before executing, and all model
 randomness (sampling profiler, dataset generators) is already locally
-seeded.  Workers share no mutable state — each process keeps its own
-memoised datasets and :class:`repro.sim.tracecache.TraceCache` — so a
-parallel grid is bit-identical to a serial one (see
+seeded.  Workers share no *mutable* state — each process keeps its own
+memoised datasets and :class:`repro.sim.tracecache.TraceCache`, and the
+shared store/segments hold immutable content-keyed artifacts — so a
+parallel grid is bit-identical to a serial one regardless of dispatch
+order (results are indexed by submission order; see
 ``tests/test_sim_parallel.py``).
 """
 
@@ -67,6 +81,7 @@ from repro.faults.injector import (
     job_context,
 )
 from repro.faults.plan import SITE_POOL_CRASH, SITE_POOL_EXIT, SITE_POOL_HANG
+from repro.graph import shm as graph_shm
 from repro.sim.experiment import (
     AtMemRunResult,
     StaticRunResult,
@@ -75,6 +90,7 @@ from repro.sim.experiment import (
     run_static,
 )
 from repro.sim.tracecache import TraceCache, process_trace_cache
+from repro.sim.tracestore import process_trace_store
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -90,6 +106,10 @@ JOB_BACKOFF_ENV = "REPRO_JOB_BACKOFF"
 
 #: How long an injected ``pool.hang`` sleeps when the spec has no param.
 DEFAULT_HANG_SECONDS = 30.0
+
+#: Dispatch policy: ``cache`` (default, primer waves + longest-first)
+#: or ``fifo`` (plain submission order).
+SCHEDULE_ENV = "REPRO_POOL_SCHEDULE"
 
 #: Environment variable overriding where wall-clock timings are recorded.
 PARALLEL_JSON_ENV = "REPRO_PARALLEL_JSON"
@@ -113,6 +133,18 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 f"{JOBS_ENV} must be an integer, got {raw!r}"
             ) from None
     return 1
+
+
+def pool_schedule() -> str:
+    """The dispatch policy from ``REPRO_POOL_SCHEDULE`` (default ``cache``)."""
+    raw = os.environ.get(SCHEDULE_ENV, "").strip().lower()
+    if raw in ("", "cache"):
+        return "cache"
+    if raw == "fifo":
+        return "fifo"
+    raise ConfigurationError(
+        f"{SCHEDULE_ENV} must be 'cache' or 'fifo', got {raw!r}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -145,6 +177,17 @@ class AppSpec:
             dataset_seed=dataset_seed,
             kwargs=tuple(sorted(kwargs.items())),
         )
+
+    def trace_key(self) -> tuple:
+        """Content key of this app's deterministic access trace."""
+        return (self.app, self.dataset, self.scale, self.kwargs, self.dataset_seed)
+
+    def expected_cost(self) -> float:
+        """Relative cold cost of tracing this app (bigger graph = costlier)."""
+        from repro.graph.datasets import PAPER_SIZES
+
+        _, paper_edges = PAPER_SIZES.get(self.dataset, (0, 30_000_000))
+        return paper_edges / max(1, self.scale)
 
     def __call__(self):
         from repro.apps import make_app
@@ -199,7 +242,28 @@ class JobSpec:
         app = self.app
         if app is None:
             return ("multitenant", self.tenants)
-        return (app.app, app.dataset, app.scale, app.kwargs, app.dataset_seed)
+        return app.trace_key()
+
+    def dataset_keys(self) -> set[tuple[str, int, int]]:
+        """Every ``(dataset, scale, seed)`` this job resolves."""
+        apps = [self.app] if self.app is not None else []
+        apps.extend(app for _, app in self.tenants)
+        return {(app.dataset, app.scale, app.dataset_seed) for app in apps}
+
+    def expected_cost(self) -> float:
+        """Relative wall-clock estimate used to order dispatch.
+
+        Flows re-run the traced app a different number of times: a
+        ``cell`` is three full runs (baseline / reference / ATMem), the
+        single flows roughly two (profile + measure), multitenant two per
+        tenant.  Only the *ordering* matters, so crude weights suffice.
+        """
+        weight = {"cell": 3.0, "static": 2.0, "atmem": 2.0, "coarse": 2.0}
+        if self.flow == "multitenant":
+            return sum(app.expected_cost() * 2.0 for _, app in self.tenants)
+        return (self.app.expected_cost() if self.app else 1.0) * weight.get(
+            self.flow, 2.0
+        )
 
     def job_seed(self) -> int:
         """Deterministic per-job seed, independent of scheduling order."""
@@ -304,7 +368,9 @@ def execute_job(spec: JobSpec, *, trace_cache: TraceCache | None = None):
     from repro.sim.multitenant import MultiTenantHost
 
     host = MultiTenantHost(
-        spec.platform, runtime_config=spec.runtime_config or RuntimeConfig()
+        spec.platform,
+        runtime_config=spec.runtime_config or RuntimeConfig(),
+        trace_cache=cache,
     )
     for name, app_spec in spec.tenants:
         host.admit(name, app_spec)
@@ -364,6 +430,12 @@ class PoolHealth:
     retries: int = 0
     pool_restarts: int = 0
     serial_fallbacks: int = 0
+    #: Jobs that had to build a trace or simulate an LLC mask themselves.
+    cold_jobs: int = 0
+    #: Jobs served entirely from in-memory cache entries.
+    warm_jobs: int = 0
+    #: Jobs that loaded at least one artifact from the persistent store.
+    store_jobs: int = 0
     notes: list[str] = field(default_factory=list)
 
     def note(self, message: str) -> None:
@@ -386,8 +458,20 @@ class PoolHealth:
             "retries": self.retries,
             "pool_restarts": self.pool_restarts,
             "serial_fallbacks": self.serial_fallbacks,
+            "cold_jobs": self.cold_jobs,
+            "warm_jobs": self.warm_jobs,
+            "store_jobs": self.store_jobs,
             "notes": list(self.notes),
         }
+
+    def tally_cache_use(self, kind: str | None) -> None:
+        """Count one finished job's cache behaviour (``None``: unknown)."""
+        if kind == "cold":
+            self.cold_jobs += 1
+        elif kind == "store":
+            self.store_jobs += 1
+        elif kind == "warm":
+            self.warm_jobs += 1
 
 
 @dataclass
@@ -397,6 +481,37 @@ class _Job:
     spec: JobSpec
     index: int
     attempt: int = 0
+
+
+def _cache_snapshot() -> tuple[int, int, int, int]:
+    """The process cache counters that classify a job's cache behaviour."""
+    stats = process_trace_cache().stats
+    return (
+        stats.trace_misses,
+        stats.store_trace_hits,
+        stats.mask_misses,
+        stats.store_mask_hits,
+    )
+
+
+def _classify_cache_use(
+    before: tuple[int, int, int, int], after: tuple[int, int, int, int]
+) -> str:
+    """``cold`` built something, ``store`` loaded from disk, else ``warm``.
+
+    A trace build is a ``trace_misses`` increment *not* matched by a
+    ``store_trace_hits`` increment (same for masks), per the counting in
+    :class:`repro.sim.tracecache.TraceCache`.
+    """
+    d_miss, d_store_t, d_mask_miss, d_store_m = (
+        a - b for a, b in zip(after, before)
+    )
+    built = (d_miss - d_store_t) + (d_mask_miss - d_store_m)
+    if built > 0:
+        return "cold"
+    if d_store_t > 0 or d_store_m > 0:
+        return "store"
+    return "warm"
 
 
 def _pool_entry(spec: JobSpec, attempt: int = 0):
@@ -410,6 +525,9 @@ def _pool_entry(spec: JobSpec, attempt: int = 0):
     ``os._exit``, which the parent sees as ``BrokenProcessPool``), and a
     hang (``pool.hang`` — sleeps ``param`` seconds, which the parent's
     job timeout must catch).
+
+    An ``ok`` payload carries a third element — the job's cache-use
+    classification (cold / store / warm) — for the parent's telemetry.
     """
     try:
         with job_context(attempt=attempt, tag=spec.tag):
@@ -425,7 +543,9 @@ def _pool_entry(spec: JobSpec, attempt: int = 0):
                     f"injected crash in job {spec.tag or spec.flow!r} "
                     f"(attempt {attempt})"
                 )
-            return ("ok", execute_job(spec))
+            before = _cache_snapshot()
+            result = execute_job(spec)
+            return ("ok", result, _classify_cache_use(before, _cache_snapshot()))
     except Exception as exc:  # noqa: BLE001 — re-raised with spec in parent
         return ("err", type(exc).__name__, str(exc), traceback.format_exc())
 
@@ -466,12 +586,17 @@ class ExperimentPool:
         self.last_mode: str = "unstarted"
         #: Recovery tally of the last :meth:`run`.
         self.health = PoolHealth()
+        #: Names of the shm segments published for the last :meth:`run`
+        #: (kept after release, so tests can assert they were unlinked).
+        self.last_segments: list[str] = []
+        self._executor: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> list:
         """Execute every spec; return their results in order."""
         specs = list(specs)
         self.health = PoolHealth()
+        self.last_segments = []
         if not specs:
             self.last_mode = "empty"
             return []
@@ -479,10 +604,25 @@ class ExperimentPool:
         results: list = [None] * len(specs)
         done = [False] * len(specs)
         workers = min(self.max_workers, len(specs))
+        published = None
         if workers > 1:
-            self._run_parallel(jobs, results, done, workers)
-        self._run_serial(jobs, results, done)
+            published = self._publish_graphs(specs)
+        try:
+            if workers > 1:
+                self._run_parallel(jobs, results, done, workers)
+            self._run_serial(jobs, results, done)
+        finally:
+            if published is not None:
+                self.last_segments = published.segment_names
+                graph_shm.release(published)
         return results
+
+    def _publish_graphs(self, specs: Sequence[JobSpec]):
+        """Pre-build every referenced dataset into shared memory."""
+        keys: set[tuple[str, int, int]] = set()
+        for spec in specs:
+            keys.update(spec.dataset_keys())
+        return graph_shm.publish_datasets(keys)
 
     # ------------------------------------------------------------------
     def _run_parallel(
@@ -498,69 +638,125 @@ class ExperimentPool:
         retries = job_retries()
         max_restarts = retries + 2
         try:
-            executor = self._make_executor(workers)
+            self._executor = self._make_executor(workers)
         except (OSError, ValueError, PermissionError):
             return
         self.last_mode = f"parallel[{workers}]"
         try:
-            while not all(done):
-                pending = [job for job in jobs if not done[job.index]]
-                futures = {
-                    executor.submit(_pool_entry, job.spec, job.attempt): job
-                    for job in pending
-                }
-                failure = None
-                for future, job in futures.items():
-                    try:
-                        payload = future.result(timeout=timeout)
-                    except FutureTimeoutError:
-                        self.health.timeouts += 1
-                        self.health.note(
-                            f"job {job.index} exceeded {timeout}s "
-                            f"(attempt {job.attempt}); restarting pool"
-                        )
-                        failure = "timeout"
-                        break
-                    except BrokenProcessPool:
-                        self.health.crashes += 1
-                        self.health.note(
-                            f"worker died on job {job.index} "
-                            f"(attempt {job.attempt}); restarting pool"
-                        )
-                        failure = "crash"
-                        break
-                    self._settle(job, payload, results, done, retries)
-                if failure is None:
-                    continue
-                self._harvest(futures, results, done, retries)
-                self._kill_executor(executor)
-                for job in jobs:
-                    if not done[job.index]:
-                        job.attempt += 1
-                        if job.attempt > retries:
-                            raise ExperimentJobError(
-                                job.spec,
-                                failure,
-                                f"job still unfinished after "
-                                f"{retries} retries ({failure})",
-                            )
-                self.health.pool_restarts += 1
-                if self.health.pool_restarts > max_restarts:
-                    self.health.note(
-                        "pool restart budget exhausted; "
-                        "finishing remaining jobs serially"
-                    )
-                    return
-                try:
-                    executor = self._make_executor(workers)
-                except (OSError, ValueError, PermissionError):
-                    self.health.note(
-                        "pool could not be restarted; "
-                        "finishing remaining jobs serially"
-                    )
+            for wave in self._dispatch_waves(jobs):
+                if not self._drive_wave(
+                    wave, results, done, workers, timeout, retries, max_restarts
+                ):
                     return
         finally:
-            self._kill_executor(executor)
+            if self._executor is not None:
+                self._kill_executor(self._executor)
+                self._executor = None
+
+    def _dispatch_waves(self, jobs: list[_Job]) -> list[list[_Job]]:
+        """Split the batch into dispatch waves.
+
+        Under the default ``cache`` schedule jobs go out
+        longest-expected-first (so the critical path starts early), and
+        when the persistent store is armed, a first wave runs exactly one
+        *primer* job per store-cold trace key: siblings sharing that key
+        then load the trace from the store instead of all recomputing it
+        side by side.  ``fifo`` (or a trivial batch) is one wave in
+        submission order.  Waves only order dispatch — results stay
+        indexed by submission order and are bit-identical regardless.
+        """
+        if len(jobs) <= 1 or pool_schedule() == "fifo":
+            return [jobs]
+        ordered = sorted(jobs, key=lambda j: (-j.spec.expected_cost(), j.index))
+        store = process_trace_store()
+        if store is None:
+            return [ordered]
+        primers: list[_Job] = []
+        rest: list[_Job] = []
+        primed: set = set()
+        for job in ordered:
+            key = job.spec.trace_key()
+            if job.spec.app is None or key in primed or store.has_trace(key):
+                rest.append(job)
+                continue
+            primed.add(key)
+            primers.append(job)
+        if not primers or not rest:
+            return [ordered]
+        self.health.note(
+            f"priming store for {len(primers)} cold trace key(s) before fan-out"
+        )
+        return [primers, rest]
+
+    def _drive_wave(
+        self,
+        wave: list[_Job],
+        results: list,
+        done: list[bool],
+        workers: int,
+        timeout: float | None,
+        retries: int,
+        max_restarts: int,
+    ) -> bool:
+        """Run one wave to completion; ``False`` defers to the serial path."""
+        while not all(done[job.index] for job in wave):
+            pending = [job for job in wave if not done[job.index]]
+            futures = {
+                self._executor.submit(_pool_entry, job.spec, job.attempt): job
+                for job in pending
+            }
+            failure = None
+            for future, job in futures.items():
+                try:
+                    payload = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    self.health.timeouts += 1
+                    self.health.note(
+                        f"job {job.index} exceeded {timeout}s "
+                        f"(attempt {job.attempt}); restarting pool"
+                    )
+                    failure = "timeout"
+                    break
+                except BrokenProcessPool:
+                    self.health.crashes += 1
+                    self.health.note(
+                        f"worker died on job {job.index} "
+                        f"(attempt {job.attempt}); restarting pool"
+                    )
+                    failure = "crash"
+                    break
+                self._settle(job, payload, results, done, retries)
+            if failure is None:
+                continue
+            self._harvest(futures, results, done, retries)
+            self._kill_executor(self._executor)
+            self._executor = None
+            for job in wave:
+                if not done[job.index]:
+                    job.attempt += 1
+                    if job.attempt > retries:
+                        raise ExperimentJobError(
+                            job.spec,
+                            failure,
+                            f"job still unfinished after "
+                            f"{retries} retries ({failure})",
+                        )
+            self.health.pool_restarts += 1
+            if self.health.pool_restarts > max_restarts:
+                self.health.note(
+                    "pool restart budget exhausted; "
+                    "finishing remaining jobs serially"
+                )
+                return False
+            try:
+                self._executor = self._make_executor(workers)
+            except (OSError, ValueError, PermissionError):
+                self.health.note(
+                    "pool could not be restarted; "
+                    "finishing remaining jobs serially"
+                )
+                return False
+        return True
 
     def _settle(
         self, job: _Job, payload: tuple, results: list, done: list[bool], retries: int
@@ -569,6 +765,7 @@ class ExperimentPool:
         if payload[0] == "ok":
             results[job.index] = payload[1]
             done[job.index] = True
+            self.health.tally_cache_use(payload[2] if len(payload) > 2 else None)
             return
         _, kind, message, worker_tb = payload
         job.attempt += 1
@@ -606,8 +803,12 @@ class ExperimentPool:
         for job in pending:
             while True:
                 try:
+                    before = _cache_snapshot()
                     results[job.index] = self._serial_attempt(job, timeout)
                     done[job.index] = True
+                    self.health.tally_cache_use(
+                        _classify_cache_use(before, _cache_snapshot())
+                    )
                     break
                 except Exception as exc:  # noqa: BLE001 — bounded retry below
                     job.attempt += 1

@@ -20,17 +20,27 @@ of the harness's serial speedup comes from.
 
 The cache is bounded (LRU over traces; a trace's hit masks travel with
 it) because grid traces are large.  ``REPRO_TRACE_CACHE`` overrides the
-bound; ``0`` disables caching entirely.  Each worker process of
-:mod:`repro.sim.parallel` owns an independent cache, so no state is shared
-across processes and parallel results stay bit-identical to serial ones.
+bound; ``0`` disables memory caching entirely.
+
+**The persistent tier:** when ``REPRO_TRACE_STORE`` is set, the cache
+becomes an in-process LRU *view* over the shared on-disk
+:class:`repro.sim.tracestore.TraceStore`.  A memory miss consults the
+store before running the builder; store hits arrive as read-only
+``mmap`` views whose pages are shared by every worker process and across
+sessions, and fresh artifacts are written back atomically so sibling
+workers (and the next session) skip the work entirely.  Results stay
+bit-identical either way — the store holds exactly the bytes the builder
+would produce.
 
 **Integrity:** every cached trace carries a CRC32 content checksum taken
-at insertion.  A hit whose trace no longer matches its checksum — or a
-hit mask whose shape disagrees with its trace — is discarded and
-recomputed from scratch instead of silently feeding wrong figures
-downstream.  The ``cache.corrupt`` fault-injection site flips bytes in a
-cached trace on lookup, which is exactly what the checksum path must
-catch (``stats.corruption_discards`` counts the recoveries).
+at insertion, and store entries are CRC-verified once per process at
+load.  While a fault injector is active, hits are additionally
+re-verified against their insertion checksum — the ``cache.corrupt``
+fault site flips bytes in a cached trace on lookup, and the checksum
+path must discard and recompute it (``stats.corruption_discards`` counts
+the recoveries).  Outside injection the per-hit re-verification is
+skipped: in-memory entries are immutable by construction, and paying a
+full checksum pass per hit dominated warm-cell time.
 """
 
 from __future__ import annotations
@@ -43,15 +53,19 @@ from typing import Callable, Hashable
 
 import numpy as np
 
-from repro.faults.injector import fault_point
+from repro.faults.injector import active_injector, fault_point
 from repro.faults.plan import SITE_CACHE_CORRUPT
 from repro.mem.trace import AccessTrace
+from repro.sim.tracestore import TraceStore, process_trace_store
 
 #: Environment variable overriding the trace-entry bound (0 disables).
 CACHE_SIZE_ENV = "REPRO_TRACE_CACHE"
 
 #: Default number of distinct traces kept alive per process.
 DEFAULT_MAX_TRACES = 8
+
+#: Sentinel: bind the cache to the process-wide env-configured store.
+_STORE_FROM_ENV = "env"
 
 
 def configured_max_traces() -> int:
@@ -75,6 +89,11 @@ def trace_checksum(trace: AccessTrace) -> int:
     return zlib.crc32(addrs.view(np.uint8).data)
 
 
+def llc_signature(llc) -> tuple:
+    """The geometry signature that keys hit masks per cache model."""
+    return (type(llc).__name__, llc.size_bytes, llc.line_size)
+
+
 @dataclass
 class TraceCacheStats:
     """Hit/miss counters, split by artifact kind."""
@@ -86,6 +105,10 @@ class TraceCacheStats:
     evictions: int = 0
     #: Corrupted / shape-mismatched entries dropped and recomputed.
     corruption_discards: int = 0
+    #: Memory misses served from the persistent store (no builder run).
+    store_trace_hits: int = 0
+    #: Mask misses served from the persistent store (no LLC simulation).
+    store_mask_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -95,6 +118,8 @@ class TraceCacheStats:
             "mask_misses": self.mask_misses,
             "evictions": self.evictions,
             "corruption_discards": self.corruption_discards,
+            "store_trace_hits": self.store_trace_hits,
+            "store_mask_hits": self.store_mask_hits,
         }
 
 
@@ -112,19 +137,36 @@ class TraceCache:
     Keys are caller-chosen hashable content keys (the parallel engine uses
     :meth:`repro.sim.parallel.JobSpec.trace_key`).  Correctness relies on
     the key covering everything the trace depends on; two cells that share
-    a key *must* produce byte-identical traces.  Entries are
-    checksum-verified on every hit; a mismatch (bit rot, an injected
-    ``cache.corrupt`` fault, an aliased key) discards the entry and
-    recomputes it.
+    a key *must* produce byte-identical traces.
+
+    ``store`` selects the persistent tier: the default binds to the
+    process-wide store configured by ``REPRO_TRACE_STORE`` (disabled when
+    the variable is unset); pass an explicit :class:`TraceStore` to pin
+    one, or ``None`` to force memory-only operation.
     """
 
-    def __init__(self, max_traces: int | None = None) -> None:
+    def __init__(
+        self,
+        max_traces: int | None = None,
+        store: TraceStore | None | str = _STORE_FROM_ENV,
+    ) -> None:
         self.max_traces = (
             configured_max_traces() if max_traces is None else max_traces
+        )
+        self._store_from_env = store == _STORE_FROM_ENV
+        self._store: TraceStore | None = (
+            None if self._store_from_env else store  # type: ignore[assignment]
         )
         self._traces: OrderedDict[Hashable, _TraceEntry] = OrderedDict()
         self._masks: dict[Hashable, dict[tuple, np.ndarray]] = {}
         self.stats = TraceCacheStats()
+
+    @property
+    def store(self) -> TraceStore | None:
+        """The persistent tier behind this cache (``None``: memory only)."""
+        if self._store_from_env:
+            return process_trace_store()
+        return self._store
 
     # ------------------------------------------------------------------
     def _discard(self, key: Hashable) -> None:
@@ -133,29 +175,51 @@ class TraceCache:
         self.stats.corruption_discards += 1
 
     def _verified(self, key: Hashable) -> AccessTrace | None:
-        """The cached trace if present and intact, else ``None``."""
+        """The cached trace if present and intact, else ``None``.
+
+        The per-hit checksum comparison runs only while a fault injector
+        is installed — that is the only path that mutates cached entries
+        (``cache.corrupt``), and checksumming benchmark-scale traces on
+        every hit is the dominant warm-path cost otherwise.
+        """
         entry = self._traces.get(key)
         if entry is None:
             return None
-        if fault_point(SITE_CACHE_CORRUPT, tag=str(key)):
-            _corrupt_trace(entry.trace)
-        if trace_checksum(entry.trace) != entry.checksum:
-            self._discard(key)
-            return None
+        if active_injector() is not None:
+            if fault_point(SITE_CACHE_CORRUPT, tag=str(key)):
+                _corrupt_trace(entry.trace)
+            if trace_checksum(entry.trace) != entry.checksum:
+                self._discard(key)
+                return None
         return entry.trace
+
+    def _trace_from_store_or_builder(
+        self, key: Hashable, builder: Callable[[], AccessTrace]
+    ) -> AccessTrace:
+        """Store load on a memory miss, else build (and write back)."""
+        store = self.store
+        if store is not None:
+            trace = store.load_trace(key)
+            if trace is not None:
+                self.stats.store_trace_hits += 1
+                return trace
+        trace = builder()
+        if store is not None and isinstance(trace, AccessTrace):
+            store.save_trace(key, trace)
+        return trace
 
     def trace(self, key: Hashable, builder: Callable[[], AccessTrace]) -> AccessTrace:
         """The trace under ``key``, built once via ``builder()``."""
         if self.max_traces == 0:
             self.stats.trace_misses += 1
-            return builder()
+            return self._trace_from_store_or_builder(key, builder)
         cached = self._verified(key)
         if cached is not None:
             self.stats.trace_hits += 1
             self._traces.move_to_end(key)
             return cached
         self.stats.trace_misses += 1
-        trace = builder()
+        trace = self._trace_from_store_or_builder(key, builder)
         self._traces[key] = _TraceEntry(trace=trace, checksum=trace_checksum(trace))
         self._masks.setdefault(key, {})
         while len(self._traces) > self.max_traces:
@@ -172,27 +236,37 @@ class TraceCache:
         sizes) gets independent masks.  A cached mask whose shape does not
         match the trace is treated as corrupt and recomputed.
         """
-        if self.max_traces == 0 or key not in self._masks:
-            self.stats.mask_misses += 1
-            return llc.hit_mask(trace.all_addresses())
-        llc_sig = (type(llc).__name__, llc.size_bytes, llc.line_size)
-        masks = self._masks[key]
-        cached = masks.get(llc_sig)
+        llc_sig = llc_signature(llc)
         expected = getattr(trace, "total_accesses", None)
-        if (
-            cached is not None
-            and expected is not None
-            and cached.shape != (expected,)
-        ):
-            masks.pop(llc_sig, None)
-            self.stats.corruption_discards += 1
-            cached = None
-        if cached is not None:
-            self.stats.mask_hits += 1
-            return cached
+        masks = (
+            self._masks.get(key) if self.max_traces != 0 else None
+        )
+        if masks is not None:
+            cached = masks.get(llc_sig)
+            if (
+                cached is not None
+                and expected is not None
+                and cached.shape != (expected,)
+            ):
+                masks.pop(llc_sig, None)
+                self.stats.corruption_discards += 1
+                cached = None
+            if cached is not None:
+                self.stats.mask_hits += 1
+                return cached
         self.stats.mask_misses += 1
-        mask = llc.hit_mask(trace.all_addresses())
-        masks[llc_sig] = mask
+        mask = None
+        store = self.store
+        if store is not None and expected is not None:
+            mask = store.load_mask(key, llc_sig, expected)
+            if mask is not None:
+                self.stats.store_mask_hits += 1
+        if mask is None:
+            mask = llc.hit_mask(trace.all_addresses())
+            if store is not None and store.has_trace(key):
+                store.save_mask(key, llc_sig, mask)
+        if masks is not None:
+            masks[llc_sig] = mask
         return mask
 
     # ------------------------------------------------------------------
@@ -206,16 +280,25 @@ class TraceCache:
 
 
 def _corrupt_trace(trace: AccessTrace) -> None:
-    """Flip bits in a trace's largest phase (the injected corruption)."""
+    """Flip bits in a trace's largest phase (the injected corruption).
+
+    Corrupts a *copy* of the phase array: store-loaded phases are
+    read-only mmap views whose pages are shared with other processes, so
+    in-place mutation is both impossible and undesirable.  The trace's
+    cached flat array is invalidated so the corruption is visible to
+    ``all_addresses()`` consumers (the checksum path in particular).
+    """
     phases = getattr(trace, "phases", None)
     if not phases:
         return
     phase = max(phases, key=lambda p: p.addrs.size)
     if phase.addrs.size:
-        writable = phase.addrs.flags.writeable
-        phase.addrs.flags.writeable = True
-        phase.addrs[phase.addrs.size // 2] ^= 0x5A5A
-        phase.addrs.flags.writeable = writable
+        addrs = phase.addrs.copy()
+        addrs[addrs.size // 2] ^= 0x5A5A
+        phase.addrs = addrs
+        invalidate = getattr(trace, "invalidate_flat", None)
+        if callable(invalidate):
+            invalidate()
 
 
 _PROCESS_CACHE: TraceCache | None = None

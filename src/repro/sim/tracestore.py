@@ -1,0 +1,340 @@
+"""Persistent, content-keyed, mmap-shared store of run artifacts.
+
+The expensive artifacts of an experiment cell — the application's access
+trace and its LLC hit mask — are pure functions of the cell's content
+key (see :mod:`repro.sim.tracecache`).  The in-process cache already
+reuses them within one process, but the evaluation grid fans out across
+*worker processes* and across *sessions*, and each worker used to rebuild
+everything from scratch.  :class:`TraceStore` closes that gap:
+
+- **Layout** — one directory per trace key under the store root
+  (``REPRO_TRACE_STORE``), named by a SHA-256 digest of the key's repr::
+
+      <root>/<digest>/trace.npy        flat int64 addresses, program order
+      <root>/<digest>/trace.json       manifest: key, CRC32, phase table
+      <root>/<digest>/mask-<llc>.npy   bool hit mask for one LLC geometry
+      <root>/<digest>/mask-<llc>.json  sidecar: llc signature, CRC32, length
+
+  Arrays are plain ``.npy`` so they load with ``np.load(mmap_mode="r")``:
+  every worker maps the *same* page-cache pages read-only — zero copies,
+  shared across processes and sessions.
+
+- **Atomicity** — every file is written to a pid-unique temp name in the
+  entry directory and committed with ``os.replace``; the manifest /
+  sidecar is committed *after* its array, so the presence of the JSON
+  file implies a complete entry.  Concurrent writers race benignly: both
+  produce byte-identical content (artifacts are deterministic) and the
+  last rename wins.
+
+- **Integrity** — manifests carry a CRC32 over the array bytes, verified
+  once per process per entry on first load (the verification pass doubles
+  as page-cache warming).  A truncated, corrupt, or mismatched entry is
+  *rejected*: dropped from disk, counted in ``stats.rejects``, and
+  recomputed by the caller.  The ``cache.store_torn`` fault site commits
+  a deliberately truncated array file — simulating a writer that died
+  mid-write — which is exactly what the CRC guard must catch.
+
+- **Budget** — writes are followed by an eviction pass against the
+  shared ``REPRO_CACHE_BYTES`` budget (:mod:`repro.cachebudget`); loads
+  bump the entry's mtime so eviction is LRU-ish.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable
+
+import numpy as np
+
+from repro.cachebudget import TRACE_STORE_ENV, enforce_cache_budget, touch_entry
+from repro.errors import TraceError
+from repro.faults.injector import fault_point
+from repro.faults.plan import SITE_STORE_TORN
+from repro.mem.trace import AccessTrace
+
+FORMAT_VERSION = 1
+
+TRACE_ARRAY = "trace.npy"
+TRACE_MANIFEST = "trace.json"
+
+_TMP_SEQ = 0
+
+
+def store_root() -> Path | None:
+    """The configured store root, or ``None`` when the store is off."""
+    raw = os.environ.get(TRACE_STORE_ENV)
+    if not raw:
+        return None
+    return Path(raw)
+
+
+def key_digest(key: Hashable) -> str:
+    """Stable directory name for a content key."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:24]
+
+
+def llc_digest(llc_sig: tuple) -> str:
+    """Stable file-name component for an LLC geometry signature."""
+    return hashlib.sha256(repr(llc_sig).encode("utf-8")).hexdigest()[:12]
+
+
+def _crc32(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).view(np.uint8).data)
+
+
+@dataclass
+class TraceStoreStats:
+    """Per-process counters for one store handle."""
+
+    trace_loads: int = 0
+    trace_saves: int = 0
+    mask_loads: int = 0
+    mask_saves: int = 0
+    #: Entries dropped because they failed CRC / shape / format checks.
+    rejects: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "trace_loads": self.trace_loads,
+            "trace_saves": self.trace_saves,
+            "mask_loads": self.mask_loads,
+            "mask_saves": self.mask_saves,
+            "rejects": self.rejects,
+        }
+
+
+class TraceStore:
+    """Content-keyed on-disk store of traces and LLC hit masks."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = TraceStoreStats()
+        #: Array files CRC-verified by this process already (mmap loads
+        #: re-verify nothing; the page cache is trusted once checked).
+        self._verified: set[Path] = set()
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def entry_dir(self, key: Hashable) -> Path:
+        return self.root / key_digest(key)
+
+    def _mask_paths(self, key: Hashable, llc_sig: tuple) -> tuple[Path, Path]:
+        stem = f"mask-{llc_digest(llc_sig)}"
+        entry = self.entry_dir(key)
+        return entry / f"{stem}.npy", entry / f"{stem}.json"
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+    def has_trace(self, key: Hashable) -> bool:
+        """Whether a committed trace entry exists (manifest present)."""
+        return (self.entry_dir(key) / TRACE_MANIFEST).exists()
+
+    def save_trace(self, key: Hashable, trace: AccessTrace) -> bool:
+        """Persist a trace (no-op when the entry already exists)."""
+        entry = self.entry_dir(key)
+        if (entry / TRACE_MANIFEST).exists():
+            return False
+        flat = np.ascontiguousarray(trace.all_addresses(), dtype=np.int64)
+        manifest = {
+            "format": FORMAT_VERSION,
+            "key": repr(key),
+            "total": int(flat.size),
+            "crc32": _crc32(flat),
+            "phases": trace.phase_records(),
+        }
+        try:
+            entry.mkdir(parents=True, exist_ok=True)
+            self._commit_array(entry / TRACE_ARRAY, flat, tag=f"{entry.name}/trace")
+            self._commit_json(entry / TRACE_MANIFEST, manifest)
+        except OSError:
+            return False  # a full/read-only disk degrades to no caching
+        self.stats.trace_saves += 1
+        enforce_cache_budget(protect={entry})
+        return True
+
+    def load_trace(self, key: Hashable) -> AccessTrace | None:
+        """The stored trace as zero-copy mmap views, or ``None``."""
+        entry = self.entry_dir(key)
+        manifest_path = entry / TRACE_MANIFEST
+        manifest = self._read_json(manifest_path)
+        if manifest is None:
+            return None
+        if manifest.get("format") != FORMAT_VERSION:
+            return self._reject_entry(key, "format version mismatch")
+        flat = self._load_array(
+            entry / TRACE_ARRAY,
+            dtype=np.int64,
+            length=int(manifest.get("total", -1)),
+            crc32=manifest.get("crc32"),
+        )
+        if flat is None:
+            return self._reject_entry(key, "trace array failed validation")
+        try:
+            trace = AccessTrace.from_columnar(flat, manifest.get("phases", []))
+        except (KeyError, ValueError, TypeError, TraceError) as exc:
+            # Any malformed phase table means the entry cannot be trusted.
+            return self._reject_entry(key, f"bad phase table: {exc}")
+        self.stats.trace_loads += 1
+        touch_entry(entry)
+        return trace
+
+    # ------------------------------------------------------------------
+    # hit masks
+    # ------------------------------------------------------------------
+    def has_mask(self, key: Hashable, llc_sig: tuple) -> bool:
+        return self._mask_paths(key, llc_sig)[1].exists()
+
+    def save_mask(
+        self, key: Hashable, llc_sig: tuple, mask: np.ndarray
+    ) -> bool:
+        """Persist one LLC geometry's hit mask for a stored trace."""
+        array_path, sidecar_path = self._mask_paths(key, llc_sig)
+        if sidecar_path.exists():
+            return False
+        mask = np.ascontiguousarray(mask, dtype=np.bool_)
+        sidecar = {
+            "format": FORMAT_VERSION,
+            "llc": list(llc_sig),
+            "n": int(mask.size),
+            "crc32": _crc32(mask),
+        }
+        try:
+            array_path.parent.mkdir(parents=True, exist_ok=True)
+            self._commit_array(
+                array_path, mask, tag=f"{array_path.parent.name}/mask"
+            )
+            self._commit_json(sidecar_path, sidecar)
+        except OSError:
+            return False
+        self.stats.mask_saves += 1
+        enforce_cache_budget(protect={array_path.parent})
+        return True
+
+    def load_mask(
+        self, key: Hashable, llc_sig: tuple, expected_len: int
+    ) -> np.ndarray | None:
+        """The stored hit mask (mmap, read-only), or ``None``."""
+        array_path, sidecar_path = self._mask_paths(key, llc_sig)
+        sidecar = self._read_json(sidecar_path)
+        if sidecar is None:
+            return None
+        if (
+            sidecar.get("format") != FORMAT_VERSION
+            or sidecar.get("llc") != list(llc_sig)
+            or int(sidecar.get("n", -1)) != expected_len
+        ):
+            return self._reject_mask(array_path, sidecar_path)
+        mask = self._load_array(
+            array_path,
+            dtype=np.bool_,
+            length=expected_len,
+            crc32=sidecar.get("crc32"),
+        )
+        if mask is None:
+            return self._reject_mask(array_path, sidecar_path)
+        self.stats.mask_loads += 1
+        touch_entry(array_path.parent)
+        return mask
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _commit_array(self, path: Path, array: np.ndarray, *, tag: str) -> None:
+        """Atomic tempfile+rename commit of one ``.npy`` array.
+
+        The ``cache.store_torn`` fault truncates the temp file before the
+        rename — committing a torn array under an intact manifest, the
+        exact state a crashed non-atomic writer (or a lost flush) leaves
+        behind and the load-side CRC guard must reject.
+        """
+        global _TMP_SEQ
+        _TMP_SEQ += 1
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{_TMP_SEQ}.tmp"
+        with open(tmp, "wb") as handle:
+            np.save(handle, array)
+        if fault_point(SITE_STORE_TORN, tag=tag, detail=str(path)) is not None:
+            size = tmp.stat().st_size
+            with open(tmp, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        os.replace(tmp, path)
+
+    def _commit_json(self, path: Path, payload: dict) -> None:
+        global _TMP_SEQ
+        _TMP_SEQ += 1
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{_TMP_SEQ}.tmp"
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _read_json(self, path: Path) -> dict | None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _load_array(
+        self, path: Path, *, dtype, length: int, crc32
+    ) -> np.ndarray | None:
+        """mmap one array file; validate shape/dtype/CRC (once per process)."""
+        try:
+            array = np.load(path, mmap_mode="r")
+        except (OSError, ValueError, EOFError):
+            return None
+        if array.dtype != dtype or array.ndim != 1 or array.size != length:
+            return None
+        if path not in self._verified:
+            if not isinstance(crc32, int) or _crc32(array) != crc32:
+                return None
+            self._verified.add(path)
+        return array
+
+    def _reject_entry(self, key: Hashable, reason: str) -> None:
+        """Drop a whole entry that failed validation; caller recomputes."""
+        self.stats.rejects += 1
+        entry = self.entry_dir(key)
+        self._verified = {p for p in self._verified if p.parent != entry}
+        shutil.rmtree(entry, ignore_errors=True)
+        return None
+
+    def _reject_mask(self, array_path: Path, sidecar_path: Path) -> None:
+        self.stats.rejects += 1
+        for path in (sidecar_path, array_path):
+            self._verified.discard(path)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        return None
+
+
+# ----------------------------------------------------------------------
+# process-wide store handle
+# ----------------------------------------------------------------------
+_PROCESS_STORE: TraceStore | None = None
+_PROCESS_ROOT: Path | None = None
+
+
+def process_trace_store() -> TraceStore | None:
+    """The per-process store bound to ``REPRO_TRACE_STORE`` (or ``None``).
+
+    Re-resolved when the environment variable changes, so tests and the
+    CLI can re-point the store mid-process.
+    """
+    global _PROCESS_STORE, _PROCESS_ROOT
+    root = store_root()
+    if root is None:
+        _PROCESS_STORE = None
+        _PROCESS_ROOT = None
+        return None
+    if _PROCESS_STORE is None or _PROCESS_ROOT != root:
+        _PROCESS_STORE = TraceStore(root)
+        _PROCESS_ROOT = root
+    return _PROCESS_STORE

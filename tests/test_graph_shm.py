@@ -1,0 +1,155 @@
+"""Shared-memory graph segments: publish/attach parity and cleanup.
+
+The contract under test: a published dataset attaches as a bit-identical
+read-only view, segments disappear after release — including when a
+worker was killed mid-job — and a missing or stale manifest degrades to
+``None`` (per-process generation) instead of failing.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.config import nvm_dram_testbed
+from repro.faults.injector import injected
+from repro.faults.plan import (
+    FAULT_PLAN_ENV,
+    SITE_POOL_EXIT,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import dataset_by_name
+from repro.graph.shm import (
+    MANIFEST_ENV,
+    SHM_ENV,
+    attach_dataset,
+    publish_datasets,
+    release,
+)
+from repro.sim.parallel import JOB_BACKOFF_ENV, AppSpec, ExperimentPool, JobSpec
+
+TINY_SCALE = 1 << 20
+KEY = ("pokec", TINY_SCALE, 7)
+
+
+@pytest.fixture
+def published(monkeypatch):
+    monkeypatch.delenv(MANIFEST_ENV, raising=False)
+    handle = publish_datasets([KEY])
+    assert handle is not None
+    yield handle
+    release(handle)
+
+
+class TestPublishAttach:
+    def test_attached_graph_matches_generated(self, published):
+        reference = dataset_by_name(*KEY[:2], seed=KEY[2])
+        attached = attach_dataset(*KEY)
+        assert attached is not None
+        np.testing.assert_array_equal(attached.offsets, reference.offsets)
+        np.testing.assert_array_equal(attached.adjacency, reference.adjacency)
+        np.testing.assert_array_equal(attached.degrees, reference.degrees)
+        assert attached.name == reference.name
+        assert attached.num_vertices == reference.num_vertices
+        assert attached.num_edges == reference.num_edges
+
+    def test_attached_arrays_are_readonly(self, published):
+        attached = attach_dataset(*KEY)
+        assert not attached.offsets.flags.writeable
+        assert not attached.adjacency.flags.writeable
+
+    def test_unpublished_key_attaches_none(self, published):
+        assert attach_dataset("twitter", TINY_SCALE, 7) is None
+
+    def test_no_manifest_attaches_none(self, monkeypatch):
+        monkeypatch.delenv(MANIFEST_ENV, raising=False)
+        assert attach_dataset(*KEY) is None
+
+    def test_disabled_publishes_nothing(self, monkeypatch):
+        monkeypatch.setenv(SHM_ENV, "0")
+        assert publish_datasets([KEY]) is None
+
+
+class TestRelease:
+    def test_release_unlinks_segments_and_restores_env(self, monkeypatch):
+        monkeypatch.setenv(MANIFEST_ENV, "sentinel")
+        handle = publish_datasets([KEY])
+        names = handle.segment_names
+        assert names
+        release(handle)
+        import os
+
+        assert os.environ[MANIFEST_ENV] == "sentinel"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name, create=False)
+
+    def test_attach_after_release_returns_none(self, monkeypatch):
+        monkeypatch.delenv(MANIFEST_ENV, raising=False)
+        handle = publish_datasets([KEY])
+        manifest_json = __import__("os").environ[MANIFEST_ENV]
+        release(handle)
+        # Even with the stale manifest still in the env, attach degrades.
+        monkeypatch.setenv(MANIFEST_ENV, manifest_json)
+        assert attach_dataset(*KEY) is None
+
+
+class TestTrustedParts:
+    def test_from_trusted_parts_matches_validated_constructor(self):
+        reference = dataset_by_name(*KEY[:2], seed=KEY[2])
+        rebuilt = CSRGraph.from_trusted_parts(
+            reference.offsets,
+            reference.adjacency,
+            reference.weights,
+            name=reference.name,
+            degrees=reference.degrees,
+        )
+        np.testing.assert_array_equal(rebuilt.offsets, reference.offsets)
+        np.testing.assert_array_equal(rebuilt.adjacency, reference.adjacency)
+        np.testing.assert_array_equal(rebuilt.degrees, reference.degrees)
+        assert rebuilt.num_vertices == reference.num_vertices
+        np.testing.assert_array_equal(
+            rebuilt.neighbors(0), reference.neighbors(0)
+        )
+
+
+class TestPoolLifecycle:
+    def _specs(self):
+        platform = nvm_dram_testbed(scale=512)
+        return [
+            JobSpec(
+                app=AppSpec.make(app, dataset, scale=TINY_SCALE),
+                platform=platform,
+                flow="atmem",
+                tag=f"shm/{app}/{dataset}",
+            )
+            for app, dataset in (("PR", "pokec"), ("BFS", "pokec"))
+        ]
+
+    def test_segments_unlinked_after_clean_run(self):
+        pool = ExperimentPool(2)
+        results = pool.run(self._specs())
+        assert len(results) == 2
+        assert pool.last_segments  # something was published...
+        for name in pool.last_segments:  # ...and nothing survived the run
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name, create=False)
+
+    def test_segments_unlinked_after_injected_worker_death(self, monkeypatch):
+        # A worker killed by os._exit takes the whole executor down
+        # (BrokenProcessPool) — the parent must still unlink every
+        # segment it published, via the run() finally.
+        plan = FaultPlan((FaultSpec(SITE_POOL_EXIT, match="shm/PR"),), seed=23)
+        monkeypatch.setenv(JOB_BACKOFF_ENV, "0")
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        with injected(plan):
+            pool = ExperimentPool(2)
+            results = pool.run(self._specs())
+        assert len(results) == 2 and all(r is not None for r in results)
+        assert pool.health.crashes >= 1
+        assert pool.last_segments
+        for name in pool.last_segments:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name, create=False)

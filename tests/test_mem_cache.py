@@ -149,3 +149,38 @@ class TestSetAssociativeCache:
         cache.access(np.array([0]))
         cache.reset()
         assert cache.access(np.array([0])).tolist() == [False]
+
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300),
+        ways=st.sampled_from([1, 2, 4]),
+        size_kb=st.sampled_from([1, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_access_matches_reference(self, addrs, ways, size_kb):
+        arr = np.array(addrs, dtype=np.int64)
+        fast = SetAssociativeCache(size_kb * 1024, ways=ways)
+        slow = SetAssociativeCache(size_kb * 1024, ways=ways)
+        assert fast.access(arr).tolist() == slow.access_reference(arr).tolist()
+
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=2, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_grouped_access_state_continuity(self, addrs):
+        # Splitting the stream across calls must not change anything: the
+        # grouped path has to carry each set's LRU list between calls
+        # exactly like the reference loop does.
+        arr = np.array(addrs, dtype=np.int64)
+        fast = SetAssociativeCache(2048, ways=2)
+        slow = SetAssociativeCache(2048, ways=2)
+        mid = len(arr) // 2
+        got = np.concatenate([fast.access(arr[:mid]), fast.access(arr[mid:])])
+        expect = np.concatenate(
+            [slow.access_reference(arr[:mid]), slow.access_reference(arr[mid:])]
+        )
+        assert got.tolist() == expect.tolist()
+
+    def test_random_long_stream_parity(self):
+        rng = np.random.default_rng(42)
+        addrs = rng.integers(0, 1 << 16, size=5000)
+        fast = SetAssociativeCache(4096, ways=4)
+        slow = SetAssociativeCache(4096, ways=4)
+        assert fast.access(addrs).tolist() == slow.access_reference(addrs).tolist()
