@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-scaling chaos reproduce examples clean loc
+.PHONY: install test lint bench bench-smoke bench-scaling chaos reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -11,13 +11,23 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# AST lint: no silent exception handlers, no bare print() outside the
+# report surface.  The same checks run under tier-1 via
+# tests/test_lint_exceptions.py.
+lint:
+	$(PYTHON) tools/astlint.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # One small figure benchmark through the process pool with 2 workers;
-# wall-clock timings land in BENCH_parallel.json.
+# fresh wall-clock timings land in a scratch record file, then the
+# regression gate warns about stages >25% slower than the committed
+# BENCH_parallel.json.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
+	REPRO_PARALLEL_JSON=benchmarks/results/BENCH_smoke.json \
+	  $(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
+	$(PYTHON) -m repro.bench.regression --fresh benchmarks/results/BENCH_smoke.json
 
 # Full fig5 scaling sweep: serial vs cold/warm trace store at 2 and 4
 # workers; refreshes BENCH_parallel.json and checks artifacts stay

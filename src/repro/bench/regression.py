@@ -1,0 +1,178 @@
+"""Wall-clock regression gate over ``BENCH_parallel.json`` records.
+
+``make bench-smoke`` runs one small figure benchmark through the process
+pool and leaves fresh timing rows behind; this module compares them
+against the committed ``BENCH_parallel.json`` at the repository root and
+prints a warning table for every stage that got more than
+``DEFAULT_THRESHOLD`` slower.  Timings are machine-dependent, so the
+gate *warns* by default (exit 0); ``--strict`` turns warnings into a
+non-zero exit for CI machines that are stable enough to enforce it.
+
+Matching is keyed by ``(benchmark, jobs, phase)``.  When the committed
+baseline has no row for that exact phase (the smoke run does not tag
+phases; the scaling sweep does), the fresh row is compared against the
+*slowest* committed row of the same ``(benchmark, jobs)`` — a warning
+then means "slower than even the worst committed timing for this
+stage", which keeps false positives low on noisy machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Fractional slowdown above which a stage lands in the warning table.
+DEFAULT_THRESHOLD = 0.25
+
+#: The committed baseline record file (repository root).
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_parallel.json"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One stage that came out slower than its committed baseline."""
+
+    benchmark: str
+    jobs: int
+    phase: str
+    fresh_seconds: float
+    baseline_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional slowdown (0.30 == 30% slower than baseline)."""
+        if self.baseline_seconds <= 0:
+            return 0.0
+        return self.fresh_seconds / self.baseline_seconds - 1.0
+
+
+def load_rows(path: str | Path) -> list[dict]:
+    """The timing rows of one record file ([] when absent/corrupt)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(payload, list):
+        return []
+    return [row for row in payload if isinstance(row, dict)]
+
+
+def _key(row: dict) -> tuple[str, int, str]:
+    return (
+        str(row.get("benchmark", "")),
+        int(row.get("jobs", 0)),
+        str(row.get("phase", "")),
+    )
+
+
+def compare(
+    fresh: list[dict],
+    baseline: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[Regression]:
+    """Fresh rows more than ``threshold`` slower than their baseline.
+
+    Fresh rows without any matching baseline are skipped — a new
+    benchmark cannot regress against nothing.
+    """
+    exact: dict[tuple[str, int, str], float] = {}
+    loose: dict[tuple[str, int], float] = {}
+    for row in baseline:
+        wall = float(row.get("wall_seconds", 0.0))
+        if wall <= 0:
+            continue
+        benchmark, jobs, phase = _key(row)
+        key = (benchmark, jobs, phase)
+        exact[key] = max(exact.get(key, 0.0), wall)
+        loose_key = (benchmark, jobs)
+        loose[loose_key] = max(loose.get(loose_key, 0.0), wall)
+    regressions: list[Regression] = []
+    for row in fresh:
+        wall = float(row.get("wall_seconds", 0.0))
+        if wall <= 0:
+            continue
+        benchmark, jobs, phase = _key(row)
+        base = exact.get((benchmark, jobs, phase))
+        if base is None:
+            base = loose.get((benchmark, jobs))
+        if base is None:
+            continue
+        if wall > base * (1.0 + threshold):
+            regressions.append(
+                Regression(
+                    benchmark=benchmark,
+                    jobs=jobs,
+                    phase=phase,
+                    fresh_seconds=wall,
+                    baseline_seconds=base,
+                )
+            )
+    return regressions
+
+
+def render_table(
+    regressions: list[Regression], threshold: float = DEFAULT_THRESHOLD
+) -> str:
+    """The warning table (or the all-clear line) for a comparison."""
+    if not regressions:
+        return f"bench-regression: no stage more than {threshold:.0%} slower"
+    lines = [
+        f"bench-regression: WARNING — {len(regressions)} stage(s) more "
+        f"than {threshold:.0%} slower than committed BENCH_parallel.json",
+        f"{'benchmark':<24} {'jobs':>4} {'phase':<10} "
+        f"{'fresh (s)':>10} {'baseline (s)':>13} {'slowdown':>9}",
+        "-" * 76,
+    ]
+    for reg in sorted(regressions, key=lambda r: -r.slowdown):
+        lines.append(
+            f"{reg.benchmark:<24} {reg.jobs:>4} {reg.phase or '-':<10} "
+            f"{reg.fresh_seconds:>10.3f} {reg.baseline_seconds:>13.3f} "
+            f"{reg.slowdown:>8.0%}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regression",
+        description="compare fresh bench timings against the committed "
+        "BENCH_parallel.json",
+    )
+    parser.add_argument(
+        "--fresh", required=True, metavar="PATH",
+        help="record file the benchmark run just wrote",
+    )
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="PATH",
+        help="committed baseline records (default: repo BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fractional slowdown that triggers a warning (default: 0.25)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any stage regresses (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+    fresh = load_rows(args.fresh)
+    if not fresh:
+        print(f"bench-regression: no fresh timing rows at {args.fresh}")
+        return 0
+    baseline = load_rows(args.baseline)
+    if not baseline:
+        print(f"bench-regression: no baseline rows at {args.baseline}; "
+              "nothing to compare against")
+        return 0
+    regressions = compare(fresh, baseline, args.threshold)
+    print(render_table(regressions, args.threshold))
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

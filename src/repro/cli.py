@@ -8,7 +8,11 @@ Subcommands:
 - ``sweep`` — the Figure 9/10 epsilon sweep for one dataset;
 - ``migrate`` — the Table 4 mechanism comparison for one dataset;
 - ``chaos`` — run the fault-injection seed matrix and report whether
-  every injected fault was survived with fault-free results.
+  every injected fault was survived with fault-free results;
+- ``trace`` — convert a recorded JSONL span trace to Chrome trace-event
+  JSON loadable in ``chrome://tracing`` / https://ui.perfetto.dev;
+- ``stats`` — pretty-print the metrics snapshot the last experiment
+  command left behind.
 
 ``run``, ``sweep``, ``migrate``, and ``reproduce`` accept ``--jobs N``
 (defaulting to the ``REPRO_JOBS`` environment variable, then 1) to fan
@@ -31,6 +35,13 @@ Data-plane knobs (flags export the matching environment variable):
 - ``REPRO_CACHE_BYTES`` — combined disk budget over the trace store and
   the graph cache (``REPRO_GRAPH_CACHE``); ``REPRO_GRAPH_SHM=0``
   disables shared-memory graph segments.
+
+Observability knobs: ``--trace PATH`` (``REPRO_TRACE``) arms span
+tracing for any experiment command — the run's spans (pool dispatch,
+worker jobs, runtime phases, migrations, store/cache work) land in
+``PATH`` as JSONL, ready for ``repro trace``.  Experiment commands also
+write a metrics snapshot (``REPRO_METRICS_PATH``, default
+``benchmarks/results/metrics-last.json``) that ``repro stats`` reads.
 """
 
 from __future__ import annotations
@@ -67,6 +78,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--trace-store", default=None, metavar="DIR",
         help="persistent trace/mask store directory (sets REPRO_TRACE_STORE; "
              "default: disabled)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span timeline to PATH as JSONL (sets REPRO_TRACE; "
+             "convert with `repro trace`)",
     )
 
 
@@ -230,6 +246,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Convert a JSONL span trace to Chrome trace-event JSON."""
+    from pathlib import Path
+
+    from repro.obs.tracer import export_chrome, trace_path
+
+    source = args.jsonl or args.perfetto
+    if args.jsonl and args.perfetto and args.jsonl != args.perfetto:
+        print("give the trace either positionally or via --perfetto, not both")
+        return 2
+    if source is None:
+        configured = trace_path()
+        if configured is None:
+            print("no trace given and REPRO_TRACE is not set; "
+                  "usage: repro trace RUN.trace [--out OUT.json]")
+            return 2
+        source = str(configured)
+    src = Path(source)
+    if not src.exists():
+        print(f"no trace file at {src}; record one with "
+              "`repro reproduce ... --trace PATH` first")
+        return 1
+    out = Path(args.out) if args.out else src.with_suffix(".json")
+    count = export_chrome(src, out)
+    print(f"wrote {count} trace event(s) to {out} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print the metrics snapshot left by the last run."""
+    from repro.obs.metrics import (
+        default_snapshot_path,
+        load_snapshot,
+        render_snapshot,
+    )
+
+    path = args.path or default_snapshot_path()
+    snapshot = load_snapshot(path)
+    if snapshot is None:
+        print(f"no metrics snapshot at {path}; run an experiment command "
+              "(`repro run`, `repro reproduce`, ...) first")
+        return 1
+    print(f"metrics snapshot: {path}")
+    print(render_snapshot(snapshot, timings=args.timings))
+    return 0
+
+
 def cmd_summary(args: argparse.Namespace) -> int:
     """Print headline numbers from recorded benchmark results."""
     from pathlib import Path
@@ -309,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool dispatch policy (sets REPRO_POOL_SCHEDULE; default: cache "
              "— prime the trace store, then fan out longest-first)",
     )
+    rep_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span timeline to PATH as JSONL (sets REPRO_TRACE; "
+             "convert with `repro trace`)",
+    )
     rep_p.set_defaults(func=cmd_reproduce)
 
     chaos_p = sub.add_parser(
@@ -324,6 +393,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.set_defaults(func=cmd_chaos)
 
+    trace_p = sub.add_parser(
+        "trace", help="convert a JSONL span trace to Chrome/Perfetto JSON"
+    )
+    trace_p.add_argument(
+        "jsonl", nargs="?", default=None,
+        help="JSONL trace recorded with --trace (default: REPRO_TRACE)",
+    )
+    trace_p.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="alias for the positional trace path",
+    )
+    trace_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output file (default: the trace path with a .json suffix)",
+    )
+    trace_p.set_defaults(func=cmd_trace)
+
+    stats_p = sub.add_parser(
+        "stats", help="pretty-print the last run's metrics snapshot"
+    )
+    stats_p.add_argument(
+        "--path", default=None,
+        help="snapshot file (default: REPRO_METRICS_PATH, then "
+             "benchmarks/results/metrics-last.json)",
+    )
+    stats_p.add_argument(
+        "--timings", action="store_true",
+        help="include wall-clock timing sums (non-deterministic)",
+    )
+    stats_p.set_defaults(func=cmd_stats)
+
     sum_p = sub.add_parser(
         "summary", help="headline numbers from recorded benchmark results"
     )
@@ -333,6 +433,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sum_p.set_defaults(func=cmd_summary)
     return parser
+
+
+#: Commands whose run leaves observability artifacts behind: the span
+#: trace is flushed and the metrics snapshot written when they return.
+_OBS_COMMANDS = frozenset({"run", "sweep", "migrate", "reproduce", "chaos"})
+
+
+def _flush_observability() -> None:
+    """Persist the run's spans and metrics (parent side, end of main)."""
+    from repro.obs.metrics import process_metrics
+    from repro.obs.tracer import process_tracer, tracing_enabled
+
+    if tracing_enabled():
+        written = process_tracer().flush()
+        if written is not None:
+            print(f"span trace written to {written} "
+                  "(convert with `repro trace`)")
+    process_metrics().write_snapshot()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -349,7 +467,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sim.parallel import SCHEDULE_ENV
 
         os.environ[SCHEDULE_ENV] = args.schedule
-    return args.func(args)
+    if getattr(args, "trace", None):
+        from repro.obs.tracer import TRACE_ENV
+
+        os.environ[TRACE_ENV] = args.trace
+    rc = args.func(args)
+    if args.command in _OBS_COMMANDS:
+        _flush_observability()
+    return rc
 
 
 if __name__ == "__main__":

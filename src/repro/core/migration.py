@@ -45,6 +45,8 @@ from repro.faults.plan import (
 from repro.mem.address_space import HUGE_PAGE_SHIFT, PAGE_SIZE
 from repro.mem.system import HeterogeneousMemorySystem
 from repro.mem.tlb import TLB
+from repro.obs.bus import emit
+from repro.obs.tracer import instant, span
 
 
 @dataclass
@@ -199,18 +201,42 @@ class MultiStageMigrator:
         stats = MigrationStats(mechanism="atmem")
         planned = validate_regions(self.system, obj, regions, dst_tier)
         journal: list[_JournalEntry] = []
-        try:
-            for region in planned:
-                self._migrate_region(obj, region, dst_tier, stats, journal)
-        except Exception as exc:
-            rolled_back = self._rollback(obj, journal, stats)
-            partial = stats
-            partial.rolled_back_regions = rolled_back
-            raise MigrationAborted(
-                f"migration of {obj.name!r} aborted after "
-                f"{rolled_back} journalled region(s): {exc}",
-                partial=partial,
-            ) from exc
+        with span(
+            "migrate.pass", cat="migration", object=obj.name, regions=len(planned)
+        ) as live:
+            try:
+                for region in planned:
+                    self._migrate_region(obj, region, dst_tier, stats, journal)
+            except Exception as exc:
+                rolled_back = self._rollback(obj, journal, stats)
+                partial = stats
+                partial.rolled_back_regions = rolled_back
+                instant(
+                    "migrate.rollback",
+                    cat="migration",
+                    object=obj.name,
+                    regions=rolled_back,
+                )
+                emit(
+                    "migration.rollback",
+                    f"{obj.name}: {exc}",
+                    amount=rolled_back,
+                    source="migration",
+                )
+                raise MigrationAborted(
+                    f"migration of {obj.name!r} aborted after "
+                    f"{rolled_back} journalled region(s): {exc}",
+                    partial=partial,
+                ) from exc
+            live.set(bytes_moved=stats.bytes_moved)
+        if stats.bytes_moved:
+            emit(
+                "migration.commit",
+                obj.name,
+                amount=stats.bytes_moved,
+                source="migration",
+                regions=stats.regions,
+            )
         return stats
 
     # ------------------------------------------------------------------

@@ -38,6 +38,8 @@ from repro.errors import CapacityError, RuntimeStateError
 from repro.mem.address_space import PAGE_SIZE
 from repro.mem.system import HeterogeneousMemorySystem
 from repro.mem.telemetry import EventLog
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import span
 
 #: Bounded retry for migration passes that aborted and rolled back.
 MAX_MIGRATION_RETRIES = 3
@@ -271,13 +273,15 @@ class AtMemRuntime:
             # Slack for per-object page rounding of migrated regions plus
             # the staging buffer the multi-stage migrator needs on target.
             fast_free = max(0, fast_free - PAGE_SIZE * (len(self.objects) + 1))
-        decision = analyzer.analyze(
-            self._profiler.estimated_miss_counts(),
-            self.geometries,
-            sampling_period=self._profiler.period,
-            capacity_bytes=fast_free,
-        )
-        stats = self.migrate_decision(decision)
+        with span("phase.analyze", cat="runtime"):
+            decision = analyzer.analyze(
+                self._profiler.estimated_miss_counts(),
+                self.geometries,
+                sampling_period=self._profiler.period,
+                capacity_bytes=fast_free,
+            )
+        with span("phase.migrate", cat="runtime"):
+            stats = self.migrate_decision(decision)
         self.last_decision = decision
         self.last_migration = stats
         return decision, stats
@@ -355,6 +359,19 @@ class AtMemRuntime:
                     (n, decision.regions(n)) for n, _ in pending
                 ]
         stats.mechanism = self.config.migration_mechanism
+        registry = process_metrics()
+        registry.inc("migration.bytes_committed", stats.bytes_moved)
+        registry.inc("migration.regions_moved", stats.regions)
+        if stats.aborts:
+            registry.inc("migration.aborts", stats.aborts)
+            registry.inc(
+                "migration.rolled_back_regions", stats.rolled_back_regions
+            )
+            registry.inc("migration.wasted_seconds", stats.wasted_seconds)
+        if stats.demoted_bytes:
+            registry.inc("migration.demoted_bytes", stats.demoted_bytes)
+        if stats.degraded_bytes:
+            registry.inc("migration.degraded_bytes", stats.degraded_bytes)
         return stats
 
     def _relieve_pressure(

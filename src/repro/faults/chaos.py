@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -64,6 +65,7 @@ from repro.sim.parallel import (
     JobSpec,
     execute_job,
 )
+from repro.obs.bus import Event, process_bus
 from repro.sim.tracecache import TraceCache
 from repro.sim.tracestore import TraceStore
 
@@ -249,6 +251,37 @@ def figures_identical(a: dict, b: dict) -> bool:
 # ----------------------------------------------------------------------
 # harness flows
 # ----------------------------------------------------------------------
+@contextmanager
+def _watching(*prefixes: str, source: str = ""):
+    """Collect matching bus events for the duration of a chaos case.
+
+    ``fired`` evidence is counted straight off the event bus instead of
+    reaching into injector logs, runtime event lists, or pool-health
+    counters: in-process firings publish directly, and worker-side
+    firings arrive through the pool's drain/absorb contract, so both
+    look identical here.
+    """
+    events: list[Event] = []
+
+    def _collect(event: Event) -> None:
+        if source and event.source != source:
+            return
+        if prefixes and not any(event.kind.startswith(p) for p in prefixes):
+            return
+        events.append(event)
+
+    unsubscribe = process_bus().subscribe(_collect)
+    try:
+        yield events
+    finally:
+        unsubscribe()
+
+
+#: Parent-side recovery actions — the pool cases' proof a fault landed
+#: (a crashed or hung worker never ships its own ``fault.fired`` home).
+_RECOVERY_KINDS = ("pool.retry", "pool.timeout", "pool.crash", "pool.restart")
+
+
 def _default_app() -> AppSpec:
     return AppSpec.make("PR", "twitter", scale=TINY_SCALE)
 
@@ -283,11 +316,11 @@ def _run_runtime_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome
     reference, ref_system, _ = _atmem_insitu(platform, _default_app())
     outcome.reference = reference
     ref_violations = ref_system.check_consistency()
-    with injected(case.plan) as injector:
+    with _watching("fault.") as firings, injected(case.plan):
         figures, system, _ = _atmem_insitu(platform, _default_app())
-        outcome.fired = len(injector.log)
         violations = system.check_consistency()
     outcome.completed = True
+    outcome.fired = len(firings)
     outcome.figures = figures
     outcome.consistent = not violations and not ref_violations
     outcome.identical = figures_identical(figures, reference)
@@ -329,7 +362,7 @@ def _run_squeeze_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome
         sampling_period=runtime.profiler.period,
         capacity_bytes=fast_free,
     )
-    with injected(case.plan):
+    with _watching(source="runtime") as degradations, injected(case.plan):
         migration = runtime.migrate_decision(decision)
         second = executor.run(app.run_once())
         violations = system.check_consistency()
@@ -342,7 +375,7 @@ def _run_squeeze_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome
         "migration_seconds": migration.seconds,
         "pages_touched": migration.pages_touched,
     }
-    outcome.fired = len(runtime.events)
+    outcome.fired = len(degradations)
     outcome.consistent = not violations and not ref_violations
     outcome.identical = None
     if outcome.figures["data_ratio"] > reference["data_ratio"]:
@@ -366,10 +399,10 @@ def _run_cache_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
     )
     reference = committed_figures(execute_job(spec, trace_cache=TraceCache()))
     outcome.reference = reference
-    with injected(case.plan) as injector:
+    with _watching("fault.") as firings, injected(case.plan):
         cache = TraceCache()
         result = execute_job(spec, trace_cache=cache)
-        outcome.fired = len(injector.log)
+    outcome.fired = len(firings)
     outcome.completed = True
     outcome.figures = committed_figures(result)
     outcome.identical = figures_identical(outcome.figures, reference)
@@ -402,7 +435,7 @@ def _run_pool_case(
     os.environ.update(overrides)
     os.environ[FAULT_PLAN_ENV] = case.plan.to_json()
     try:
-        with injected(case.plan):
+        with _watching(*_RECOVERY_KINDS) as recoveries, injected(case.plan):
             pool = ExperimentPool(jobs)
             results = pool.run(specs)
     finally:
@@ -418,10 +451,8 @@ def _run_pool_case(
         figures_identical(a, b) for a, b in zip(figures, reference)
     )
     outcome.consistent = None  # per-worker systems; audited by runtime cases
+    outcome.fired = len(recoveries)
     health = pool.health
-    outcome.fired = (
-        health.timeouts + health.crashes + health.retries + health.pool_restarts
-    )
     outcome.detail = (
         f"mode={pool.last_mode} timeouts={health.timeouts} "
         f"crashes={health.crashes} retries={health.retries} "
@@ -446,10 +477,10 @@ def _run_store_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
     reference = committed_figures(execute_job(spec, trace_cache=TraceCache(store=None)))
     outcome.reference = reference
     with tempfile.TemporaryDirectory(prefix="chaos-store-") as root:
-        with injected(case.plan) as injector:
+        with _watching("fault.") as firings, injected(case.plan):
             writer = TraceCache(store=TraceStore(Path(root)))
             torn_result = execute_job(spec, trace_cache=writer)
-            outcome.fired = len(injector.log)
+        outcome.fired = len(firings)
         reader_store = TraceStore(Path(root))
         reader = TraceCache(store=reader_store)
         reread_result = execute_job(spec, trace_cache=reader)
@@ -516,11 +547,11 @@ def _run_mt_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
     reference = _mt_figures(ref_host.run())
     outcome.reference = reference
     ref_violations = ref_host.system.check_consistency()
-    with injected(case.plan) as injector:
+    with _watching("fault.") as firings, injected(case.plan):
         host = _mt_host(platform)
         figures = _mt_figures(host.run())
-        outcome.fired = len(injector.log)
         violations = host.system.check_consistency()
+    outcome.fired = len(firings)
     outcome.completed = True
     outcome.figures = figures
     outcome.consistent = not violations and not ref_violations
@@ -559,8 +590,7 @@ def _run_mt_squeeze_case(
     ref_violations = ref_host.system.check_consistency()
     host = _mt_host(platform)
     plans, baselines = host.profile()
-    with injected(case.plan):
-        fired = 0
+    with _watching(source="runtime") as degradations, injected(case.plan):
         for _, _, runtime, _ in host.tenants:
             fast = host.system.allocators[host.system.fast_tier]
             free_full = None
@@ -581,12 +611,11 @@ def _run_mt_squeeze_case(
                 capacity_bytes=free_full,
             )
             runtime.migrate_decision(decision)
-            fired += len(runtime.events)
         results = host.measure(plans, baselines)
         violations = host.system.check_consistency()
     outcome.completed = True
     outcome.figures = _mt_figures(results)
-    outcome.fired = fired
+    outcome.fired = len(degradations)
     outcome.consistent = not violations and not ref_violations
     outcome.identical = None
     over = [
@@ -629,7 +658,7 @@ def _run_mt_pool_case(
     os.environ.update(overrides)
     os.environ[FAULT_PLAN_ENV] = case.plan.to_json()
     try:
-        with injected(case.plan):
+        with _watching(*_RECOVERY_KINDS) as recoveries, injected(case.plan):
             pool = ExperimentPool(jobs)
             results = run_scenarios(scenarios, platform, pool=pool)
     finally:
@@ -645,10 +674,8 @@ def _run_mt_pool_case(
         figures_identical(a, b) for a, b in zip(figures, reference)
     )
     outcome.consistent = None  # per-worker systems; audited by runtime cases
+    outcome.fired = len(recoveries)
     health = pool.health
-    outcome.fired = (
-        health.timeouts + health.crashes + health.retries + health.pool_restarts
-    )
     outcome.detail = (
         f"mode={pool.last_mode} timeouts={health.timeouts} "
         f"crashes={health.crashes} retries={health.retries} "

@@ -39,6 +39,9 @@ from repro.faults.plan import (
     FaultSpec,
     parse_plan,
 )
+from repro.obs.bus import emit
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import instant
 
 
 class InjectedCapacityError(FaultInjectionError, CapacityError):
@@ -101,6 +104,7 @@ class FaultInjector:
     def fire(self, site: str, *, tag: str = "", detail: str = "") -> FaultSpec | None:
         """The armed spec for ``site`` if it fires now, else ``None``."""
         context_tag = tag or self.tag
+        fired: FaultSpec | None = None
         with self._lock:
             for index, spec in enumerate(self.plan.specs):
                 if spec.site != site:
@@ -119,8 +123,19 @@ class FaultInjector:
                         detail=detail,
                     )
                 )
-                return spec
-        return None
+                fired = spec
+                break
+        if fired is not None:
+            emit(
+                "fault.fired",
+                site,
+                amount=self.attempt,
+                source="faults",
+                tag=context_tag,
+            )
+            process_metrics().inc("faults.fired")
+            instant("fault.fired", cat="faults", site=site, tag=context_tag)
+        return fired
 
     def squeeze_fraction(self, tag: str) -> float:
         """Active capacity squeeze for a tier (persistent modifier, unlogged).

@@ -38,6 +38,9 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.obs.bus import emit
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import span
 
 #: Set to ``0`` / ``off`` to disable shared-memory graph publication.
 SHM_ENV = "REPRO_GRAPH_SHM"
@@ -90,37 +93,43 @@ def publish_datasets(keys) -> PublishedGraphs | None:
     token = f"{os.getpid():x}-{_PUBLISH_SEQ:x}"
     segments: list[shared_memory.SharedMemory] = []
     graphs_meta: list[dict] = []
-    try:
-        for index, (name, scale, seed) in enumerate(keys):
-            graph = dataset_by_name(name, scale, seed=seed)
-            arrays: dict[str, np.ndarray] = {
-                "offsets": graph.offsets,
-                "adjacency": graph.adjacency,
-                "degrees": graph.degrees,
-            }
-            if graph.weights is not None:
-                arrays["weights"] = graph.weights
-            entry: dict = {"key": [name, scale, seed], "name": graph.name, "arrays": {}}
-            for label, array in arrays.items():
-                seg_name = f"repro-{token}-{index}-{label}"
-                segment = shared_memory.SharedMemory(
-                    name=seg_name, create=True, size=max(1, array.nbytes)
-                )
-                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-                view[:] = array
-                del view
-                segments.append(segment)
-                entry["arrays"][label] = {
-                    "segment": seg_name,
-                    "shape": list(array.shape),
-                    "dtype": str(array.dtype),
+    published_bytes = 0
+    with span("shm.publish", cat="shm", datasets=len(keys)) as live:
+        try:
+            for index, (name, scale, seed) in enumerate(keys):
+                graph = dataset_by_name(name, scale, seed=seed)
+                arrays: dict[str, np.ndarray] = {
+                    "offsets": graph.offsets,
+                    "adjacency": graph.adjacency,
+                    "degrees": graph.degrees,
                 }
-            graphs_meta.append(entry)
-    except (OSError, ValueError):
-        # Publication is an optimisation; a host without (enough) shared
-        # memory degrades to per-worker generation.
-        _close_and_unlink(segments)
-        return None
+                if graph.weights is not None:
+                    arrays["weights"] = graph.weights
+                entry: dict = {"key": [name, scale, seed], "name": graph.name, "arrays": {}}
+                for label, array in arrays.items():
+                    seg_name = f"repro-{token}-{index}-{label}"
+                    segment = shared_memory.SharedMemory(
+                        name=seg_name, create=True, size=max(1, array.nbytes)
+                    )
+                    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                    view[:] = array
+                    del view
+                    segments.append(segment)
+                    published_bytes += array.nbytes
+                    entry["arrays"][label] = {
+                        "segment": seg_name,
+                        "shape": list(array.shape),
+                        "dtype": str(array.dtype),
+                    }
+                graphs_meta.append(entry)
+        except (OSError, ValueError):
+            # Publication is an optimisation; a host without (enough) shared
+            # memory degrades to per-worker generation.
+            _close_and_unlink(segments)
+            emit("shm.publish_failed", source="shm", datasets=len(keys))
+            process_metrics().inc("shm.publish_failures")
+            return None
+        live.set(bytes=published_bytes)
     manifest = {"format": FORMAT_VERSION, "graphs": graphs_meta}
     published = PublishedGraphs(
         manifest=manifest,
@@ -128,6 +137,15 @@ def publish_datasets(keys) -> PublishedGraphs | None:
         saved_env=os.environ.get(MANIFEST_ENV),
     )
     os.environ[MANIFEST_ENV] = json.dumps(manifest)
+    registry = process_metrics()
+    registry.inc("shm.datasets_published", len(keys))
+    registry.inc("shm.bytes_published", published_bytes)
+    emit(
+        "shm.published",
+        f"{len(keys)} dataset(s)",
+        amount=published_bytes,
+        source="shm",
+    )
     return published
 
 
@@ -177,24 +195,27 @@ def attach_dataset(name: str, scale: int, seed: int) -> CSRGraph | None:
         return None
     attached: list[shared_memory.SharedMemory] = []
     arrays: dict[str, np.ndarray] = {}
-    try:
-        for label, meta in entry["arrays"].items():
-            segment = shared_memory.SharedMemory(name=meta["segment"], create=False)
-            _untrack(segment)
-            attached.append(segment)
-            array = np.ndarray(
-                tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=segment.buf
-            )
-            array.flags.writeable = False
-            arrays[label] = array
-    except (OSError, KeyError, ValueError, TypeError):
-        for segment in attached:
-            try:
-                segment.close()
-            except (OSError, BufferError):
-                continue
-        return None
+    with span("shm.attach", cat="shm", dataset=name, scale=scale):
+        try:
+            for label, meta in entry["arrays"].items():
+                segment = shared_memory.SharedMemory(name=meta["segment"], create=False)
+                _untrack(segment)
+                attached.append(segment)
+                array = np.ndarray(
+                    tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=segment.buf
+                )
+                array.flags.writeable = False
+                arrays[label] = array
+        except (OSError, KeyError, ValueError, TypeError):
+            for segment in attached:
+                try:
+                    segment.close()
+                except (OSError, BufferError):
+                    continue
+            process_metrics().inc("shm.attach_failures")
+            return None
     _ATTACHED.extend(attached)
+    process_metrics().inc("shm.attaches")
     return CSRGraph.from_trusted_parts(
         arrays["offsets"],
         arrays["adjacency"],

@@ -16,6 +16,8 @@ from repro.mem.cache import LINE_SIZE
 from repro.mem.system import HeterogeneousMemorySystem
 from repro.mem.tier import MemoryTier
 from repro.mem.trace import AccessKind, TracePhase
+from repro.obs.bus import Event, process_bus
+from repro.obs.metrics import process_metrics
 
 
 @dataclass
@@ -52,31 +54,34 @@ class TierTraffic:
         return min(1.0, self.device_bytes / (peak * run_seconds))
 
 
-@dataclass
-class RuntimeEvent:
-    """One noteworthy runtime decision (degradation, abort, demotion)."""
-
-    kind: str
-    detail: str
-    #: Free-form numeric payload (bytes freed, retry number, ...).
-    amount: float = 0.0
+#: Runtime decisions are plain observability events; the old bespoke
+#: dataclass is gone and callers that imported it keep working.
+RuntimeEvent = Event
 
 
 class EventLog:
-    """Append-only log of runtime recovery / degradation decisions.
+    """Runtime-scoped view over the process event bus.
 
     The ATMem runtime records here why a placement deviated from the
     analyzer's selection — capacity-pressure truncation, cold-region
     demotion, migration aborts survived by retry — so a chaos run's
-    behaviour is auditable after the fact.
+    behaviour is auditable after the fact.  Every record is *also*
+    published on :func:`repro.obs.bus.process_bus`, so subscribers
+    (chaos reports, pool-health merging) see runtime decisions through
+    the same API as every other subsystem; the log itself just keeps the
+    per-runtime slice so ``runtime.events`` stays scoped to one run.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, source: str = "runtime") -> None:
+        self.source = source
         self.events: list[RuntimeEvent] = []
 
     def record(self, kind: str, detail: str, amount: float = 0.0) -> RuntimeEvent:
-        event = RuntimeEvent(kind=kind, detail=detail, amount=amount)
+        event = Event(
+            kind=kind, detail=detail, amount=amount, source=self.source
+        )
         self.events.append(event)
+        process_bus().publish(event)
         return event
 
     def count(self, kind: str) -> int:
@@ -127,6 +132,30 @@ class TelemetryCollector:
             entry.read_lines = 0
             entry.write_lines = 0
             entry.random_lines = 0
+
+    def publish_metrics(self, run_seconds: float = 0.0) -> None:
+        """Push per-tier traffic into the process metrics registry.
+
+        All values are model-domain (simulated seconds, line counts), so
+        the resulting snapshot is deterministic across same-seed runs.
+        """
+        registry = process_metrics()
+        for entry in self.traffic.values():
+            name = entry.tier.name
+            registry.inc(f"traffic.{name}.read_lines", entry.read_lines)
+            registry.inc(f"traffic.{name}.write_lines", entry.write_lines)
+            registry.inc(f"traffic.{name}.random_lines", entry.random_lines)
+            registry.inc(f"traffic.{name}.device_bytes", entry.device_bytes)
+            if entry.bytes_moved:
+                registry.gauge(
+                    f"traffic.{name}.amplification",
+                    entry.device_bytes / entry.bytes_moved,
+                )
+            if run_seconds > 0.0:
+                registry.gauge(
+                    f"traffic.{name}.utilization",
+                    entry.utilization(run_seconds),
+                )
 
     def report(self, run_seconds: float) -> str:
         """Human-readable per-tier traffic summary."""

@@ -1,0 +1,199 @@
+"""The event bus: one subscribe/emit API for every runtime signal.
+
+Before this module existed, each subsystem grew its own event plumbing —
+the ATMem runtime kept a private list of :class:`RuntimeEvent` records,
+the experiment pool mutated :class:`PoolHealth` counters parent-side,
+and the chaos harness shaped ad-hoc dicts.  The bus replaces all of that
+with one primitive:
+
+- :meth:`EventBus.emit` publishes an :class:`Event` (kind, detail,
+  numeric amount, source subsystem, free-form attrs) to every subscriber
+  and to a bounded in-memory buffer;
+- :meth:`EventBus.subscribe` registers a callback (optionally filtered
+  by kind prefix), returning an unsubscribe callable;
+- :meth:`EventBus.drain` empties the buffer — the **worker half** of the
+  cross-process contract: an experiment-pool worker drains its buffered
+  events at job end and ships them home inside the job payload;
+- :meth:`EventBus.absorb` is the **parent half**: re-publish a drained
+  batch locally, so parent subscribers (health accounting, the chaos
+  report) see worker events exactly as if they had been emitted
+  in-process.
+
+Events are plain picklable dataclasses, so a drained batch crosses
+process-pool boundaries unchanged.  The buffer is bounded (a deque) so a
+long pytest session cannot leak memory through forgotten events; drains
+are expected to happen at job granularity, far below the bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+#: Buffered events kept per process before the oldest are dropped.
+DEFAULT_BUFFER = 16384
+
+
+@dataclass
+class Event:
+    """One noteworthy runtime occurrence (decision, recovery, milestone)."""
+
+    kind: str
+    detail: str = ""
+    #: Free-form numeric payload (bytes freed, retry number, ...).
+    amount: float = 0.0
+    #: Which subsystem emitted it ("runtime", "migration", "pool", ...).
+    source: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "amount": self.amount,
+            "source": self.source,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Event":
+        return cls(
+            kind=str(payload.get("kind", "")),
+            detail=str(payload.get("detail", "")),
+            amount=float(payload.get("amount", 0.0)),
+            source=str(payload.get("source", "")),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class EventBus:
+    """Process-local publish/subscribe hub with a bounded replay buffer."""
+
+    def __init__(self, buffer: int = DEFAULT_BUFFER) -> None:
+        self.events: deque[Event] = deque(maxlen=buffer)
+        self._subscribers: list[tuple[str, Callable[[Event], None]]] = []
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        detail: str = "",
+        *,
+        amount: float = 0.0,
+        source: str = "",
+        **attrs,
+    ) -> Event:
+        """Publish one event to the buffer and every matching subscriber."""
+        event = Event(
+            kind=kind, detail=detail, amount=amount, source=source, attrs=attrs
+        )
+        self.publish(event)
+        return event
+
+    def publish(self, event: Event) -> None:
+        """Publish an already-built event (the absorb path reuses this)."""
+        self.events.append(event)
+        for prefix, callback in self._subscribers:
+            if not prefix or event.kind.startswith(prefix):
+                callback(event)
+
+    # ------------------------------------------------------------------
+    # subscription
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, callback: Callable[[Event], None], *, prefix: str = ""
+    ) -> Callable[[], None]:
+        """Register ``callback`` for events whose kind starts with ``prefix``.
+
+        Returns an unsubscribe callable; subscribing the same callback
+        twice delivers events twice (by design — scoping is the caller's
+        concern).
+        """
+        entry = (prefix, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                return
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # cross-process shipping
+    # ------------------------------------------------------------------
+    def drain(self) -> list[Event]:
+        """Empty the buffer and return its events (worker -> parent)."""
+        drained = list(self.events)
+        self.events.clear()
+        return drained
+
+    def absorb(self, events: Iterable[Event | dict]) -> int:
+        """Re-publish a drained batch locally (parent side of a join)."""
+        count = 0
+        for event in events:
+            if isinstance(event, dict):
+                event = Event.from_dict(event)
+            self.publish(event)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def count(self, kind: str) -> int:
+        """Buffered events whose kind matches exactly."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def by_kind(self, prefix: str) -> list[Event]:
+        """Buffered events whose kind starts with ``prefix``."""
+        return [e for e in self.events if e.kind.startswith(prefix)]
+
+    def clear(self) -> None:
+        """Drop buffered events (subscribers stay registered)."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+# ----------------------------------------------------------------------
+# process-wide bus
+# ----------------------------------------------------------------------
+_PROCESS_BUS: EventBus | None = None
+
+
+def process_bus() -> EventBus:
+    """The per-process bus every subsystem publishes to by default."""
+    global _PROCESS_BUS
+    if _PROCESS_BUS is None:
+        _PROCESS_BUS = EventBus()
+    return _PROCESS_BUS
+
+
+def reset_process_bus() -> EventBus:
+    """Replace the process bus with a fresh one (tests, worker job entry)."""
+    global _PROCESS_BUS
+    _PROCESS_BUS = EventBus()
+    return _PROCESS_BUS
+
+
+def emit(
+    kind: str,
+    detail: str = "",
+    *,
+    amount: float = 0.0,
+    source: str = "",
+    **attrs,
+) -> Event:
+    """Convenience: emit on the process bus."""
+    return process_bus().emit(
+        kind, detail, amount=amount, source=source, **attrs
+    )

@@ -1,0 +1,261 @@
+"""The metrics registry: counters, gauges, and timing accumulators.
+
+One process-wide registry accumulates every quantitative signal a run
+produces — tier line/byte traffic, device amplification, trace-store and
+graph-cache hit rates, migration committed-vs-wasted accounting, pool
+retry/timeout counts — and snapshots it atomically at run end.
+
+Design constraints, in order:
+
+- **Determinism.**  Counters and gauges hold *model-domain* values
+  (simulated seconds, line counts, bytes), which are bit-identical
+  across same-seed runs.  Wall-clock durations never land in counters —
+  they go to :class:`Timing` accumulators, whose *counts* are
+  deterministic but whose sums are not, and the snapshot keeps the two
+  families apart so ``repro stats`` can print a reproducible report.
+- **Mergeability.**  A worker process drains its registry at job end
+  (:meth:`MetricsRegistry.drain`) and the parent merges the delta
+  (:meth:`MetricsRegistry.merge`): counters add, gauges last-write-win,
+  timings combine (count/total/min/max).  The shared-nothing pool
+  contract stays intact — nothing is mutated across the boundary.
+- **Near-zero overhead.**  Incrementing a counter is one dict
+  ``get``/set; there is no label parsing, no string formatting, and no
+  locking (the simulator is single-threaded per process; the pool
+  merges between processes, not between threads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+SNAPSHOT_VERSION = 1
+
+#: Environment variable overriding where run-end snapshots are written.
+METRICS_PATH_ENV = "REPRO_METRICS_PATH"
+
+
+def default_snapshot_path() -> Path:
+    """Where ``repro stats`` looks for the last run's snapshot."""
+    raw = os.environ.get(METRICS_PATH_ENV)
+    if raw:
+        return Path(raw)
+    return (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "results"
+        / "metrics-last.json"
+    )
+
+
+@dataclass
+class Timing:
+    """Wall-clock accumulator: count is deterministic, durations are not."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    def combine(self, other: "Timing") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Flat, name-keyed registry of counters, gauges, and timings.
+
+    Names are dotted paths (``migration.bytes_committed``,
+    ``store.trace_loads``); the dots exist purely for readable grouping
+    in ``repro stats`` output — the registry itself is flat.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.timings: dict[str, Timing] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to a monotonically increasing counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one wall-clock duration under ``name``."""
+        timing = self.timings.get(name)
+        if timing is None:
+            timing = self.timings[name] = Timing()
+        timing.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """An atomic, JSON-ready view: deterministic families first."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "timings": {
+                k: self.timings[k].as_dict() for k in sorted(self.timings)
+            },
+        }
+
+    def deterministic_snapshot(self) -> dict:
+        """Only the families that are bit-identical across same-seed runs."""
+        snap = self.snapshot()
+        return {
+            "version": snap["version"],
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "timing_counts": {
+                k: v["count"] for k, v in snap["timings"].items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a (worker's) snapshot into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, payload in snapshot.get("timings", {}).items():
+            other = Timing(
+                count=int(payload.get("count", 0)),
+                total=float(payload.get("total", 0.0)),
+                minimum=float(payload.get("min", 0.0)),
+                maximum=float(payload.get("max", 0.0)),
+            )
+            timing = self.timings.get(name)
+            if timing is None:
+                self.timings[name] = other
+            else:
+                timing.combine(other)
+
+    def drain(self) -> dict:
+        """Snapshot and reset — the worker half of the pool contract."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timings.clear()
+
+    # ------------------------------------------------------------------
+    # persistence / rendering
+    # ------------------------------------------------------------------
+    def write_snapshot(self, path: str | Path | None = None) -> Path:
+        """Atomically write the full snapshot as JSON; returns the path."""
+        target = Path(path) if path is not None else default_snapshot_path()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.parent / f".{target.name}.{os.getpid()}.tmp"
+        tmp.write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, target)
+        return target
+
+
+def load_snapshot(path: str | Path | None = None) -> dict | None:
+    """Read a written snapshot back, or ``None`` when absent/corrupt."""
+    target = Path(path) if path is not None else default_snapshot_path()
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def render_snapshot(snapshot: dict, *, timings: bool = False) -> str:
+    """Human-readable snapshot report (``repro stats``).
+
+    Counters and gauges are always shown (they are deterministic); timing
+    sums are wall-clock and only appear with ``timings=True`` so the
+    default report is identical across same-seed runs.
+    """
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    timing_map = snapshot.get("timings", {})
+    width = max(
+        (len(name) for name in (*counters, *gauges, *timing_map)), default=20
+    )
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}} {_number(counters[name])}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}} {_number(gauges[name])}")
+    if timing_map:
+        lines.append("timings:" if timings else "timings (counts only):")
+        for name in sorted(timing_map):
+            entry = timing_map[name]
+            if timings:
+                lines.append(
+                    f"  {name:<{width}} n={entry['count']} "
+                    f"total={entry['total']:.4f}s "
+                    f"min={entry['min']:.6f}s max={entry['max']:.6f}s"
+                )
+            else:
+                lines.append(f"  {name:<{width}} n={entry['count']}")
+    if not lines:
+        return "(empty metrics snapshot)"
+    return "\n".join(lines)
+
+
+def _number(value: float) -> str:
+    if float(value).is_integer():
+        return f"{int(value):,d}"
+    return f"{value:.6g}"
+
+
+# ----------------------------------------------------------------------
+# process-wide registry
+# ----------------------------------------------------------------------
+_PROCESS_METRICS: MetricsRegistry | None = None
+
+
+def process_metrics() -> MetricsRegistry:
+    """The per-process registry every subsystem records into by default."""
+    global _PROCESS_METRICS
+    if _PROCESS_METRICS is None:
+        _PROCESS_METRICS = MetricsRegistry()
+    return _PROCESS_METRICS
+
+
+def reset_process_metrics() -> MetricsRegistry:
+    """Replace the process registry (tests, worker job entry)."""
+    global _PROCESS_METRICS
+    _PROCESS_METRICS = MetricsRegistry()
+    return _PROCESS_METRICS

@@ -25,6 +25,8 @@ import numpy as np
 
 from repro.mem.system import HeterogeneousMemorySystem
 from repro.mem.trace import AccessKind, AccessTrace
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import span
 from repro.sim.metrics import RunCost
 
 
@@ -105,6 +107,31 @@ class TraceExecutor:
         cost = RunCost()
         if not len(trace):
             return cost
+        with span(
+            "executor.run", cat="executor", phases=len(trace.phases)
+        ) as live:
+            cost = self._run_priced(trace, miss_observer, hits)
+            live.set(
+                sim_seconds=cost.seconds,
+                misses=cost.n_misses,
+                accesses=cost.n_accesses,
+            )
+        registry = process_metrics()
+        registry.inc("executor.runs")
+        registry.inc("executor.accesses", cost.n_accesses)
+        registry.inc("executor.misses", cost.n_misses)
+        registry.inc("executor.sim_seconds", cost.seconds)
+        return cost
+
+    def _run_priced(
+        self,
+        trace: AccessTrace,
+        miss_observer: MissObserver | None,
+        hits: np.ndarray | None,
+    ) -> RunCost:
+        """The pricing loop proper (see :meth:`run` for the contract)."""
+        system = self.system
+        cost = RunCost()
         if hits is None:
             hits = system.llc.hit_mask(trace.all_addresses())
         offset = 0

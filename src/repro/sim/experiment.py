@@ -37,6 +37,7 @@ from repro.core.runtime import AtMemRuntime, RuntimeConfig
 from repro.errors import ConfigurationError
 from repro.mem.address_space import PAGE_SIZE
 from repro.mem.trace import AccessTrace
+from repro.obs.tracer import span
 from repro.sim.executor import TraceExecutor
 from repro.sim.metrics import RunCost
 from repro.sim.tracecache import TraceCache
@@ -187,17 +188,20 @@ def run_atmem(
     system = platform.build_system()
     runtime = AtMemRuntime(system, config=runtime_config or RuntimeConfig(), platform=platform)
     app = app_factory()
-    app.register(runtime)
+    with span("phase.register", cat="runtime", app=type(app).__name__):
+        app.register(runtime)
     executor = TraceExecutor(system, count_tlb=count_tlb)
     plan = _RunPlan(app, system, trace_cache, trace_key)
 
-    runtime.atmem_profiling_start()
-    trace, hits = plan.next_run()
-    first = executor.run(trace, miss_observer=runtime, hits=hits)
-    runtime.atmem_profiling_stop()
+    with span("phase.profile", cat="runtime"):
+        runtime.atmem_profiling_start()
+        trace, hits = plan.next_run()
+        first = executor.run(trace, miss_observer=runtime, hits=hits)
+        runtime.atmem_profiling_stop()
     decision, migration = runtime.atmem_optimize()
-    trace, hits = plan.next_run()
-    second = executor.run(trace, hits=hits)
+    with span("phase.measure", cat="runtime"):
+        trace, hits = plan.next_run()
+        second = executor.run(trace, hits=hits)
     return AtMemRunResult(
         first_iteration=first,
         second_iteration=second,

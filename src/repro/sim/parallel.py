@@ -82,6 +82,10 @@ from repro.faults.injector import (
 )
 from repro.faults.plan import SITE_POOL_CRASH, SITE_POOL_EXIT, SITE_POOL_HANG
 from repro.graph import shm as graph_shm
+from repro.obs import absorb_all, drain_all, reset_all
+from repro.obs.bus import Event, process_bus
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import span
 from repro.sim.experiment import (
     AtMemRunResult,
     StaticRunResult,
@@ -526,9 +530,16 @@ def _pool_entry(spec: JobSpec, attempt: int = 0):
     hang (``pool.hang`` — sleeps ``param`` seconds, which the parent's
     job timeout must catch).
 
-    An ``ok`` payload carries a third element — the job's cache-use
-    classification (cold / store / warm) — for the parent's telemetry.
+    Observability contract: the worker's obs state is **reset at entry**
+    (fork-inherited parent buffers must not double-ship) and **drained at
+    exit** into the payload's final element — events, metric deltas, and
+    spans — which the parent absorbs in ``_settle``.  The ``ok`` payload
+    also carries the job's cache-use classification (cold / store / warm)
+    as both a tuple element and a buffered ``pool.cache_use`` event, so
+    parent-side health accounting comes from worker-buffered events
+    rather than parent mutation.
     """
+    reset_all()
     try:
         with job_context(attempt=attempt, tag=spec.tag):
             fired = fault_point(SITE_POOL_EXIT, tag=spec.tag, detail="worker exit")
@@ -544,10 +555,24 @@ def _pool_entry(spec: JobSpec, attempt: int = 0):
                     f"(attempt {attempt})"
                 )
             before = _cache_snapshot()
-            result = execute_job(spec)
-            return ("ok", result, _classify_cache_use(before, _cache_snapshot()))
+            with span(
+                "pool.job",
+                cat="pool",
+                tag=spec.tag or spec.flow,
+                attempt=attempt,
+            ):
+                result = execute_job(spec)
+            kind = _classify_cache_use(before, _cache_snapshot())
+            process_bus().emit(
+                "pool.cache_use", kind, source="pool", tag=spec.tag
+            )
+            process_metrics().inc(f"pool.{kind}_jobs")
+            return ("ok", result, kind, drain_all())
     except Exception as exc:  # noqa: BLE001 — re-raised with spec in parent
-        return ("err", type(exc).__name__, str(exc), traceback.format_exc())
+        return (
+            "err", type(exc).__name__, str(exc), traceback.format_exc(),
+            drain_all(),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -604,18 +629,58 @@ class ExperimentPool:
         results: list = [None] * len(specs)
         done = [False] * len(specs)
         workers = min(self.max_workers, len(specs))
+        # Health accounting is event-driven: recoveries and cache
+        # classifications — parent-detected or worker-buffered — arrive
+        # on the process bus and are tallied by one subscriber.
+        unsubscribe = process_bus().subscribe(
+            self._on_pool_event, prefix="pool."
+        )
         published = None
-        if workers > 1:
-            published = self._publish_graphs(specs)
         try:
-            if workers > 1:
-                self._run_parallel(jobs, results, done, workers)
-            self._run_serial(jobs, results, done)
+            with span(
+                "pool.dispatch", cat="pool", jobs=len(specs), workers=workers
+            ):
+                if workers > 1:
+                    published = self._publish_graphs(specs)
+                if workers > 1:
+                    self._run_parallel(jobs, results, done, workers)
+                self._run_serial(jobs, results, done)
         finally:
+            unsubscribe()
             if published is not None:
                 self.last_segments = published.segment_names
                 graph_shm.release(published)
         return results
+
+    def _on_pool_event(self, event: Event) -> None:
+        """Fold one ``pool.*`` event into :attr:`health`.
+
+        The same handler serves both halves of the cross-process
+        contract: parent-detected failures (timeouts, dead workers) are
+        emitted directly on the parent bus, and worker-buffered events
+        arrive via :func:`repro.obs.absorb_all` in ``_settle``.
+        """
+        kind = event.kind
+        if kind == "pool.cache_use":
+            self.health.tally_cache_use(event.detail or None)
+        elif kind == "pool.retry":
+            self.health.retries += 1
+            if event.detail:
+                self.health.note(event.detail)
+        elif kind == "pool.timeout":
+            self.health.timeouts += 1
+            if event.detail:
+                self.health.note(event.detail)
+        elif kind == "pool.crash":
+            self.health.crashes += 1
+            if event.detail:
+                self.health.note(event.detail)
+        elif kind == "pool.restart":
+            self.health.pool_restarts += 1
+        elif kind == "pool.serial_fallback":
+            self.health.serial_fallbacks += 1
+        elif kind == "pool.note":
+            self.health.note(event.detail)
 
     def _publish_graphs(self, specs: Sequence[JobSpec]):
         """Pre-build every referenced dataset into shared memory."""
@@ -683,8 +748,10 @@ class ExperimentPool:
             primers.append(job)
         if not primers or not rest:
             return [ordered]
-        self.health.note(
-            f"priming store for {len(primers)} cold trace key(s) before fan-out"
+        process_bus().emit(
+            "pool.note",
+            f"priming store for {len(primers)} cold trace key(s) before fan-out",
+            source="pool",
         )
         return [primers, rest]
 
@@ -710,19 +777,25 @@ class ExperimentPool:
                 try:
                     payload = future.result(timeout=timeout)
                 except FutureTimeoutError:
-                    self.health.timeouts += 1
-                    self.health.note(
+                    process_bus().emit(
+                        "pool.timeout",
                         f"job {job.index} exceeded {timeout}s "
-                        f"(attempt {job.attempt}); restarting pool"
+                        f"(attempt {job.attempt}); restarting pool",
+                        amount=job.attempt,
+                        source="pool",
                     )
+                    process_metrics().inc("pool.timeouts")
                     failure = "timeout"
                     break
                 except BrokenProcessPool:
-                    self.health.crashes += 1
-                    self.health.note(
+                    process_bus().emit(
+                        "pool.crash",
                         f"worker died on job {job.index} "
-                        f"(attempt {job.attempt}); restarting pool"
+                        f"(attempt {job.attempt}); restarting pool",
+                        amount=job.attempt,
+                        source="pool",
                     )
+                    process_metrics().inc("pool.crashes")
                     failure = "crash"
                     break
                 self._settle(job, payload, results, done, retries)
@@ -741,19 +814,24 @@ class ExperimentPool:
                             f"job still unfinished after "
                             f"{retries} retries ({failure})",
                         )
-            self.health.pool_restarts += 1
+            process_bus().emit("pool.restart", failure, source="pool")
+            process_metrics().inc("pool.restarts")
             if self.health.pool_restarts > max_restarts:
-                self.health.note(
+                process_bus().emit(
+                    "pool.note",
                     "pool restart budget exhausted; "
-                    "finishing remaining jobs serially"
+                    "finishing remaining jobs serially",
+                    source="pool",
                 )
                 return False
             try:
                 self._executor = self._make_executor(workers)
             except (OSError, ValueError, PermissionError):
-                self.health.note(
+                process_bus().emit(
+                    "pool.note",
                     "pool could not be restarted; "
-                    "finishing remaining jobs serially"
+                    "finishing remaining jobs serially",
+                    source="pool",
                 )
                 return False
         return True
@@ -761,20 +839,37 @@ class ExperimentPool:
     def _settle(
         self, job: _Job, payload: tuple, results: list, done: list[bool], retries: int
     ) -> None:
-        """Apply one worker payload: record the result or schedule a retry."""
+        """Apply one worker payload: record the result or schedule a retry.
+
+        The payload's trailing obs blob (worker-buffered events, metric
+        deltas, spans) is absorbed *first*, so the health subscriber sees
+        the worker's ``pool.cache_use`` event and counters stay exact
+        even when the same worker process served many jobs or died in
+        between — each job drains its own delta at the worker side.
+        """
+        blob = payload[-1] if isinstance(payload[-1], dict) else None
+        if blob is not None:
+            absorb_all(blob)
         if payload[0] == "ok":
             results[job.index] = payload[1]
             done[job.index] = True
-            self.health.tally_cache_use(payload[2] if len(payload) > 2 else None)
+            if blob is None:
+                # Legacy payload without an obs blob: classify directly.
+                self.health.tally_cache_use(
+                    payload[2] if len(payload) > 2 else None
+                )
             return
-        _, kind, message, worker_tb = payload
+        kind, message, worker_tb = payload[1], payload[2], payload[3]
         job.attempt += 1
         if job.attempt > retries:
             raise ExperimentJobError(job.spec, kind, message, worker_tb)
-        self.health.retries += 1
-        self.health.note(
-            f"job {job.index} failed ({kind}); retrying as attempt {job.attempt}"
+        process_bus().emit(
+            "pool.retry",
+            f"job {job.index} failed ({kind}); retrying as attempt {job.attempt}",
+            amount=job.attempt,
+            source="pool",
         )
+        process_metrics().inc("pool.retries")
         self._backoff(job.attempt)
 
     def _harvest(
@@ -796,19 +891,24 @@ class ExperimentPool:
         if not pending:
             return
         if self.last_mode.startswith("parallel"):
-            self.health.serial_fallbacks += 1
+            process_bus().emit("pool.serial_fallback", source="pool")
+            process_metrics().inc("pool.serial_fallbacks")
         self.last_mode = "serial"
         timeout = job_timeout()
         retries = job_retries()
+        bus = process_bus()
+        registry = process_metrics()
         for job in pending:
             while True:
                 try:
                     before = _cache_snapshot()
                     results[job.index] = self._serial_attempt(job, timeout)
                     done[job.index] = True
-                    self.health.tally_cache_use(
-                        _classify_cache_use(before, _cache_snapshot())
+                    kind = _classify_cache_use(before, _cache_snapshot())
+                    bus.emit(
+                        "pool.cache_use", kind, source="pool", tag=job.spec.tag
                     )
+                    registry.inc(f"pool.{kind}_jobs")
                     break
                 except Exception as exc:  # noqa: BLE001 — bounded retry below
                     job.attempt += 1
@@ -817,13 +917,21 @@ class ExperimentPool:
                             job.spec, type(exc).__name__, str(exc),
                             traceback.format_exc(),
                         ) from exc
-                    self.health.retries += 1
                     if is_injected(exc):
-                        self.health.crashes += 1
-                    self.health.note(
+                        bus.emit(
+                            "pool.crash",
+                            f"job {job.index} crashed serially",
+                            source="pool",
+                        )
+                        registry.inc("pool.crashes")
+                    bus.emit(
+                        "pool.retry",
                         f"job {job.index} failed serially "
-                        f"({type(exc).__name__}); retrying as attempt {job.attempt}"
+                        f"({type(exc).__name__}); retrying as attempt {job.attempt}",
+                        amount=job.attempt,
+                        source="pool",
                     )
+                    registry.inc("pool.retries")
                     self._backoff(job.attempt)
 
     def _serial_attempt(self, job: _Job, timeout: float | None):
@@ -850,12 +958,23 @@ class ExperimentPool:
                 stall = fired.param if fired.param else DEFAULT_HANG_SECONDS
                 if timeout:
                     time.sleep(min(stall, timeout))
-                self.health.timeouts += 1
+                process_bus().emit(
+                    "pool.timeout",
+                    f"injected hang detected serially (job {job.index})",
+                    source="pool",
+                )
+                process_metrics().inc("pool.timeouts")
                 raise InjectedWorkerCrash(
                     f"injected hang in job {spec.tag or spec.flow!r} detected "
                     f"(serial, attempt {job.attempt})"
                 )
-            return execute_job(spec)
+            with span(
+                "pool.job",
+                cat="pool",
+                tag=spec.tag or spec.flow,
+                attempt=job.attempt,
+            ):
+                return execute_job(spec)
 
     # ------------------------------------------------------------------
     def _backoff(self, attempt: int) -> None:
@@ -917,11 +1036,18 @@ def record_parallel_timing(entry: dict, path: str | Path | None = None) -> Path 
     """Append one timing record to ``BENCH_parallel.json`` (best effort).
 
     The file holds a JSON list of records ``{"benchmark", "jobs", "cells",
-    "wall_seconds", ...}`` so speedups are measured, not asserted.
+    "wall_seconds", ...}`` so speedups are measured, not asserted.  Every
+    record is stamped with the deterministic families of the process
+    metrics snapshot (counters, gauges, timing counts) under ``metrics``,
+    so a perf claim in a future PR carries its own evidence — cache hit
+    rates, tier traffic, and migration accounting travel with the wall
+    time they explain.
     """
     target = parallel_json_path(path)
     if target is None:
         return None
+    entry = dict(entry)
+    entry.setdefault("metrics", process_metrics().deterministic_snapshot())
     records: list = []
     if target.exists():
         try:

@@ -56,6 +56,8 @@ import numpy as np
 from repro.faults.injector import active_injector, fault_point
 from repro.faults.plan import SITE_CACHE_CORRUPT
 from repro.mem.trace import AccessTrace
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import span
 from repro.sim.tracestore import TraceStore, process_trace_store
 
 #: Environment variable overriding the trace-entry bound (0 disables).
@@ -123,6 +125,11 @@ class TraceCacheStats:
         }
 
 
+def _count(name: str, amount: float = 1.0) -> None:
+    """Mirror one cache counter into the process metrics registry."""
+    process_metrics().inc(f"cache.{name}", amount)
+
+
 @dataclass
 class _TraceEntry:
     """A cached trace plus the checksum it must keep matching."""
@@ -173,6 +180,7 @@ class TraceCache:
         self._traces.pop(key, None)
         self._masks.pop(key, None)
         self.stats.corruption_discards += 1
+        _count("corruption_discards")
 
     def _verified(self, key: Hashable) -> AccessTrace | None:
         """The cached trace if present and intact, else ``None``.
@@ -202,8 +210,10 @@ class TraceCache:
             trace = store.load_trace(key)
             if trace is not None:
                 self.stats.store_trace_hits += 1
+                _count("store_trace_hits")
                 return trace
-        trace = builder()
+        with span("cache.build_trace", cat="cache", key=str(key)):
+            trace = builder()
         if store is not None and isinstance(trace, AccessTrace):
             store.save_trace(key, trace)
         return trace
@@ -212,13 +222,16 @@ class TraceCache:
         """The trace under ``key``, built once via ``builder()``."""
         if self.max_traces == 0:
             self.stats.trace_misses += 1
+            _count("trace_misses")
             return self._trace_from_store_or_builder(key, builder)
         cached = self._verified(key)
         if cached is not None:
             self.stats.trace_hits += 1
+            _count("trace_hits")
             self._traces.move_to_end(key)
             return cached
         self.stats.trace_misses += 1
+        _count("trace_misses")
         trace = self._trace_from_store_or_builder(key, builder)
         self._traces[key] = _TraceEntry(trace=trace, checksum=trace_checksum(trace))
         self._masks.setdefault(key, {})
@@ -226,6 +239,7 @@ class TraceCache:
             evicted, _ = self._traces.popitem(last=False)
             self._masks.pop(evicted, None)
             self.stats.evictions += 1
+            _count("evictions")
         return trace
 
     def hit_mask(self, key: Hashable, llc, trace: AccessTrace) -> np.ndarray:
@@ -250,19 +264,24 @@ class TraceCache:
             ):
                 masks.pop(llc_sig, None)
                 self.stats.corruption_discards += 1
+                _count("corruption_discards")
                 cached = None
             if cached is not None:
                 self.stats.mask_hits += 1
+                _count("mask_hits")
                 return cached
         self.stats.mask_misses += 1
+        _count("mask_misses")
         mask = None
         store = self.store
         if store is not None and expected is not None:
             mask = store.load_mask(key, llc_sig, expected)
             if mask is not None:
                 self.stats.store_mask_hits += 1
+                _count("store_mask_hits")
         if mask is None:
-            mask = llc.hit_mask(trace.all_addresses())
+            with span("cache.build_mask", cat="cache", key=str(key)):
+                mask = llc.hit_mask(trace.all_addresses())
             if store is not None and store.has_trace(key):
                 store.save_mask(key, llc_sig, mask)
         if masks is not None:

@@ -57,6 +57,9 @@ from repro.errors import TraceError
 from repro.faults.injector import fault_point
 from repro.faults.plan import SITE_STORE_TORN
 from repro.mem.trace import AccessTrace
+from repro.obs.bus import emit
+from repro.obs.metrics import process_metrics
+from repro.obs.tracer import span
 
 FORMAT_VERSION = 1
 
@@ -151,12 +154,16 @@ class TraceStore:
             "phases": trace.phase_records(),
         }
         try:
-            entry.mkdir(parents=True, exist_ok=True)
-            self._commit_array(entry / TRACE_ARRAY, flat, tag=f"{entry.name}/trace")
-            self._commit_json(entry / TRACE_MANIFEST, manifest)
+            with span("store.save_trace", cat="store", entry=entry.name):
+                entry.mkdir(parents=True, exist_ok=True)
+                self._commit_array(
+                    entry / TRACE_ARRAY, flat, tag=f"{entry.name}/trace"
+                )
+                self._commit_json(entry / TRACE_MANIFEST, manifest)
         except OSError:
             return False  # a full/read-only disk degrades to no caching
         self.stats.trace_saves += 1
+        process_metrics().inc("store.trace_saves")
         enforce_cache_budget(protect={entry})
         return True
 
@@ -167,22 +174,24 @@ class TraceStore:
         manifest = self._read_json(manifest_path)
         if manifest is None:
             return None
-        if manifest.get("format") != FORMAT_VERSION:
-            return self._reject_entry(key, "format version mismatch")
-        flat = self._load_array(
-            entry / TRACE_ARRAY,
-            dtype=np.int64,
-            length=int(manifest.get("total", -1)),
-            crc32=manifest.get("crc32"),
-        )
-        if flat is None:
-            return self._reject_entry(key, "trace array failed validation")
-        try:
-            trace = AccessTrace.from_columnar(flat, manifest.get("phases", []))
-        except (KeyError, ValueError, TypeError, TraceError) as exc:
-            # Any malformed phase table means the entry cannot be trusted.
-            return self._reject_entry(key, f"bad phase table: {exc}")
+        with span("store.load_trace", cat="store", entry=entry.name):
+            if manifest.get("format") != FORMAT_VERSION:
+                return self._reject_entry(key, "format version mismatch")
+            flat = self._load_array(
+                entry / TRACE_ARRAY,
+                dtype=np.int64,
+                length=int(manifest.get("total", -1)),
+                crc32=manifest.get("crc32"),
+            )
+            if flat is None:
+                return self._reject_entry(key, "trace array failed validation")
+            try:
+                trace = AccessTrace.from_columnar(flat, manifest.get("phases", []))
+            except (KeyError, ValueError, TypeError, TraceError) as exc:
+                # Any malformed phase table means the entry cannot be trusted.
+                return self._reject_entry(key, f"bad phase table: {exc}")
         self.stats.trace_loads += 1
+        process_metrics().inc("store.trace_loads")
         touch_entry(entry)
         return trace
 
@@ -215,6 +224,7 @@ class TraceStore:
         except OSError:
             return False
         self.stats.mask_saves += 1
+        process_metrics().inc("store.mask_saves")
         enforce_cache_budget(protect={array_path.parent})
         return True
 
@@ -241,6 +251,7 @@ class TraceStore:
         if mask is None:
             return self._reject_mask(array_path, sidecar_path)
         self.stats.mask_loads += 1
+        process_metrics().inc("store.mask_loads")
         touch_entry(array_path.parent)
         return mask
 
@@ -299,13 +310,22 @@ class TraceStore:
     def _reject_entry(self, key: Hashable, reason: str) -> None:
         """Drop a whole entry that failed validation; caller recomputes."""
         self.stats.rejects += 1
+        process_metrics().inc("store.rejects")
         entry = self.entry_dir(key)
+        emit("store.reject", reason, source="store", entry=entry.name)
         self._verified = {p for p in self._verified if p.parent != entry}
         shutil.rmtree(entry, ignore_errors=True)
         return None
 
     def _reject_mask(self, array_path: Path, sidecar_path: Path) -> None:
         self.stats.rejects += 1
+        process_metrics().inc("store.rejects")
+        emit(
+            "store.reject",
+            "mask failed validation",
+            source="store",
+            entry=array_path.parent.name,
+        )
         for path in (sidecar_path, array_path):
             self._verified.discard(path)
             try:

@@ -89,6 +89,83 @@ class TestReproduceCommand:
         )
 
 
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _obs_env(self, tmp_path, monkeypatch):
+        from repro.obs import reset_all
+        from repro.obs.metrics import METRICS_PATH_ENV
+        from repro.obs.tracer import TRACE_ENV
+
+        # "0" disables tracing but lets monkeypatch restore the original
+        # value even after main() overwrites it via --trace.
+        monkeypatch.setenv(TRACE_ENV, "0")
+        monkeypatch.setenv(METRICS_PATH_ENV, str(tmp_path / "metrics.json"))
+        reset_all()
+        yield
+        reset_all()
+
+    def test_run_with_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        code = main([
+            "run", "--app", "BFS", "--dataset", "pokec", "--scale", "8192",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert "span trace written" in capsys.readouterr().out
+        lines = trace.read_text().strip().splitlines()
+        assert lines, "trace file should contain span records"
+        names = {__import__("json").loads(line)["name"] for line in lines}
+        assert "phase.profile" in names
+
+    def test_trace_converts_to_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.trace"
+        main([
+            "run", "--app", "BFS", "--dataset", "pokec", "--scale", "8192",
+            "--trace", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["trace", "--perfetto", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace event(s)" in out
+        payload = json.loads((tmp_path / "run.json").read_text())
+        assert payload["traceEvents"]
+        assert {e["ph"] for e in payload["traceEvents"]} <= {"X", "i"}
+
+    def test_trace_positional_and_out_override(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "r.trace"
+        trace.write_text(
+            json.dumps({"name": "s", "cat": "t", "ts": 1.0, "dur": 2.0,
+                        "pid": 1, "tid": 1, "depth": 0, "args": {}}) + "\n"
+        )
+        out = tmp_path / "custom.json"
+        assert main(["trace", str(trace), "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["traceEvents"][0]["name"] == "s"
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.trace")]) == 1
+        assert "no trace file" in capsys.readouterr().out
+
+    def test_trace_without_path_or_env(self, capsys):
+        assert main(["trace"]) == 2
+        assert "REPRO_TRACE" in capsys.readouterr().out
+
+    def test_stats_after_run_renders_counters(self, capsys):
+        main(["run", "--app", "BFS", "--dataset", "pokec", "--scale", "8192"])
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "executor.runs" in out
+
+    def test_stats_missing_snapshot(self, tmp_path, capsys):
+        assert main(["stats", "--path", str(tmp_path / "none.json")]) == 1
+        assert "no metrics snapshot" in capsys.readouterr().out
+
+
 class TestSummaryCommand:
     def test_summary_missing_dir(self, tmp_path, capsys):
         code = main(["summary", "--results", str(tmp_path / "nope")])

@@ -1,65 +1,60 @@
-"""AST lint: no silent exception swallowing in the runtime source.
+"""AST lint (tier-1 face of ``tools/astlint.py``).
 
-A fault-injection subsystem is only as good as the code's willingness to
-let faults surface.  A bare ``except:`` (which also catches
-``KeyboardInterrupt``/``SystemExit``) or an ``except Exception: pass``
-turns an injected fault — or a real bug — into silence, defeating both
-the chaos matrix and the consistency audits.  Broad catches that
-*handle* (retry, roll back, wrap and re-raise) are fine; catching
-everything and doing nothing is not.
+Two checks over every source file under ``src/``:
+
+- no silent exception swallowing — a bare ``except:`` or an ``except
+  Exception: pass`` turns an injected fault (or a real bug) into
+  silence, defeating the chaos matrix and the consistency audits;
+- no bare ``print()`` outside the report surface (``cli.py`` and the
+  bench report/regression output) — library code signals through the
+  observability plane, not stdout.
+
+The logic lives in ``tools/astlint.py`` so ``make lint`` and this test
+enforce exactly the same rules; the module is imported by file path
+because ``tools/`` is deliberately not a package.
 """
 
-import ast
+import importlib.util
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src"
-
-BROAD_NAMES = {"Exception", "BaseException"}
-
-
-def _broad_names(node: ast.expr | None) -> bool:
-    """Whether an except clause's type includes Exception/BaseException."""
-    if node is None:  # bare except
-        return True
-    if isinstance(node, ast.Name):
-        return node.id in BROAD_NAMES
-    if isinstance(node, ast.Tuple):
-        return any(_broad_names(el) for el in node.elts)
-    return False
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "astlint.py"
+_spec = importlib.util.spec_from_file_location("astlint", _TOOL)
+astlint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(astlint)
 
 
-def _is_silent(body: list[ast.stmt]) -> bool:
-    """A handler body that does nothing: only pass/``...`` statements."""
-    for stmt in body:
-        if isinstance(stmt, ast.Pass):
-            continue
-        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
-            continue  # a bare docstring or `...`
-        return False
-    return True
+def test_lint_tool_exists_and_sees_sources():
+    files = sorted(astlint.SRC.rglob("*.py"))
+    assert files, f"no sources found under {astlint.SRC}"
 
 
-def _violations(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
+def test_sources_contain_no_silent_handlers():
     problems = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ExceptHandler):
-            continue
-        where = f"{path.relative_to(SRC)}:{node.lineno}"
-        if node.type is None:
-            problems.append(f"{where}: bare `except:`")
-        elif _broad_names(node.type) and _is_silent(node.body):
-            problems.append(f"{where}: `except Exception` with empty body")
-    return problems
-
-
-def test_sources_parse_and_contain_no_silent_handlers():
-    files = sorted(SRC.rglob("*.py"))
-    assert files, f"no sources found under {SRC}"
-    problems = []
-    for path in files:
-        problems.extend(_violations(path))
+    for path in sorted(astlint.SRC.rglob("*.py")):
+        problems.extend(astlint.silent_handler_violations(path))
     assert not problems, (
         "silent exception handlers in src/ (catch something specific, or "
         "handle/re-raise):\n  " + "\n  ".join(problems)
     )
+
+
+def test_sources_contain_no_bare_prints():
+    problems = []
+    for path in sorted(astlint.SRC.rglob("*.py")):
+        problems.extend(astlint.print_violations(path))
+    assert not problems, (
+        "bare print() outside the report surface (use repro.obs, or add "
+        "the file to astlint.PRINT_ALLOWED if it *is* report output):\n  "
+        + "\n  ".join(problems)
+    )
+
+
+def test_print_allowlist_is_tight():
+    """Every allowlisted file exists — no stale entries accumulating."""
+    repro_root = astlint.SRC / "repro"
+    missing = [
+        entry
+        for entry in astlint.PRINT_ALLOWED
+        if not (repro_root / entry).exists()
+    ]
+    assert not missing, f"PRINT_ALLOWED entries without a file: {missing}"

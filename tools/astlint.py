@@ -1,0 +1,125 @@
+"""AST lint over ``src/repro``: exception hygiene and output discipline.
+
+Two checks, both pure ``ast`` walks (no third-party linter):
+
+- **No silent exception swallowing.**  A bare ``except:`` (which also
+  catches ``KeyboardInterrupt``/``SystemExit``) or an ``except
+  Exception: pass`` turns an injected fault — or a real bug — into
+  silence, defeating the chaos matrix and the consistency audits.
+  Broad catches that *handle* (retry, roll back, wrap and re-raise)
+  are fine; catching everything and doing nothing is not.
+
+- **No bare ``print()`` outside the report surface.**  Library code
+  must signal through the observability plane (:mod:`repro.obs`) so
+  runs stay quiet, parseable, and deterministic; only the CLI and the
+  bench report/regression output are allowed to write to stdout.
+
+Run standalone (``make lint`` / ``python tools/astlint.py``) or through
+the tier-1 test ``tests/test_lint_exceptions.py``, which imports this
+module by path and asserts both checks come back clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+#: Files (relative to ``src/repro``) whose job *is* terminal output.
+PRINT_ALLOWED = {
+    "cli.py",
+    "bench/report.py",
+    "bench/regression.py",
+}
+
+
+def _broad_names(node: ast.expr | None) -> bool:
+    """Whether an except clause's type includes Exception/BaseException."""
+    if node is None:  # bare except
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_broad_names(el) for el in node.elts)
+    return False
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """A handler body that does nothing: only pass/``...`` statements."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a bare docstring or `...`
+        return False
+    return True
+
+
+def silent_handler_violations(path: Path) -> list[str]:
+    """Silent broad exception handlers in one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        where = f"{path.relative_to(SRC)}:{node.lineno}"
+        if node.type is None:
+            problems.append(f"{where}: bare `except:`")
+        elif _broad_names(node.type) and _is_silent(node.body):
+            problems.append(f"{where}: `except Exception` with empty body")
+    return problems
+
+
+def print_violations(path: Path) -> list[str]:
+    """Bare ``print()`` calls in one file, unless it is report surface."""
+    repro_root = SRC / "repro"
+    try:
+        relative = path.relative_to(repro_root).as_posix()
+    except ValueError:
+        return []  # outside the package (namespace stubs etc.)
+    if relative in PRINT_ALLOWED:
+        return []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            problems.append(
+                f"{path.relative_to(SRC)}:{node.lineno}: bare print() — "
+                "emit through repro.obs or return text to the CLI"
+            )
+    return problems
+
+
+def run_lint(root: Path = SRC) -> list[str]:
+    """All violations under ``root``, sorted by file and line."""
+    files = sorted(root.rglob("*.py"))
+    if not files:
+        return [f"no sources found under {root}"]
+    problems: list[str] = []
+    for path in files:
+        problems.extend(silent_handler_violations(path))
+        problems.extend(print_violations(path))
+    return problems
+
+
+def main() -> int:
+    problems = run_lint()
+    if problems:
+        print(f"astlint: {len(problems)} violation(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("astlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
