@@ -21,13 +21,14 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # One small figure benchmark through the process pool with 2 workers;
-# fresh wall-clock timings land in a scratch record file, then the
-# regression gate warns about stages >25% slower than the committed
+# fresh wall-clock timings (with a pricing: profile|replay field and a
+# replay-vs-profile speedup row) land in a scratch record file, then the
+# regression gate fails on stages >25% slower than the committed
 # BENCH_parallel.json.
 bench-smoke:
 	REPRO_PARALLEL_JSON=benchmarks/results/BENCH_smoke.json \
 	  $(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
-	$(PYTHON) -m repro.bench.regression --fresh benchmarks/results/BENCH_smoke.json
+	$(PYTHON) -m repro.bench.regression --strict --fresh benchmarks/results/BENCH_smoke.json
 
 # Full fig5 scaling sweep: serial vs cold/warm trace store at 2 and 4
 # workers; refreshes BENCH_parallel.json and checks artifacts stay

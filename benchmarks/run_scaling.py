@@ -18,6 +18,12 @@ the on-disk store.  After every phase the ``fig5.txt`` artifact digest is
 compared against the serial run: the data plane must be invisible in
 results (bit-identical figures) while changing only the wall-clock.
 
+Every recorded row carries a per-stage wall-clock breakdown (graph
+build / trace generation / hit-mask solve / profile build / pricing —
+see :func:`repro.sim.parallel.stage_breakdown`), printed per phase, so
+a regressed configuration names the stage that slowed down instead of
+just the total.
+
 Exit status is non-zero if any phase produces different bytes, if a warm
 parallel run fails to beat serial, or if a cold parallel run regresses
 noticeably below serial (the pre-store failure mode this PR removes).
@@ -86,6 +92,27 @@ def _tag_new_records(start_index: int, phase: str) -> None:
     BENCH_JSON.write_text(json.dumps(records, indent=2) + "\n")
 
 
+def _stage_summary(phase: str) -> str:
+    """One-line per-stage wall-clock breakdown over a phase's rows."""
+    totals: dict[str, float] = {}
+    for entry in _records():
+        if entry.get("phase") != phase:
+            continue
+        stages = entry.get("stages")
+        if not isinstance(stages, dict):
+            continue
+        for name, info in stages.items():
+            if isinstance(info, dict):
+                totals[name] = totals.get(name, 0.0) + float(
+                    info.get("seconds", 0.0)
+                )
+    if not totals:
+        return "(no stage breakdown recorded)"
+    return "  ".join(
+        f"{name}={seconds:.1f}s" for name, seconds in sorted(totals.items())
+    )
+
+
 def main() -> int:
     print(f"cpus={os.cpu_count()}  cold-slowdown tolerance "
           f"{COLD_SLOWDOWN_TOLERANCE:.2f}x")
@@ -107,6 +134,7 @@ def main() -> int:
             timings[phase], digests[phase] = run_phase(phase, jobs, store)
             print(f"{phase:8s} {timings[phase]:7.1f} s  "
                   f"fig5 sha256={digests[phase][:12]}", flush=True)
+            print(f"{'':8s} stages: {_stage_summary(phase)}", flush=True)
 
     serial = timings["serial"]
     failures = []

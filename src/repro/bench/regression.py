@@ -113,6 +113,53 @@ def compare(
     return regressions
 
 
+def cold_parallel_warnings(rows: list[dict]) -> list[str]:
+    """Cold parallel phases that ran *slower* than the serial baseline.
+
+    The scaling sweep (``benchmarks/run_scaling.py``) tags its rows
+    ``serial`` / ``cold-N`` / ``warm-N`` per benchmark.  A cold parallel
+    run that loses to serial means the fan-out overhead (fork, store
+    population, shm publish) ate the whole parallelism win — the
+    regression this repo's data plane exists to prevent.  Warn-only:
+    cold timings are the noisiest rows we record, and
+    ``run_scaling.py`` applies its own calibrated tolerance gate.
+    Per-stage breakdowns (the ``stages`` field each row now carries)
+    are echoed so the slow stage names itself.
+    """
+    serial: dict[str, float] = {}
+    for row in rows:
+        if str(row.get("phase", "")) == "serial":
+            wall = float(row.get("wall_seconds", 0.0))
+            if wall > 0:
+                benchmark = str(row.get("benchmark", ""))
+                serial[benchmark] = max(serial.get(benchmark, 0.0), wall)
+    warnings: list[str] = []
+    for row in rows:
+        phase = str(row.get("phase", ""))
+        if not phase.startswith("cold-"):
+            continue
+        benchmark = str(row.get("benchmark", ""))
+        base = serial.get(benchmark)
+        wall = float(row.get("wall_seconds", 0.0))
+        if base is None or wall <= base:
+            continue
+        warnings.append(
+            f"bench-regression: WARNING — {benchmark} {phase} took "
+            f"{wall:.3f} s vs serial {base:.3f} s "
+            f"({wall / base - 1.0:.0%} slower); fan-out overhead exceeds "
+            "the parallelism win"
+        )
+        stages = row.get("stages")
+        if isinstance(stages, dict) and stages:
+            parts = ", ".join(
+                f"{name} {info.get('seconds', 0.0):.2f}s"
+                for name, info in sorted(stages.items())
+                if isinstance(info, dict)
+            )
+            warnings.append(f"  stage breakdown: {parts}")
+    return warnings
+
+
 def render_table(
     regressions: list[Regression], threshold: float = DEFAULT_THRESHOLD
 ) -> str:
@@ -169,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     regressions = compare(fresh, baseline, args.threshold)
     print(render_table(regressions, args.threshold))
+    for warning in cold_parallel_warnings(fresh):
+        print(warning)
     if regressions and args.strict:
         return 1
     return 0

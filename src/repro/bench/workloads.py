@@ -141,11 +141,25 @@ def prime_overall_grid(
     ]
     if not pending:
         return 0.0
+    from repro.obs.metrics import process_metrics
+
     n_jobs = resolve_jobs(jobs)
     pool = ExperimentPool(n_jobs)
+
+    def _priced(kind: str) -> float:
+        return float(
+            process_metrics().snapshot()["counters"].get(f"pricing.{kind}", 0.0)
+        )
+
+    profile_before = _priced("profile_cells")
+    replay_before = _priced("replay_cells")
     start = time.perf_counter()
     cells = pool.run([_cell_spec(platform_name, app, ds) for app, ds in pending])
     elapsed = time.perf_counter() - start
+    # Worker counters reach the parent via the obs drain/absorb path, so
+    # the deltas describe the whole batch regardless of execution mode.
+    profile_runs = _priced("profile_cells") - profile_before
+    replay_runs = _priced("replay_cells") - replay_before
     for (app, ds), cell in zip(pending, cells):
         _OVERALL_CACHE[(platform_name, app, ds)] = OverallCell(
             baseline=cell.baseline, reference=cell.reference, atmem=cell.atmem
@@ -158,6 +172,11 @@ def prime_overall_grid(
             "cells": len(pending),
             "scale": bench_scale(),
             "wall_seconds": round(elapsed, 3),
+            "pricing": "profile" if profile_runs > 0 else "replay",
+            "priced_runs": {
+                "profile": int(profile_runs),
+                "replay": int(replay_runs),
+            },
             "cache": {
                 "cold": pool.health.cold_jobs,
                 "warm": pool.health.warm_jobs,

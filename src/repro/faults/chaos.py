@@ -172,6 +172,11 @@ def seed_matrix() -> tuple[ChaosCase, ...]:
             kind="store",
         ),
         ChaosCase(
+            "profile-stale-crc",
+            FaultPlan(seed=114),
+            kind="profile-crc",
+        ),
+        ChaosCase(
             "multitenant-worker-crash",
             FaultPlan((FaultSpec(SITE_POOL_CRASH, match="mt/alice"),), seed=111),
             kind="mt-pool",
@@ -499,6 +504,72 @@ def _run_store_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
     return outcome
 
 
+def _run_profile_crc_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """A stored compiled profile rots on disk; readers must not trust it.
+
+    Unlike the torn-write case (which injects during the commit), this
+    flips bytes in the committed ``profile-*.npy`` files directly — the
+    bit-rot / stale-artifact scenario where the sidecar still parses but
+    the CRC no longer matches.  A fresh store view must reject the
+    profile, rebuild it from the (intact) trace and hit mask, re-save
+    it, and price identical figures; a second fresh view then proves
+    the re-saved profile loads clean.  ``fired`` counts the files
+    corrupted, since no injector site is involved.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    spec = JobSpec(
+        app=_default_app(), platform=platform, flow="cell", placement="fast"
+    )
+    reference = committed_figures(execute_job(spec, trace_cache=TraceCache()))
+    outcome.reference = reference
+    with tempfile.TemporaryDirectory(prefix="chaos-profile-") as root:
+        writer = TraceCache(store=TraceStore(Path(root)))
+        execute_job(spec, trace_cache=writer)
+        corrupted = 0
+        for path in sorted(Path(root).rglob("profile-*.npy")):
+            blob = bytearray(path.read_bytes())
+            if not blob:
+                continue
+            blob[-1] ^= 0xFF
+            path.write_bytes(bytes(blob))
+            corrupted += 1
+        reader_store = TraceStore(Path(root))
+        reread_result = execute_job(
+            spec, trace_cache=TraceCache(store=reader_store)
+        )
+        second_store = TraceStore(Path(root))
+        second_result = execute_job(
+            spec, trace_cache=TraceCache(store=second_store)
+        )
+    outcome.completed = True
+    outcome.fired = corrupted
+    outcome.figures = committed_figures(reread_result)
+    outcome.identical = figures_identical(
+        outcome.figures, reference
+    ) and figures_identical(committed_figures(second_result), reference)
+    rebuilt_ok = (
+        reader_store.stats.rejects >= 1
+        and reader_store.stats.profile_saves >= 1
+        and second_store.stats.rejects == 0
+        and second_store.stats.profile_loads >= 1
+    )
+    outcome.consistent = rebuilt_ok
+    outcome.detail = (
+        f"{reader_store.stats.rejects} stale profile(s) rejected, rebuilt, "
+        f"and re-served from the store"
+        if rebuilt_ok
+        else (
+            f"rejects={reader_store.stats.rejects} "
+            f"saves={reader_store.stats.profile_saves} "
+            f"second-view rejects={second_store.stats.rejects} "
+            f"loads={second_store.stats.profile_loads}"
+        )
+    )
+    return outcome
+
+
 def _mt_scenario() -> tuple[tuple[str, AppSpec], ...]:
     return (
         ("alice", AppSpec.make("PR", "twitter", scale=TINY_SCALE)),
@@ -705,6 +776,8 @@ def run_case(
         return _run_squeeze_case(case, platform)
     if case.kind == "store":
         return _run_store_case(case, platform)
+    if case.kind == "profile-crc":
+        return _run_profile_crc_case(case, platform)
     if case.kind == "mt":
         return _run_mt_case(case, platform)
     if case.kind == "mt-squeeze":

@@ -24,12 +24,14 @@ most skewed of the three crawls, pokec the least).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from repro.graph import shm as graph_shm
 from repro.graph.csr import CSRGraph
 from repro.graph.diskcache import cached_generate
 from repro.graph.generators import chung_lu_graph, rmat_graph
+from repro.obs.metrics import process_metrics
 
 DATASET_NAMES = ("pokec", "rmat24", "twitter", "rmat27", "friendster")
 
@@ -85,6 +87,7 @@ def dataset_by_name(name: str, scale: int = 1024, *, seed: int = 7) -> CSRGraph:
         return shared
 
     def generate() -> CSRGraph:
+        started = time.perf_counter()
         spec = _SPECS[name]
         paper_v, paper_e = PAPER_SIZES[name]
         target_v = max(64, paper_v // scale)
@@ -94,14 +97,19 @@ def dataset_by_name(name: str, scale: int = 1024, *, seed: int = 7) -> CSRGraph:
             # factor so the post-dedup count lands near the target.
             log_v = max(6, round(math.log2(target_v)))
             edge_factor = max(2, round(target_e / (1 << log_v)))
-            return rmat_graph(log_v, edge_factor, seed=seed, name=name)
-        return chung_lu_graph(
-            target_v,
-            target_e,
-            zipf_exponent=spec.zipf_exponent,
-            seed=seed,
-            name=name,
+            graph = rmat_graph(log_v, edge_factor, seed=seed, name=name)
+        else:
+            graph = chung_lu_graph(
+                target_v,
+                target_e,
+                zipf_exponent=spec.zipf_exponent,
+                seed=seed,
+                name=name,
+            )
+        process_metrics().observe(
+            "stage.graph_build", time.perf_counter() - started
         )
+        return graph
 
     graph = cached_generate(name, scale, seed, generate)
     _CACHE[key] = graph

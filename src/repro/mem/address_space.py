@@ -209,6 +209,17 @@ class AddressSpace:
         idx = (np.asarray(addrs, dtype=np.int64) >> PAGE_SHIFT) - self.base_vpn
         return self._tier[idx]
 
+    def tiers_of_pages(self, vpns: np.ndarray) -> np.ndarray:
+        """Tier id (int8) backing each virtual page number; -1 unmapped.
+
+        Page-granular sibling of :meth:`tiers_of` for callers that
+        already aggregated addresses to VPNs (the compiled-profile
+        pricing path): ``tiers_of_pages(addrs >> PAGE_SHIFT)`` equals
+        ``tiers_of(addrs)`` element for element.
+        """
+        idx = np.asarray(vpns, dtype=np.int64) - self.base_vpn
+        return self._tier[idx]
+
     def map_shifts_of(self, addrs: np.ndarray) -> np.ndarray:
         """Mapping-granularity shift (12 or 21) for each address."""
         idx = (np.asarray(addrs, dtype=np.int64) >> PAGE_SHIFT) - self.base_vpn

@@ -49,6 +49,25 @@ class PhaseCost:
     miss_by_tier: dict[int, int] = field(default_factory=dict)
 
 
+@dataclass
+class ProfilePricing:
+    """Vectorised pricing of one whole run from a compiled profile.
+
+    ``phase_seconds[p]`` is exactly what :meth:`CostModel.phase_cost`
+    would have returned for phase ``p`` (same float operations in the
+    same order — see :meth:`CostModel.price_profile`);
+    ``miss_matrix[p, t]`` is the phase's miss count on tier ``t``
+    (float64 holding exact integers).
+    """
+
+    phase_seconds: np.ndarray  # float64 [n_phases]
+    miss_matrix: np.ndarray  # float64 [n_phases, n_tiers]
+
+    @property
+    def seconds(self) -> float:
+        return float(self.phase_seconds.sum())
+
+
 class CostModel:
     """Charges execution time for traces given tier placement of misses."""
 
@@ -113,6 +132,110 @@ class CostModel:
             n_accesses=n_accesses,
             n_misses=n_misses,
             miss_by_tier=miss_by_tier,
+        )
+
+    # ------------------------------------------------------------------
+    def price_profile(
+        self, profile, page_tiers: np.ndarray
+    ) -> ProfilePricing:
+        """Price an entire run from a compiled profile in O(pages).
+
+        ``page_tiers`` holds the tier id backing each of
+        ``profile.pages`` (one entry per CSR slot, from
+        :meth:`repro.mem.address_space.AddressSpace.tiers_of_pages`).
+
+        The contraction reproduces :meth:`phase_cost` **bit-exactly**:
+        every float operation happens in the same order on the same
+        values — per-(phase, tier) miss counts are exact int64 sums,
+        the latency/bandwidth bounds use the identical expression
+        shapes, and absent tiers contribute an exact ``+ 0.0``.  The
+        parity tests in ``tests/test_sim_profilepack.py`` and the
+        ``REPRO_VERIFY_PROFILE`` oracle in the executor hold this
+        equivalence to replay pricing.
+        """
+        n_tiers = len(self.tiers)
+        n_phases = profile.n_phases
+        tier_ids = np.asarray(page_tiers, dtype=np.int64)
+        # Replay resolves an unmapped (-1) page through tiers[-1]; wrap
+        # negative ids the same way so both paths agree even then.
+        tier_ids = np.where(tier_ids < 0, tier_ids + n_tiers, tier_ids)
+        phase_idx = np.repeat(
+            np.arange(n_phases, dtype=np.int64), np.diff(profile.row_ptr)
+        )
+        miss_matrix = np.bincount(
+            phase_idx * n_tiers + tier_ids,
+            weights=profile.counts.astype(np.float64),
+            minlength=n_phases * n_tiers,
+        ).reshape(n_phases, n_tiers)
+        # Device tables: [n_tiers, 2] indexed by is_write.
+        lat = np.array(
+            [[t.latency_ns(False), t.latency_ns(True)] for t in self.tiers]
+        )
+        bw = np.array(
+            [[t.bandwidth_gbps(False), t.bandwidth_gbps(True)] for t in self.tiers]
+        )
+        amp = np.array([t.random_access_amplification for t in self.tiers])
+        w = profile.phase_is_write.astype(np.intp)
+        lat_sel = lat.T[w]  # [n_phases, n_tiers]
+        bw_sel = bw.T[w]
+        amp_sel = np.where(profile.phase_is_random[:, None], amp[None, :], 1.0)
+        latency_bound = miss_matrix * lat_sel / self.mlp * 1e-9
+        bandwidth_bound = (miss_matrix * LINE_SIZE * amp_sel) / (bw_sel * 1e9)
+        tier_seconds = np.maximum(latency_bound, bandwidth_bound)
+        if self.concurrent_tiers:
+            mem_seconds = (
+                tier_seconds.max(axis=1)
+                if n_tiers
+                else np.zeros(n_phases)
+            )
+        else:
+            mem_seconds = tier_seconds.sum(axis=1)
+        phase_seconds = (
+            profile.phase_n * self.compute_ns_per_access * 1e-9 + mem_seconds
+        )
+        return ProfilePricing(
+            phase_seconds=phase_seconds, miss_matrix=miss_matrix
+        )
+
+    def price_profile_reference(
+        self, profile, page_tiers: np.ndarray
+    ) -> ProfilePricing:
+        """Scalar oracle for :meth:`price_profile` (parity tests only).
+
+        Walks the CSR rows with the same per-tier scalar arithmetic as
+        replay pricing (:meth:`_tier_seconds`); slow but obviously
+        equivalent to :meth:`phase_cost` given per-(phase, tier) counts.
+        """
+        n_tiers = len(self.tiers)
+        n_phases = profile.n_phases
+        tier_ids = np.asarray(page_tiers, dtype=np.int64)
+        miss_matrix = np.zeros((n_phases, n_tiers), dtype=np.float64)
+        phase_seconds = np.zeros(n_phases, dtype=np.float64)
+        for p in range(n_phases):
+            lo, hi = int(profile.row_ptr[p]), int(profile.row_ptr[p + 1])
+            kind = (
+                AccessKind.RANDOM
+                if profile.phase_is_random[p]
+                else AccessKind.SEQUENTIAL
+            )
+            is_write = bool(profile.phase_is_write[p])
+            for slot in range(lo, hi):
+                miss_matrix[p, int(tier_ids[slot])] += int(profile.counts[slot])
+            seconds = int(profile.phase_n[p]) * self.compute_ns_per_access * 1e-9
+            tier_times = [
+                self._tier_seconds(
+                    self.tiers[t], int(miss_matrix[p, t]), kind, is_write
+                )
+                for t in range(n_tiers)
+                if miss_matrix[p, t] > 0
+            ]
+            if tier_times:
+                seconds += (
+                    max(tier_times) if self.concurrent_tiers else sum(tier_times)
+                )
+            phase_seconds[p] = seconds
+        return ProfilePricing(
+            phase_seconds=phase_seconds, miss_matrix=miss_matrix
         )
 
     def _tier_seconds(

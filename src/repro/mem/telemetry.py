@@ -118,13 +118,28 @@ class TelemetryCollector:
         self, phase: TracePhase, miss_by_tier: dict[int, int]
     ) -> None:
         """Account one phase's misses to the tiers that served them."""
+        self.record_counts(
+            is_write=bool(phase.is_write),
+            is_random=phase.kind is AccessKind.RANDOM,
+            miss_by_tier=miss_by_tier,
+        )
+
+    def record_counts(
+        self, *, is_write: bool, is_random: bool, miss_by_tier: dict[int, int]
+    ) -> None:
+        """Account already-aggregated per-tier miss counts.
+
+        The counts-based half of :meth:`record_phase`, used by the
+        compiled-profile pricing path, which never materialises a
+        :class:`TracePhase` — only the direction and kind matter here.
+        """
         for tier_id, count in miss_by_tier.items():
             entry = self.traffic[tier_id]
-            if phase.is_write:
+            if is_write:
                 entry.write_lines += count
             else:
                 entry.read_lines += count
-            if phase.kind is AccessKind.RANDOM:
+            if is_random:
                 entry.random_lines += count
 
     def reset(self) -> None:

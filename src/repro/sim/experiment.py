@@ -71,6 +71,23 @@ class _RunPlan:
         hits = self._cache.hit_mask(self._key, self._system.llc, trace)
         return trace, hits
 
+    def measure_run(self):
+        """The (trace, hits, profile) triple for a measure iteration.
+
+        The compiled profile only exists through a cache — without one
+        there is no hit mask to fold, and replay is no slower than
+        building a throwaway profile.  The executor ignores the profile
+        whenever the run is ineligible (observer, TLB counting), so
+        handing it over is always safe.
+        """
+        if self._cache is None:
+            trace, hits = self.next_run()
+            return trace, hits, None
+        trace = self._cache.trace(self._key, self._app.run_once)
+        hits = self._cache.hit_mask(self._key, self._system.llc, trace)
+        profile = self._cache.profile(self._key, self._system.llc, trace, hits)
+        return trace, hits, profile
+
 
 @dataclass
 class StaticRunResult:
@@ -159,10 +176,10 @@ def run_static(
     _register_static(app, runtime, placement)
     executor = TraceExecutor(system, count_tlb=count_tlb)
     plan = _RunPlan(app, system, trace_cache, trace_key)
-    trace, hits = plan.next_run()
-    first = executor.run(trace, hits=hits)
-    trace, hits = plan.next_run()
-    second = executor.run(trace, hits=hits)
+    trace, hits, profile = plan.measure_run()
+    first = executor.run(trace, hits=hits, profile=profile)
+    trace, hits, profile = plan.measure_run()
+    second = executor.run(trace, hits=hits, profile=profile)
     return StaticRunResult(
         placement=placement,
         first_iteration=first,
@@ -200,8 +217,8 @@ def run_atmem(
         runtime.atmem_profiling_stop()
     decision, migration = runtime.atmem_optimize()
     with span("phase.measure", cat="runtime"):
-        trace, hits = plan.next_run()
-        second = executor.run(trace, hits=hits)
+        trace, hits, profile = plan.measure_run()
+        second = executor.run(trace, hits=hits, profile=profile)
     return AtMemRunResult(
         first_iteration=first,
         second_iteration=second,
@@ -263,8 +280,8 @@ def run_coarse_grained(
     decision = analyzer.analyze(
         counts, runtime.geometries, sampling_period=profiler.period
     )
-    trace, hits = plan.next_run()
-    second = executor.run(trace, hits=hits)
+    trace, hits, profile = plan.measure_run()
+    second = executor.run(trace, hits=hits, profile=profile)
     return AtMemRunResult(
         first_iteration=first,
         second_iteration=second,

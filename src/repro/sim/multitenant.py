@@ -143,9 +143,14 @@ class MultiTenantHost:
     ) -> dict[str, TenantResult]:
         """Phase 3: everyone measures on the final shared placement."""
         results: dict[str, TenantResult] = {}
-        for name, _, runtime, _ in self._tenants:
+        for name, _, runtime, key in self._tenants:
             trace, hits = plans[name]
-            optimized = self.executor.run(trace, hits=hits)
+            profile = None
+            if self.trace_cache is not None and key is not None:
+                profile = self.trace_cache.profile(
+                    key, self.system.llc, trace, hits
+                )
+            optimized = self.executor.run(trace, hits=hits, profile=profile)
             results[name] = TenantResult(
                 name=name,
                 baseline=baselines[name],

@@ -1032,6 +1032,28 @@ def parallel_json_path(path: str | Path | None = None) -> Path | None:
     return Path(env) if env else None
 
 
+def stage_breakdown() -> dict[str, dict[str, float]]:
+    """Per-stage wall-clock totals accumulated so far in this process.
+
+    The instrumented stages — ``graph_build``, ``trace_gen``,
+    ``hit_mask``, ``profile_build``, ``pricing`` — cover the expensive
+    halves of a cell, so a slow row in ``BENCH_parallel.json`` names its
+    own bottleneck.  Wall clocks are non-deterministic, which is why this
+    lives next to ``wall_seconds`` in the record rather than inside the
+    deterministic ``metrics`` snapshot.  Worker stage timings reach the
+    parent through the obs drain/absorb path, so pool runs include them.
+    """
+    registry = process_metrics()
+    return {
+        name[len("stage."):]: {
+            "seconds": round(timing.total, 6),
+            "count": timing.count,
+        }
+        for name, timing in sorted(registry.timings.items())
+        if name.startswith("stage.")
+    }
+
+
 def record_parallel_timing(entry: dict, path: str | Path | None = None) -> Path | None:
     """Append one timing record to ``BENCH_parallel.json`` (best effort).
 
@@ -1041,13 +1063,15 @@ def record_parallel_timing(entry: dict, path: str | Path | None = None) -> Path 
     metrics snapshot (counters, gauges, timing counts) under ``metrics``,
     so a perf claim in a future PR carries its own evidence — cache hit
     rates, tier traffic, and migration accounting travel with the wall
-    time they explain.
+    time they explain — plus the wall-clock :func:`stage_breakdown`
+    under ``stages``.
     """
     target = parallel_json_path(path)
     if target is None:
         return None
     entry = dict(entry)
     entry.setdefault("metrics", process_metrics().deterministic_snapshot())
+    entry.setdefault("stages", stage_breakdown())
     records: list = []
     if target.exists():
         try:

@@ -16,8 +16,12 @@ Sweeps parallelise: when the app factory is a picklable
 :class:`repro.sim.parallel.AppSpec`, the points fan out across an
 :class:`repro.sim.parallel.ExperimentPool` (``jobs`` argument, or the
 ``REPRO_JOBS`` environment variable), and each worker reuses the app's
-deterministic trace across its points via the per-process trace cache.
-Arbitrary callables still run serially in-process.
+deterministic trace — plus its LLC hit mask and compiled miss profile
+(:mod:`repro.sim.profilepack`) — across its points via the per-process
+trace cache, so every static-placement measure segment of the sweep is
+priced in O(pages) from one shared profile.  Arbitrary callables still
+run serially in-process (and replay: without a content key there is no
+artifact sharing to compile for).
 """
 
 from __future__ import annotations

@@ -46,6 +46,7 @@ full checksum pass per hit dominated warm-cell time.
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -58,6 +59,7 @@ from repro.faults.plan import SITE_CACHE_CORRUPT
 from repro.mem.trace import AccessTrace
 from repro.obs.metrics import process_metrics
 from repro.obs.tracer import span
+from repro.sim.profilepack import TraceProfile, build_profile
 from repro.sim.tracestore import TraceStore, process_trace_store
 
 #: Environment variable overriding the trace-entry bound (0 disables).
@@ -104,6 +106,8 @@ class TraceCacheStats:
     trace_misses: int = 0
     mask_hits: int = 0
     mask_misses: int = 0
+    profile_hits: int = 0
+    profile_misses: int = 0
     evictions: int = 0
     #: Corrupted / shape-mismatched entries dropped and recomputed.
     corruption_discards: int = 0
@@ -111,6 +115,8 @@ class TraceCacheStats:
     store_trace_hits: int = 0
     #: Mask misses served from the persistent store (no LLC simulation).
     store_mask_hits: int = 0
+    #: Profile misses served from the persistent store (no fold).
+    store_profile_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -118,10 +124,13 @@ class TraceCacheStats:
             "trace_misses": self.trace_misses,
             "mask_hits": self.mask_hits,
             "mask_misses": self.mask_misses,
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
             "evictions": self.evictions,
             "corruption_discards": self.corruption_discards,
             "store_trace_hits": self.store_trace_hits,
             "store_mask_hits": self.store_mask_hits,
+            "store_profile_hits": self.store_profile_hits,
         }
 
 
@@ -166,6 +175,7 @@ class TraceCache:
         )
         self._traces: OrderedDict[Hashable, _TraceEntry] = OrderedDict()
         self._masks: dict[Hashable, dict[tuple, np.ndarray]] = {}
+        self._profiles: dict[Hashable, dict[tuple, TraceProfile]] = {}
         self.stats = TraceCacheStats()
 
     @property
@@ -179,6 +189,7 @@ class TraceCache:
     def _discard(self, key: Hashable) -> None:
         self._traces.pop(key, None)
         self._masks.pop(key, None)
+        self._profiles.pop(key, None)
         self.stats.corruption_discards += 1
         _count("corruption_discards")
 
@@ -212,8 +223,12 @@ class TraceCache:
                 self.stats.store_trace_hits += 1
                 _count("store_trace_hits")
                 return trace
+        started = time.perf_counter()
         with span("cache.build_trace", cat="cache", key=str(key)):
             trace = builder()
+        process_metrics().observe(
+            "stage.trace_gen", time.perf_counter() - started
+        )
         if store is not None and isinstance(trace, AccessTrace):
             store.save_trace(key, trace)
         return trace
@@ -235,9 +250,11 @@ class TraceCache:
         trace = self._trace_from_store_or_builder(key, builder)
         self._traces[key] = _TraceEntry(trace=trace, checksum=trace_checksum(trace))
         self._masks.setdefault(key, {})
+        self._profiles.setdefault(key, {})
         while len(self._traces) > self.max_traces:
             evicted, _ = self._traces.popitem(last=False)
             self._masks.pop(evicted, None)
+            self._profiles.pop(evicted, None)
             self.stats.evictions += 1
             _count("evictions")
         return trace
@@ -280,13 +297,71 @@ class TraceCache:
                 self.stats.store_mask_hits += 1
                 _count("store_mask_hits")
         if mask is None:
+            started = time.perf_counter()
             with span("cache.build_mask", cat="cache", key=str(key)):
                 mask = llc.hit_mask(trace.all_addresses())
+            process_metrics().observe(
+                "stage.hit_mask", time.perf_counter() - started
+            )
             if store is not None and store.has_trace(key):
                 store.save_mask(key, llc_sig, mask)
         if masks is not None:
             masks[llc_sig] = mask
         return mask
+
+    def profile(
+        self, key: Hashable, llc, trace: AccessTrace, hits: np.ndarray
+    ) -> TraceProfile:
+        """The compiled miss profile of ``(trace, llc)``, folded once.
+
+        Third artifact of the lattice (see :mod:`repro.sim.profilepack`):
+        keyed like hit masks by ``(trace key, LLC geometry)``, because the
+        profile depends on the hit mask but **not** on placement — every
+        placement cell sharing the key prices from this one profile.  A
+        cached or stored profile that no longer describes the trace is
+        discarded and rebuilt, mirroring the mask shape guard.
+        """
+        llc_sig = llc_signature(llc)
+        profiles = (
+            self._profiles.get(key) if self.max_traces != 0 else None
+        )
+        if profiles is not None:
+            cached = profiles.get(llc_sig)
+            if cached is not None and not cached.matches(trace):
+                profiles.pop(llc_sig, None)
+                self.stats.corruption_discards += 1
+                _count("corruption_discards")
+                cached = None
+            if cached is not None:
+                self.stats.profile_hits += 1
+                _count("profile_hits")
+                return cached
+        self.stats.profile_misses += 1
+        _count("profile_misses")
+        profile = None
+        store = self.store
+        if store is not None:
+            profile = store.load_profile(
+                key,
+                llc_sig,
+                expected_phases=len(trace.phases),
+                expected_accesses=trace.total_accesses,
+            )
+            if profile is not None:
+                self.stats.store_profile_hits += 1
+                _count("store_profile_hits")
+        if profile is None:
+            started = time.perf_counter()
+            with span("cache.build_profile", cat="cache", key=str(key)):
+                profile = build_profile(trace, hits)
+            process_metrics().observe(
+                "stage.profile_build", time.perf_counter() - started
+            )
+            if store is not None and store.has_trace(key):
+                store.save_profile(key, llc_sig, profile)
+        if profiles is not None:
+            profiles[llc_sig] = profile
+        return profile
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -296,6 +371,7 @@ class TraceCache:
         """Drop every cached artifact (counters are kept)."""
         self._traces.clear()
         self._masks.clear()
+        self._profiles.clear()
 
 
 def _corrupt_trace(trace: AccessTrace) -> None:

@@ -60,6 +60,11 @@ from repro.mem.trace import AccessTrace
 from repro.obs.bus import emit
 from repro.obs.metrics import process_metrics
 from repro.obs.tracer import span
+from repro.sim.profilepack import (
+    TraceProfile,
+    profile_from_columnar,
+    profile_to_columnar,
+)
 
 FORMAT_VERSION = 1
 
@@ -99,6 +104,8 @@ class TraceStoreStats:
     trace_saves: int = 0
     mask_loads: int = 0
     mask_saves: int = 0
+    profile_loads: int = 0
+    profile_saves: int = 0
     #: Entries dropped because they failed CRC / shape / format checks.
     rejects: int = 0
 
@@ -108,6 +115,8 @@ class TraceStoreStats:
             "trace_saves": self.trace_saves,
             "mask_loads": self.mask_loads,
             "mask_saves": self.mask_saves,
+            "profile_loads": self.profile_loads,
+            "profile_saves": self.profile_saves,
             "rejects": self.rejects,
         }
 
@@ -130,6 +139,11 @@ class TraceStore:
 
     def _mask_paths(self, key: Hashable, llc_sig: tuple) -> tuple[Path, Path]:
         stem = f"mask-{llc_digest(llc_sig)}"
+        entry = self.entry_dir(key)
+        return entry / f"{stem}.npy", entry / f"{stem}.json"
+
+    def _profile_paths(self, key: Hashable, llc_sig: tuple) -> tuple[Path, Path]:
+        stem = f"profile-{llc_digest(llc_sig)}"
         entry = self.entry_dir(key)
         return entry / f"{stem}.npy", entry / f"{stem}.json"
 
@@ -180,7 +194,7 @@ class TraceStore:
             flat = self._load_array(
                 entry / TRACE_ARRAY,
                 dtype=np.int64,
-                length=int(manifest.get("total", -1)),
+                shape=(int(manifest.get("total", -1)),),
                 crc32=manifest.get("crc32"),
             )
             if flat is None:
@@ -241,19 +255,108 @@ class TraceStore:
             or sidecar.get("llc") != list(llc_sig)
             or int(sidecar.get("n", -1)) != expected_len
         ):
-            return self._reject_mask(array_path, sidecar_path)
+            return self._reject_files(array_path, sidecar_path, "mask")
         mask = self._load_array(
             array_path,
             dtype=np.bool_,
-            length=expected_len,
+            shape=(expected_len,),
             crc32=sidecar.get("crc32"),
         )
         if mask is None:
-            return self._reject_mask(array_path, sidecar_path)
+            return self._reject_files(array_path, sidecar_path, "mask")
         self.stats.mask_loads += 1
         process_metrics().inc("store.mask_loads")
         touch_entry(array_path.parent)
         return mask
+
+    # ------------------------------------------------------------------
+    # compiled profiles
+    # ------------------------------------------------------------------
+    def has_profile(self, key: Hashable, llc_sig: tuple) -> bool:
+        return self._profile_paths(key, llc_sig)[1].exists()
+
+    def save_profile(
+        self, key: Hashable, llc_sig: tuple, profile: TraceProfile
+    ) -> bool:
+        """Persist one LLC geometry's compiled miss profile.
+
+        The CSR pages/counts pair lands as one stacked ``int64 [2, nnz]``
+        array (mmap-shareable like traces and masks); the per-phase
+        metadata rides in the JSON sidecar together with the array CRC.
+        """
+        array_path, sidecar_path = self._profile_paths(key, llc_sig)
+        if sidecar_path.exists():
+            return False
+        stacked, record = profile_to_columnar(profile)
+        sidecar = {
+            "format": FORMAT_VERSION,
+            "llc": list(llc_sig),
+            "crc32": _crc32(stacked),
+            **record,
+        }
+        try:
+            array_path.parent.mkdir(parents=True, exist_ok=True)
+            self._commit_array(
+                array_path, stacked, tag=f"{array_path.parent.name}/profile"
+            )
+            self._commit_json(sidecar_path, sidecar)
+        except OSError:
+            return False
+        self.stats.profile_saves += 1
+        process_metrics().inc("store.profile_saves")
+        enforce_cache_budget(protect={array_path.parent})
+        return True
+
+    def load_profile(
+        self,
+        key: Hashable,
+        llc_sig: tuple,
+        *,
+        expected_phases: int,
+        expected_accesses: int,
+    ) -> TraceProfile | None:
+        """The stored profile (CSR arrays as mmap views), or ``None``.
+
+        ``expected_phases``/``expected_accesses`` come from the trace the
+        caller is about to price; a stored profile describing a different
+        trace shape is stale and rejected like any corrupt entry.
+        """
+        array_path, sidecar_path = self._profile_paths(key, llc_sig)
+        sidecar = self._read_json(sidecar_path)
+        if sidecar is None:
+            return None
+        if (
+            sidecar.get("format") != FORMAT_VERSION
+            or sidecar.get("llc") != list(llc_sig)
+        ):
+            return self._reject_files(array_path, sidecar_path, "profile")
+        try:
+            nnz = int(sidecar.get("nnz", -1))
+        except (TypeError, ValueError):
+            return self._reject_files(array_path, sidecar_path, "profile")
+        if nnz < 0:
+            return self._reject_files(array_path, sidecar_path, "profile")
+        stacked = self._load_array(
+            array_path,
+            dtype=np.int64,
+            shape=(2, nnz),
+            crc32=sidecar.get("crc32"),
+        )
+        if stacked is None:
+            return self._reject_files(array_path, sidecar_path, "profile")
+        try:
+            profile = profile_from_columnar(stacked, sidecar)
+        except TraceError:
+            return self._reject_files(array_path, sidecar_path, "profile")
+        if (
+            profile.n_phases != expected_phases
+            or profile.total_accesses != expected_accesses
+        ):
+            return self._reject_files(array_path, sidecar_path, "profile")
+        self.stats.profile_loads += 1
+        process_metrics().inc("store.profile_loads")
+        touch_entry(array_path.parent)
+        return profile
 
     # ------------------------------------------------------------------
     # internals
@@ -292,14 +395,14 @@ class TraceStore:
         return payload if isinstance(payload, dict) else None
 
     def _load_array(
-        self, path: Path, *, dtype, length: int, crc32
+        self, path: Path, *, dtype, shape: tuple, crc32
     ) -> np.ndarray | None:
         """mmap one array file; validate shape/dtype/CRC (once per process)."""
         try:
             array = np.load(path, mmap_mode="r")
         except (OSError, ValueError, EOFError):
             return None
-        if array.dtype != dtype or array.ndim != 1 or array.size != length:
+        if array.dtype != dtype or array.shape != tuple(shape):
             return None
         if path not in self._verified:
             if not isinstance(crc32, int) or _crc32(array) != crc32:
@@ -317,12 +420,15 @@ class TraceStore:
         shutil.rmtree(entry, ignore_errors=True)
         return None
 
-    def _reject_mask(self, array_path: Path, sidecar_path: Path) -> None:
+    def _reject_files(
+        self, array_path: Path, sidecar_path: Path, what: str
+    ) -> None:
+        """Drop one per-LLC artifact (mask/profile) pair; caller rebuilds."""
         self.stats.rejects += 1
         process_metrics().inc("store.rejects")
         emit(
             "store.reject",
-            "mask failed validation",
+            f"{what} failed validation",
             source="store",
             entry=array_path.parent.name,
         )

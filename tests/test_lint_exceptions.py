@@ -1,13 +1,15 @@
 """AST lint (tier-1 face of ``tools/astlint.py``).
 
-Two checks over every source file under ``src/``:
+Three checks over every source file under ``src/``:
 
 - no silent exception swallowing — a bare ``except:`` or an ``except
   Exception: pass`` turns an injected fault (or a real bug) into
   silence, defeating the chaos matrix and the consistency audits;
 - no bare ``print()`` outside the report surface (``cli.py`` and the
   bench report/regression output) — library code signals through the
-  observability plane, not stdout.
+  observability plane, not stdout;
+- no assigned-but-unused locals (``_``-prefixed names allowlisted) —
+  dead assignments are stale refactor remnants.
 
 The logic lives in ``tools/astlint.py`` so ``make lint`` and this test
 enforce exactly the same rules; the module is imported by file path
@@ -58,3 +60,43 @@ def test_print_allowlist_is_tight():
         if not (repro_root / entry).exists()
     ]
     assert not missing, f"PRINT_ALLOWED entries without a file: {missing}"
+
+
+def test_sources_contain_no_unused_locals():
+    problems = []
+    for path in sorted(astlint.SRC.rglob("*.py")):
+        problems.extend(astlint.unused_local_violations(path))
+    assert not problems, (
+        "locals assigned but never used in src/ (drop them or prefix "
+        "with `_`):\n  " + "\n  ".join(problems)
+    )
+
+
+def test_unused_local_check_flags_dead_assignment(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        "def f(x):\n"
+        "    system = x.system\n"       # dead: never read again
+        "    _scratch = x.other\n"      # allowlisted by prefix
+        "    a, b = x.pair\n"           # tuple unpacking: not checked
+        "    y = 1\n"
+        "    y += 1\n"                  # augmented assign counts as a use
+        "    total = 0\n"
+        "    def inner():\n"
+        "        return total\n"        # closure read counts as a use
+        "    return inner() + y + b\n"
+    )
+    problems = astlint.unused_local_violations(sample)
+    assert len(problems) == 1, problems
+    assert "`system`" in problems[0] and ":2:" in problems[0]
+
+
+def test_unused_local_check_respects_global_declarations(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        "state = None\n"
+        "def setup(value):\n"
+        "    global state\n"
+        "    state = value\n"
+    )
+    assert astlint.unused_local_violations(sample) == []

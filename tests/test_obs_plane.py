@@ -528,3 +528,37 @@ class TestBenchRegressionGate:
         assert load_rows(target) == []
         target.write_text("{not json")
         assert load_rows(target) == []
+
+    def test_cold_parallel_slower_than_serial_warns_with_stages(self):
+        from repro.bench.regression import cold_parallel_warnings
+
+        rows = [
+            self._row(phase="serial", jobs=1, wall=10.0),
+            {
+                **self._row(phase="cold-2", wall=14.0),
+                "stages": {
+                    "trace_gen": {"seconds": 9.5, "count": 25},
+                    "pricing": {"seconds": 0.4, "count": 50},
+                },
+            },
+        ]
+        warnings = cold_parallel_warnings(rows)
+        assert len(warnings) == 2, warnings
+        assert "cold-2" in warnings[0] and "40% slower" in warnings[0]
+        assert "trace_gen 9.50s" in warnings[1]
+
+    def test_cold_parallel_faster_than_serial_is_quiet(self):
+        from repro.bench.regression import cold_parallel_warnings
+
+        rows = [
+            self._row(phase="serial", jobs=1, wall=10.0),
+            self._row(phase="cold-2", wall=8.0),
+            self._row(phase="warm-2", wall=1.0),
+        ]
+        assert cold_parallel_warnings(rows) == []
+
+    def test_cold_parallel_without_serial_baseline_is_skipped(self):
+        from repro.bench.regression import cold_parallel_warnings
+
+        rows = [self._row(phase="cold-2", wall=100.0)]
+        assert cold_parallel_warnings(rows) == []

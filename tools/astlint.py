@@ -1,6 +1,6 @@
 """AST lint over ``src/repro``: exception hygiene and output discipline.
 
-Two checks, both pure ``ast`` walks (no third-party linter):
+Three checks, all pure ``ast`` walks (no third-party linter):
 
 - **No silent exception swallowing.**  A bare ``except:`` (which also
   catches ``KeyboardInterrupt``/``SystemExit``) or an ``except
@@ -14,9 +14,17 @@ Two checks, both pure ``ast`` walks (no third-party linter):
   runs stay quiet, parseable, and deterministic; only the CLI and the
   bench report/regression output are allowed to write to stdout.
 
+- **No assigned-but-unused locals.**  A plain ``name = ...`` inside a
+  function whose name is never read again is dead weight at best and a
+  stale refactor remnant at worst (the kind that hides a dropped side
+  effect).  Names starting with ``_`` are allowlisted — that prefix is
+  the idiom for "intentionally discarded".  Only simple single-name
+  assignments are checked; tuple unpacking and loop targets routinely
+  discard legitimately.
+
 Run standalone (``make lint`` / ``python tools/astlint.py``) or through
 the tier-1 test ``tests/test_lint_exceptions.py``, which imports this
-module by path and asserts both checks come back clean.
+module by path and asserts all checks come back clean.
 """
 
 from __future__ import annotations
@@ -35,6 +43,14 @@ PRINT_ALLOWED = {
     "bench/report.py",
     "bench/regression.py",
 }
+
+
+def _rel(path: Path) -> Path:
+    """``path`` relative to the source root, or as-is outside it."""
+    try:
+        return path.relative_to(SRC)
+    except ValueError:
+        return path
 
 
 def _broad_names(node: ast.expr | None) -> bool:
@@ -66,7 +82,7 @@ def silent_handler_violations(path: Path) -> list[str]:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
-        where = f"{path.relative_to(SRC)}:{node.lineno}"
+        where = f"{_rel(path)}:{node.lineno}"
         if node.type is None:
             problems.append(f"{where}: bare `except:`")
         elif _broad_names(node.type) and _is_silent(node.body):
@@ -92,8 +108,68 @@ def print_violations(path: Path) -> list[str]:
             and node.func.id == "print"
         ):
             problems.append(
-                f"{path.relative_to(SRC)}:{node.lineno}: bare print() — "
+                f"{_rel(path)}:{node.lineno}: bare print() — "
                 "emit through repro.obs or return text to the CLI"
+            )
+    return problems
+
+
+def _own_scope_nodes(func: ast.AST):
+    """The nodes of one function's own scope (nested scopes excluded)."""
+    for child in ast.iter_child_nodes(func):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        yield child
+        yield from _own_scope_nodes(child)
+
+
+def unused_local_violations(path: Path) -> list[str]:
+    """Locals assigned once via a simple name and never read afterwards.
+
+    Uses are counted over the *whole* function subtree (closures reading
+    an outer local are uses), while assignments are only collected from
+    the function's own scope, so an inner function's locals are never
+    misattributed to its parent.  ``global``/``nonlocal`` names and
+    ``_``-prefixed names are exempt.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        assigned: dict[str, int] = {}
+        escaping: set[str] = set()
+        for node in _own_scope_nodes(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                escaping.update(node.names)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    assigned.setdefault(target.id, node.lineno)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    assigned.setdefault(target.id, node.lineno)
+        if not assigned:
+            continue
+        used: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Load, ast.Del)
+            ):
+                used.add(node.id)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                used.add(node.target.id)
+        for name, lineno in sorted(assigned.items(), key=lambda kv: kv[1]):
+            if name in used or name in escaping:
+                continue
+            problems.append(
+                f"{_rel(path)}:{lineno}: local `{name}` assigned "
+                "but never used — drop it or prefix with `_`"
             )
     return problems
 
@@ -107,6 +183,7 @@ def run_lint(root: Path = SRC) -> list[str]:
     for path in files:
         problems.extend(silent_handler_violations(path))
         problems.extend(print_violations(path))
+        problems.extend(unused_local_violations(path))
     return problems
 
 
