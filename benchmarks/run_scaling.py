@@ -19,10 +19,14 @@ compared against the serial run: the data plane must be invisible in
 results (bit-identical figures) while changing only the wall-clock.
 
 Every recorded row carries a per-stage wall-clock breakdown (graph
-build / trace generation / hit-mask solve / profile build / pricing —
-see :func:`repro.sim.parallel.stage_breakdown`), printed per phase, so
-a regressed configuration names the stage that slowed down instead of
-just the total.
+build / trace generation / reuse-profile build / mask derivation /
+direct hit-mask solve / profile build / pricing — see
+:func:`repro.sim.parallel.stage_breakdown`), printed per phase, so a
+regressed configuration names the stage that slowed down instead of
+just the total.  ``stage.reuse_build`` + ``stage.mask_derive`` replace
+most of ``stage.hit_mask`` since masks are derived from compiled reuse
+profiles (:mod:`repro.sim.reusepack`); the direct stage only appears
+for cache models the profile cannot describe.
 
 Exit status is non-zero if any phase produces different bytes, if a warm
 parallel run fails to beat serial, or if a cold parallel run regresses

@@ -27,9 +27,82 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.mem.cachejit import lru_kernel
 
 LINE_SHIFT = 6
 LINE_SIZE = 1 << LINE_SHIFT
+
+#: Reuse gap reported for the first access to a line (cold miss); matches
+#: :data:`repro.mem.stack_distance.COLD` so cold sets line up across the
+#: exact and approximate models.
+GAP_COLD = np.iinfo(np.int64).max
+
+
+def reuse_time_gaps(addrs: np.ndarray, line_shift: int = LINE_SHIFT) -> np.ndarray:
+    """Per-access reuse time gap at line granularity; ``GAP_COLD`` marks a
+    first occurrence.
+
+    This is the vectorised fold the working-set model is built on (one
+    stable argsort over line numbers), shared by
+    :meth:`WorkingSetCache.reuse_gaps` and the compiled reuse profiles in
+    :mod:`repro.sim.reusepack`.  The gaps are **LLC-size-independent**:
+    they depend only on the address stream and the line granularity,
+    which is what lets one fold serve every capacity of a sweep.
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = addrs.size
+    gaps = np.full(n, GAP_COLD, dtype=np.int64)
+    if n == 0:
+        return gaps
+    lines = addrs >> line_shift
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    same = sorted_lines[1:] == sorted_lines[:-1]
+    gaps_sorted = np.full(n, GAP_COLD, dtype=np.int64)
+    gaps_sorted[1:][same] = order[1:][same] - order[:-1][same]
+    gaps[order] = gaps_sorted
+    return gaps
+
+
+def gap_window_curve(
+    sorted_gaps: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Prefix sums and window-function samples of ascending float64 gaps.
+
+    Returns ``(prefix, f_at_gap)`` where ``prefix[k]`` is the sum of the
+    ``k`` smallest gaps and ``f_at_gap[k] = f(g_k)`` samples the
+    piecewise-linear window function ``f(W) = sum_i min(gap_i, W)`` at
+    the k-th gap value.  Both are capacity-independent, so one curve
+    prices every LLC size (see :func:`solve_window_curve`).
+    """
+    t = sorted_gaps.size
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_gaps)))
+    remaining = t - 1 - np.arange(t, dtype=np.float64)
+    f_at_gap = prefix[1:] + sorted_gaps * remaining
+    return prefix, f_at_gap
+
+
+def solve_window_curve(
+    prefix: np.ndarray, f_at_gap: np.ndarray, capacity_lines: int
+) -> float:
+    """Solve ``f(W*) = capacity * T`` on a precomputed curve in O(log T).
+
+    The closed form of :meth:`WorkingSetCache.solve_window`, split from
+    the per-trace sort so a cached curve answers any capacity without
+    re-sorting.  Returns ``inf`` when the whole footprint fits.
+    """
+    t = f_at_gap.size
+    if t == 0:
+        return float("inf")
+    target = float(capacity_lines) * t
+    k = int(np.searchsorted(f_at_gap, target, side="left"))
+    if k >= t:
+        return float("inf")
+    # Solve prefix[k] + W * (t - k) = target on [g[k-1], g[k]].
+    denom = t - k
+    if denom <= 0:
+        return float("inf")
+    return (target - prefix[k]) / denom
 
 
 def _check_geometry(size_bytes: int, line_size: int) -> int:
@@ -110,8 +183,12 @@ class SetAssociativeCache:
     :class:`DirectMappedCache`) and replays each set's accesses in program
     order against plain Python ints — an order of magnitude faster than
     the naive per-access loop, which survives as
-    :meth:`access_reference` for parity testing.  Intended for tests and
-    validation studies on traces up to a few million accesses.
+    :meth:`access_reference` for parity testing.  When numba is
+    installed (optional — see :mod:`repro.mem.cachejit`) the per-set
+    replay runs as a compiled kernel over flat int64 state with
+    bit-identical semantics; without it the Python loop is used.
+    Intended for tests and validation studies on traces up to a few
+    million accesses.
     """
 
     def __init__(self, size_bytes: int, ways: int, line_size: int = LINE_SIZE) -> None:
@@ -157,17 +234,37 @@ class SetAssociativeCache:
         ends = np.concatenate((boundaries, [sorted_sets.size]))
         hits_sorted = np.empty(addrs.size, dtype=bool)
         ways = self.ways
-        for start, end in zip(starts.tolist(), ends.tolist()):
-            bucket = self._sets[int(sorted_sets[start])]
-            for offset, line in enumerate(sorted_lines[start:end].tolist(), start):
-                try:
-                    bucket.remove(line)
-                    hits_sorted[offset] = True
-                except ValueError:
-                    hits_sorted[offset] = False
-                    if len(bucket) >= ways:
-                        bucket.pop(0)
-                bucket.append(line)
+        kernel = lru_kernel()
+        if kernel is not None:
+            # Serialise only the touched sets into a compact (runs, ways)
+            # matrix, replay in compiled code, and write the LRU lists
+            # back — the Python lists stay the canonical state so the
+            # fallback path and access_reference stay interchangeable.
+            touched = sorted_sets[starts].tolist()
+            n_runs = starts.size
+            state = np.zeros((n_runs, ways), dtype=np.int64)
+            fill = np.zeros(n_runs, dtype=np.int64)
+            for row, set_id in enumerate(touched):
+                bucket = self._sets[set_id]
+                if bucket:
+                    fill[row] = len(bucket)
+                    state[row, : len(bucket)] = bucket
+            compact = np.repeat(np.arange(n_runs, dtype=np.int64), ends - starts)
+            kernel(compact, sorted_lines, starts, ends, state, fill, ways, hits_sorted)
+            for row, set_id in enumerate(touched):
+                self._sets[set_id] = state[row, : fill[row]].tolist()
+        else:
+            for start, end in zip(starts.tolist(), ends.tolist()):
+                bucket = self._sets[int(sorted_sets[start])]
+                for offset, line in enumerate(sorted_lines[start:end].tolist(), start):
+                    try:
+                        bucket.remove(line)
+                        hits_sorted[offset] = True
+                    except ValueError:
+                        hits_sorted[offset] = False
+                        if len(bucket) >= ways:
+                            bucket.pop(0)
+                    bucket.append(line)
         hits = np.empty(addrs.size, dtype=bool)
         hits[order] = hits_sorted
         return hits
@@ -228,20 +325,9 @@ class WorkingSetCache:
         """No-op: the model is stateless across runs."""
 
     def reuse_gaps(self, addrs: np.ndarray) -> np.ndarray:
-        """Per-access reuse time gap; INT64_MAX marks a first occurrence."""
-        addrs = np.asarray(addrs, dtype=np.int64)
-        n = addrs.size
-        gaps = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-        if n == 0:
-            return gaps
-        lines = addrs >> self._line_shift
-        order = np.argsort(lines, kind="stable")
-        sorted_lines = lines[order]
-        same = sorted_lines[1:] == sorted_lines[:-1]
-        gaps_sorted = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-        gaps_sorted[1:][same] = order[1:][same] - order[:-1][same]
-        gaps[order] = gaps_sorted
-        return gaps
+        """Per-access reuse time gap; :data:`GAP_COLD` marks a first
+        occurrence (see :func:`reuse_time_gaps`)."""
+        return reuse_time_gaps(addrs, self._line_shift)
 
     def solve_window(self, gaps: np.ndarray) -> float:
         """The window W* with average working-set size = cache capacity.
@@ -250,23 +336,9 @@ class WorkingSetCache:
         solve ``f(W) = C * T`` on the sorted gaps in closed form.  Returns
         ``inf`` when the whole footprint fits (every reuse hits).
         """
-        t = gaps.size
-        if t == 0:
-            return float("inf")
-        target = float(self.capacity_lines) * t
         sorted_gaps = np.sort(gaps).astype(np.float64)
-        prefix = np.concatenate(([0.0], np.cumsum(sorted_gaps)))
-        # f at the k-th gap value: prefix[k+1] + g[k] * (t - k - 1).
-        remaining = t - 1 - np.arange(t, dtype=np.float64)
-        f_at_gap = prefix[1:] + sorted_gaps * remaining
-        k = int(np.searchsorted(f_at_gap, target, side="left"))
-        if k >= t:
-            return float("inf")
-        # Solve prefix[k] + W * (t - k) = target on [g[k-1], g[k]].
-        denom = t - k
-        if denom <= 0:
-            return float("inf")
-        return (target - prefix[k]) / denom
+        prefix, f_at_gap = gap_window_curve(sorted_gaps)
+        return solve_window_curve(prefix, f_at_gap, self.capacity_lines)
 
     def hit_mask(self, addrs: np.ndarray) -> np.ndarray:
         """Boolean hit mask for one full run's address stream."""
@@ -276,5 +348,5 @@ class WorkingSetCache:
         gaps = self.reuse_gaps(addrs)
         window = self.solve_window(gaps)
         if np.isinf(window):
-            return gaps < np.iinfo(np.int64).max
+            return gaps < GAP_COLD
         return gaps <= window

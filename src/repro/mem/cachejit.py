@@ -1,0 +1,109 @@
+"""Optional numba-JIT kernel for the set-associative LLC simulator.
+
+:class:`repro.mem.cache.SetAssociativeCache` replays each set's accesses
+against Python-list LRU buckets — exact, but interpreter-bound.  When
+numba is importable this module compiles the same per-set LRU replay
+over flat int64 state arrays, turning the inner loop into machine code
+while keeping bit-identical semantics (the parity tests compare both
+paths access for access).
+
+The packaging idiom follows the numba runtime pattern: the dependency is
+*optional* and resolved lazily.  ``import numba`` happens on first
+kernel request, an :class:`ImportError` (or a broken numba install
+raising on decoration) degrades to ``None`` and the caller falls back
+to the pure-Python loop, and ``REPRO_JIT=0`` disables the kernel even
+when numba is present.  The kernel body itself is a plain Python
+function (:func:`lru_runs_py`) so tests can exercise its logic without
+numba installed.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: ``0`` / ``off`` / ``false`` / ``no`` disables JIT even with numba present.
+JIT_ENV = "REPRO_JIT"
+
+_DISABLED_VALUES = ("0", "off", "false", "no")
+
+
+def jit_enabled() -> bool:
+    """Whether the environment allows the JIT kernel at all."""
+    raw = os.environ.get(JIT_ENV, "").strip().lower()
+    return raw not in _DISABLED_VALUES or raw == ""
+
+
+def lru_runs_py(
+    sorted_sets,
+    sorted_lines,
+    starts,
+    ends,
+    state,
+    fill,
+    ways,
+    hits_sorted,
+) -> None:
+    """Replay set-grouped accesses against per-set LRU arrays, in place.
+
+    ``state[s, :fill[s]]`` holds set *s*'s resident lines LRU-first /
+    MRU-last — exactly the order of the Python-list buckets in
+    :class:`repro.mem.cache.SetAssociativeCache` — and is updated the
+    same way: a hit moves the line to the MRU slot, a miss at capacity
+    shifts everything down (evicting the LRU line at index 0).  Written
+    in the numba-compilable subset (index loops, no Python objects) so
+    the compiled and interpreted versions are the same code.
+    """
+    for r in range(starts.size):
+        start = starts[r]
+        end = ends[r]
+        set_id = sorted_sets[start]
+        n_fill = fill[set_id]
+        for i in range(start, end):
+            line = sorted_lines[i]
+            pos = -1
+            for j in range(n_fill):
+                if state[set_id, j] == line:
+                    pos = j
+                    break
+            if pos >= 0:
+                hits_sorted[i] = True
+                for j in range(pos, n_fill - 1):
+                    state[set_id, j] = state[set_id, j + 1]
+                state[set_id, n_fill - 1] = line
+            else:
+                hits_sorted[i] = False
+                if n_fill >= ways:
+                    for j in range(n_fill - 1):
+                        state[set_id, j] = state[set_id, j + 1]
+                    state[set_id, n_fill - 1] = line
+                else:
+                    state[set_id, n_fill] = line
+                    n_fill += 1
+        fill[set_id] = n_fill
+
+
+#: Tri-state cache: unresolved / resolved-to-None / resolved-to-kernel.
+_RESOLVED = False
+_KERNEL = None
+
+
+def lru_kernel():
+    """The compiled LRU replay kernel, or ``None`` when unavailable.
+
+    ``None`` means "use the interpreter fallback": numba missing, numba
+    broken (compilation raised), or :data:`JIT_ENV` disabled it.  The
+    environment gate is re-read per call so tests can toggle it; the
+    expensive import/compile happens once per process.
+    """
+    global _RESOLVED, _KERNEL
+    if not jit_enabled():
+        return None
+    if not _RESOLVED:
+        _RESOLVED = True
+        try:
+            import numba  # noqa: PLC0415 — optional, resolved lazily
+
+            _KERNEL = numba.njit(cache=True)(lru_runs_py)
+        except ImportError:
+            _KERNEL = None
+    return _KERNEL

@@ -1,0 +1,268 @@
+"""Compiled reuse profiles: one pass over a trace, masks for every LLC size.
+
+The fourth cached artifact of the lattice ``trace -> reuse profile ->
+LLC hit mask -> miss profile``.  Where a hit mask is keyed by
+``(trace, llc_sig)`` and a miss profile by the same pair, a
+:class:`ReuseProfile` is keyed by the **trace alone** (plus the line
+granularity): the working-set model's reuse time gaps depend only on
+the address stream and the cache-line size, never on capacity.  The
+profile therefore holds
+
+- ``gaps`` — per-access reuse time gaps in program order (the output of
+  :func:`repro.mem.cache.reuse_time_gaps`, with
+  :data:`repro.mem.cache.GAP_COLD` marking first occurrences), and
+- ``sorted_gaps`` — the same gaps ascending, from which the window
+  curve (prefix sums + ``f(W)`` samples) is derived lazily.
+
+From the cached curve any capacity's working-set window W\\* solves in
+O(log N) (:func:`repro.mem.cache.solve_window_curve` — no re-sort), and
+the hit mask for any LLC geometry is one vectorised compare
+``gaps <= W*``.  A whole fig9/fig10 capacity sweep derives all its
+masks from *one* O(N log N) fold over the trace, and miss-ratio curves
+come for free from the sorted gaps.
+
+Bit-exactness is the contract: :meth:`ReuseProfile.hit_mask` performs
+the *identical* float64 operations as
+:meth:`repro.mem.cache.WorkingSetCache.hit_mask` (same sort → float64
+cast → prefix curve → closed-form solve → compare), so derived masks
+are indistinguishable from direct ones.  The direct path remains the
+parity oracle — ``REPRO_VERIFY_MASK=1`` makes
+:class:`repro.sim.tracecache.TraceCache` recompute every derived mask
+directly and raise on divergence (see DESIGN.md section 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mem.cache import (
+    GAP_COLD,
+    LINE_SIZE,
+    WorkingSetCache,
+    gap_window_curve,
+    reuse_time_gaps,
+    solve_window_curve,
+)
+from repro.mem.trace import AccessTrace
+
+#: Version stamp carried by serialized reuse profiles (repro.sim.tracestore).
+REUSE_FORMAT = 1
+
+
+def derivable(llc) -> bool:
+    """Whether ``llc``'s hit masks can be derived from a reuse profile.
+
+    Exactly :class:`WorkingSetCache` (not a subclass — a subclass could
+    override ``hit_mask`` and break the bit-exactness contract).  The
+    direct-mapped and set-associative simulators model conflict misses,
+    which reuse gaps cannot see.
+    """
+    return type(llc) is WorkingSetCache
+
+
+@dataclass
+class ReuseProfile:
+    """Per-access reuse gaps plus the sorted-gap window curve.
+
+    The window curve (``prefix``/``f_at_gap`` float64 arrays, plus the
+    float64 view of the sorted gaps used for miss-ratio counting) is
+    materialised lazily and cached on the instance, so a profile loaded
+    from the store pays the float conversion once per process and every
+    capacity after that is O(log N).
+    """
+
+    gaps: np.ndarray  # int64 [n], program order; GAP_COLD = first touch
+    sorted_gaps: np.ndarray  # int64 [n], ascending
+    line_size: int = LINE_SIZE
+    _sorted_f: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _prefix: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _f_at_gap: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def n(self) -> int:
+        """Accesses described by this profile."""
+        return int(self.gaps.size)
+
+    def matches(self, trace: AccessTrace) -> bool:
+        """Whether this profile describes ``trace`` (shape-level check).
+
+        Cheap by design, like :meth:`TraceProfile.matches` — content
+        trust comes from the CRC at the store boundary and the content
+        key at the cache boundary.
+        """
+        return self.n == trace.total_accesses
+
+    # ------------------------------------------------------------------
+    # the cached window curve
+    # ------------------------------------------------------------------
+    def _curve(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._f_at_gap is None:
+            # Identical to WorkingSetCache.solve_window's preamble:
+            # ascending gaps cast to float64, then the prefix curve.
+            self._sorted_f = self.sorted_gaps.astype(np.float64)
+            self._prefix, self._f_at_gap = gap_window_curve(self._sorted_f)
+        return self._sorted_f, self._prefix, self._f_at_gap
+
+    def window(self, capacity_lines: int) -> float:
+        """The working-set window W* for one capacity, in O(log N)."""
+        _, prefix, f_at_gap = self._curve()
+        return solve_window_curve(prefix, f_at_gap, capacity_lines)
+
+    # ------------------------------------------------------------------
+    # derived masks and miss ratios
+    # ------------------------------------------------------------------
+    def hit_mask(self, capacity_lines: int) -> np.ndarray:
+        """Boolean hit mask for a working-set LLC of ``capacity_lines``.
+
+        Bit-exact with :meth:`WorkingSetCache.hit_mask` on the same
+        address stream — the same window solve, the same compares.
+        """
+        if self.n == 0:
+            return np.empty(0, dtype=bool)
+        window = self.window(capacity_lines)
+        if np.isinf(window):
+            return self.gaps < GAP_COLD
+        return self.gaps <= window
+
+    def hit_mask_for(self, llc) -> np.ndarray:
+        """Derive ``llc.hit_mask(...)`` without touching the trace.
+
+        Raises :class:`TraceError` when ``llc`` is not a plain
+        :class:`WorkingSetCache` or uses a different line granularity —
+        callers must fall back to the direct simulation then.
+        """
+        if not derivable(llc):
+            raise TraceError(
+                f"cannot derive {type(llc).__name__} masks from a reuse profile"
+            )
+        if llc.line_size != self.line_size:
+            raise TraceError(
+                f"reuse profile built at line size {self.line_size}, "
+                f"LLC uses {llc.line_size}"
+            )
+        return self.hit_mask(llc.capacity_lines)
+
+    def miss_ratio(self, capacity_lines: int) -> float:
+        """Miss ratio at one capacity, in O(log N) — no mask needed."""
+        n = self.n
+        if n == 0:
+            return 0.0
+        window = self.window(capacity_lines)
+        sorted_f, _, _ = self._curve()
+        if np.isinf(window):
+            # Only cold misses: every finite gap hits.
+            hits = int(np.searchsorted(self.sorted_gaps, GAP_COLD, side="left"))
+        else:
+            # Mirrors the float64 `gaps <= window` compare of hit_mask.
+            hits = int(np.searchsorted(sorted_f, window, side="right"))
+        return 1.0 - hits / n
+
+    def miss_ratio_curve(self, capacities_lines) -> np.ndarray:
+        """Miss ratios for a whole capacity sweep (float64, same order)."""
+        return np.array(
+            [self.miss_ratio(int(c)) for c in np.asarray(capacities_lines)],
+            dtype=np.float64,
+        )
+
+
+def build_reuse_profile(
+    addrs: np.ndarray, line_size: int = LINE_SIZE
+) -> ReuseProfile:
+    """Fold one address stream into a :class:`ReuseProfile`.
+
+    One vectorised stable argsort over line numbers (the
+    :func:`repro.mem.cache.reuse_time_gaps` fold) plus one ``np.sort``
+    of the gaps — paid once per trace and amortised over every LLC
+    capacity derived from the result.
+    """
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise TraceError(f"line size must be a power of two, got {line_size}")
+    gaps = reuse_time_gaps(addrs, line_size.bit_length() - 1)
+    return ReuseProfile(
+        gaps=gaps, sorted_gaps=np.sort(gaps), line_size=line_size
+    )
+
+
+def validate_reuse(profile: ReuseProfile) -> None:
+    """Structural validation; raises :class:`TraceError` on any defect.
+
+    Run at the store boundary: a deserialised profile must be internally
+    consistent before masks are derived from it.  Checks are O(N) single
+    passes (no re-sort): the sorted row must be an ascending arrangement
+    with the same extremes and cold count as the program-order row, and
+    every gap must be at least 1 (a line cannot be reused in zero time).
+    """
+    gaps, sorted_gaps = profile.gaps, profile.sorted_gaps
+    if gaps.ndim != 1 or sorted_gaps.shape != gaps.shape:
+        raise TraceError(
+            f"reuse rows disagree: {gaps.shape} vs {sorted_gaps.shape}"
+        )
+    if profile.line_size <= 0 or profile.line_size & (profile.line_size - 1):
+        raise TraceError(
+            f"reuse profile line size {profile.line_size} is not a power of two"
+        )
+    if gaps.size == 0:
+        return
+    if np.any(sorted_gaps[1:] < sorted_gaps[:-1]):
+        raise TraceError("sorted reuse gaps must be non-decreasing")
+    if int(sorted_gaps[0]) < 1:
+        raise TraceError("reuse gaps must be >= 1 access")
+    if int(sorted_gaps[0]) != int(gaps.min()) or int(sorted_gaps[-1]) != int(
+        gaps.max()
+    ):
+        raise TraceError("sorted reuse gaps do not span the program-order gaps")
+    n_cold = int(np.count_nonzero(gaps == GAP_COLD))
+    if int(np.count_nonzero(sorted_gaps == GAP_COLD)) != n_cold:
+        raise TraceError("cold-miss counts disagree between reuse rows")
+    if n_cold == 0:
+        raise TraceError("a non-empty trace must have at least one cold miss")
+
+
+# ----------------------------------------------------------------------
+# columnar (de)serialisation, used by repro.sim.tracestore
+# ----------------------------------------------------------------------
+def reuse_to_columnar(profile: ReuseProfile) -> tuple[np.ndarray, dict]:
+    """Split a reuse profile into one dense array plus a JSON record.
+
+    The array stacks ``gaps`` (row 0) and ``sorted_gaps`` (row 1) as
+    ``int64 [2, n]`` — storing the sorted row costs 2x the bytes but
+    saves every reader the O(N log N) re-sort, which is the whole point
+    of the artifact.
+    """
+    stacked = np.vstack([profile.gaps, profile.sorted_gaps]).astype(np.int64)
+    record = {
+        "reuse_format": REUSE_FORMAT,
+        "n": profile.n,
+        "line_size": int(profile.line_size),
+    }
+    return stacked, record
+
+
+def reuse_from_columnar(stacked: np.ndarray, record: dict) -> ReuseProfile:
+    """Rebuild (and validate) a reuse profile from its serialized halves.
+
+    ``stacked`` may be a read-only mmap view; both gap rows stay
+    zero-copy views into it.  Raises :class:`TraceError` on any
+    structural defect, so callers can reject the store entry.
+    """
+    try:
+        n = int(record["n"])
+        line_size = int(record["line_size"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed reuse record: {exc}") from exc
+    if int(record.get("reuse_format", -1)) != REUSE_FORMAT:
+        raise TraceError("reuse format version mismatch")
+    stacked = np.asarray(stacked)
+    if stacked.dtype != np.int64 or stacked.shape != (2, n):
+        raise TraceError(
+            f"reuse array has dtype/shape {stacked.dtype}/{stacked.shape}, "
+            f"expected int64 (2, {n})"
+        )
+    profile = ReuseProfile(
+        gaps=stacked[0], sorted_gaps=stacked[1], line_size=line_size
+    )
+    validate_reuse(profile)
+    return profile

@@ -12,6 +12,17 @@ model.  Both artifacts are *pure functions of the cell's inputs*:
 - the LLC hit mask (:meth:`repro.mem.cache.WorkingSetCache.hit_mask`) is a
   pure function of the trace and the cache geometry ``(size, line)``.
 
+The full artifact lattice is ``trace -> reuse profile -> hit mask ->
+miss profile``.  The reuse profile (:mod:`repro.sim.reusepack`) is keyed
+by the **trace alone** — reuse gaps are LLC-size-independent — so a
+capacity sweep folds the trace once and derives every geometry's mask
+with one vectorised compare (:meth:`TraceCache.reuse_profile` /
+``stage.mask_derive``).  Derived masks are bit-exact with the direct
+simulation by construction; setting ``REPRO_VERIFY_MASK=1`` re-runs the
+direct ``llc.hit_mask`` as a parity oracle for every derived mask
+(``mask.parity_checks`` / ``mask.parity_failures``) and raises
+:class:`repro.errors.TraceError` on divergence.
+
 The paper's evaluation grid therefore regenerates the same trace up to six
 times per cell (three placements x two iterations) and re-solves the same
 working-set model each time.  :class:`TraceCache` computes each artifact
@@ -54,16 +65,25 @@ from typing import Callable, Hashable
 
 import numpy as np
 
+from repro.errors import TraceError
 from repro.faults.injector import active_injector, fault_point
 from repro.faults.plan import SITE_CACHE_CORRUPT
+from repro.mem.cache import LINE_SIZE
 from repro.mem.trace import AccessTrace
 from repro.obs.metrics import process_metrics
 from repro.obs.tracer import span
 from repro.sim.profilepack import TraceProfile, build_profile
+from repro.sim.reusepack import ReuseProfile, build_reuse_profile, derivable
 from repro.sim.tracestore import TraceStore, process_trace_store
 
 #: Environment variable overriding the trace-entry bound (0 disables).
 CACHE_SIZE_ENV = "REPRO_TRACE_CACHE"
+
+#: When truthy, every reuse-derived hit mask is re-computed by the
+#: direct ``llc.hit_mask`` simulation and the two must be bit-identical
+#: (the mask parity oracle; see REPRO_VERIFY_PROFILE for its pricing
+#: counterpart).
+VERIFY_MASK_ENV = "REPRO_VERIFY_MASK"
 
 #: Default number of distinct traces kept alive per process.
 DEFAULT_MAX_TRACES = 8
@@ -83,14 +103,18 @@ def configured_max_traces() -> int:
     return value
 
 
+def _flat_of(trace: AccessTrace) -> np.ndarray:
+    """The trace's program-order addresses as one contiguous int64 array."""
+    return np.ascontiguousarray(trace.all_addresses(), dtype=np.int64)
+
+
 def trace_checksum(trace: AccessTrace) -> int:
     """CRC32 over the trace's program-order address bytes.
 
     Goes through ``all_addresses()`` (the only method the cache requires
     of a trace), so any phase-level corruption changes the checksum.
     """
-    addrs = np.ascontiguousarray(trace.all_addresses(), dtype=np.int64)
-    return zlib.crc32(addrs.view(np.uint8).data)
+    return zlib.crc32(_flat_of(trace).view(np.uint8).data)
 
 
 def llc_signature(llc) -> tuple:
@@ -108,6 +132,8 @@ class TraceCacheStats:
     mask_misses: int = 0
     profile_hits: int = 0
     profile_misses: int = 0
+    reuse_hits: int = 0
+    reuse_misses: int = 0
     evictions: int = 0
     #: Corrupted / shape-mismatched entries dropped and recomputed.
     corruption_discards: int = 0
@@ -117,6 +143,8 @@ class TraceCacheStats:
     store_mask_hits: int = 0
     #: Profile misses served from the persistent store (no fold).
     store_profile_hits: int = 0
+    #: Reuse-profile misses served from the persistent store (no fold).
+    store_reuse_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -126,11 +154,14 @@ class TraceCacheStats:
             "mask_misses": self.mask_misses,
             "profile_hits": self.profile_hits,
             "profile_misses": self.profile_misses,
+            "reuse_hits": self.reuse_hits,
+            "reuse_misses": self.reuse_misses,
             "evictions": self.evictions,
             "corruption_discards": self.corruption_discards,
             "store_trace_hits": self.store_trace_hits,
             "store_mask_hits": self.store_mask_hits,
             "store_profile_hits": self.store_profile_hits,
+            "store_reuse_hits": self.store_reuse_hits,
         }
 
 
@@ -141,10 +172,17 @@ def _count(name: str, amount: float = 1.0) -> None:
 
 @dataclass
 class _TraceEntry:
-    """A cached trace plus the checksum it must keep matching."""
+    """A cached trace plus the checksum it must keep matching.
+
+    ``flat`` is the program-order address array, materialised once at
+    insertion and shared by every fold over the trace (checksum, hit
+    masks, reuse profiles) — previously each ``llc_sig`` of the same
+    trace re-derived it.
+    """
 
     trace: AccessTrace
     checksum: int
+    flat: np.ndarray
 
 
 class TraceCache:
@@ -176,6 +214,7 @@ class TraceCache:
         self._traces: OrderedDict[Hashable, _TraceEntry] = OrderedDict()
         self._masks: dict[Hashable, dict[tuple, np.ndarray]] = {}
         self._profiles: dict[Hashable, dict[tuple, TraceProfile]] = {}
+        self._reuse: dict[Hashable, dict[int, ReuseProfile]] = {}
         self.stats = TraceCacheStats()
 
     @property
@@ -190,8 +229,21 @@ class TraceCache:
         self._traces.pop(key, None)
         self._masks.pop(key, None)
         self._profiles.pop(key, None)
+        self._reuse.pop(key, None)
         self.stats.corruption_discards += 1
         _count("corruption_discards")
+
+    def _flat_addrs(self, key: Hashable, trace: AccessTrace) -> np.ndarray:
+        """The trace's flat address array, shared across folds.
+
+        Serves the per-entry array materialised at insertion whenever the
+        caller's trace *is* the cached one; otherwise (memory caching off,
+        or an evicted entry) falls back to a direct materialisation.
+        """
+        entry = self._traces.get(key)
+        if entry is not None and entry.trace is trace:
+            return entry.flat
+        return _flat_of(trace)
 
     def _verified(self, key: Hashable) -> AccessTrace | None:
         """The cached trace if present and intact, else ``None``.
@@ -248,13 +300,20 @@ class TraceCache:
         self.stats.trace_misses += 1
         _count("trace_misses")
         trace = self._trace_from_store_or_builder(key, builder)
-        self._traces[key] = _TraceEntry(trace=trace, checksum=trace_checksum(trace))
+        flat = _flat_of(trace)
+        self._traces[key] = _TraceEntry(
+            trace=trace,
+            checksum=zlib.crc32(flat.view(np.uint8).data),
+            flat=flat,
+        )
         self._masks.setdefault(key, {})
         self._profiles.setdefault(key, {})
+        self._reuse.setdefault(key, {})
         while len(self._traces) > self.max_traces:
             evicted, _ = self._traces.popitem(last=False)
             self._masks.pop(evicted, None)
             self._profiles.pop(evicted, None)
+            self._reuse.pop(evicted, None)
             self.stats.evictions += 1
             _count("evictions")
         return trace
@@ -266,6 +325,14 @@ class TraceCache:
         so the same trace evaluated on different platforms (different LLC
         sizes) gets independent masks.  A cached mask whose shape does not
         match the trace is treated as corrupt and recomputed.
+
+        For a plain :class:`~repro.mem.cache.WorkingSetCache` the mask is
+        *derived* from the trace's reuse profile (one O(log N) window
+        solve plus one compare, ``stage.mask_derive``) instead of
+        re-running the O(N log N) direct fold — a capacity sweep pays the
+        fold once (``stage.reuse_build``) and derives every geometry from
+        it.  Other cache models, or traces the profile cannot describe,
+        take the direct ``stage.hit_mask`` path unchanged.
         """
         llc_sig = llc_signature(llc)
         expected = getattr(trace, "total_accesses", None)
@@ -297,17 +364,96 @@ class TraceCache:
                 self.stats.store_mask_hits += 1
                 _count("store_mask_hits")
         if mask is None:
-            started = time.perf_counter()
-            with span("cache.build_mask", cat="cache", key=str(key)):
-                mask = llc.hit_mask(trace.all_addresses())
-            process_metrics().observe(
-                "stage.hit_mask", time.perf_counter() - started
-            )
+            if derivable(llc) and expected is not None:
+                profile = self.reuse_profile(key, trace, llc.line_size)
+                started = time.perf_counter()
+                with span("cache.derive_mask", cat="cache", key=str(key)):
+                    mask = profile.hit_mask_for(llc)
+                process_metrics().observe(
+                    "stage.mask_derive", time.perf_counter() - started
+                )
+                if os.environ.get(VERIFY_MASK_ENV):
+                    self._verify_mask(key, llc, trace, mask)
+            else:
+                started = time.perf_counter()
+                with span("cache.build_mask", cat="cache", key=str(key)):
+                    mask = llc.hit_mask(self._flat_addrs(key, trace))
+                process_metrics().observe(
+                    "stage.hit_mask", time.perf_counter() - started
+                )
             if store is not None and store.has_trace(key):
                 store.save_mask(key, llc_sig, mask)
         if masks is not None:
             masks[llc_sig] = mask
         return mask
+
+    def reuse_profile(
+        self, key: Hashable, trace: AccessTrace, line_size: int = LINE_SIZE
+    ) -> ReuseProfile:
+        """The compiled reuse profile of ``trace``, folded once.
+
+        Fourth artifact of the lattice (see :mod:`repro.sim.reusepack`):
+        keyed by the **trace key and line granularity only** — reuse gaps
+        are LLC-size-independent, so one profile serves every capacity of
+        a sweep.  A cached or stored profile that no longer describes the
+        trace is discarded and rebuilt, mirroring the mask shape guard.
+        """
+        expected = getattr(trace, "total_accesses", None)
+        line_size = int(line_size)
+        cache = self._reuse.get(key) if self.max_traces != 0 else None
+        if cache is not None:
+            cached = cache.get(line_size)
+            if (
+                cached is not None
+                and expected is not None
+                and cached.n != expected
+            ):
+                cache.pop(line_size, None)
+                self.stats.corruption_discards += 1
+                _count("corruption_discards")
+                cached = None
+            if cached is not None:
+                self.stats.reuse_hits += 1
+                _count("reuse_hits")
+                return cached
+        self.stats.reuse_misses += 1
+        _count("reuse_misses")
+        profile = None
+        store = self.store
+        if store is not None and expected is not None:
+            profile = store.load_reuse(key, line_size, expected)
+            if profile is not None:
+                self.stats.store_reuse_hits += 1
+                _count("store_reuse_hits")
+        if profile is None:
+            started = time.perf_counter()
+            with span("cache.build_reuse", cat="cache", key=str(key)):
+                profile = build_reuse_profile(
+                    self._flat_addrs(key, trace), line_size
+                )
+            process_metrics().observe(
+                "stage.reuse_build", time.perf_counter() - started
+            )
+            if store is not None and store.has_trace(key):
+                store.save_reuse(key, line_size, profile)
+        if cache is not None:
+            cache[line_size] = profile
+        return profile
+
+    def _verify_mask(self, key: Hashable, llc, trace: AccessTrace, derived) -> None:
+        """The mask parity oracle: the direct fold must agree bit-for-bit."""
+        registry = process_metrics()
+        registry.inc("mask.parity_checks")
+        with span("cache.verify_mask", cat="cache", key=str(key)):
+            direct = llc.hit_mask(self._flat_addrs(key, trace))
+        if derived.shape != direct.shape or not np.array_equal(derived, direct):
+            registry.inc("mask.parity_failures")
+            raise TraceError(
+                "reuse-derived hit mask diverged from the direct "
+                f"simulation for {llc_signature(llc)}: "
+                f"{int(np.count_nonzero(derived))} vs "
+                f"{int(np.count_nonzero(direct))} hits"
+            )
 
     def profile(
         self, key: Hashable, llc, trace: AccessTrace, hits: np.ndarray
@@ -372,6 +518,7 @@ class TraceCache:
         self._traces.clear()
         self._masks.clear()
         self._profiles.clear()
+        self._reuse.clear()
 
 
 def _corrupt_trace(trace: AccessTrace) -> None:

@@ -12,8 +12,17 @@ everything from scratch.  :class:`TraceStore` closes that gap:
 
       <root>/<digest>/trace.npy        flat int64 addresses, program order
       <root>/<digest>/trace.json       manifest: key, CRC32, phase table
-      <root>/<digest>/mask-<llc>.npy   bool hit mask for one LLC geometry
+      <root>/<digest>/mask-<llc>.npy   np.packbits-packed hit mask, one LLC
       <root>/<digest>/mask-<llc>.json  sidecar: llc signature, CRC32, length
+      <root>/<digest>/reuse-<sig>.npy  int64 [2, n] reuse gaps + sorted gaps
+      <root>/<digest>/reuse-<sig>.json sidecar: line size, CRC32, length
+
+  Hit masks are stored bit-packed (``np.packbits``, 8x smaller than raw
+  bool) and unpacked transparently on load; the sidecar's
+  ``mask_format`` stamp rejects pre-packing entries, which are rebuilt
+  rather than migrated.  Reuse profiles (:mod:`repro.sim.reusepack`)
+  are keyed by the trace and the *line size* only — one entry serves
+  every LLC capacity.
 
   Arrays are plain ``.npy`` so they load with ``np.load(mmap_mode="r")``:
   every worker maps the *same* page-cache pages read-only — zero copies,
@@ -65,8 +74,18 @@ from repro.sim.profilepack import (
     profile_from_columnar,
     profile_to_columnar,
 )
+from repro.sim.reusepack import (
+    ReuseProfile,
+    reuse_from_columnar,
+    reuse_to_columnar,
+)
 
 FORMAT_VERSION = 1
+
+#: Stamp for the bit-packed hit-mask layout.  Entries written before the
+#: packing change carry no ``mask_format`` and are rejected (rebuilt,
+#: not migrated — artifacts are cheap to recompute, migrations are not).
+MASK_FORMAT = 2
 
 TRACE_ARRAY = "trace.npy"
 TRACE_MANIFEST = "trace.json"
@@ -106,6 +125,8 @@ class TraceStoreStats:
     mask_saves: int = 0
     profile_loads: int = 0
     profile_saves: int = 0
+    reuse_loads: int = 0
+    reuse_saves: int = 0
     #: Entries dropped because they failed CRC / shape / format checks.
     rejects: int = 0
 
@@ -117,6 +138,8 @@ class TraceStoreStats:
             "mask_saves": self.mask_saves,
             "profile_loads": self.profile_loads,
             "profile_saves": self.profile_saves,
+            "reuse_loads": self.reuse_loads,
+            "reuse_saves": self.reuse_saves,
             "rejects": self.rejects,
         }
 
@@ -144,6 +167,12 @@ class TraceStore:
 
     def _profile_paths(self, key: Hashable, llc_sig: tuple) -> tuple[Path, Path]:
         stem = f"profile-{llc_digest(llc_sig)}"
+        entry = self.entry_dir(key)
+        return entry / f"{stem}.npy", entry / f"{stem}.json"
+
+    def _reuse_paths(self, key: Hashable, line_size: int) -> tuple[Path, Path]:
+        # Keyed by line granularity only — capacity-independent by design.
+        stem = f"reuse-{llc_digest(('reuse', int(line_size)))}"
         entry = self.entry_dir(key)
         return entry / f"{stem}.npy", entry / f"{stem}.json"
 
@@ -218,21 +247,29 @@ class TraceStore:
     def save_mask(
         self, key: Hashable, llc_sig: tuple, mask: np.ndarray
     ) -> bool:
-        """Persist one LLC geometry's hit mask for a stored trace."""
+        """Persist one LLC geometry's hit mask for a stored trace.
+
+        Masks are bit-packed (``np.packbits``) before hitting disk — 8x
+        smaller than raw bool — and the sidecar records the unpacked
+        length so loads can trim the pad bits.  The CRC covers the
+        *packed* bytes (what is actually on disk).
+        """
         array_path, sidecar_path = self._mask_paths(key, llc_sig)
         if sidecar_path.exists():
             return False
         mask = np.ascontiguousarray(mask, dtype=np.bool_)
+        packed = np.packbits(mask)
         sidecar = {
             "format": FORMAT_VERSION,
+            "mask_format": MASK_FORMAT,
             "llc": list(llc_sig),
             "n": int(mask.size),
-            "crc32": _crc32(mask),
+            "crc32": _crc32(packed),
         }
         try:
             array_path.parent.mkdir(parents=True, exist_ok=True)
             self._commit_array(
-                array_path, mask, tag=f"{array_path.parent.name}/mask"
+                array_path, packed, tag=f"{array_path.parent.name}/mask"
             )
             self._commit_json(sidecar_path, sidecar)
         except OSError:
@@ -245,25 +282,33 @@ class TraceStore:
     def load_mask(
         self, key: Hashable, llc_sig: tuple, expected_len: int
     ) -> np.ndarray | None:
-        """The stored hit mask (mmap, read-only), or ``None``."""
+        """The stored hit mask (unpacked, read-only), or ``None``.
+
+        A sidecar without the current ``mask_format`` stamp — an
+        unpacked pre-packing entry — fails validation like any other
+        stale artifact and is rebuilt by the caller.
+        """
         array_path, sidecar_path = self._mask_paths(key, llc_sig)
         sidecar = self._read_json(sidecar_path)
         if sidecar is None:
             return None
         if (
             sidecar.get("format") != FORMAT_VERSION
+            or sidecar.get("mask_format") != MASK_FORMAT
             or sidecar.get("llc") != list(llc_sig)
             or int(sidecar.get("n", -1)) != expected_len
         ):
             return self._reject_files(array_path, sidecar_path, "mask")
-        mask = self._load_array(
+        packed = self._load_array(
             array_path,
-            dtype=np.bool_,
-            shape=(expected_len,),
+            dtype=np.uint8,
+            shape=((expected_len + 7) // 8,),
             crc32=sidecar.get("crc32"),
         )
-        if mask is None:
+        if packed is None:
             return self._reject_files(array_path, sidecar_path, "mask")
+        mask = np.unpackbits(np.asarray(packed), count=expected_len).view(np.bool_)
+        mask.flags.writeable = False
         self.stats.mask_loads += 1
         process_metrics().inc("store.mask_loads")
         touch_entry(array_path.parent)
@@ -355,6 +400,84 @@ class TraceStore:
             return self._reject_files(array_path, sidecar_path, "profile")
         self.stats.profile_loads += 1
         process_metrics().inc("store.profile_loads")
+        touch_entry(array_path.parent)
+        return profile
+
+    # ------------------------------------------------------------------
+    # reuse profiles
+    # ------------------------------------------------------------------
+    def has_reuse(self, key: Hashable, line_size: int) -> bool:
+        return self._reuse_paths(key, line_size)[1].exists()
+
+    def save_reuse(
+        self, key: Hashable, line_size: int, profile: ReuseProfile
+    ) -> bool:
+        """Persist one trace's compiled reuse profile.
+
+        The gap rows land as one stacked ``int64 [2, n]`` array
+        (mmap-shareable like traces); the line granularity and length
+        ride in the JSON sidecar together with the array CRC.  One
+        entry per (trace, line size) serves every LLC capacity.
+        """
+        array_path, sidecar_path = self._reuse_paths(key, line_size)
+        if sidecar_path.exists():
+            return False
+        stacked, record = reuse_to_columnar(profile)
+        sidecar = {
+            "format": FORMAT_VERSION,
+            "crc32": _crc32(stacked),
+            **record,
+        }
+        try:
+            array_path.parent.mkdir(parents=True, exist_ok=True)
+            self._commit_array(
+                array_path, stacked, tag=f"{array_path.parent.name}/reuse"
+            )
+            self._commit_json(sidecar_path, sidecar)
+        except OSError:
+            return False
+        self.stats.reuse_saves += 1
+        process_metrics().inc("store.reuse_saves")
+        enforce_cache_budget(protect={array_path.parent})
+        return True
+
+    def load_reuse(
+        self, key: Hashable, line_size: int, expected_len: int
+    ) -> ReuseProfile | None:
+        """The stored reuse profile (gap rows as mmap views), or ``None``.
+
+        ``expected_len`` is the access count of the trace the caller is
+        about to derive masks for; a profile of a different length is
+        stale and rejected like any corrupt entry.
+        """
+        array_path, sidecar_path = self._reuse_paths(key, line_size)
+        sidecar = self._read_json(sidecar_path)
+        if sidecar is None:
+            return None
+        try:
+            stale = (
+                sidecar.get("format") != FORMAT_VERSION
+                or int(sidecar.get("line_size", -1)) != int(line_size)
+                or int(sidecar.get("n", -1)) != expected_len
+            )
+        except (TypeError, ValueError):
+            stale = True
+        if stale:
+            return self._reject_files(array_path, sidecar_path, "reuse")
+        stacked = self._load_array(
+            array_path,
+            dtype=np.int64,
+            shape=(2, expected_len),
+            crc32=sidecar.get("crc32"),
+        )
+        if stacked is None:
+            return self._reject_files(array_path, sidecar_path, "reuse")
+        try:
+            profile = reuse_from_columnar(stacked, sidecar)
+        except TraceError:
+            return self._reject_files(array_path, sidecar_path, "reuse")
+        self.stats.reuse_loads += 1
+        process_metrics().inc("store.reuse_loads")
         touch_entry(array_path.parent)
         return profile
 

@@ -11,7 +11,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
+from repro.mem import cache as cache_module
 from repro.mem.cache import LINE_SIZE, DirectMappedCache, SetAssociativeCache
+from repro.mem.cachejit import JIT_ENV, jit_enabled, lru_kernel, lru_runs_py
 
 
 def reference_direct_mapped(addrs, size_bytes, line_size=LINE_SIZE):
@@ -184,3 +186,83 @@ class TestSetAssociativeCache:
         fast = SetAssociativeCache(4096, ways=4)
         slow = SetAssociativeCache(4096, ways=4)
         assert fast.access(addrs).tolist() == slow.access_reference(addrs).tolist()
+
+
+class TestJitKernel:
+    """The kernel replay must be bit-identical to the list buckets.
+
+    numba is optional (and absent here), so the kernel logic is driven
+    through its pure-Python body by forcing :func:`lru_kernel` to return
+    :func:`lru_runs_py` — the exact function numba would have compiled.
+    """
+
+    @pytest.fixture()
+    def forced_kernel(self, monkeypatch):
+        monkeypatch.setattr(cache_module, "lru_kernel", lambda: lru_runs_py)
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " OFF "])
+    def test_env_disables_jit(self, monkeypatch, value):
+        monkeypatch.setenv(JIT_ENV, value)
+        assert not jit_enabled()
+        assert lru_kernel() is None
+
+    def test_env_default_allows_jit(self, monkeypatch):
+        monkeypatch.delenv(JIT_ENV, raising=False)
+        assert jit_enabled()
+        monkeypatch.setenv(JIT_ENV, "1")
+        assert jit_enabled()
+        # numba is not installed in this environment: the resolver must
+        # degrade to the interpreter fallback, never raise.
+        assert lru_kernel() is None or callable(lru_kernel())
+
+    def test_lru_within_set_via_kernel(self, forced_kernel):
+        cache = SetAssociativeCache(2 * LINE_SIZE, ways=2)
+        a, b, c = 0, LINE_SIZE, 2 * LINE_SIZE
+        hits = cache.access(np.array([a, b, a, c, b, a]))
+        assert hits.tolist() == [False, False, True, False, False, False]
+
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=300),
+        ways=st.sampled_from([1, 2, 4]),
+        size_kb=st.sampled_from([1, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_matches_reference(self, addrs, ways, size_kb):
+        arr = np.array(addrs, dtype=np.int64)
+        fast = SetAssociativeCache(size_kb * 1024, ways=ways)
+        slow = SetAssociativeCache(size_kb * 1024, ways=ways)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(cache_module, "lru_kernel", lambda: lru_runs_py)
+            got = fast.access(arr)
+        assert got.tolist() == slow.access_reference(arr).tolist()
+
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=2, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_state_continuity(self, addrs):
+        arr = np.array(addrs, dtype=np.int64)
+        fast = SetAssociativeCache(2048, ways=2)
+        slow = SetAssociativeCache(2048, ways=2)
+        mid = len(arr) // 2
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(cache_module, "lru_kernel", lambda: lru_runs_py)
+            got = np.concatenate(
+                [fast.access(arr[:mid]), fast.access(arr[mid:])]
+            )
+        expect = np.concatenate(
+            [slow.access_reference(arr[:mid]), slow.access_reference(arr[mid:])]
+        )
+        assert got.tolist() == expect.tolist()
+
+    def test_state_carries_between_kernel_and_fallback(self, monkeypatch):
+        # Python lists stay the canonical state: a stream split across a
+        # kernel call and a fallback call behaves like one whole stream.
+        rng = np.random.default_rng(11)
+        arr = rng.integers(0, 1 << 13, size=600)
+        mixed = SetAssociativeCache(2048, ways=4)
+        slow = SetAssociativeCache(2048, ways=4)
+        monkeypatch.setattr(cache_module, "lru_kernel", lambda: lru_runs_py)
+        first = mixed.access(arr[:300])
+        monkeypatch.setattr(cache_module, "lru_kernel", lambda: None)
+        second = mixed.access(arr[300:])
+        got = np.concatenate([first, second])
+        assert got.tolist() == slow.access_reference(arr).tolist()

@@ -5,10 +5,14 @@ import pytest
 
 from repro.apps import make_app
 from repro.config import nvm_dram_testbed
+from repro.errors import TraceError
 from repro.graph.generators import chung_lu_graph
+from repro.mem.cache import GAP_COLD, WorkingSetCache
+from repro.obs.metrics import process_metrics
 from repro.sim.experiment import run_atmem, run_static
 from repro.sim.tracecache import (
     DEFAULT_MAX_TRACES,
+    VERIFY_MASK_ENV,
     TraceCache,
     configured_max_traces,
     process_trace_cache,
@@ -105,6 +109,88 @@ class TestTraceAccounting:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats.trace_misses == 1
+
+
+class _ReuseTrace:
+    """A trace rich enough for the reuse-derivation path."""
+
+    def __init__(self, seed=29, n=4_000):
+        rng = np.random.default_rng(seed)
+        self.payload = rng.integers(0, 1 << 20, size=n)
+
+    @property
+    def total_accesses(self):
+        return self.payload.size
+
+    def all_addresses(self):
+        return np.asarray(self.payload, dtype=np.int64)
+
+
+class TestReuseDerivation:
+    """Working-set masks derive from one reuse profile per trace."""
+
+    SWEEP = (16 << 10, 32 << 10, 64 << 10, 128 << 10)
+
+    def test_derived_masks_match_direct_simulation(self):
+        cache = TraceCache(max_traces=4)
+        trace = cache.trace("k", _ReuseTrace)
+        addrs = trace.all_addresses()
+        for size in self.SWEEP:
+            llc = WorkingSetCache(size)
+            np.testing.assert_array_equal(
+                cache.hit_mask("k", llc, trace), llc.hit_mask(addrs)
+            )
+
+    def test_profile_folded_once_per_capacity_sweep(self):
+        cache = TraceCache(max_traces=4)
+        trace = cache.trace("k", _ReuseTrace)
+        for size in self.SWEEP:
+            cache.hit_mask("k", WorkingSetCache(size), trace)
+        assert cache.stats.reuse_misses == 1
+        assert cache.stats.reuse_hits == len(self.SWEEP) - 1
+
+    def test_non_workingset_llc_takes_direct_path(self):
+        cache = TraceCache(max_traces=4)
+        llc = _FakeLLC()
+        trace = cache.trace("k", lambda: _FakeTrace([2, 4, 6]))
+        cache.hit_mask("k", llc, trace)
+        assert llc.calls == 1
+        assert cache.stats.reuse_misses == 0
+
+    def test_parity_oracle_passes_on_honest_masks(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_MASK_ENV, "1")
+        counters = process_metrics().counters
+        checks = counters.get("mask.parity_checks", 0.0)
+        failures = counters.get("mask.parity_failures", 0.0)
+        cache = TraceCache(max_traces=4)
+        trace = cache.trace("k", _ReuseTrace)
+        for size in self.SWEEP:
+            cache.hit_mask("k", WorkingSetCache(size), trace)
+        assert counters["mask.parity_checks"] == checks + len(self.SWEEP)
+        assert counters.get("mask.parity_failures", 0.0) == failures
+
+    def test_parity_oracle_raises_on_divergence(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_MASK_ENV, "1")
+        counters = process_metrics().counters
+        failures = counters.get("mask.parity_failures", 0.0)
+        cache = TraceCache(max_traces=4)
+        trace = cache.trace("k", _ReuseTrace)
+        profile = cache.reuse_profile("k", trace)
+        # Sabotage the cached profile: pretend the hottest reuse is cold.
+        profile.gaps[int(np.argmin(profile.gaps))] = GAP_COLD
+        with pytest.raises(TraceError, match="diverged"):
+            cache.hit_mask("k", WorkingSetCache(32 << 10), trace)
+        assert counters["mask.parity_failures"] == failures + 1
+
+    def test_stale_profile_discarded_and_rebuilt(self):
+        cache = TraceCache(max_traces=4)
+        trace = cache.trace("k", _ReuseTrace)
+        cache.reuse_profile("k", trace)
+        grown = _ReuseTrace(seed=29, n=5_000)
+        profile = cache.reuse_profile("k", grown)
+        assert profile.n == grown.total_accesses
+        assert cache.stats.corruption_discards == 1
+        assert cache.stats.reuse_misses == 2
 
 
 class TestConfiguration:

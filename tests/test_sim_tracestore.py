@@ -21,7 +21,9 @@ from repro.mem.cache import WorkingSetCache
 from repro.mem.trace import AccessKind, AccessTrace
 from repro.sim.parallel import AppSpec, JobSpec, execute_job
 from repro.sim.tracecache import TraceCache, llc_signature
+from repro.sim.reusepack import build_reuse_profile
 from repro.sim.tracestore import (
+    FORMAT_VERSION,
     TRACE_ARRAY,
     TRACE_MANIFEST,
     TraceStore,
@@ -104,6 +106,61 @@ class TestMaskRoundtrip:
         loaded = TraceStore(tmp_path).load_mask("k1", sig, mask.size)
         np.testing.assert_array_equal(np.asarray(loaded), mask)
 
+    def test_masks_are_stored_bit_packed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        llc = WorkingSetCache(1 << 14)
+        mask = llc.hit_mask(trace.all_addresses())
+        store.save_mask("k1", llc_signature(llc), mask)
+        array_path = store._mask_paths("k1", llc_signature(llc))[0]
+        stored = np.load(array_path)
+        assert stored.dtype == np.uint8
+        assert stored.size == (mask.size + 7) // 8  # 8x smaller than bool
+
+    def test_loaded_mask_is_readonly(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        llc = WorkingSetCache(1 << 14)
+        sig = llc_signature(llc)
+        mask = llc.hit_mask(trace.all_addresses())
+        store.save_mask("k1", sig, mask)
+        loaded = TraceStore(tmp_path).load_mask("k1", sig, mask.size)
+        assert not loaded.flags.writeable
+
+    def test_old_unpacked_mask_entry_rejected_and_rebuilt(self, tmp_path):
+        # A pre-packing entry: raw bool array, sidecar without the
+        # mask_format stamp.  It must be rejected (not silently
+        # misread as packed bytes) and a clean re-save must work.
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        llc = WorkingSetCache(1 << 14)
+        sig = llc_signature(llc)
+        mask = llc.hit_mask(trace.all_addresses())
+        array_path, sidecar_path = store._mask_paths("k1", sig)
+        np.save(array_path, mask)  # unpacked, old layout
+        import zlib
+
+        sidecar_path.write_text(
+            json.dumps(
+                {
+                    "format": FORMAT_VERSION,
+                    "llc": list(sig),
+                    "n": int(mask.size),
+                    "crc32": zlib.crc32(mask.view(np.uint8).data),
+                }
+            )
+        )
+        fresh = TraceStore(tmp_path)
+        assert fresh.load_mask("k1", sig, mask.size) is None
+        assert fresh.stats.rejects == 1
+        assert not fresh.has_mask("k1", sig)
+        assert fresh.save_mask("k1", sig, mask) is True
+        reread = TraceStore(tmp_path).load_mask("k1", sig, mask.size)
+        np.testing.assert_array_equal(np.asarray(reread), mask)
+
     def test_mask_length_mismatch_rejected(self, tmp_path):
         store = TraceStore(tmp_path)
         trace = small_trace()
@@ -117,6 +174,56 @@ class TestMaskRoundtrip:
         # The bad mask pair is gone; the trace itself is untouched.
         assert not fresh.has_mask("k1", sig)
         assert fresh.load_trace("k1") is not None
+
+
+class TestReuseRoundtrip:
+    def test_reuse_roundtrip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        profile = build_reuse_profile(trace.all_addresses())
+        assert store.save_reuse("k1", profile.line_size, profile) is True
+        assert store.has_reuse("k1", profile.line_size)
+        loaded = TraceStore(tmp_path).load_reuse(
+            "k1", profile.line_size, profile.n
+        )
+        np.testing.assert_array_equal(loaded.gaps, profile.gaps)
+        np.testing.assert_array_equal(loaded.sorted_gaps, profile.sorted_gaps)
+
+    def test_reuse_save_is_idempotent(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        profile = build_reuse_profile(trace.all_addresses())
+        assert store.save_reuse("k1", profile.line_size, profile) is True
+        assert store.save_reuse("k1", profile.line_size, profile) is False
+        assert store.stats.reuse_saves == 1
+
+    def test_reuse_length_mismatch_rejected(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        profile = build_reuse_profile(trace.all_addresses())
+        store.save_reuse("k1", profile.line_size, profile)
+        fresh = TraceStore(tmp_path)
+        assert fresh.load_reuse("k1", profile.line_size, 9) is None
+        assert fresh.stats.rejects == 1
+        assert not fresh.has_reuse("k1", profile.line_size)
+        assert fresh.load_trace("k1") is not None  # trace untouched
+
+    def test_corrupted_reuse_bytes_fail_crc(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        profile = build_reuse_profile(trace.all_addresses())
+        store.save_reuse("k1", profile.line_size, profile)
+        array_path = store._reuse_paths("k1", profile.line_size)[0]
+        raw = bytearray(array_path.read_bytes())
+        raw[-8] ^= 0xFF
+        array_path.write_bytes(bytes(raw))
+        fresh = TraceStore(tmp_path)
+        assert fresh.load_reuse("k1", profile.line_size, profile.n) is None
+        assert fresh.stats.rejects == 1
 
 
 class TestIntegrity:
