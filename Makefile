@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-scaling chaos reproduce examples clean loc
+.PHONY: install test lint bench bench-smoke bench-scaling serve-smoke chaos reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -35,6 +35,14 @@ bench-smoke:
 # bit-identical (see benchmarks/run_scaling.py).
 bench-scaling:
 	$(PYTHON) benchmarks/run_scaling.py
+
+# Serving-layer gate: stream a short arrival trace through the resident
+# service (repro.serve), record sustained placements/sec + p50/p99
+# decision latency to BENCH_serve.json, and prove kill-and-recover
+# resumes with a bit-identical tenant table.  Strict: blown p99 budget,
+# a diverged recovery, or any consistency-audit failure is a hard fail.
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --smoke
 
 # Fault-injection seed matrix: every injected fault must be survived
 # with results bit-identical to a fault-free run (see DESIGN.md).

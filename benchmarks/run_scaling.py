@@ -48,6 +48,9 @@ REPO = Path(__file__).resolve().parents[1]
 ARTIFACT = REPO / "benchmarks" / "results" / "fig5.txt"
 BENCH_JSON = REPO / "BENCH_parallel.json"
 
+sys.path.insert(0, str(REPO / "src"))
+from repro.bench.regression import diagnose_cold_parallel  # noqa: E402
+
 #: How much slower a cold parallel run may be than serial.  With >1 core
 #: the store population overlaps compute across workers, so cold must
 #: stay close to serial (the tolerance absorbs fork/IPC cost plus the
@@ -139,6 +142,17 @@ def main() -> int:
             print(f"{phase:8s} {timings[phase]:7.1f} s  "
                   f"fig5 sha256={digests[phase][:12]}", flush=True)
             print(f"{'':8s} stages: {_stage_summary(phase)}", flush=True)
+
+    # Annotate the record with a structured diagnosis of any cold phase
+    # that lost to serial, so the committed file documents the regression
+    # (suspected cause + stage deltas) instead of silently carrying it.
+    records = _records()
+    diagnoses = diagnose_cold_parallel(records)
+    if diagnoses:
+        BENCH_JSON.write_text(json.dumps(records + diagnoses, indent=2) + "\n")
+        for diag in diagnoses:
+            print(f"\ncold-parallel diagnosis ({diag['phase']}): "
+                  f"{diag['suspected_cause']}")
 
     serial = timings["serial"]
     failures = []

@@ -39,18 +39,21 @@ class ConnectedComponents(GraphApp):
         starts = offsets[:-1]
         nonempty = self.graph.degrees > 0
         sentinel = np.iinfo(np.int64).max
-        # reduceat needs in-range segment starts; empty trailing segments are
-        # clipped and masked out below.
-        safe_starts = np.minimum(starts, max(0, adjacency.size - 1))
+        # reduceat over the nonempty vertices' starts only: they are
+        # strictly increasing and in range, and each such segment ends
+        # exactly at the next nonempty vertex's start.  (Clipping empty
+        # trailing starts into range instead would silently truncate the
+        # last nonempty vertex's segment.)
+        nonempty_starts = starts[nonempty]
         for _ in range(self.max_rounds):
             self._scan(trace, "offsets", "offsets-scan")
             self._scan(trace, "adjacency", "adjacency-scan")
             self._gather(trace, "labels", adjacency, "label-gather")
+            neighbor_min = np.full(v, sentinel, dtype=np.int64)
             if adjacency.size:
-                segment_min = np.minimum.reduceat(labels[adjacency], safe_starts)
-                neighbor_min = np.where(nonempty, segment_min, sentinel)
-            else:
-                neighbor_min = np.full(v, sentinel, dtype=np.int64)
+                neighbor_min[nonempty] = np.minimum.reduceat(
+                    labels[adjacency], nonempty_starts
+                )
             new_labels = np.minimum(labels, neighbor_min)
             changed = new_labels < labels
             if not changed.any():

@@ -81,6 +81,8 @@ def compare(
     exact: dict[tuple[str, int, str], float] = {}
     loose: dict[tuple[str, int], float] = {}
     for row in baseline:
+        if row.get("kind") == "cold_parallel_warning":
+            continue
         wall = float(row.get("wall_seconds", 0.0))
         if wall <= 0:
             continue
@@ -91,6 +93,8 @@ def compare(
         loose[loose_key] = max(loose.get(loose_key, 0.0), wall)
     regressions: list[Regression] = []
     for row in fresh:
+        if row.get("kind") == "cold_parallel_warning":
+            continue  # diagnosis rows are annotations, not timings
         wall = float(row.get("wall_seconds", 0.0))
         if wall <= 0:
             continue
@@ -113,50 +117,150 @@ def compare(
     return regressions
 
 
-def cold_parallel_warnings(rows: list[dict]) -> list[str]:
-    """Cold parallel phases that ran *slower* than the serial baseline.
+def _stage_seconds(row: dict) -> dict[str, float]:
+    stages = row.get("stages")
+    if not isinstance(stages, dict):
+        return {}
+    return {
+        name: float(info.get("seconds", 0.0))
+        for name, info in stages.items()
+        if isinstance(info, dict)
+    }
+
+
+def _suspect_cause(row: dict, serial_row: dict | None, wall: float) -> str:
+    """Name the most likely reason a cold parallel phase lost to serial."""
+    stages = _stage_seconds(row)
+    cache = row.get("cache") if isinstance(row.get("cache"), dict) else {}
+    cold = int(cache.get("cold", 0))
+    store_hits = int(cache.get("store", 0))
+    offstage = wall - sum(stages.values())
+    causes: list[str] = []
+    if cold > 0 and store_hits == 0:
+        causes.append(
+            f"all {cold} cells cold with distinct trace keys: the "
+            "primer-wave schedule degenerates to one ordered wave, so "
+            "no worker ever reuses another's store entry mid-run"
+        )
+    if serial_row is not None:
+        serial_stages = _stage_seconds(serial_row)
+        serial_offstage = float(serial_row.get("wall_seconds", 0.0)) - sum(
+            serial_stages.values()
+        )
+        if stages and serial_stages:
+            grown = {
+                name: stages[name] - serial_stages.get(name, 0.0)
+                for name in stages
+                if stages[name] - serial_stages.get(name, 0.0) > 0.5
+            }
+            if grown:
+                worst = max(grown, key=grown.get)
+                causes.append(
+                    f"stage {worst} grew {grown[worst]:.1f}s vs serial"
+                )
+        extra_off = offstage - serial_offstage
+        if extra_off > 0.5:
+            causes.append(
+                f"off-stage overhead (fork/IPC, store writeback, "
+                f"scheduler waits) grew {extra_off:.1f}s vs serial"
+            )
+    elif offstage > 0.5:
+        causes.append(
+            f"off-stage overhead (fork/IPC, store writeback) is "
+            f"{offstage:.1f}s of the wall"
+        )
+    if not causes:
+        causes.append("fan-out overhead exceeds the parallelism win")
+    return "; ".join(causes)
+
+
+def diagnose_cold_parallel(rows: list[dict]) -> list[dict]:
+    """Structured diagnosis rows for cold parallel phases slower than serial.
 
     The scaling sweep (``benchmarks/run_scaling.py``) tags its rows
     ``serial`` / ``cold-N`` / ``warm-N`` per benchmark.  A cold parallel
     run that loses to serial means the fan-out overhead (fork, store
     population, shm publish) ate the whole parallelism win — the
-    regression this repo's data plane exists to prevent.  Warn-only:
-    cold timings are the noisiest rows we record, and
-    ``run_scaling.py`` applies its own calibrated tolerance gate.
-    Per-stage breakdowns (the ``stages`` field each row now carries)
-    are echoed so the slow stage names itself.
+    regression this repo's data plane exists to prevent.  Each returned
+    row is JSON-ready and names a ``suspected_cause`` derived from the
+    cache counters, the per-stage deltas against the serial row, and the
+    off-stage residual (wall minus the sum of instrumented stages); the
+    sweep appends these rows to ``BENCH_parallel.json`` so the committed
+    record *documents* the regression instead of silently carrying it.
     """
-    serial: dict[str, float] = {}
+    serial_rows: dict[str, dict] = {}
     for row in rows:
         if str(row.get("phase", "")) == "serial":
             wall = float(row.get("wall_seconds", 0.0))
-            if wall > 0:
-                benchmark = str(row.get("benchmark", ""))
-                serial[benchmark] = max(serial.get(benchmark, 0.0), wall)
-    warnings: list[str] = []
+            benchmark = str(row.get("benchmark", ""))
+            best = serial_rows.get(benchmark)
+            if wall > 0 and (
+                best is None or wall > float(best.get("wall_seconds", 0.0))
+            ):
+                serial_rows[benchmark] = row
+    diagnoses: list[dict] = []
     for row in rows:
+        if row.get("kind") == "cold_parallel_warning":
+            continue  # never re-diagnose an annotation row
         phase = str(row.get("phase", ""))
         if not phase.startswith("cold-"):
             continue
         benchmark = str(row.get("benchmark", ""))
-        base = serial.get(benchmark)
-        wall = float(row.get("wall_seconds", 0.0))
-        if base is None or wall <= base:
-            continue
-        warnings.append(
-            f"bench-regression: WARNING — {benchmark} {phase} took "
-            f"{wall:.3f} s vs serial {base:.3f} s "
-            f"({wall / base - 1.0:.0%} slower); fan-out overhead exceeds "
-            "the parallelism win"
+        serial_row = serial_rows.get(benchmark)
+        base = (
+            float(serial_row.get("wall_seconds", 0.0)) if serial_row else 0.0
         )
-        stages = row.get("stages")
-        if isinstance(stages, dict) and stages:
+        wall = float(row.get("wall_seconds", 0.0))
+        if serial_row is None or wall <= base:
+            continue
+        stages = _stage_seconds(row)
+        serial_stages = _stage_seconds(serial_row)
+        diagnoses.append(
+            {
+                "kind": "cold_parallel_warning",
+                "benchmark": benchmark,
+                "phase": phase,
+                "jobs": int(row.get("jobs", 0)),
+                "wall_seconds": round(wall, 3),
+                "serial_seconds": round(base, 3),
+                "slowdown": round(wall / base - 1.0, 4),
+                "offstage_seconds": round(wall - sum(stages.values()), 3),
+                "stage_deltas": {
+                    name: round(
+                        stages[name] - serial_stages.get(name, 0.0), 3
+                    )
+                    for name in sorted(stages)
+                },
+                "suspected_cause": _suspect_cause(row, serial_row, wall),
+            }
+        )
+    return diagnoses
+
+
+def cold_parallel_warnings(rows: list[dict]) -> list[str]:
+    """Textual rendering of :func:`diagnose_cold_parallel` (warn-only).
+
+    Cold timings are the noisiest rows we record, and ``run_scaling.py``
+    applies its own calibrated tolerance gate, so these never fail the
+    build on their own.
+    """
+    warnings: list[str] = []
+    for diag in diagnose_cold_parallel(rows):
+        warnings.append(
+            f"bench-regression: WARNING — {diag['benchmark']} "
+            f"{diag['phase']} took {diag['wall_seconds']:.3f} s vs serial "
+            f"{diag['serial_seconds']:.3f} s ({diag['slowdown']:.0%} "
+            f"slower); {diag['suspected_cause']}"
+        )
+        if diag["stage_deltas"]:
             parts = ", ".join(
-                f"{name} {info.get('seconds', 0.0):.2f}s"
-                for name, info in sorted(stages.items())
-                if isinstance(info, dict)
+                f"{name} {delta:+.2f}s"
+                for name, delta in diag["stage_deltas"].items()
             )
-            warnings.append(f"  stage breakdown: {parts}")
+            warnings.append(
+                f"  stage deltas vs serial: {parts}; off-stage "
+                f"{diag['offstage_seconds']:.2f}s"
+            )
     return warnings
 
 

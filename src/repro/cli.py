@@ -246,6 +246,52 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drive a generated arrival trace through the resident service."""
+    from pathlib import Path
+
+    from repro.serve import ServiceConfig, generate_arrivals, serve_trace
+
+    jobs = generate_arrivals(
+        args.events,
+        seed=args.seed,
+        deadline_s=args.deadline,
+    )
+    config = ServiceConfig(
+        platform=platform_by_name(args.platform, scale=args.scale),
+        journal_root=Path(args.journal) if args.journal else None,
+    )
+    report = serve_trace(jobs, config, kill_after=args.kill_after)
+    statuses = ", ".join(
+        f"{status}={count}" for status, count in report["statuses"].items()
+    )
+    print(f"served {report['jobs']}/{len(jobs)} job(s)"
+          + (" (killed mid-trace)" if report["killed"] else ""))
+    print(f"  statuses: {statuses or '(none settled)'}")
+    print(f"  placements: {report['placements']} "
+          f"({report['placements_per_s']:.2f}/s sustained)")
+    latency = report["health"]["decision_latency"]
+    print(f"  decision latency: p50={latency['p50'] * 1e3:.1f}ms "
+          f"p99={latency['p99'] * 1e3:.1f}ms over {latency['count']} job(s)")
+    print(f"  resident tenants: {report['health']['resident_tenants']}")
+    for tenant in report["tenant_table"]:
+        app = tenant.get("app") or {}
+        fast = sum(
+            end - start
+            for runs in tenant["placements"].values()
+            for start, end in runs
+        )
+        print(f"    {tenant['name']}: {app.get('app', '?')}/"
+              f"{app.get('dataset', '?')} fast_bytes={fast}")
+    corruptions = report["health"]["journal_corruptions"]
+    if corruptions:
+        print(f"  journal corruption(s) tolerated: {len(corruptions)}")
+    if args.journal:
+        print(f"  warm state journalled under {args.journal} "
+              "(rerun with the same --journal to recover)")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Convert a JSONL span trace to Chrome trace-event JSON."""
     from pathlib import Path
@@ -393,6 +439,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.set_defaults(func=cmd_chaos)
 
+    serve_p = sub.add_parser(
+        "serve", help="stream a tenant arrival trace through repro.serve"
+    )
+    serve_p.add_argument(
+        "--events", type=int, default=24,
+        help="arrival-trace length (default: 24)",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=17,
+        help="arrival-trace seed (default: 17)",
+    )
+    serve_p.add_argument(
+        "--platform", choices=PLATFORM_NAMES, default="nvm_dram",
+        help="testbed preset (default: nvm_dram)",
+    )
+    serve_p.add_argument(
+        "--scale", type=int, default=512,
+        help="platform capacity divisor (default: 512)",
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline; expired jobs cancel and roll back",
+    )
+    serve_p.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal warm state under DIR; rerunning with the same DIR "
+             "recovers the tenant table bit-identically",
+    )
+    serve_p.add_argument(
+        "--kill-after", type=int, default=None, metavar="N",
+        help="simulate a crash (no drain, no checkpoint) after N jobs",
+    )
+    serve_p.set_defaults(func=cmd_serve)
+
     trace_p = sub.add_parser(
         "trace", help="convert a JSONL span trace to Chrome/Perfetto JSON"
     )
@@ -437,7 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: Commands whose run leaves observability artifacts behind: the span
 #: trace is flushed and the metrics snapshot written when they return.
-_OBS_COMMANDS = frozenset({"run", "sweep", "migrate", "reproduce", "chaos"})
+_OBS_COMMANDS = frozenset(
+    {"run", "sweep", "migrate", "reproduce", "chaos", "serve"}
+)
 
 
 def _flush_observability() -> None:

@@ -464,6 +464,35 @@ class AtMemRuntime:
                 demoted += demo.bytes_moved
         return demoted
 
+    def apply_placement(
+        self, regions_by_object: dict[str, list[tuple[int, int]]], *, migrator=None
+    ) -> MigrationStats:
+        """Re-apply a recorded placement: move the given regions to fast.
+
+        ``regions_by_object`` maps registered object names to
+        object-relative byte ranges (the canonical, VA-independent form
+        the serving layer journals).  Each object goes through one
+        transactional migrator pass, so a failure rolls that object's
+        pass back and propagates — warm-state recovery must either
+        reproduce the recorded placement exactly or fail loudly, never
+        commit an approximation.
+        """
+        migrator = migrator or self._make_migrator()
+        stats = MigrationStats(mechanism=self.config.migration_mechanism)
+        for name, regions in regions_by_object.items():
+            if name not in self.objects:
+                raise RuntimeStateError(
+                    f"apply_placement: unknown data object {name!r}"
+                )
+            spans = [(int(lo), int(hi)) for lo, hi in regions]
+            if spans:
+                stats.merge(
+                    migrator.migrate(
+                        self.objects[name], spans, self.system.fast_tier
+                    )
+                )
+        return stats
+
     def _make_migrator(self):
         if self.config.migration_mechanism == "mbind":
             overhead = (

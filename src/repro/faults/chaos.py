@@ -29,6 +29,8 @@ which is why ``repro.faults`` does not import it eagerly.
 
 from __future__ import annotations
 
+import asyncio
+import json
 import os
 import tempfile
 from contextlib import contextmanager
@@ -199,6 +201,33 @@ def seed_matrix() -> tuple[ChaosCase, ...]:
             ),
             kind="mt-squeeze",
             expect_identical=False,
+        ),
+        ChaosCase(
+            "serve-admit-crash",
+            # times=4: migrate_decision retries 3 rolled-back passes, so
+            # the 4th abort exhausts the retry budget and fails the admit
+            # — and spends the plan, so the breaker-gated re-admit runs
+            # fault-free.
+            FaultPlan(
+                (FaultSpec(SITE_MIGRATE_STAGE2, match="victim/", times=4),),
+                seed=116,
+            ),
+            kind="serve-crash",
+        ),
+        ChaosCase(
+            "serve-deadline-storm",
+            FaultPlan(seed=117),
+            kind="serve-deadline",
+        ),
+        ChaosCase(
+            "serve-overload-shed",
+            FaultPlan(seed=118),
+            kind="serve-shed",
+        ),
+        ChaosCase(
+            "serve-kill-recover",
+            FaultPlan(seed=119),
+            kind="serve-kill",
         ),
     )
 
@@ -835,6 +864,370 @@ def _run_mt_pool_case(
 
 
 # ----------------------------------------------------------------------
+# serving-layer cases (repro.serve)
+# ----------------------------------------------------------------------
+class _StepClock:
+    """A manually advanced monotonic clock: serve cases stay deterministic."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _serve_config(platform: PlatformConfig, root: Path | None = None, **kw):
+    from repro.serve import ServiceConfig
+
+    return ServiceConfig(platform=platform, journal_root=root, **kw)
+
+
+def _serve_apps() -> dict[str, AppSpec]:
+    return {
+        "steady": AppSpec.make("PR", "twitter", scale=TINY_SCALE),
+        "victim": AppSpec.make("BFS", "rmat24", scale=TINY_SCALE),
+    }
+
+
+def _serve_figures(service, results: dict[str, dict]) -> dict:
+    """Measured payloads plus canonical placements, flattened."""
+    figures: dict = {}
+    for name, payload in sorted(results.items()):
+        for key in (
+            "baseline_seconds", "optimized_seconds", "fast_bytes", "data_ratio"
+        ):
+            figures[f"{name}.{key}"] = payload[key]
+    for tenant in service.tenant_table():
+        figures[f"{tenant['name']}.placements"] = json.dumps(
+            tenant["placements"], sort_keys=True
+        )
+    return figures
+
+
+def _serve_pair_reference(platform: PlatformConfig) -> dict:
+    """Fault-free reference: admit both tenants, measure both."""
+    from repro.serve import OP_ADMIT, OP_MEASURE, PlacementService, TenantJob
+
+    apps = _serve_apps()
+
+    async def _script() -> dict:
+        service = PlacementService(_serve_config(platform), clock=_StepClock())
+        await service.start()
+        results = {}
+        for name in ("steady", "victim"):
+            await service.submit(TenantJob(OP_ADMIT, name, app=apps[name]))
+        for name in ("steady", "victim"):
+            outcome = await service.submit(TenantJob(OP_MEASURE, name))
+            results[name] = outcome.result
+        figures = _serve_figures(service, results)
+        await service.stop()
+        return figures
+
+    return asyncio.run(_script())
+
+
+def _run_serve_crash_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """Worker crash mid-admit: rollback, breaker, fault-free re-admit.
+
+    The armed plan aborts every migration pass touching the victim's
+    objects until the admit fails outright.  The contract: the half-
+    admitted victim rolls back (audit green, bystander untouched), the
+    victim's breaker opens and rejects typed, and once the backoff
+    elapses the re-admitted victim produces figures bit-identical to a
+    run that never crashed — despite its objects now living at different
+    virtual addresses (placement figures are canonical, and the LLC's
+    reuse-distance hit masks are invariant under per-object page shifts).
+    """
+    from repro.serve import (
+        OP_ADMIT,
+        OP_MEASURE,
+        AdmissionRejected,
+        BreakerPolicy,
+        PlacementService,
+        TenantJob,
+    )
+
+    outcome = ChaosOutcome(case=case.name)
+    reference = _serve_pair_reference(platform)
+    outcome.reference = reference
+    apps = _serve_apps()
+    clock = _StepClock()
+    config = _serve_config(
+        platform, breaker=BreakerPolicy(failure_threshold=1)
+    )
+
+    async def _script() -> tuple[dict, list[str], str]:
+        service = PlacementService(config, clock=clock)
+        await service.start()
+        notes = []
+        await service.submit(TenantJob(OP_ADMIT, "steady", app=apps["steady"]))
+        crashed = await service.submit(
+            TenantJob(OP_ADMIT, "victim", app=apps["victim"])
+        )
+        notes.append(f"admit status={crashed.status}")
+        if crashed.status != "failed":
+            notes.append("expected the faulted admit to fail")
+        try:
+            await service.submit(
+                TenantJob(OP_ADMIT, "victim", app=apps["victim"])
+            )
+            notes.append("breaker never opened")
+        except AdmissionRejected as exc:
+            notes.append(f"breaker reject reason={exc.reason}")
+            if exc.reason != "breaker-open":
+                notes.append("expected breaker-open")
+        clock.advance(60.0)  # past any jittered backoff
+        readmit = await service.submit(
+            TenantJob(OP_ADMIT, "victim", app=apps["victim"])
+        )
+        notes.append(f"re-admit status={readmit.status}")
+        results = {}
+        for name in ("steady", "victim"):
+            measured = await service.submit(TenantJob(OP_MEASURE, name))
+            results[name] = measured.result
+        figures = _serve_figures(service, results)
+        violations = service.host.system.check_consistency()
+        await service.stop()
+        return figures, violations, "; ".join(notes)
+
+    with _watching("fault.") as firings, injected(case.plan):
+        figures, violations, notes = asyncio.run(_script())
+    outcome.completed = True
+    outcome.figures = figures
+    outcome.fired = len(firings)
+    outcome.consistent = not violations
+    outcome.identical = figures_identical(figures, reference)
+    bystanders = [
+        key
+        for key in figures
+        if key.startswith("steady.") and figures[key] != reference.get(key)
+    ]
+    if bystanders:
+        outcome.consistent = False
+        outcome.detail = f"crash on victim perturbed bystander: {bystanders}"
+    else:
+        outcome.detail = notes + (
+            "; audit clean" if outcome.consistent else f"; {violations}"
+        )
+    return outcome
+
+
+def _run_serve_deadline_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """A storm of already-expired jobs must leave zero fingerprints.
+
+    Every storm job carries ``deadline_s=0`` — expired the instant it is
+    dispatched.  Measures, phase changes, and a whole admission must all
+    cancel cleanly: the ghost tenant never becomes resident, and the
+    resident tenants' figures and placements match a storm-free run bit
+    for bit.  ``fired`` counts the ``serve.expire`` events.
+    """
+    from repro.serve import (
+        OP_ADMIT,
+        OP_MEASURE,
+        OP_PHASE_CHANGE,
+        PlacementService,
+        QoS,
+        TenantJob,
+    )
+
+    outcome = ChaosOutcome(case=case.name)
+    reference = _serve_pair_reference(platform)
+    outcome.reference = reference
+    apps = _serve_apps()
+    expired_qos = QoS(deadline_s=0.0)
+
+    async def _script() -> tuple[dict, list[str], str]:
+        service = PlacementService(
+            _serve_config(platform), clock=_StepClock()
+        )
+        await service.start()
+        for name in ("steady", "victim"):
+            await service.submit(TenantJob(OP_ADMIT, name, app=apps[name]))
+        storm = [
+            TenantJob(OP_MEASURE, "steady", qos=expired_qos),
+            TenantJob(OP_PHASE_CHANGE, "victim", qos=expired_qos),
+            TenantJob(
+                OP_ADMIT, "ghost", app=apps["steady"], qos=expired_qos
+            ),
+            TenantJob(OP_MEASURE, "victim", qos=expired_qos),
+            TenantJob(OP_PHASE_CHANGE, "steady", qos=expired_qos),
+        ]
+        statuses = [(await service.submit(job)).status for job in storm]
+        resident = {t["name"] for t in service.tenant_table()}
+        results = {}
+        for name in ("steady", "victim"):
+            measured = await service.submit(TenantJob(OP_MEASURE, name))
+            results[name] = measured.result
+        figures = _serve_figures(service, results)
+        violations = service.host.system.check_consistency()
+        await service.stop()
+        notes = f"storm statuses={statuses}; resident={sorted(resident)}"
+        if set(statuses) != {"expired"}:
+            notes += "; expected every storm job to expire"
+            violations = list(violations) + ["storm jobs did not all expire"]
+        if "ghost" in resident:
+            violations = list(violations) + ["expired admit left ghost resident"]
+        return figures, violations, notes
+
+    with _watching("serve.expire") as expirations, injected(case.plan):
+        figures, violations, notes = asyncio.run(_script())
+    outcome.completed = True
+    outcome.figures = figures
+    outcome.fired = len(expirations)
+    outcome.consistent = not violations
+    outcome.identical = figures_identical(figures, reference)
+    outcome.detail = notes + (
+        "; audit clean" if outcome.consistent else f"; {violations}"
+    )
+    return outcome
+
+
+def _run_serve_shed_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """Overload must shed in tiers without touching bystander placement.
+
+    A burst of measure requests overfills a deliberately tiny queue:
+    early ones are served fresh, the deeper ones degrade to the stale
+    committed result, and past the reject tier submissions get a typed
+    refusal.  The bystander tenant's placements and final figures must
+    come through bit-identical to the quiet reference run.
+    """
+    from repro.serve import (
+        OP_ADMIT,
+        OP_MEASURE,
+        AdmissionRejected,
+        PlacementService,
+        ShedPolicy,
+        TenantJob,
+    )
+
+    outcome = ChaosOutcome(case=case.name)
+    reference = _serve_pair_reference(platform)
+    outcome.reference = reference
+    apps = _serve_apps()
+    config = _serve_config(
+        platform,
+        shed=ShedPolicy(
+            queue_limit=8, skip_optimize_at=0.25, stale_at=0.4, reject_at=0.8
+        ),
+    )
+
+    async def _script() -> tuple[dict, list[str], str, int, int]:
+        service = PlacementService(config, clock=_StepClock())
+        await service.start()
+        for name in ("steady", "victim"):
+            await service.submit(TenantJob(OP_ADMIT, name, app=apps[name]))
+
+        async def _try(job):
+            try:
+                return await service.submit(job)
+            except AdmissionRejected as exc:
+                return exc
+
+        burst = await asyncio.gather(
+            *[_try(TenantJob(OP_MEASURE, "victim")) for _ in range(10)]
+        )
+        stale = sum(
+            1
+            for r in burst
+            if not isinstance(r, AdmissionRejected) and r.degraded == "stale"
+        )
+        rejected = sum(1 for r in burst if isinstance(r, AdmissionRejected))
+        results = {}
+        for name in ("steady", "victim"):
+            measured = await service.submit(TenantJob(OP_MEASURE, name))
+            results[name] = measured.result
+        figures = _serve_figures(service, results)
+        violations = service.host.system.check_consistency()
+        notes = (
+            f"burst of 10: stale={stale} rejected={rejected} "
+            f"fresh={10 - stale - rejected}"
+        )
+        if not stale:
+            violations = list(violations) + ["no request was served stale"]
+        if not rejected:
+            violations = list(violations) + ["no request was rejected"]
+        await service.stop()
+        return figures, violations, notes, stale, rejected
+
+    with _watching("serve.shed") as sheds, injected(case.plan):
+        figures, violations, notes, _, rejected = asyncio.run(_script())
+    outcome.completed = True
+    outcome.figures = figures
+    outcome.fired = len(sheds) + rejected
+    outcome.consistent = not violations
+    outcome.identical = figures_identical(figures, reference)
+    outcome.detail = notes + (
+        "; audit clean" if outcome.consistent else f"; {violations}"
+    )
+    return outcome
+
+
+def _run_serve_kill_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """Kill the service mid-trace; the recovered one must resume exactly.
+
+    The same generated arrival trace runs twice: once uninterrupted, and
+    once killed (no drain, no checkpoint) halfway through, recovered
+    from the CRC journal, and resumed.  The two final tenant tables —
+    names, app recipes, canonical placements — must be bit-identical.
+    """
+    from repro.serve import generate_arrivals, serve_trace
+
+    outcome = ChaosOutcome(case=case.name)
+    jobs = generate_arrivals(14, seed=case.plan.seed)
+    kill_at = 8
+
+    def _canonical(table: list[dict]) -> dict:
+        return {
+            t["name"]: {
+                "app": json.dumps(t["app"], sort_keys=True),
+                "placements": json.dumps(t["placements"], sort_keys=True),
+            }
+            for t in table
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-chaos-") as tmp:
+        quiet = serve_trace(
+            jobs, _serve_config(platform, Path(tmp) / "quiet")
+        )
+        reference = _canonical(quiet["tenant_table"])
+        outcome.reference = reference
+        with _watching("serve.") as events, injected(case.plan):
+            partial = serve_trace(
+                jobs,
+                _serve_config(platform, Path(tmp) / "chaos"),
+                kill_after=kill_at,
+            )
+            resumed = serve_trace(
+                jobs[kill_at:], _serve_config(platform, Path(tmp) / "chaos")
+            )
+    figures = _canonical(resumed["tenant_table"])
+    outcome.completed = True
+    outcome.figures = figures
+    outcome.fired = sum(1 for e in events if e.kind == "serve.recover")
+    recovered = resumed["health"]["counters"].get("recoveries", 0)
+    outcome.consistent = bool(partial["killed"]) and recovered > 0
+    outcome.identical = figures == reference
+    outcome.detail = (
+        f"killed after {kill_at}/{len(jobs)} jobs; recovered "
+        f"{resumed['health']['counters'].get('recoveries', 0)} time(s), "
+        f"resumed {resumed['jobs']} job(s); tables "
+        + ("identical" if outcome.identical else "DIVERGED")
+    )
+    return outcome
+
+
+# ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
 def run_case(
@@ -865,6 +1258,14 @@ def run_case(
         return _run_mt_squeeze_case(case, platform)
     if case.kind == "mt-pool":
         return _run_mt_pool_case(case, platform, jobs)
+    if case.kind == "serve-crash":
+        return _run_serve_crash_case(case, platform)
+    if case.kind == "serve-deadline":
+        return _run_serve_deadline_case(case, platform)
+    if case.kind == "serve-shed":
+        return _run_serve_shed_case(case, platform)
+    if case.kind == "serve-kill":
+        return _run_serve_kill_case(case, platform)
     return _run_runtime_case(case, platform)
 
 

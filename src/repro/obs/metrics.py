@@ -27,6 +27,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -79,6 +80,50 @@ class Timing:
             "total": self.total,
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum,
+        }
+
+
+class LatencyTracker:
+    """Retained-sample latency distribution with percentile readout.
+
+    :class:`Timing` keeps only count/total/min/max — enough for stage
+    accounting, not for a serving SLO.  The placement service needs p50
+    and p99 *decision latency* for its health endpoint, so this tracker
+    retains every observation (service request volumes are small enough
+    that a bounded reservoir is unnecessary; ``cap`` guards the
+    pathological case by keeping the most recent samples).
+    """
+
+    def __init__(self, cap: int = 100_000) -> None:
+        self._cap = max(1, cap)
+        self._samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        if len(self._samples) > self._cap:
+            del self._samples[: len(self._samples) - self._cap]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = math.ceil(q / 100.0 * len(ordered))
+        rank = min(max(rank, 1), len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """Count plus p50/p99/max, JSON-ready for health endpoints."""
+        if not self._samples:
+            return {"count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": len(self._samples),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": max(self._samples),
         }
 
 

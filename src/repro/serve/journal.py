@@ -1,0 +1,176 @@
+"""Crash-safe resident-state journal for the placement service.
+
+The service's warm state — tenant table, canonical placements, trace
+keys — must survive a kill at *any* instruction.  Two complementary
+artifacts provide that, using the same atomic tempfile+rename idiom as
+:mod:`repro.sim.tracestore`:
+
+- ``journal.jsonl`` — an append-only log of committed operations.  Every
+  line embeds a CRC32 of its own canonical JSON (minus the ``crc`` key),
+  so a torn tail (the classic kill-mid-write artifact) is detected and
+  the valid prefix replayed; nothing before the tear is lost.
+- ``state.json`` + ``state.meta.json`` — a periodic checkpoint of the
+  full resident state with a CRC32 sidecar, committed via
+  ``os.replace`` so readers only ever see a complete old or complete
+  new checkpoint, never a partial one.
+
+Recovery (:meth:`ServiceJournal.load`) prefers the checkpoint and
+replays any journal records committed after it; a corrupt or missing
+checkpoint degrades to a full journal replay.  Every corruption is
+counted and reported, never silently absorbed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.bus import emit
+
+#: Format stamp written into every checkpoint and journal line.
+JOURNAL_FORMAT = 1
+
+_CANON = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _crc_of(record: dict) -> int:
+    """CRC32 of a record's canonical JSON, excluding its ``crc`` field."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return zlib.crc32(json.dumps(body, **_CANON).encode("utf-8"))
+
+
+@dataclass
+class ServiceJournal:
+    """Append-only operation log plus checkpointed resident state."""
+
+    root: Path
+    #: Corrupt artifacts detected while loading (torn lines, bad CRCs).
+    corruptions: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+        self._tmp_seq = 0
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    @property
+    def state_path(self) -> Path:
+        return self.root / "state.json"
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "state.meta.json"
+
+    # -- the append-only log --------------------------------------------
+    def append(self, record: dict) -> int:
+        """Durably append one committed-operation record; returns its seq."""
+        self._seq += 1
+        entry = dict(record)
+        entry["seq"] = self._seq
+        entry["format"] = JOURNAL_FORMAT
+        entry["crc"] = _crc_of(entry)
+        line = json.dumps(entry, **_CANON) + "\n"
+        with open(self.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return self._seq
+
+    def replay(self) -> list[dict]:
+        """Every valid journal record, in order; stops at the first tear.
+
+        A record whose line fails to parse or whose CRC mismatches marks
+        the end of the trustworthy prefix — a kill mid-append can only
+        tear the *last* line, so everything before it is intact.
+        """
+        if not self.journal_path.exists():
+            return []
+        records: list[dict] = []
+        for lineno, line in enumerate(
+            self.journal_path.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                self._flag(f"journal line {lineno}: torn write, truncating")
+                break
+            if not isinstance(entry, dict) or entry.get("crc") != _crc_of(entry):
+                self._flag(f"journal line {lineno}: CRC mismatch, truncating")
+                break
+            records.append(entry)
+        return records
+
+    # -- checkpoints ----------------------------------------------------
+    def checkpoint(self, state: dict) -> None:
+        """Atomically replace the resident-state checkpoint."""
+        payload = dict(state)
+        payload["format"] = JOURNAL_FORMAT
+        payload["seq"] = self._seq
+        blob = json.dumps(payload, **_CANON).encode("utf-8")
+        meta = json.dumps(
+            {"format": JOURNAL_FORMAT, "crc32": zlib.crc32(blob)}, **_CANON
+        ).encode("utf-8")
+        self._commit(self.state_path, blob)
+        self._commit(self.meta_path, meta)
+
+    def load(self) -> tuple[dict | None, list[dict]]:
+        """Recover ``(checkpoint_state, records_after_checkpoint)``.
+
+        Resets the append counter so post-recovery appends continue the
+        sequence.  A bad checkpoint (missing, torn, CRC mismatch) falls
+        back to ``(None, all_valid_records)`` — the caller replays the
+        log from scratch.
+        """
+        records = self.replay()
+        self._seq = records[-1]["seq"] if records else 0
+        state = self._load_checkpoint()
+        if state is None:
+            return None, records
+        seq = int(state.get("seq", 0))
+        self._seq = max(self._seq, seq)
+        return state, [r for r in records if r["seq"] > seq]
+
+    def _load_checkpoint(self) -> dict | None:
+        try:
+            blob = self.state_path.read_bytes()
+            meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(meta, dict) or meta.get("crc32") != zlib.crc32(blob):
+            self._flag("state.json: CRC mismatch, falling back to replay")
+            return None
+        try:
+            state = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._flag("state.json: unparsable, falling back to replay")
+            return None
+        return state if isinstance(state, dict) else None
+
+    # -- internals ------------------------------------------------------
+    def _commit(self, path: Path, blob: bytes) -> None:
+        """Write-then-rename so readers never observe a partial file."""
+        self._tmp_seq += 1
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{self._tmp_seq}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def _flag(self, message: str) -> None:
+        self.corruptions.append(message)
+        emit("serve.journal_corrupt", detail=message, source="serve")

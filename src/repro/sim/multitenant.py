@@ -18,14 +18,53 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.apps.base import GraphApp
 from repro.config import PlatformConfig
 from repro.core.runtime import AtMemRuntime, RuntimeConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConsistencyError
 from repro.mem.address_space import PAGE_SIZE
+from repro.obs.bus import emit
 from repro.sim.executor import TraceExecutor
 from repro.sim.metrics import RunCost
 from repro.sim.tracecache import TraceCache
+
+
+class _PrefixedRegistry:
+    """The *full* runtime registry surface under one tenant's prefix.
+
+    Tenants must not collide on object names within the shared address
+    space, so every registration method the runtime offers — plain,
+    NUMA-preferred, NUMA-interleaved, ``atmem_malloc``, ``atmem_free`` —
+    is forwarded with the tenant name prepended.  An app written against
+    any :class:`~repro.core.runtime.AtMemRuntime` entry point therefore
+    works unchanged under multitenancy.
+    """
+
+    def __init__(self, runtime: AtMemRuntime, prefix: str) -> None:
+        self._runtime = runtime
+        self._prefix = prefix
+
+    def _name(self, obj_name: str) -> str:
+        return f"{self._prefix}/{obj_name}"
+
+    def register_array(self, obj_name, array, *, tier=None):
+        return self._runtime.register_array(self._name(obj_name), array, tier=tier)
+
+    def register_array_preferred(self, obj_name, array):
+        return self._runtime.register_array_preferred(self._name(obj_name), array)
+
+    def register_array_interleaved(self, obj_name, array):
+        return self._runtime.register_array_interleaved(self._name(obj_name), array)
+
+    def atmem_malloc(self, obj_name, size, dtype=np.int64):
+        return self._runtime.atmem_malloc(self._name(obj_name), size, dtype=dtype)
+
+    def atmem_free(self, obj) -> None:
+        if isinstance(obj, str):
+            obj = self._name(obj)
+        self._runtime.atmem_free(obj)
 
 
 @dataclass
@@ -81,16 +120,35 @@ class MultiTenantHost:
             self.system, config=self.runtime_config, platform=self.platform
         )
         app = app_factory()
-
-        # Tenants must not collide on object names within the shared
-        # address space bookkeeping; prefix them.
-        class _PrefixedRegistry:
-            def register_array(self, obj_name, array):
-                return runtime.register_array(f"{name}/{obj_name}", array)
-
-        app.register(_PrefixedRegistry())
+        app.register(_PrefixedRegistry(runtime, name))
         self._tenants.append((name, app, runtime, key))
         return app
+
+    def depart(self, name: str) -> None:
+        """Release a tenant: unmap its pages and drop its objects.
+
+        Every page the tenant's objects mapped goes back to its tier's
+        allocator (``atmem_free`` unmaps the whole range regardless of
+        which tier each page migrated to), and the tenant disappears
+        from the admission chain.  A :meth:`check_consistency` audit
+        runs afterwards so a buggy release cannot silently leak frames
+        into later placements.
+        """
+        for i, (t_name, _, runtime, _) in enumerate(self._tenants):
+            if t_name == name:
+                break
+        else:
+            raise ConfigurationError(f"tenant {name!r} not admitted")
+        for obj in list(runtime.objects.values()):
+            runtime.atmem_free(obj)
+        del self._tenants[i]
+        emit("tenant.depart", detail=name, source="multitenant")
+        violations = self.system.check_consistency()
+        if violations:
+            raise ConsistencyError(
+                f"departure of {name!r} left inconsistent state: "
+                + "; ".join(violations[:3])
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> dict[str, TenantResult]:
@@ -118,47 +176,70 @@ class MultiTenantHost:
         """
         baselines: dict[str, RunCost] = {}
         plans: dict[str, tuple] = {}
-        for name, app, runtime, key in self._tenants:
-            runtime.atmem_profiling_start()
-            if self.trace_cache is not None and key is not None:
-                trace = self.trace_cache.trace(key, app.run_once)
-                hits = self.trace_cache.hit_mask(key, self.system.llc, trace)
-            else:
-                trace = app.run_once()
-                hits = self.system.llc.hit_mask(trace.all_addresses())
-            plans[name] = (trace, hits)
-            baselines[name] = self.executor.run(
-                trace, miss_observer=runtime, hits=hits
-            )
-            runtime.atmem_profiling_stop()
+        for name, _, _, _ in self._tenants:
+            plans[name], baselines[name] = self.profile_tenant(name)
         return plans, baselines
 
     def optimize(self) -> None:
         """Phase 2: optimize in admission order (first come, first placed)."""
-        for _, _, runtime, _ in self._tenants:
-            runtime.atmem_optimize()
+        for name, _, _, _ in self._tenants:
+            self.optimize_tenant(name)
 
     def measure(
         self, plans: dict[str, tuple], baselines: dict[str, RunCost]
     ) -> dict[str, TenantResult]:
         """Phase 3: everyone measures on the final shared placement."""
         results: dict[str, TenantResult] = {}
-        for name, _, runtime, key in self._tenants:
-            trace, hits = plans[name]
-            profile = None
-            if self.trace_cache is not None and key is not None:
-                profile = self.trace_cache.profile(
-                    key, self.system.llc, trace, hits
-                )
-            optimized = self.executor.run(trace, hits=hits, profile=profile)
-            results[name] = TenantResult(
-                name=name,
-                baseline=baselines[name],
-                optimized=optimized,
-                fast_bytes=self._tenant_fast_bytes(runtime),
-                data_ratio=runtime.fast_tier_ratio(),
+        for name, _, _, _ in self._tenants:
+            results[name] = self.measure_tenant(
+                name, plans[name], baselines[name]
             )
         return results
+
+    # -- per-tenant phases (the serving layer drives these one at a time)
+    def tenant(self, name: str) -> tuple[str, GraphApp, AtMemRuntime, tuple | None]:
+        """Look up one admitted tenant's record by name."""
+        for entry in self._tenants:
+            if entry[0] == name:
+                return entry
+        raise ConfigurationError(f"tenant {name!r} not admitted")
+
+    def profile_tenant(self, name: str) -> tuple[tuple, RunCost]:
+        """Profile one tenant on its current placement; returns (plan, baseline)."""
+        _, app, runtime, key = self.tenant(name)
+        runtime.atmem_profiling_start()
+        if self.trace_cache is not None and key is not None:
+            trace = self.trace_cache.trace(key, app.run_once)
+            hits = self.trace_cache.hit_mask(key, self.system.llc, trace)
+        else:
+            trace = app.run_once()
+            hits = self.system.llc.hit_mask(trace.all_addresses())
+        baseline = self.executor.run(trace, miss_observer=runtime, hits=hits)
+        runtime.atmem_profiling_stop()
+        return (trace, hits), baseline
+
+    def optimize_tenant(self, name: str) -> None:
+        """Run one tenant's analyze-and-migrate pass against shared capacity."""
+        _, _, runtime, _ = self.tenant(name)
+        runtime.atmem_optimize()
+
+    def measure_tenant(
+        self, name: str, plan: tuple, baseline: RunCost
+    ) -> TenantResult:
+        """Measure one tenant on the current shared placement."""
+        _, _, runtime, key = self.tenant(name)
+        trace, hits = plan
+        profile = None
+        if self.trace_cache is not None and key is not None:
+            profile = self.trace_cache.profile(key, self.system.llc, trace, hits)
+        optimized = self.executor.run(trace, hits=hits, profile=profile)
+        return TenantResult(
+            name=name,
+            baseline=baseline,
+            optimized=optimized,
+            fast_bytes=self._tenant_fast_bytes(runtime),
+            data_ratio=runtime.fast_tier_ratio(),
+        )
 
     @property
     def tenants(self) -> list[tuple[str, GraphApp, AtMemRuntime, tuple | None]]:
@@ -166,8 +247,6 @@ class MultiTenantHost:
         return list(self._tenants)
 
     def _tenant_fast_bytes(self, runtime: AtMemRuntime) -> int:
-        import numpy as np
-
         total = 0
         space = self.system.address_space
         for obj in runtime.objects.values():

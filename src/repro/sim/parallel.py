@@ -186,6 +186,32 @@ class AppSpec:
         """Content key of this app's deterministic access trace."""
         return (self.app, self.dataset, self.scale, self.kwargs, self.dataset_seed)
 
+    def to_json(self) -> dict:
+        """JSON-safe form for journals; inverse of :meth:`from_json`.
+
+        ``kwargs`` values must themselves be JSON-representable scalars
+        (they are, for every app the registry ships); tuples inside
+        kwargs would come back as lists and change the trace key.
+        """
+        return {
+            "app": self.app,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "kwargs": [[k, v] for k, v in self.kwargs],
+            "dataset_seed": self.dataset_seed,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AppSpec":
+        """Rebuild a spec from :meth:`to_json` output (bit-identical key)."""
+        return cls(
+            app=str(payload["app"]),
+            dataset=str(payload["dataset"]),
+            scale=int(payload["scale"]),
+            kwargs=tuple((str(k), v) for k, v in payload.get("kwargs", [])),
+            dataset_seed=int(payload.get("dataset_seed", 7)),
+        )
+
     def expected_cost(self) -> float:
         """Relative cold cost of tracing this app (bigger graph = costlier)."""
         from repro.graph.datasets import PAPER_SIZES

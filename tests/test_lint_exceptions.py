@@ -1,6 +1,6 @@
 """AST lint (tier-1 face of ``tools/astlint.py``).
 
-Three checks over every source file under ``src/``:
+Four checks over every source file under ``src/``:
 
 - no silent exception swallowing — a bare ``except:`` or an ``except
   Exception: pass`` turns an injected fault (or a real bug) into
@@ -8,6 +8,10 @@ Three checks over every source file under ``src/``:
 - no bare ``print()`` outside the report surface (``cli.py`` and the
   bench report/regression output) — library code signals through the
   observability plane, not stdout;
+- no fire-and-forget ``create_task(...)`` — a dropped task handle can
+  be garbage-collected mid-flight and its exceptions vanish, the async
+  twin of a silent except (the serving layer stores its dispatcher
+  task for exactly this reason);
 - no assigned-but-unused locals (``_``-prefixed names allowlisted) —
   dead assignments are stale refactor remnants.
 
@@ -60,6 +64,37 @@ def test_print_allowlist_is_tight():
         if not (repro_root / entry).exists()
     ]
     assert not missing, f"PRINT_ALLOWED entries without a file: {missing}"
+
+
+def test_sources_contain_no_fire_and_forget_tasks():
+    problems = []
+    for path in sorted(astlint.SRC.rglob("*.py")):
+        problems.extend(astlint.fire_and_forget_task_violations(path))
+    assert not problems, (
+        "fire-and-forget create_task() in src/ (store the handle or "
+        "await it):\n  " + "\n  ".join(problems)
+    )
+
+
+def test_fire_and_forget_check_flags_dropped_handles(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        "import asyncio\n"
+        "async def bad():\n"
+        "    asyncio.create_task(work())\n"      # dropped handle: flagged
+        "async def bad_loop(loop):\n"
+        "    loop.create_task(work())\n"         # loop method too
+        "async def ok():\n"
+        "    t = asyncio.create_task(work())\n"  # stored: fine
+        "    await t\n"
+        "async def ok_awaited():\n"
+        "    await asyncio.create_task(work())\n"  # awaited inline: fine
+        "def ok_other():\n"
+        "    create_graph(work())\n"             # different callee: fine
+    )
+    problems = astlint.fire_and_forget_task_violations(sample)
+    assert len(problems) == 2, problems
+    assert ":3:" in problems[0] and ":5:" in problems[1]
 
 
 def test_sources_contain_no_unused_locals():

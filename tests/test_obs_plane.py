@@ -545,7 +545,7 @@ class TestBenchRegressionGate:
         warnings = cold_parallel_warnings(rows)
         assert len(warnings) == 2, warnings
         assert "cold-2" in warnings[0] and "40% slower" in warnings[0]
-        assert "trace_gen 9.50s" in warnings[1]
+        assert "trace_gen +9.50s" in warnings[1]
 
     def test_cold_parallel_faster_than_serial_is_quiet(self):
         from repro.bench.regression import cold_parallel_warnings

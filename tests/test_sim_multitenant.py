@@ -68,6 +68,60 @@ class TestSharedCapacity:
         results = host.run()
         assert results["first"].fast_bytes >= results["second"].fast_bytes
 
+    def test_departure_returns_capacity_and_stays_consistent(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.admit("b", lambda: make_app("BFS", graphs[1]))
+        host.run()
+        used_before = host.fast_tier_used_bytes()
+        host.depart("a")
+        assert [t[0] for t in host.tenants] == ["b"]
+        assert host.fast_tier_used_bytes() <= used_before
+        assert host.system.check_consistency() == []
+        # The survivor still measures cleanly on the shared system.
+        results = host.run()
+        assert set(results) == {"b"}
+
+    def test_departing_unknown_tenant_rejected(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        with pytest.raises(ConfigurationError):
+            host.depart("nobody")
+
+    def test_departed_name_can_be_readmitted(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.depart("a")
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        results = host.run()
+        assert set(results) == {"a"}
+
+
+class TestPrefixedRegistry:
+    def test_full_registry_surface_is_forwarded(self, graphs):
+        """Tenant apps get malloc/free and placement-hinted registration."""
+        host = MultiTenantHost(nvm_dram_testbed())
+        from repro.sim.multitenant import _PrefixedRegistry
+
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        _, _, runtime, _ = host.tenant("a")
+        reg = _PrefixedRegistry(runtime, "a")
+        scratch = reg.atmem_malloc("scratch", 4096)
+        assert scratch.name == "a/scratch"
+        assert "a/scratch" in runtime.objects
+        reg.atmem_free("scratch")
+        assert "a/scratch" not in runtime.objects
+
+        preferred = reg.register_array_preferred(
+            "hot", np.zeros(512, dtype=np.int64)
+        )
+        assert preferred.name == "a/hot"
+        interleaved = reg.register_array_interleaved(
+            "striped", np.zeros(512, dtype=np.int64)
+        )
+        assert interleaved.name == "a/striped"
+        assert host.system.check_consistency() == []
+
     def test_selective_tenants_leave_room(self, graphs):
         """ATMem's Objective I: per-byte efficiency leaves capacity over."""
         platform = nvm_dram_testbed()

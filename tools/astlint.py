@@ -1,6 +1,6 @@
 """AST lint over ``src/repro``: exception hygiene and output discipline.
 
-Three checks, all pure ``ast`` walks (no third-party linter):
+Four checks, all pure ``ast`` walks (no third-party linter):
 
 - **No silent exception swallowing.**  A bare ``except:`` (which also
   catches ``KeyboardInterrupt``/``SystemExit``) or an ``except
@@ -13,6 +13,14 @@ Three checks, all pure ``ast`` walks (no third-party linter):
   must signal through the observability plane (:mod:`repro.obs`) so
   runs stay quiet, parseable, and deterministic; only the CLI and the
   bench report/regression output are allowed to write to stdout.
+
+- **No fire-and-forget ``asyncio.create_task``.**  A task whose handle
+  is neither stored nor awaited can be garbage-collected mid-flight,
+  and its exceptions vanish into the loop's default handler — the
+  serving layer (:mod:`repro.serve`) exists to make failures *typed*,
+  so an untracked task is the same bug as a silent ``except``.  Store
+  the handle (the service keeps its dispatcher task on ``self``) or
+  await it.
 
 - **No assigned-but-unused locals.**  A plain ``name = ...`` inside a
   function whose name is never read again is dead weight at best and a
@@ -114,6 +122,43 @@ def print_violations(path: Path) -> list[str]:
     return problems
 
 
+def _is_create_task_call(node: ast.expr) -> bool:
+    """Whether an expression is a ``create_task(...)`` call.
+
+    Matches both the module function (``asyncio.create_task``) and the
+    loop method (``loop.create_task``) by attribute name, plus a bare
+    ``create_task`` name import.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "create_task"
+    if isinstance(func, ast.Name):
+        return func.id == "create_task"
+    return False
+
+
+def fire_and_forget_task_violations(path: Path) -> list[str]:
+    """``create_task(...)`` calls whose handle is silently dropped.
+
+    An ``ast.Expr`` statement wrapping the call means the returned task
+    object is discarded on the spot: nothing can await it, cancel it,
+    or observe its exception, and CPython is free to collect it while
+    it is still running.  ``await create_task(...)`` is not flagged —
+    there the statement's value is the ``Await`` node, not the call.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Expr) and _is_create_task_call(node.value):
+            problems.append(
+                f"{_rel(path)}:{node.lineno}: fire-and-forget "
+                "create_task() — store the task handle or await it"
+            )
+    return problems
+
+
 def _own_scope_nodes(func: ast.AST):
     """The nodes of one function's own scope (nested scopes excluded)."""
     for child in ast.iter_child_nodes(func):
@@ -183,6 +228,7 @@ def run_lint(root: Path = SRC) -> list[str]:
     for path in files:
         problems.extend(silent_handler_violations(path))
         problems.extend(print_violations(path))
+        problems.extend(fire_and_forget_task_violations(path))
         problems.extend(unused_local_violations(path))
     return problems
 
