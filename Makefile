@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-scaling serve-smoke chaos reproduce examples clean loc
+.PHONY: install test lint bench bench-smoke bench-fold bench-scaling serve-smoke chaos reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -26,9 +26,17 @@ bench:
 # regression gate fails on stages >25% slower than the committed
 # BENCH_parallel.json.
 bench-smoke:
+	rm -f benchmarks/results/BENCH_smoke.json
 	REPRO_PARALLEL_JSON=benchmarks/results/BENCH_smoke.json \
-	  $(PYTHON) -m pytest benchmarks/bench_parallel_engine.py --benchmark-only --jobs 2
-	$(PYTHON) -m repro.bench.regression --strict --fresh benchmarks/results/BENCH_smoke.json
+	  $(PYTHON) -m pytest benchmarks/bench_parallel_engine.py benchmarks/bench_fold.py --benchmark-only --jobs 2
+	PYTHONPATH=src $(PYTHON) -m repro.bench.regression --strict --fresh benchmarks/results/BENCH_smoke.json
+
+# Reuse-fold microbenchmark: argsort fold vs the O(N) last-seen kernel
+# vs a store-loaded v2 curve answering a whole capacity sweep; appends
+# reuse_speedup + trace_gen_vectorize rows to BENCH_parallel.json (the
+# committed baselines the bench-smoke gate compares against).
+bench-fold:
+	$(PYTHON) -m pytest benchmarks/bench_fold.py --benchmark-only
 
 # Full fig5 scaling sweep: serial vs cold/warm trace store at 2 and 4
 # workers; refreshes BENCH_parallel.json and checks artifacts stay

@@ -1,0 +1,221 @@
+"""Reuse-fold microbenchmark (``make bench-fold``).
+
+Times the three ways a figure cell can obtain working-set hit masks for
+one representative trace (the PR/twitter smoke cell):
+
+1. **argsort fold** — the vectorised O(N log N) fallback
+   (:func:`repro.mem.cache._argsort_reuse_gaps`);
+2. **last-seen kernel** — the O(N) numba fold
+   (:func:`repro.mem.cachejit.reuse_gap_kernel`), when numba is
+   importable and ``REPRO_JIT`` allows it (compile time excluded, like
+   any warmed JIT); on this container the column records ``null`` and
+   the selected path equals the fallback;
+3. **store-loaded curve** — a v2 reuse artifact round-tripped through a
+   scratch :class:`repro.sim.tracestore.TraceStore`, answering a whole
+   capacity sweep with zero per-process cast+cumsum.
+
+All paths must agree bit-for-bit before anything is recorded.  The
+``reuse_speedup`` row lands in ``BENCH_parallel.json`` (or the file
+``REPRO_PARALLEL_JSON`` points at — ``make bench-smoke`` routes it into
+the scratch record checked by the ``--strict`` regression gate).  A
+second ``trace_gen_vectorize`` row documents the synthetic-trace-
+generation satellite: the SSSP segment-min as one unordered scatter-min
+versus the old argsort+reduceat walk, verified equivalent on the same
+relaxation data.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.workloads import _cell_spec, bench_scale
+from repro.mem.cache import (
+    GAP_COLD,
+    WorkingSetCache,
+    _argsort_reuse_gaps,
+    reuse_time_gaps,
+)
+from repro.mem.cachejit import reuse_gap_kernel
+from repro.sim.parallel import execute_job, record_parallel_timing
+from repro.sim.reusepack import build_reuse_profile
+from repro.sim.tracecache import TraceCache
+from repro.sim.tracestore import TraceStore
+
+#: Same capacity sweep as the mask_speedup row in bench_parallel_engine.
+SWEEP_BYTES = (16 << 10, 32 << 10, 64 << 10, 128 << 10)
+
+INF = np.iinfo(np.int64).max // 2
+
+
+def _smoke_addresses() -> np.ndarray:
+    """The PR/twitter smoke cell's program-order address stream."""
+    spec = _cell_spec("nvm_dram", "PR", "twitter")
+    cache = TraceCache(store=None)
+    execute_job(spec, trace_cache=cache)
+    trace = cache.trace(spec.trace_key(), lambda: None)  # served from memory
+    return np.ascontiguousarray(trace.all_addresses(), dtype=np.int64)
+
+
+def _best_of(n, fn):
+    """Minimum wall-clock over ``n`` runs — the recorded ``*_seconds``
+    feed the 25% regression gate, and the minimum is what the hardware
+    can do; the rest is scheduling jitter."""
+    best, result = np.inf, None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_reuse_fold_speedup(once, tmp_path):
+    addrs = _smoke_addresses()
+    lines = addrs >> 6
+
+    once(lambda: _argsort_reuse_gaps(lines))  # benchmark-plumbed round
+    argsort_seconds, argsort_gaps = _best_of(
+        3, lambda: _argsort_reuse_gaps(lines)
+    )
+
+    kernel = reuse_gap_kernel()
+    kernel_seconds = None
+    if kernel is not None:
+        reuse_time_gaps(addrs)  # pay the one-time numba compile here
+        kernel_seconds, selected_gaps = _best_of(
+            3, lambda: reuse_time_gaps(addrs)
+        )
+        selected_seconds = kernel_seconds
+    else:
+        selected_seconds, selected_gaps = _best_of(
+            3, lambda: reuse_time_gaps(addrs)
+        )
+    assert np.array_equal(argsort_gaps, selected_gaps)
+
+    # Curve persistence: a store round-trip must answer the sweep without
+    # the per-process cast+cumsum a fresh profile pays lazily.
+    store = TraceStore(tmp_path / "fold-store")
+    profile = build_reuse_profile(addrs)
+    key = ("bench_fold", "pr-twitter")
+    store.save_trace(key, _trace_of(addrs))
+    assert store.save_reuse(key, profile.line_size, profile)
+
+    fresh = build_reuse_profile(addrs)
+    start = time.perf_counter()
+    fresh_masks = [
+        fresh.hit_mask_for(WorkingSetCache(size)) for size in SWEEP_BYTES
+    ]
+    fresh_seconds = time.perf_counter() - start
+
+    loaded = store.load_reuse(key, profile.line_size, profile.n)
+    assert loaded is not None
+    start = time.perf_counter()
+    loaded_masks = [
+        loaded.hit_mask_for(WorkingSetCache(size)) for size in SWEEP_BYTES
+    ]
+    curve_seconds = time.perf_counter() - start
+    for want, got in zip(fresh_masks, loaded_masks):
+        assert np.array_equal(want, got)
+
+    record_parallel_timing(
+        {
+            "benchmark": "reuse_speedup",
+            "jobs": 1,
+            "cells": len(SWEEP_BYTES),
+            "scale": bench_scale(),
+            "accesses": int(addrs.size),
+            "jit": kernel is not None,
+            "wall_seconds": round(selected_seconds, 4),
+            "argsort_seconds": round(argsort_seconds, 4),
+            "kernel_seconds": (
+                round(kernel_seconds, 4) if kernel_seconds is not None else None
+            ),
+            "fresh_curve_seconds": round(fresh_seconds, 4),
+            "store_curve_seconds": round(curve_seconds, 4),
+            "speedup": round(argsort_seconds / max(selected_seconds, 1e-9), 2),
+            "curve_speedup": round(fresh_seconds / max(curve_seconds, 1e-9), 2),
+        }
+    )
+
+
+def _trace_of(addrs: np.ndarray):
+    from repro.mem.trace import AccessTrace
+
+    trace = AccessTrace()
+    trace.add(addrs, label="bench-fold")
+    return trace
+
+
+def _segment_min_reference(targets, candidate, dist):
+    """The pre-vectorisation SSSP relaxation: argsort + reduceat."""
+    order = np.argsort(targets, kind="stable")
+    sorted_targets = targets[order]
+    sorted_candidates = candidate[order]
+    run_starts = np.nonzero(
+        np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
+    )[0]
+    best = np.minimum.reduceat(sorted_candidates, run_starts)
+    unique_targets = sorted_targets[run_starts]
+    improved_mask = best < dist[unique_targets]
+    return unique_targets[improved_mask], best[improved_mask]
+
+
+def _segment_min_scatter(targets, candidate, dist, scratch):
+    """The shipped relaxation: one unordered scatter-min, sparse reset."""
+    np.minimum.at(scratch, targets, candidate)
+    improved = np.nonzero(scratch < dist)[0]
+    values = scratch[improved]
+    scratch[targets] = INF
+    return improved, values
+
+
+def test_trace_gen_vectorize(once):
+    """One representative SSSP relaxation round, folded both ways.
+
+    Sized so the scatter fold lands well clear of timer noise (the
+    recorded ``wall_seconds`` feeds the 25% regression gate), and timed
+    best-of-3 — the minimum is what the hardware can do, the rest is
+    scheduling jitter.
+    """
+    rng = np.random.default_rng(17)
+    n_vertices = 1_600_000
+    n_edges = 12_800_000
+    targets = rng.integers(0, n_vertices, n_edges, dtype=np.int64)
+    candidate = rng.integers(0, 1 << 30, n_edges, dtype=np.int64)
+    dist = rng.integers(0, 1 << 30, n_vertices, dtype=np.int64)
+    dist[dist % 3 == 0] = INF  # a mix of settled and unreached vertices
+
+    start = time.perf_counter()
+    ref_improved, ref_values = once(
+        lambda: _segment_min_reference(targets, candidate, dist)
+    )
+    reference_seconds = time.perf_counter() - start
+
+    scratch = np.full(n_vertices, INF, dtype=np.int64)
+    scatter_seconds = np.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        improved, values = _segment_min_scatter(
+            targets, candidate, dist, scratch
+        )
+        scatter_seconds = min(
+            scatter_seconds, time.perf_counter() - start
+        )
+
+    assert np.array_equal(ref_improved, improved)
+    assert np.array_equal(ref_values, values)
+    assert np.all(scratch[targets] == INF)  # the sparse reset held
+
+    record_parallel_timing(
+        {
+            "benchmark": "trace_gen_vectorize",
+            "jobs": 1,
+            "cells": 1,
+            "scale": bench_scale(),
+            "edges": int(n_edges),
+            "wall_seconds": round(scatter_seconds, 4),
+            "reference_seconds": round(reference_seconds, 4),
+            "speedup": round(
+                reference_seconds / max(scatter_seconds, 1e-9), 2
+            ),
+        }
+    )

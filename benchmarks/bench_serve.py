@@ -58,6 +58,7 @@ def canonical_table(table: list[dict]) -> str:
             {
                 "name": t["name"],
                 "app": t.get("app"),
+                "phase": t.get("phase", 0),
                 "placements": t["placements"],
             }
             for t in table

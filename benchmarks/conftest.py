@@ -11,9 +11,16 @@ appended to ``BENCH_parallel.json`` next to this directory.
 """
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
+
+# Self-contained like run_scaling.py / bench_serve.py: `make bench*`
+# works without an installed package or an exported PYTHONPATH.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 
 def pytest_addoption(parser):

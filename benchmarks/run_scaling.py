@@ -120,6 +120,38 @@ def _stage_summary(phase: str) -> str:
     )
 
 
+#: Artifact-reuse counters worth a line per phase: how often each lattice
+#: level (trace / reuse profile / hit mask) was served without rebuilding,
+#: and how many reuse folds ran incrementally over a phase delta.
+_CACHE_COUNTERS = (
+    "cache.trace_hits",
+    "cache.reuse_hits",
+    "cache.store_reuse_hits",
+    "cache.reuse_extends",
+    "cache.mask_hits",
+)
+
+
+def _cache_summary(phase: str) -> str:
+    """One-line artifact-reuse counter summary over a phase's rows."""
+    totals: dict[str, float] = {}
+    for entry in _records():
+        if entry.get("phase") != phase:
+            continue
+        counters = (entry.get("metrics") or {}).get("counters")
+        if not isinstance(counters, dict):
+            continue
+        for name in _CACHE_COUNTERS:
+            if name in counters:
+                totals[name] = totals.get(name, 0.0) + float(counters[name])
+    if not totals:
+        return "(no cache counters recorded)"
+    return "  ".join(
+        f"{name.removeprefix('cache.')}={int(value)}"
+        for name, value in sorted(totals.items())
+    )
+
+
 def main() -> int:
     print(f"cpus={os.cpu_count()}  cold-slowdown tolerance "
           f"{COLD_SLOWDOWN_TOLERANCE:.2f}x")
@@ -142,6 +174,7 @@ def main() -> int:
             print(f"{phase:8s} {timings[phase]:7.1f} s  "
                   f"fig5 sha256={digests[phase][:12]}", flush=True)
             print(f"{'':8s} stages: {_stage_summary(phase)}", flush=True)
+            print(f"{'':8s} cache:  {_cache_summary(phase)}", flush=True)
 
     # Annotate the record with a structured diagnosis of any cold phase
     # that lost to serial, so the committed file documents the regression

@@ -44,6 +44,9 @@ class SSSP(GraphApp):
         dist.fill(INF)
         dist[self.source] = 0
         frontier = np.array([self.source], dtype=np.int64)
+        # Scratch for the per-round segment-min; reset sparsely (only the
+        # slots a round touched) so it allocates once per run.
+        best = np.full(dist.size, INF, dtype=np.int64)
         while frontier.size:
             self._gather(trace, "offsets", frontier, "offsets-gather")
             edge_idx = expand_frontier(offsets, frontier)
@@ -66,20 +69,16 @@ class SSSP(GraphApp):
             sources = np.repeat(frontier, counts)
             candidate = dist[sources] + weights[edge_idx]
             self._gather(trace, "dist", targets, "dist-read")
-            # Segment-min per target: sort candidates by target, reduce runs.
-            order = np.argsort(targets, kind="stable")
-            sorted_targets = targets[order]
-            sorted_candidates = candidate[order]
-            run_starts = np.nonzero(
-                np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
-            )[0]
-            best = np.minimum.reduceat(sorted_candidates, run_starts)
-            unique_targets = sorted_targets[run_starts]
-            improved_mask = best < dist[unique_targets]
-            improved = unique_targets[improved_mask]
+            # Segment-min per target: one unordered scatter-min replaces
+            # the old argsort+reduceat (the sort dominated trace_gen).
+            # `improved` comes out ascending, exactly as the sorted
+            # unique-target walk produced it, so traces are identical.
+            np.minimum.at(best, targets, candidate)
+            improved = np.nonzero(best < dist)[0]
             if improved.size:
                 self._scatter(trace, "dist", improved, "dist-write")
-                dist[improved] = best[improved_mask]
+                dist[improved] = best[improved]
+            best[targets] = INF
             frontier = improved
         return trace
 

@@ -24,10 +24,12 @@ continuous stream.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.errors import ConfigurationError
-from repro.mem.cachejit import lru_kernel
+from repro.errors import ConfigurationError, TraceError
+from repro.mem.cachejit import lru_kernel, reuse_gap_kernel
 
 LINE_SHIFT = 6
 LINE_SIZE = 1 << LINE_SHIFT
@@ -37,24 +39,22 @@ LINE_SIZE = 1 << LINE_SHIFT
 #: exact and approximate models.
 GAP_COLD = np.iinfo(np.int64).max
 
+#: When truthy, every kernel-folded reuse-gap array is re-computed by the
+#: argsort fold and the two must be bit-identical (the reuse parity
+#: oracle, mirroring ``REPRO_VERIFY_MASK`` one lattice level down).
+VERIFY_REUSE_ENV = "REPRO_VERIFY_REUSE"
 
-def reuse_time_gaps(addrs: np.ndarray, line_shift: int = LINE_SHIFT) -> np.ndarray:
-    """Per-access reuse time gap at line granularity; ``GAP_COLD`` marks a
-    first occurrence.
+#: The dense last-seen table covers ``max - min + 1`` line slots; a
+#: stream whose line span exceeds this multiple of its length is too
+#: sparse for the table (the bump allocator makes real traces dense, so
+#: this only trips on synthetic adversaries) and folds via argsort.
+_DENSE_SPAN_FACTOR = 8
 
-    This is the vectorised fold the working-set model is built on (one
-    stable argsort over line numbers), shared by
-    :meth:`WorkingSetCache.reuse_gaps` and the compiled reuse profiles in
-    :mod:`repro.sim.reusepack`.  The gaps are **LLC-size-independent**:
-    they depend only on the address stream and the line granularity,
-    which is what lets one fold serve every capacity of a sweep.
-    """
-    addrs = np.asarray(addrs, dtype=np.int64)
-    n = addrs.size
+
+def _argsort_reuse_gaps(lines: np.ndarray) -> np.ndarray:
+    """The vectorised O(N log N) reuse fold: one stable argsort."""
+    n = lines.size
     gaps = np.full(n, GAP_COLD, dtype=np.int64)
-    if n == 0:
-        return gaps
-    lines = addrs >> line_shift
     order = np.argsort(lines, kind="stable")
     sorted_lines = lines[order]
     same = sorted_lines[1:] == sorted_lines[:-1]
@@ -62,6 +62,84 @@ def reuse_time_gaps(addrs: np.ndarray, line_shift: int = LINE_SHIFT) -> np.ndarr
     gaps_sorted[1:][same] = order[1:][same] - order[:-1][same]
     gaps[order] = gaps_sorted
     return gaps
+
+
+def dense_table_span(lines: np.ndarray) -> tuple[int, int] | None:
+    """``(base, span)`` of a last-seen table for ``lines``, or ``None``.
+
+    ``None`` means the stream is too sparse for a dense table (span more
+    than :data:`_DENSE_SPAN_FACTOR` times the access count) and callers
+    must stay on the argsort path.
+    """
+    if lines.size == 0:
+        return None
+    base = int(lines.min())
+    span = int(lines.max()) - base + 1
+    if span > max(1024, _DENSE_SPAN_FACTOR * lines.size):
+        return None
+    return base, span
+
+
+def _kernel_reuse_gaps(lines: np.ndarray) -> np.ndarray | None:
+    """The O(N) last-seen fold, or ``None`` when it does not apply."""
+    kernel = reuse_gap_kernel()
+    if kernel is None:
+        return None
+    geometry = dense_table_span(lines)
+    if geometry is None:
+        return None
+    base, span = geometry
+    last_seen = np.full(span, -1, dtype=np.int64)
+    gaps = np.empty(lines.size, dtype=np.int64)
+    kernel(lines, base, last_seen, gaps, GAP_COLD, 0)
+    return gaps
+
+
+def reuse_time_gaps(addrs: np.ndarray, line_shift: int = LINE_SHIFT) -> np.ndarray:
+    """Per-access reuse time gap at line granularity; ``GAP_COLD`` marks a
+    first occurrence.
+
+    This is the fold the working-set model is built on, shared by
+    :meth:`WorkingSetCache.reuse_gaps` and the compiled reuse profiles in
+    :mod:`repro.sim.reusepack`.  The gaps are **LLC-size-independent**:
+    they depend only on the address stream and the line granularity,
+    which is what lets one fold serve every capacity of a sweep.
+
+    Two implementations with bit-identical output: when numba is
+    importable (and ``REPRO_JIT`` allows it), an O(N) single pass over a
+    dense last-seen table (:func:`repro.mem.cachejit.reuse_gaps_py`);
+    otherwise one stable argsort over line numbers (O(N log N)).
+    ``REPRO_VERIFY_REUSE=1`` re-runs the argsort fold after every kernel
+    fold and raises :class:`~repro.errors.TraceError` on divergence
+    (``reuse.parity_checks`` / ``reuse.parity_failures`` metrics).
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    n = addrs.size
+    if n == 0:
+        return np.full(0, GAP_COLD, dtype=np.int64)
+    lines = addrs >> line_shift
+    gaps = _kernel_reuse_gaps(lines)
+    if gaps is None:
+        return _argsort_reuse_gaps(lines)
+    if os.environ.get(VERIFY_REUSE_ENV):
+        _verify_reuse_gaps(gaps, lines)
+    return gaps
+
+
+def _verify_reuse_gaps(gaps: np.ndarray, lines: np.ndarray) -> None:
+    """The reuse parity oracle: the argsort fold must agree bit-for-bit."""
+    from repro.obs.metrics import process_metrics
+
+    registry = process_metrics()
+    registry.inc("reuse.parity_checks")
+    direct = _argsort_reuse_gaps(lines)
+    if not np.array_equal(gaps, direct):
+        registry.inc("reuse.parity_failures")
+        raise TraceError(
+            "last-seen reuse fold diverged from the argsort fold: "
+            f"{int(np.count_nonzero(gaps != direct))} of {gaps.size} "
+            "gaps differ"
+        )
 
 
 def gap_window_curve(

@@ -1,20 +1,30 @@
-"""Optional numba-JIT kernel for the set-associative LLC simulator.
+"""Optional numba-JIT kernels for the memory-model hot loops.
 
-:class:`repro.mem.cache.SetAssociativeCache` replays each set's accesses
-against Python-list LRU buckets — exact, but interpreter-bound.  When
-numba is importable this module compiles the same per-set LRU replay
-over flat int64 state arrays, turning the inner loop into machine code
-while keeping bit-identical semantics (the parity tests compare both
-paths access for access).
+Two interpreter-bound inner loops live behind this module:
+
+- :class:`repro.mem.cache.SetAssociativeCache` replays each set's
+  accesses against Python-list LRU buckets — exact, but slow.  When
+  numba is importable, :func:`lru_kernel` compiles the same per-set LRU
+  replay over flat int64 state arrays with bit-identical semantics.
+- :func:`repro.mem.cache.reuse_time_gaps` folds an address stream into
+  per-access reuse time gaps.  The vectorised fallback is a stable
+  argsort (O(N log N)); :func:`reuse_gap_kernel` compiles the textbook
+  O(N) alternative — one pass over the stream against a dense
+  *last-seen table* indexed by line number (:func:`reuse_gaps_py`), the
+  same fold an LRU simulator's bookkeeping would do.  The gap of access
+  *i* is ``i - last_seen[line]`` (or the caller's cold sentinel on a
+  first touch), which is exactly what the argsort fold computes, so the
+  two paths are bit-identical and ``REPRO_VERIFY_REUSE=1`` can hold
+  them to it (see :mod:`repro.sim.tracecache`).
 
 The packaging idiom follows the numba runtime pattern: the dependency is
 *optional* and resolved lazily.  ``import numba`` happens on first
 kernel request, an :class:`ImportError` (or a broken numba install
 raising on decoration) degrades to ``None`` and the caller falls back
-to the pure-Python loop, and ``REPRO_JIT=0`` disables the kernel even
-when numba is present.  The kernel body itself is a plain Python
-function (:func:`lru_runs_py`) so tests can exercise its logic without
-numba installed.
+to the pure-Python/vectorised path, and ``REPRO_JIT=0`` disables the
+kernels even when numba is present.  The kernel bodies are plain Python
+functions (:func:`lru_runs_py`, :func:`reuse_gaps_py`) so tests can
+exercise their logic without numba installed.
 """
 
 from __future__ import annotations
@@ -82,9 +92,38 @@ def lru_runs_py(
         fill[set_id] = n_fill
 
 
-#: Tri-state cache: unresolved / resolved-to-None / resolved-to-kernel.
+def reuse_gaps_py(lines, base, last_seen, gaps, gap_cold, start) -> None:
+    """O(N) reuse-gap fold over a dense last-seen table, in place.
+
+    ``last_seen[line - base]`` holds the *global* stream position of the
+    most recent access to ``line`` (``-1``: never seen), and accesses in
+    this call occupy global positions ``start .. start + len(lines) - 1``
+    — ``start`` is 0 for a whole-trace fold, and a prior fold's length
+    for an incremental phase extension (:meth:`repro.sim.reusepack.
+    ReuseProfile.extend`), which carries the table forward instead of
+    refolding the prefix.  Bit-identical to the argsort fold in
+    :func:`repro.mem.cache.reuse_time_gaps`: both report
+    ``position - previous_position`` with the caller's ``gap_cold``
+    sentinel marking first touches.  Written in the numba-compilable
+    subset (index loop, no Python objects) so the compiled and
+    interpreted versions are the same code.
+    """
+    for i in range(lines.size):
+        idx = lines[i] - base
+        prev = last_seen[idx]
+        pos = start + i
+        if prev < 0:
+            gaps[i] = gap_cold
+        else:
+            gaps[i] = pos - prev
+        last_seen[idx] = pos
+
+
+#: Tri-state caches: unresolved / resolved-to-None / resolved-to-kernel.
 _RESOLVED = False
 _KERNEL = None
+_REUSE_RESOLVED = False
+_REUSE_KERNEL = None
 
 
 def lru_kernel():
@@ -107,3 +146,24 @@ def lru_kernel():
         except ImportError:
             _KERNEL = None
     return _KERNEL
+
+
+def reuse_gap_kernel():
+    """The compiled last-seen reuse fold, or ``None`` when unavailable.
+
+    Same contract as :func:`lru_kernel`: ``None`` sends the caller to
+    the vectorised argsort fallback, the :data:`JIT_ENV` gate is re-read
+    per call, and the import/compile cost is paid once per process.
+    """
+    global _REUSE_RESOLVED, _REUSE_KERNEL
+    if not jit_enabled():
+        return None
+    if not _REUSE_RESOLVED:
+        _REUSE_RESOLVED = True
+        try:
+            import numba  # noqa: PLC0415 — optional, resolved lazily
+
+            _REUSE_KERNEL = numba.njit(cache=True)(reuse_gaps_py)
+        except ImportError:
+            _REUSE_KERNEL = None
+    return _REUSE_KERNEL

@@ -86,6 +86,10 @@ class AccessTrace:
 
     phases: list[TracePhase] = field(default_factory=list)
     _flat: np.ndarray | None = field(default=None, repr=False, compare=False)
+    #: The phase address arrays the cached flat was concatenated from,
+    #: compared by *identity* — a phase swapping in a same-length array
+    #: (``phase.addrs = ...``) is caught, which a length check is not.
+    _flat_sources: tuple = field(default=(), repr=False, compare=False)
 
     def add(
         self,
@@ -118,19 +122,39 @@ class AccessTrace:
     def invalidate_flat(self) -> None:
         """Drop the cached flat address array (after external mutation)."""
         self._flat = None
+        self._flat_sources = ()
 
     @property
     def total_accesses(self) -> int:
         """Total number of element accesses across all phases."""
         return sum(len(p) for p in self.phases)
 
+    def _flat_stale(self) -> bool:
+        """Whether the cached flat no longer reflects the phase list.
+
+        Keyed on phase *identity*: the cache is valid only while every
+        phase still holds the exact array object it was concatenated
+        from.  A size comparison alone returned stale data when a phase
+        mutated without changing the total length (e.g. the fault
+        injector's copy-and-flip corruption).
+        """
+        if self._flat is None:
+            return True
+        if len(self._flat_sources) != len(self.phases):
+            return True
+        return any(
+            phase.addrs is not source
+            for phase, source in zip(self.phases, self._flat_sources)
+        )
+
     def all_addresses(self) -> np.ndarray:
         """Concatenate every phase's addresses in program order (cached)."""
-        if self._flat is None or self._flat.size != self.total_accesses:
+        if self._flat_stale():
             if not self.phases:
                 self._flat = np.empty(0, dtype=np.int64)
             else:
                 self._flat = np.concatenate([p.addrs for p in self.phases])
+            self._flat_sources = tuple(p.addrs for p in self.phases)
         return self._flat
 
     # ------------------------------------------------------------------
@@ -179,6 +203,7 @@ class AccessTrace:
                 f"has {flat.size}"
             )
         trace._flat = np.asarray(flat)
+        trace._flat_sources = tuple(p.addrs for p in trace.phases)
         return trace
 
     def __iter__(self):

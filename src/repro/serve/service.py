@@ -422,6 +422,10 @@ class PlacementService:
         name = job.tenant
         _, _, runtime, _ = self.host.tenant(name)
         runtime.reset_profiling()
+        # Advance the tenant's phase: the re-profile below runs over the
+        # phase's cumulative stream, and (when the LLC is reuse-derivable)
+        # folds only the delta past the previous phase's profile.
+        self.host.phase_change(name)
         plan, baseline = self.host.profile_tenant(name)
         self._require_deadline(entry)
         degraded = ""
@@ -473,6 +477,10 @@ class PlacementService:
         if self.journal is not None:
             record = job.to_json()
             record["placements"] = self._placements_of(job.tenant)
+            try:
+                record["phase"] = self.host.phase_of(job.tenant)
+            except ReproError:
+                record["phase"] = 0  # departed
             self.journal.append(record)
             self.journal.checkpoint(self._snapshot_state())
         if self.config.audit:
@@ -503,6 +511,7 @@ class PlacementService:
                     "app": self._app_of(name),
                     "qos": self._qos.get(name, QoS()).to_json(),
                     "key_repr": repr(key),
+                    "phase": self.host.phase_of(name),
                     "placements": canonical_placements(
                         runtime, self.host.system, prefix=f"{name}/"
                     ),
@@ -529,6 +538,7 @@ class PlacementService:
                         "name": name,
                         "app": record.get("app"),
                         "qos": record.get("qos", {}),
+                        "phase": int(record.get("phase", 0)),
                         "placements": record.get("placements") or {},
                     }
                 )
@@ -538,6 +548,9 @@ class PlacementService:
                 for t in tenants:
                     if t.get("name") == name:
                         t["placements"] = record.get("placements") or {}
+                        t["phase"] = int(
+                            record.get("phase", t.get("phase", 0) + 1)
+                        )
         for t in tenants:
             name = t["name"]
             app_payload = t.get("app")
@@ -545,6 +558,7 @@ class PlacementService:
                 continue
             app_spec = AppSpec.from_json(app_payload)
             self.host.admit(name, app_spec)
+            self.host.set_phase(name, int(t.get("phase", 0)))
             _, _, runtime, _ = self.host.tenant(name)
             placements = t.get("placements") or {}
             runtime.apply_placement(

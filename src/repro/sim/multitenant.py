@@ -25,9 +25,11 @@ from repro.config import PlatformConfig
 from repro.core.runtime import AtMemRuntime, RuntimeConfig
 from repro.errors import ConfigurationError, ConsistencyError
 from repro.mem.address_space import PAGE_SIZE
+from repro.mem.trace import AccessTrace
 from repro.obs.bus import emit
 from repro.sim.executor import TraceExecutor
 from repro.sim.metrics import RunCost
+from repro.sim.reusepack import derivable
 from repro.sim.tracecache import TraceCache
 
 
@@ -99,6 +101,10 @@ class MultiTenantHost:
         self.system = self.platform.build_system()
         self.executor = TraceExecutor(self.system)
         self._tenants: list[tuple[str, GraphApp, AtMemRuntime, tuple | None]] = []
+        #: Per-tenant phase counter; absent = phase 0 (the admit-time
+        #: behaviour).  Bumped by :meth:`phase_change`, restored by the
+        #: serving layer's recovery via :meth:`set_phase`.
+        self._phases: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def _tenant_key(self, name: str, app_factory) -> tuple | None:
@@ -142,6 +148,7 @@ class MultiTenantHost:
         for obj in list(runtime.objects.values()):
             runtime.atmem_free(obj)
         del self._tenants[i]
+        self._phases.pop(name, None)
         emit("tenant.depart", detail=name, source="multitenant")
         violations = self.system.check_consistency()
         if violations:
@@ -204,15 +211,88 @@ class MultiTenantHost:
                 return entry
         raise ConfigurationError(f"tenant {name!r} not admitted")
 
-    def profile_tenant(self, name: str) -> tuple[tuple, RunCost]:
-        """Profile one tenant on its current placement; returns (plan, baseline)."""
-        _, app, runtime, key = self.tenant(name)
-        runtime.atmem_profiling_start()
-        if self.trace_cache is not None and key is not None:
-            trace = self.trace_cache.trace(key, app.run_once)
-            hits = self.trace_cache.hit_mask(key, self.system.llc, trace)
+    # -- execution phases ------------------------------------------------
+    def phase_of(self, name: str) -> int:
+        """The tenant's current execution phase (0 = admit-time)."""
+        self.tenant(name)
+        return self._phases.get(name, 0)
+
+    def phase_change(self, name: str) -> int:
+        """Record that a tenant entered a new execution phase.
+
+        Returns the new phase number.  The tenant's profiled stream is
+        *cumulative*: phase *k* covers the original run plus *k* further
+        runs of the idempotent ``run_once`` (the deterministic stand-in
+        for "the application kept executing"), so each phase's trace is
+        a strict prefix of the next — exactly the property the
+        incremental reuse extension (:meth:`TraceCache.reuse_profile`
+        with ``extend_from``) relies on.
+        """
+        self.tenant(name)
+        k = self._phases.get(name, 0) + 1
+        self._phases[name] = k
+        emit("tenant.phase", detail=f"{name}:{k}", source="multitenant")
+        return k
+
+    def set_phase(self, name: str, phase: int) -> None:
+        """Restore a tenant's phase counter (the recovery path)."""
+        phase = int(phase)
+        if phase < 0:
+            raise ConfigurationError(f"phase must be >= 0, got {phase}")
+        self.tenant(name)
+        if phase == 0:
+            self._phases.pop(name, None)
         else:
-            trace = app.run_once()
+            self._phases[name] = phase
+
+    @staticmethod
+    def _phase_key(key: tuple | None, phase: int) -> tuple | None:
+        """The content key of one phase's cumulative trace."""
+        if key is None or phase == 0:
+            return key
+        return key + (("phase", phase),)
+
+    @staticmethod
+    def _phase_trace(app: GraphApp, phase: int) -> AccessTrace:
+        """The cumulative stream through ``phase`` runs past the first."""
+        trace = app.run_once()
+        if phase == 0:
+            return trace
+        full = AccessTrace()
+        full.extend(trace)
+        for _ in range(phase):
+            full.extend(app.run_once())
+        return full
+
+    def profile_tenant(self, name: str) -> tuple[tuple, RunCost]:
+        """Profile one tenant on its current placement; returns (plan, baseline).
+
+        After a :meth:`phase_change` the profiled stream is the phase's
+        cumulative trace under a phase-suffixed key; when the LLC's masks
+        are reuse-derivable, the previous phase's profile (if still
+        cached) is extended over the delta only — ``stage.reuse_extend``
+        instead of a whole-stream ``stage.reuse_build``.
+        """
+        _, app, runtime, key = self.tenant(name)
+        phase = self._phases.get(name, 0)
+        pkey = self._phase_key(key, phase)
+        runtime.atmem_profiling_start()
+        if self.trace_cache is not None and pkey is not None:
+            trace = self.trace_cache.trace(
+                pkey, lambda: self._phase_trace(app, phase)
+            )
+            if phase > 0 and derivable(self.system.llc):
+                # Prime the reuse profile with the previous phase named
+                # as the extension base; hit_mask then derives from it.
+                self.trace_cache.reuse_profile(
+                    pkey,
+                    trace,
+                    self.system.llc.line_size,
+                    extend_from=self._phase_key(key, phase - 1),
+                )
+            hits = self.trace_cache.hit_mask(pkey, self.system.llc, trace)
+        else:
+            trace = self._phase_trace(app, phase)
             hits = self.system.llc.hit_mask(trace.all_addresses())
         baseline = self.executor.run(trace, miss_observer=runtime, hits=hits)
         runtime.atmem_profiling_stop()
@@ -228,10 +308,11 @@ class MultiTenantHost:
     ) -> TenantResult:
         """Measure one tenant on the current shared placement."""
         _, _, runtime, key = self.tenant(name)
+        pkey = self._phase_key(key, self._phases.get(name, 0))
         trace, hits = plan
         profile = None
-        if self.trace_cache is not None and key is not None:
-            profile = self.trace_cache.profile(key, self.system.llc, trace, hits)
+        if self.trace_cache is not None and pkey is not None:
+            profile = self.trace_cache.profile(pkey, self.system.llc, trace, hits)
         optimized = self.executor.run(trace, hits=hits, profile=profile)
         return TenantResult(
             name=name,

@@ -21,7 +21,11 @@ with one vectorised compare (:meth:`TraceCache.reuse_profile` /
 simulation by construction; setting ``REPRO_VERIFY_MASK=1`` re-runs the
 direct ``llc.hit_mask`` as a parity oracle for every derived mask
 (``mask.parity_checks`` / ``mask.parity_failures``) and raises
-:class:`repro.errors.TraceError` on divergence.
+:class:`repro.errors.TraceError` on divergence.  One lattice level down,
+``REPRO_VERIFY_REUSE=1`` does the same for the fold itself: the O(N)
+last-seen kernel (:mod:`repro.mem.cachejit`) and incremental phase
+extensions (:meth:`ReuseProfile.extend`) are both re-checked against the
+argsort refold (``reuse.parity_checks`` / ``reuse.parity_failures``).
 
 The paper's evaluation grid therefore regenerates the same trace up to six
 times per cell (three placements x two iterations) and re-solves the same
@@ -68,7 +72,7 @@ import numpy as np
 from repro.errors import TraceError
 from repro.faults.injector import active_injector, fault_point
 from repro.faults.plan import SITE_CACHE_CORRUPT
-from repro.mem.cache import LINE_SIZE
+from repro.mem.cache import LINE_SIZE, VERIFY_REUSE_ENV
 from repro.mem.trace import AccessTrace
 from repro.obs.metrics import process_metrics
 from repro.obs.tracer import span
@@ -134,6 +138,9 @@ class TraceCacheStats:
     profile_misses: int = 0
     reuse_hits: int = 0
     reuse_misses: int = 0
+    #: Reuse misses served by extending a prior phase's profile (only the
+    #: phase delta was folded, not the whole stream).
+    reuse_extends: int = 0
     evictions: int = 0
     #: Corrupted / shape-mismatched entries dropped and recomputed.
     corruption_discards: int = 0
@@ -156,6 +163,7 @@ class TraceCacheStats:
             "profile_misses": self.profile_misses,
             "reuse_hits": self.reuse_hits,
             "reuse_misses": self.reuse_misses,
+            "reuse_extends": self.reuse_extends,
             "evictions": self.evictions,
             "corruption_discards": self.corruption_discards,
             "store_trace_hits": self.store_trace_hits,
@@ -388,7 +396,11 @@ class TraceCache:
         return mask
 
     def reuse_profile(
-        self, key: Hashable, trace: AccessTrace, line_size: int = LINE_SIZE
+        self,
+        key: Hashable,
+        trace: AccessTrace,
+        line_size: int = LINE_SIZE,
+        extend_from: Hashable | None = None,
     ) -> ReuseProfile:
         """The compiled reuse profile of ``trace``, folded once.
 
@@ -397,6 +409,14 @@ class TraceCache:
         are LLC-size-independent, so one profile serves every capacity of
         a sweep.  A cached or stored profile that no longer describes the
         trace is discarded and rebuilt, mirroring the mask shape guard.
+
+        ``extend_from`` names a prior key whose trace is a **prefix** of
+        this one (the multi-tenant host's phase chain guarantees it): if
+        that profile is cached and carries fold state, only the suffix is
+        folded (``stage.reuse_extend``, ``reuse_extends``) instead of the
+        whole stream.  ``REPRO_VERIFY_REUSE=1`` re-runs the full refold
+        as a parity oracle after every extension and raises on
+        divergence.
         """
         expected = getattr(trace, "total_accesses", None)
         line_size = int(line_size)
@@ -426,19 +446,74 @@ class TraceCache:
                 self.stats.store_reuse_hits += 1
                 _count("store_reuse_hits")
         if profile is None:
-            started = time.perf_counter()
-            with span("cache.build_reuse", cat="cache", key=str(key)):
-                profile = build_reuse_profile(
-                    self._flat_addrs(key, trace), line_size
-                )
-            process_metrics().observe(
-                "stage.reuse_build", time.perf_counter() - started
+            profile = self._fold_reuse(
+                key, extend_from, trace, line_size, expected
             )
             if store is not None and store.has_trace(key):
                 store.save_reuse(key, line_size, profile)
         if cache is not None:
             cache[line_size] = profile
         return profile
+
+    def _fold_reuse(
+        self,
+        key: Hashable,
+        extend_from: Hashable | None,
+        trace: AccessTrace,
+        line_size: int,
+        expected: int | None,
+    ) -> ReuseProfile:
+        """Fold a reuse profile — incrementally when a base qualifies."""
+        base = None
+        if extend_from is not None and self.max_traces != 0:
+            base = (self._reuse.get(extend_from) or {}).get(line_size)
+        if (
+            base is not None
+            and base.can_extend
+            and expected is not None
+            and base.n <= expected
+        ):
+            flat = self._flat_addrs(key, trace)
+            started = time.perf_counter()
+            with span("cache.extend_reuse", cat="cache", key=str(key)):
+                profile = base.extend(flat[base.n :])
+            process_metrics().observe(
+                "stage.reuse_extend", time.perf_counter() - started
+            )
+            self.stats.reuse_extends += 1
+            _count("reuse_extends")
+            if os.environ.get(VERIFY_REUSE_ENV):
+                self._verify_reuse(key, trace, line_size, profile)
+            return profile
+        started = time.perf_counter()
+        with span("cache.build_reuse", cat="cache", key=str(key)):
+            profile = build_reuse_profile(
+                self._flat_addrs(key, trace), line_size
+            )
+        process_metrics().observe(
+            "stage.reuse_build", time.perf_counter() - started
+        )
+        return profile
+
+    def _verify_reuse(
+        self, key: Hashable, trace: AccessTrace, line_size: int, extended
+    ) -> None:
+        """The extend parity oracle: a full refold must agree bit-for-bit."""
+        registry = process_metrics()
+        registry.inc("reuse.parity_checks")
+        with span("cache.verify_reuse", cat="cache", key=str(key)):
+            direct = build_reuse_profile(
+                self._flat_addrs(key, trace), line_size, with_state=False
+            )
+        if not (
+            np.array_equal(extended.gaps, direct.gaps)
+            and np.array_equal(extended.sorted_gaps, direct.sorted_gaps)
+        ):
+            registry.inc("reuse.parity_failures")
+            raise TraceError(
+                "incrementally extended reuse profile diverged from the "
+                f"full refold for key {key!r}"
+            )
 
     def _verify_mask(self, key: Hashable, llc, trace: AccessTrace, derived) -> None:
         """The mask parity oracle: the direct fold must agree bit-for-bit."""

@@ -14,7 +14,7 @@ everything from scratch.  :class:`TraceStore` closes that gap:
       <root>/<digest>/trace.json       manifest: key, CRC32, phase table
       <root>/<digest>/mask-<llc>.npy   np.packbits-packed hit mask, one LLC
       <root>/<digest>/mask-<llc>.json  sidecar: llc signature, CRC32, length
-      <root>/<digest>/reuse-<sig>.npy  int64 [2, n] reuse gaps + sorted gaps
+      <root>/<digest>/reuse-<sig>.npy  float64 [4, n+1] gap rows + window curve
       <root>/<digest>/reuse-<sig>.json sidecar: line size, CRC32, length
 
   Hit masks are stored bit-packed (``np.packbits``, 8x smaller than raw
@@ -75,6 +75,7 @@ from repro.sim.profilepack import (
     profile_to_columnar,
 )
 from repro.sim.reusepack import (
+    REUSE_FORMAT,
     ReuseProfile,
     reuse_from_columnar,
     reuse_to_columnar,
@@ -414,10 +415,13 @@ class TraceStore:
     ) -> bool:
         """Persist one trace's compiled reuse profile.
 
-        The gap rows land as one stacked ``int64 [2, n]`` array
-        (mmap-shareable like traces); the line granularity and length
-        ride in the JSON sidecar together with the array CRC.  One
-        entry per (trace, line size) serves every LLC capacity.
+        Artifact v2: the gap rows (int64 bit patterns) and the
+        pre-computed window curve land as one ``float64 [4, n + 1]``
+        array (see :func:`repro.sim.reusepack.reuse_to_columnar`,
+        mmap-shareable like traces); the line granularity, length and
+        ``reuse_format`` stamp ride in the JSON sidecar together with
+        the array CRC.  One entry per (trace, line size) serves every
+        LLC capacity, with zero per-process float work at load.
         """
         array_path, sidecar_path = self._reuse_paths(key, line_size)
         if sidecar_path.exists():
@@ -448,7 +452,10 @@ class TraceStore:
 
         ``expected_len`` is the access count of the trace the caller is
         about to derive masks for; a profile of a different length is
-        stale and rejected like any corrupt entry.
+        stale and rejected like any corrupt entry.  So is a pre-curve v1
+        entry (``reuse_format`` below :data:`~repro.sim.reusepack.
+        REUSE_FORMAT`, or the old ``int64 [2, n]`` array shape) — v1 is
+        rebuilt, never migrated.
         """
         array_path, sidecar_path = self._reuse_paths(key, line_size)
         sidecar = self._read_json(sidecar_path)
@@ -457,6 +464,7 @@ class TraceStore:
         try:
             stale = (
                 sidecar.get("format") != FORMAT_VERSION
+                or int(sidecar.get("reuse_format", -1)) != REUSE_FORMAT
                 or int(sidecar.get("line_size", -1)) != int(line_size)
                 or int(sidecar.get("n", -1)) != expected_len
             )
@@ -466,8 +474,8 @@ class TraceStore:
             return self._reject_files(array_path, sidecar_path, "reuse")
         stacked = self._load_array(
             array_path,
-            dtype=np.int64,
-            shape=(2, expected_len),
+            dtype=np.float64,
+            shape=(4, expected_len + 1),
             crc32=sidecar.get("crc32"),
         )
         if stacked is None:

@@ -135,3 +135,44 @@ def test_unused_local_check_respects_global_declarations(tmp_path):
         "    state = value\n"
     )
     assert astlint.unused_local_violations(sample) == []
+
+
+def test_sources_keep_optional_imports_lazy():
+    problems = []
+    for path in sorted(astlint.SRC.rglob("*.py")):
+        problems.extend(astlint.lazy_import_violations(path))
+    assert not problems, (
+        "optional dependencies imported at module level (resolve them "
+        "inside a function; see cachejit.lru_kernel):\n  "
+        + "\n  ".join(problems)
+    )
+
+
+def test_lazy_import_allowlist_is_tight():
+    """Every lazy-only file exists — no stale entries accumulating."""
+    repro_root = astlint.SRC / "repro"
+    for relative in astlint.LAZY_IMPORT_ONLY:
+        assert (repro_root / relative).is_file(), f"stale entry: {relative}"
+
+
+def test_lazy_import_check_flags_module_level_import(tmp_path, monkeypatch):
+    monkeypatch.setattr(astlint, "SRC", tmp_path)
+    monkeypatch.setattr(
+        astlint, "LAZY_IMPORT_ONLY", {"mod.py": {"numba"}}
+    )
+    sample = tmp_path / "repro" / "mod.py"
+    sample.parent.mkdir()
+    sample.write_text(
+        "import numba\n"                      # flagged: module level
+        "from numba import njit\n"            # flagged: module level
+        "import numpy\n"                      # fine: not lazy-only
+        "def resolver():\n"
+        "    import numba\n"                  # fine: inside a function
+        "    return numba\n"
+    )
+    problems = astlint.lazy_import_violations(sample)
+    assert len(problems) == 2, problems
+    assert all("`numba`" in p for p in problems)
+    other = tmp_path / "repro" / "other.py"
+    other.write_text("import numba\n")        # not a lazy-only file
+    assert astlint.lazy_import_violations(other) == []

@@ -10,10 +10,27 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceError
 from repro.mem import cache as cache_module
-from repro.mem.cache import LINE_SIZE, DirectMappedCache, SetAssociativeCache
-from repro.mem.cachejit import JIT_ENV, jit_enabled, lru_kernel, lru_runs_py
+from repro.mem.cache import (
+    GAP_COLD,
+    LINE_SIZE,
+    VERIFY_REUSE_ENV,
+    DirectMappedCache,
+    SetAssociativeCache,
+    _argsort_reuse_gaps,
+    dense_table_span,
+    reuse_time_gaps,
+)
+from repro.mem.cachejit import (
+    JIT_ENV,
+    jit_enabled,
+    lru_kernel,
+    lru_runs_py,
+    reuse_gap_kernel,
+    reuse_gaps_py,
+)
+from repro.obs.metrics import process_metrics
 
 
 def reference_direct_mapped(addrs, size_bytes, line_size=LINE_SIZE):
@@ -266,3 +283,106 @@ class TestJitKernel:
         second = mixed.access(arr[300:])
         got = np.concatenate([first, second])
         assert got.tolist() == slow.access_reference(arr).tolist()
+
+
+class TestReuseGapKernel:
+    """The O(N) last-seen fold must be bit-identical to the argsort fold.
+
+    Like :class:`TestJitKernel`, numba is absent here, so the kernel
+    path is driven through its pure-Python body by forcing
+    :func:`reuse_gap_kernel` to return :func:`reuse_gaps_py` — the exact
+    function numba would have compiled.
+    """
+
+    @pytest.fixture()
+    def forced_kernel(self, monkeypatch):
+        monkeypatch.setattr(
+            cache_module, "reuse_gap_kernel", lambda: reuse_gaps_py
+        )
+
+    def test_kernel_resolver_degrades_without_numba(self, monkeypatch):
+        monkeypatch.delenv(JIT_ENV, raising=False)
+        assert reuse_gap_kernel() is None or callable(reuse_gap_kernel())
+        monkeypatch.setenv(JIT_ENV, "0")
+        assert reuse_gap_kernel() is None
+
+    def test_first_touches_are_cold(self, forced_kernel):
+        addrs = np.array([0, LINE_SIZE, 2 * LINE_SIZE], dtype=np.int64)
+        assert reuse_time_gaps(addrs).tolist() == [GAP_COLD] * 3
+
+    def test_repeat_gap_counts_accesses(self, forced_kernel):
+        # a . . a  ->  the second touch of `a` has gap 3.
+        addrs = np.array([0, 64, 128, 0], dtype=np.int64) * LINE_SIZE
+        gaps = reuse_time_gaps(addrs)
+        assert gaps.tolist() == [GAP_COLD, GAP_COLD, GAP_COLD, 3]
+
+    def test_empty_and_single_access(self, forced_kernel):
+        assert reuse_time_gaps(np.empty(0, dtype=np.int64)).size == 0
+        single = reuse_time_gaps(np.array([4096], dtype=np.int64))
+        assert single.tolist() == [GAP_COLD]
+
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=0, max_size=400))
+    @settings(max_examples=80, deadline=None)
+    def test_kernel_matches_argsort_fold(self, addrs):
+        arr = np.array(addrs, dtype=np.int64)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(
+                cache_module, "reuse_gap_kernel", lambda: reuse_gaps_py
+            )
+            got = reuse_time_gaps(arr)
+        assert np.array_equal(got, _argsort_reuse_gaps(arr >> 6))
+
+    def test_sparse_stream_falls_back_to_argsort(self, monkeypatch):
+        # Span >> access count: the dense table does not apply, and the
+        # resolved kernel must never be invoked.
+        def _explode(*args):
+            raise AssertionError("kernel invoked for a sparse stream")
+
+        monkeypatch.setattr(
+            cache_module, "reuse_gap_kernel", lambda: _explode
+        )
+        addrs = np.array([0, 1 << 40, 0], dtype=np.int64)
+        assert dense_table_span(addrs >> 6) is None
+        gaps = reuse_time_gaps(addrs)
+        assert gaps.tolist() == [GAP_COLD, GAP_COLD, 2]
+
+    def test_dense_span_geometry(self):
+        assert dense_table_span(np.empty(0, dtype=np.int64)) is None
+        # Small spans are always dense (the 1024-slot floor).
+        base, span = dense_table_span(np.array([7, 9], dtype=np.int64))
+        assert (base, span) == (7, 3)
+
+    def test_parity_oracle_passes_on_honest_kernel(
+        self, forced_kernel, monkeypatch
+    ):
+        monkeypatch.setenv(VERIFY_REUSE_ENV, "1")
+        counters = process_metrics().counters
+        checks = counters.get("reuse.parity_checks", 0.0)
+        failures = counters.get("reuse.parity_failures", 0.0)
+        rng = np.random.default_rng(5)
+        reuse_time_gaps(rng.integers(0, 1 << 16, size=2_000))
+        assert counters["reuse.parity_checks"] == checks + 1
+        assert counters.get("reuse.parity_failures", 0.0) == failures
+
+    def test_parity_oracle_raises_on_divergence(self, monkeypatch):
+        def _broken(lines, base, last_seen, gaps, gap_cold, start):
+            reuse_gaps_py(lines, base, last_seen, gaps, gap_cold, start)
+            gaps[-1] = 1  # sabotage one gap
+
+        monkeypatch.setattr(
+            cache_module, "reuse_gap_kernel", lambda: _broken
+        )
+        monkeypatch.setenv(VERIFY_REUSE_ENV, "1")
+        counters = process_metrics().counters
+        failures = counters.get("reuse.parity_failures", 0.0)
+        addrs = np.array([0, LINE_SIZE, 0], dtype=np.int64)
+        with pytest.raises(TraceError, match="diverged"):
+            reuse_time_gaps(addrs)
+        assert counters["reuse.parity_failures"] == failures + 1
+
+    def test_verify_off_by_default(self, forced_kernel, monkeypatch):
+        monkeypatch.delenv(VERIFY_REUSE_ENV, raising=False)
+        counters = process_metrics().counters
+        checks = counters.get("reuse.parity_checks", 0.0)
+        reuse_time_gaps(np.array([0, 0], dtype=np.int64))
+        assert counters.get("reuse.parity_checks", 0.0) == checks

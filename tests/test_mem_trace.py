@@ -62,3 +62,48 @@ class TestAccessTrace:
         b.add(np.array([2]))
         a.extend(b)
         assert a.all_addresses().tolist() == [1, 2]
+
+
+class TestFlatCacheStaleness:
+    """The cached flat array is keyed on phase *identity*, not size."""
+
+    def test_same_length_array_swap_invalidates(self):
+        # The regression: a phase swapping in a same-length array (the
+        # fault injector's copy-and-flip corruption) used to pass the
+        # old size-only staleness check and serve stale addresses.
+        trace = AccessTrace()
+        trace.add(np.array([1, 2, 3]))
+        assert trace.all_addresses().tolist() == [1, 2, 3]
+        trace.phases[0].addrs = np.array([7, 8, 9], dtype=np.int64)
+        assert trace.all_addresses().tolist() == [7, 8, 9]
+
+    def test_phase_list_growth_invalidates(self):
+        trace = AccessTrace()
+        trace.add(np.array([1]))
+        trace.all_addresses()
+        trace.phases.append(TracePhase(np.array([2])))
+        assert trace.all_addresses().tolist() == [1, 2]
+
+    def test_unchanged_phases_reuse_cached_array(self):
+        trace = AccessTrace()
+        trace.add(np.array([4, 5]))
+        trace.add(np.array([6]))
+        first = trace.all_addresses()
+        assert trace.all_addresses() is first
+
+    def test_invalidate_flat_forces_rebuild(self):
+        trace = AccessTrace()
+        trace.add(np.array([1, 2]))
+        first = trace.all_addresses()
+        trace.invalidate_flat()
+        rebuilt = trace.all_addresses()
+        assert rebuilt is not first
+        assert rebuilt.tolist() == first.tolist()
+
+    def test_in_place_resize_of_phase_list_detected(self):
+        trace = AccessTrace()
+        trace.add(np.array([1, 2]))
+        trace.add(np.array([3]))
+        trace.all_addresses()
+        del trace.phases[1]
+        assert trace.all_addresses().tolist() == [1, 2]

@@ -28,6 +28,7 @@ from repro.serve import (
     OP_ADMIT,
     OP_DEPART,
     OP_MEASURE,
+    OP_PHASE_CHANGE,
     AdmissionRejected,
     BreakerPolicy,
     PlacementService,
@@ -427,3 +428,72 @@ class TestJournalRecovery:
         assert state is None
         assert [r["tenant"] for r in records] == ["a"]
         assert fresh.corruptions
+
+
+class TestPhaseRecovery:
+    """Phase counters are journaled and restored bit-exact on recovery."""
+
+    @staticmethod
+    def _phases(report) -> dict:
+        return {
+            t["name"]: t.get("phase", 0) for t in report["tenant_table"]
+        }
+
+    def test_phase_change_advances_tenant_table(self):
+        jobs = [
+            TenantJob(OP_ADMIT, "a", app=_app()),
+            TenantJob(OP_PHASE_CHANGE, "a"),
+            TenantJob(OP_PHASE_CHANGE, "a"),
+        ]
+        report = serve_trace(jobs, _config())
+        assert self._phases(report) == {"a": 2}
+
+    def test_phase_changes_survive_kill_and_recover(self, tmp_path):
+        jobs = [
+            TenantJob(OP_ADMIT, "a", app=_app()),
+            TenantJob(OP_PHASE_CHANGE, "a"),
+            TenantJob(OP_ADMIT, "b", app=_app("BFS")),
+            TenantJob(OP_PHASE_CHANGE, "a"),
+            TenantJob(OP_PHASE_CHANGE, "b"),
+            TenantJob(OP_MEASURE, "a"),
+        ]
+        platform = nvm_dram_testbed(scale=512)
+        quiet = serve_trace(
+            jobs,
+            ServiceConfig(platform=platform, journal_root=tmp_path / "a"),
+        )
+        assert self._phases(quiet) == {"a": 2, "b": 1}
+        partial = serve_trace(
+            jobs,
+            ServiceConfig(platform=platform, journal_root=tmp_path / "b"),
+            kill_after=3,
+        )
+        assert partial["killed"]
+        resumed = serve_trace(
+            jobs[3:],
+            ServiceConfig(platform=platform, journal_root=tmp_path / "b"),
+        )
+        assert resumed["health"]["counters"].get("recoveries", 0) == 1
+        assert self._phases(resumed) == self._phases(quiet)
+
+    def test_old_journal_without_phase_field_implies_increment(self, tmp_path):
+        # Pre-phase-stamp journals carry phase_change records with no
+        # "phase" key: recovery must fall back to counting them.
+        journal = ServiceJournal(tmp_path)
+        journal.append(
+            {"op": OP_ADMIT, "tenant": "a", "app": _app().to_json()}
+        )
+        journal.append({"op": OP_PHASE_CHANGE, "tenant": "a"})
+        journal.append({"op": OP_PHASE_CHANGE, "tenant": "a"})
+
+        async def _run():
+            service = PlacementService(
+                _config(journal_root=tmp_path), clock=StepClock()
+            )
+            await service.start()
+            table = service.tenant_table()
+            await service.stop()
+            return table
+
+        table = asyncio.run(_run())
+        assert [(t["name"], t["phase"]) for t in table] == [("a", 2)]

@@ -134,3 +134,77 @@ class TestPrefixedRegistry:
         assert used < 0.5 * cap
         # Yet both tenants were served.
         assert all(r.fast_bytes > 0 for r in results.values())
+
+
+class TestPhases:
+    """Phase counters, phase-suffixed keys, and incremental refolds."""
+
+    def test_phase_counter_lifecycle(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        assert host.phase_of("a") == 0
+        assert host.phase_change("a") == 1
+        assert host.phase_change("a") == 2
+        assert host.phase_of("a") == 2
+        host.set_phase("a", 5)
+        assert host.phase_of("a") == 5
+        host.set_phase("a", 0)
+        assert host.phase_of("a") == 0
+
+    def test_negative_phase_rejected(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        with pytest.raises(ConfigurationError):
+            host.set_phase("a", -1)
+
+    def test_unknown_tenant_rejected(self):
+        host = MultiTenantHost(nvm_dram_testbed())
+        with pytest.raises(ConfigurationError):
+            host.phase_change("ghost")
+        with pytest.raises(ConfigurationError):
+            host.phase_of("ghost")
+
+    def test_departure_clears_phase(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        host.phase_change("a")
+        host.depart("a")
+        host.admit("a", lambda: make_app("PR", graphs[0]))
+        assert host.phase_of("a") == 0
+
+    def test_phase_keys_suffix_only_later_phases(self):
+        key = ("mt", "nvm_dram", (), ("a", "k"))
+        assert MultiTenantHost._phase_key(key, 0) == key
+        assert MultiTenantHost._phase_key(key, 2) == key + (("phase", 2),)
+        assert MultiTenantHost._phase_key(None, 3) is None
+
+    def test_phase_trace_is_cumulative_prefix(self, graphs):
+        host = MultiTenantHost(nvm_dram_testbed())
+        app = host.admit("a", lambda: make_app("PR", graphs[0]))
+        t0 = MultiTenantHost._phase_trace(app, 0)
+        t1 = MultiTenantHost._phase_trace(app, 1)
+        n0 = t0.total_accesses
+        assert t1.total_accesses == 2 * n0
+        np.testing.assert_array_equal(
+            t1.all_addresses()[:n0], t0.all_addresses()
+        )
+
+    def test_phase_change_profiles_extend_incrementally(self, graphs):
+        from repro.sim.tracecache import TraceCache
+
+        cache = TraceCache(max_traces=8)
+        host = MultiTenantHost(nvm_dram_testbed(), trace_cache=cache)
+
+        def factory():
+            return make_app("PR", graphs[0])
+
+        factory.trace_key = lambda: ("pr", "tenant-a")
+        host.admit("a", factory)
+        host.profile_tenant("a")
+        assert cache.stats.reuse_extends == 0
+        host.phase_change("a")
+        host.profile_tenant("a")
+        assert cache.stats.reuse_extends == 1
+        host.phase_change("a")
+        host.profile_tenant("a")
+        assert cache.stats.reuse_extends == 2

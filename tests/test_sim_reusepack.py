@@ -229,3 +229,128 @@ class TestColumnar:
     def test_validate_accepts_built_profiles(self):
         validate_reuse(build_reuse_profile(mixed_trace(n=1_000)))
         validate_reuse(build_reuse_profile(np.empty(0, dtype=np.int64)))
+
+    def test_loaded_profile_has_curve_attached_and_no_fold_state(self):
+        profile = build_reuse_profile(mixed_trace(seed=11, n=1_500))
+        rebuilt = reuse_from_columnar(*reuse_to_columnar(profile))
+        # The persisted curve arrives pre-computed: window() must not
+        # re-derive anything.
+        assert rebuilt._f_at_gap is not None and rebuilt._prefix is not None
+        assert rebuilt.window(256) == profile.window(256)
+        # Fold state is in-process only; loaded profiles cannot extend.
+        assert not rebuilt.can_extend
+        with pytest.raises(TraceError, match="no fold state"):
+            rebuilt.extend(np.array([0], dtype=np.int64))
+
+    def test_empty_profile_roundtrip(self):
+        profile = build_reuse_profile(np.empty(0, dtype=np.int64))
+        rebuilt = reuse_from_columnar(*reuse_to_columnar(profile))
+        assert rebuilt.n == 0
+        assert rebuilt.hit_mask(64).size == 0
+
+    def test_curve_endpoint_mismatch_rejected(self):
+        profile = build_reuse_profile(mixed_trace(n=512))
+        stacked, record = reuse_to_columnar(profile)
+        bad = stacked.copy()
+        bad[2, -1] = 0.0  # prefix[n] no longer matches f(g_last)
+        with pytest.raises(TraceError, match="curve"):
+            reuse_from_columnar(bad, record)
+
+
+class TestExtend:
+    """Incremental phase extension: fold only the delta, bit-exact.
+
+    Streams stay within a dense footprint (unlike :func:`mixed_trace`,
+    whose 64 MiB cold region is deliberately too sparse for a last-seen
+    table) so the built profiles carry fold state.
+    """
+
+    @staticmethod
+    def _dense(seed: int, n: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 1 << 18, size=n, dtype=np.int64)
+
+    def _assert_equal(self, got, want):
+        np.testing.assert_array_equal(got.gaps, want.gaps)
+        np.testing.assert_array_equal(got.sorted_gaps, want.sorted_gaps)
+        for size in FIGURE_SUITE_BYTES:
+            llc = WorkingSetCache(size)
+            np.testing.assert_array_equal(
+                got.hit_mask_for(llc), want.hit_mask_for(llc)
+            )
+
+    def test_extend_matches_full_refold(self):
+        base = self._dense(3, 6_000)
+        delta = self._dense(4, 2_000)
+        extended = build_reuse_profile(base).extend(delta)
+        self._assert_equal(
+            extended, build_reuse_profile(np.concatenate([base, delta]))
+        )
+
+    def test_cross_phase_reuse_is_patched(self):
+        # Every delta line was already touched in the base stream: all
+        # delta gaps must come out finite, patched from the carried
+        # last-seen table.
+        base = np.arange(0, 64 * LINE_SIZE, LINE_SIZE, dtype=np.int64)
+        delta = base[::-1].copy()
+        extended = build_reuse_profile(base).extend(delta)
+        assert int(np.count_nonzero(extended.gaps == GAP_COLD)) == base.size
+        self._assert_equal(
+            extended, build_reuse_profile(np.concatenate([base, delta]))
+        )
+
+    def test_extensions_chain(self):
+        parts = [self._dense(s, 1_500) for s in (5, 6, 7)]
+        chained = build_reuse_profile(parts[0])
+        for part in parts[1:]:
+            chained = chained.extend(part)
+            assert chained.can_extend
+        self._assert_equal(
+            chained, build_reuse_profile(np.concatenate(parts))
+        )
+
+    def test_empty_delta_is_a_copy(self):
+        profile = build_reuse_profile(self._dense(9, 1_000))
+        same = profile.extend(np.empty(0, dtype=np.int64))
+        assert same.can_extend
+        self._assert_equal(same, profile)
+
+    def test_base_profile_never_mutated(self):
+        base = self._dense(13, 2_000)
+        profile = build_reuse_profile(base)
+        gaps_before = profile.gaps.copy()
+        state_before = profile._fold_state[1].copy()
+        profile.extend(self._dense(14, 1_000))
+        np.testing.assert_array_equal(profile.gaps, gaps_before)
+        np.testing.assert_array_equal(profile._fold_state[1], state_before)
+
+    def test_sparse_delta_drops_state_but_stays_exact(self):
+        base = self._dense(15, 2_000)
+        # One access ~2^44 bytes away blows the dense-span budget.
+        delta = np.array([1 << 44], dtype=np.int64)
+        extended = build_reuse_profile(base).extend(delta)
+        assert not extended.can_extend
+        self._assert_equal(
+            extended, build_reuse_profile(np.concatenate([base, delta]))
+        )
+
+    def test_without_state_raises(self):
+        profile = build_reuse_profile(
+            self._dense(17, 500), with_state=False
+        )
+        assert not profile.can_extend
+        with pytest.raises(TraceError, match="no fold state"):
+            profile.extend(np.array([0], dtype=np.int64))
+
+    @given(
+        base=st.lists(st.integers(0, 1 << 13), min_size=1, max_size=200),
+        delta=st.lists(st.integers(0, 1 << 13), min_size=0, max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_extend_equals_refold(self, base, delta):
+        base_arr = np.array(base, dtype=np.int64)
+        delta_arr = np.array(delta, dtype=np.int64)
+        extended = build_reuse_profile(base_arr).extend(delta_arr)
+        full = build_reuse_profile(np.concatenate([base_arr, delta_arr]))
+        np.testing.assert_array_equal(extended.gaps, full.gaps)
+        np.testing.assert_array_equal(extended.sorted_gaps, full.sorted_gaps)

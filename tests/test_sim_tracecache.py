@@ -10,9 +10,11 @@ from repro.graph.generators import chung_lu_graph
 from repro.mem.cache import GAP_COLD, WorkingSetCache
 from repro.obs.metrics import process_metrics
 from repro.sim.experiment import run_atmem, run_static
+from repro.sim.reusepack import build_reuse_profile
 from repro.sim.tracecache import (
     DEFAULT_MAX_TRACES,
     VERIFY_MASK_ENV,
+    VERIFY_REUSE_ENV,
     TraceCache,
     configured_max_traces,
     process_trace_cache,
@@ -237,3 +239,104 @@ class TestCachedRunParity:
         assert cached.data_ratio == plain.data_ratio
         assert cached.migration.bytes_moved == plain.migration.bytes_moved
         assert cache.stats.trace_hits >= 2
+
+
+class _GrownTrace:
+    """A trace whose address stream is a prefix-extension of another."""
+
+    def __init__(self, base: "_ReuseTrace", seed: int = 31, extra: int = 1_000):
+        rng = np.random.default_rng(seed)
+        self.payload = np.concatenate(
+            [base.payload, rng.integers(0, 1 << 20, size=extra)]
+        )
+
+    @property
+    def total_accesses(self):
+        return self.payload.size
+
+    def all_addresses(self):
+        return np.asarray(self.payload, dtype=np.int64)
+
+
+class TestIncrementalExtend:
+    """Phase-delta folds: extend a cached prefix profile, never refold."""
+
+    def test_extend_from_prefix_matches_full_refold(self):
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        cache.reuse_profile("p0", base)
+        grown = cache.trace("p1", lambda: _GrownTrace(base))
+        profile = cache.reuse_profile("p1", grown, extend_from="p0")
+        assert cache.stats.reuse_extends == 1
+        want = build_reuse_profile(grown.all_addresses())
+        np.testing.assert_array_equal(profile.gaps, want.gaps)
+        np.testing.assert_array_equal(profile.sorted_gaps, want.sorted_gaps)
+        # The extended profile is cached under its own key like any other.
+        assert cache.reuse_profile("p1", grown) is profile
+
+    def test_extend_counter_mirrored_to_process_metrics(self):
+        counters = process_metrics().counters
+        before = counters.get("cache.reuse_extends", 0.0)
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        cache.reuse_profile("p0", base)
+        cache.reuse_profile("p1", _GrownTrace(base), extend_from="p0")
+        assert counters["cache.reuse_extends"] == before + 1
+
+    def test_missing_base_falls_back_to_full_refold(self):
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        grown = _GrownTrace(base)
+        profile = cache.reuse_profile("p1", grown, extend_from="absent")
+        assert cache.stats.reuse_extends == 0
+        want = build_reuse_profile(grown.all_addresses())
+        np.testing.assert_array_equal(profile.gaps, want.gaps)
+
+    def test_longer_base_falls_back_to_full_refold(self):
+        # extend_from names a key whose stream is LONGER than the target:
+        # no prefix relationship, so the extend path must not engage.
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        grown = _GrownTrace(base)
+        cache.reuse_profile("p1", grown)
+        profile = cache.reuse_profile("p0", base, extend_from="p1")
+        assert cache.stats.reuse_extends == 0
+        assert profile.n == base.total_accesses
+
+    def test_parity_oracle_passes_on_honest_extension(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_REUSE_ENV, "1")
+        counters = process_metrics().counters
+        checks = counters.get("reuse.parity_checks", 0.0)
+        failures = counters.get("reuse.parity_failures", 0.0)
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        cache.reuse_profile("p0", base)
+        cache.reuse_profile("p1", _GrownTrace(base), extend_from="p0")
+        assert counters["reuse.parity_checks"] == checks + 1
+        assert counters.get("reuse.parity_failures", 0.0) == failures
+
+    def test_parity_oracle_raises_on_sabotaged_base(self, monkeypatch):
+        monkeypatch.setenv(VERIFY_REUSE_ENV, "1")
+        counters = process_metrics().counters
+        failures = counters.get("reuse.parity_failures", 0.0)
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        sabotaged = cache.reuse_profile("p0", base)
+        sabotaged.gaps[0] = 12_345  # an extension would inherit the lie
+        with pytest.raises(TraceError, match="diverged"):
+            cache.reuse_profile("p1", _GrownTrace(base), extend_from="p0")
+        assert counters["reuse.parity_failures"] == failures + 1
+
+    def test_extended_profile_serves_masks_bit_exact(self):
+        cache = TraceCache(max_traces=4)
+        base = cache.trace("p0", _ReuseTrace)
+        cache.reuse_profile("p0", base)
+        grown = _GrownTrace(base)
+        cache.reuse_profile("p1", grown, extend_from="p0")
+        addrs = grown.all_addresses()
+        for size in (16 << 10, 64 << 10):
+            llc = WorkingSetCache(size)
+            np.testing.assert_array_equal(
+                cache.hit_mask("p1", llc, grown), llc.hit_mask(addrs)
+            )
+        assert cache.stats.reuse_extends == 1  # masks reused the profile

@@ -211,6 +211,63 @@ class TestReuseRoundtrip:
         assert not fresh.has_reuse("k1", profile.line_size)
         assert fresh.load_trace("k1") is not None  # trace untouched
 
+    def test_v1_reuse_entry_rejected_and_rebuilt(self, tmp_path):
+        # A pre-curve v1 entry: int64 [2, n] gap rows only, sidecar
+        # without the reuse_format stamp.  It must be rejected (never
+        # migrated or misread as the float64 v2 layout) and a clean
+        # re-save must produce a loadable v2 entry.
+        import zlib
+
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        profile = build_reuse_profile(trace.all_addresses())
+        array_path, sidecar_path = store._reuse_paths("k1", profile.line_size)
+        stacked_v1 = np.stack([profile.gaps, profile.sorted_gaps])
+        array_path.parent.mkdir(parents=True, exist_ok=True)
+        np.save(array_path, stacked_v1)
+        sidecar_path.write_text(
+            json.dumps(
+                {
+                    "format": FORMAT_VERSION,
+                    "n": int(profile.n),
+                    "line_size": int(profile.line_size),
+                    "crc32": zlib.crc32(
+                        np.ascontiguousarray(stacked_v1).view(np.uint8).data
+                    ),
+                }
+            )
+        )
+        fresh = TraceStore(tmp_path)
+        assert fresh.load_reuse("k1", profile.line_size, profile.n) is None
+        assert fresh.stats.rejects == 1
+        assert not fresh.has_reuse("k1", profile.line_size)
+        assert fresh.save_reuse("k1", profile.line_size, profile) is True
+        reread = TraceStore(tmp_path).load_reuse(
+            "k1", profile.line_size, profile.n
+        )
+        np.testing.assert_array_equal(reread.gaps, profile.gaps)
+        np.testing.assert_array_equal(reread.sorted_gaps, profile.sorted_gaps)
+
+    def test_loaded_reuse_answers_masks_without_float_work(self, tmp_path):
+        # The v2 point: the window curve rides in the artifact, so the
+        # loaded profile starts with the curve attached (not lazily
+        # rebuilt) and derives masks identical to the fresh profile's.
+        store = TraceStore(tmp_path)
+        trace = small_trace()
+        store.save_trace("k1", trace)
+        profile = build_reuse_profile(trace.all_addresses())
+        store.save_reuse("k1", profile.line_size, profile)
+        loaded = TraceStore(tmp_path).load_reuse(
+            "k1", profile.line_size, profile.n
+        )
+        assert loaded._f_at_gap is not None
+        for size_bytes in (16 << 10, 64 << 10):
+            llc = WorkingSetCache(size_bytes)
+            np.testing.assert_array_equal(
+                loaded.hit_mask_for(llc), profile.hit_mask_for(llc)
+            )
+
     def test_corrupted_reuse_bytes_fail_crc(self, tmp_path):
         store = TraceStore(tmp_path)
         trace = small_trace()
