@@ -24,11 +24,12 @@ bench:
 # fresh wall-clock timings (with a pricing: profile|replay field and a
 # replay-vs-profile speedup row) land in a scratch record file, then the
 # regression gate fails on stages >25% slower than the committed
-# BENCH_parallel.json.
+# BENCH_parallel.json.  The obs_overhead row (tracing+metrics on vs off
+# on the same cell) is gated absolutely at <3% wall overhead.
 bench-smoke:
 	rm -f benchmarks/results/BENCH_smoke.json
 	REPRO_PARALLEL_JSON=benchmarks/results/BENCH_smoke.json \
-	  $(PYTHON) -m pytest benchmarks/bench_parallel_engine.py benchmarks/bench_fold.py --benchmark-only --jobs 2
+	  $(PYTHON) -m pytest benchmarks/bench_parallel_engine.py benchmarks/bench_fold.py benchmarks/bench_obs_overhead.py --benchmark-only --jobs 2
 	PYTHONPATH=src $(PYTHON) -m repro.bench.regression --strict --fresh benchmarks/results/BENCH_smoke.json
 
 # Reuse-fold microbenchmark: argsort fold vs the O(N) last-seen kernel

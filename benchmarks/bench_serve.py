@@ -11,7 +11,11 @@ sustained serving rate plus decision-latency quantiles to
   admits + phase changes) per wall-clock second over the whole trace;
 - ``decision_latency`` — p50/p99/max submit-to-settle seconds from the
   service's own :class:`~repro.obs.metrics.LatencyTracker`;
-- ``statuses`` — how the trace's jobs settled (``ok``/``expired``/...).
+- ``statuses`` — how the trace's jobs settled (``ok``/``expired``/...);
+- ``slo`` — per-tenant SLO attainment, error-budget remaining, and
+  burn rate, scraped from the service's **live** exposition endpoint
+  (``expose_port=0``) while the trace runs — the row proves the
+  ``/metrics``+``/slo`` plane works over the wire, not just in-process.
 
 The run also proves the robustness contract the serving layer exists
 for, on every invocation (not just under ``--strict``):
@@ -71,9 +75,22 @@ def bench_throughput(args: argparse.Namespace) -> dict:
     """One uninterrupted pass over the trace; the recorded row."""
     jobs = generate_arrivals(args.events, seed=args.seed)
     config = ServiceConfig(
-        platform=platform_by_name(args.platform, scale=args.scale)
+        platform=platform_by_name(args.platform, scale=args.scale),
+        expose_port=0,
     )
     report = serve_trace(jobs, config)
+    exposition = report.get("exposition") or {}
+    slo = {
+        tenant: {
+            "burn": snap["burn"],
+            "alert": snap["alert"],
+            "latency_attainment": snap["latency"]["attainment"],
+            "admission_attainment": snap["admission"]["attainment"],
+            "latency_budget_remaining": snap["latency"]["budget_remaining"],
+            "admission_budget_remaining": snap["admission"]["budget_remaining"],
+        }
+        for tenant, snap in sorted(exposition.get("slo", {}).items())
+    }
     return {
         "benchmark": "serve_throughput",
         "platform": args.platform,
@@ -87,6 +104,8 @@ def bench_throughput(args: argparse.Namespace) -> dict:
         "wall_seconds": report["wall_seconds"],
         "decision_latency": report["health"]["decision_latency"],
         "counters": report["health"]["counters"],
+        "slo": slo,
+        "exposition_series": len(exposition.get("metrics", {})),
     }
 
 
@@ -159,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  decision latency: p50={latency['p50'] * 1e3:.1f}ms "
           f"p99={latency['p99'] * 1e3:.1f}ms max={latency['max'] * 1e3:.1f}ms")
     print(f"  statuses: {row['statuses']}")
+    if row["slo"]:
+        worst = max(row["slo"].values(), key=lambda s: s["burn"])
+        print(f"  slo (scraped from live /metrics, "
+              f"{row['exposition_series']} series): {len(row['slo'])} "
+              f"tenant(s), worst burn {worst['burn']:.2f}")
 
     recovery = check_kill_recover(args)
     print(f"kill-and-recover: killed after {recovery['kill_after']} job(s), "
@@ -181,6 +205,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"p99 decision latency {latency['p99']:.3f}s exceeds "
             f"{args.p99_budget:.3f}s budget"
+        )
+    if args.strict and not row["slo"]:
+        failures.append(
+            "no per-tenant SLO rows scraped from the live exposition "
+            "endpoint (expose_port=0 should have served /metrics + /slo)"
         )
     if failures:
         print("FAILED:\n  - " + "\n  - ".join(failures))

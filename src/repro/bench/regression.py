@@ -27,6 +27,9 @@ from pathlib import Path
 #: Fractional slowdown above which a stage lands in the warning table.
 DEFAULT_THRESHOLD = 0.25
 
+#: Wall-overhead budget for the telemetry plane (``obs_overhead`` rows).
+OBS_OVERHEAD_LIMIT = 0.03
+
 #: The committed baseline record file (repository root).
 BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_parallel.json"
 
@@ -264,6 +267,30 @@ def cold_parallel_warnings(rows: list[dict]) -> list[str]:
     return warnings
 
 
+def obs_overhead_violations(fresh: list[dict]) -> list[str]:
+    """``obs_overhead`` rows whose tracing-on run blew the wall budget.
+
+    Unlike :func:`compare`, this gate needs no committed baseline — the
+    row carries its own tracing-off control timing, so a fresh record is
+    judged absolutely: telemetry costing more than
+    :data:`OBS_OVERHEAD_LIMIT` of the wall fails ``--strict`` outright.
+    """
+    problems: list[str] = []
+    for row in fresh:
+        if str(row.get("benchmark", "")) != "obs_overhead":
+            continue
+        overhead = float(row.get("overhead_fraction", 0.0))
+        limit = float(row.get("limit", OBS_OVERHEAD_LIMIT))
+        if overhead > limit:
+            problems.append(
+                f"bench-regression: WARNING — telemetry overhead "
+                f"{overhead:.1%} exceeds the {limit:.0%} budget "
+                f"(tracing on {float(row.get('wall_seconds', 0.0)):.4f} s "
+                f"vs off {float(row.get('baseline_seconds', 0.0)):.4f} s)"
+            )
+    return problems
+
+
 def render_table(
     regressions: list[Regression], threshold: float = DEFAULT_THRESHOLD
 ) -> str:
@@ -322,7 +349,10 @@ def main(argv: list[str] | None = None) -> int:
     print(render_table(regressions, args.threshold))
     for warning in cold_parallel_warnings(fresh):
         print(warning)
-    if regressions and args.strict:
+    overhead_problems = obs_overhead_violations(fresh)
+    for warning in overhead_problems:
+        print(warning)
+    if (regressions or overhead_problems) and args.strict:
         return 1
     return 0
 

@@ -202,7 +202,7 @@ class MultiStageMigrator:
         planned = validate_regions(self.system, obj, regions, dst_tier)
         journal: list[_JournalEntry] = []
         with span(
-            "migrate.pass", cat="migration", object=obj.name, regions=len(planned)
+            "migration.pass", cat="migration", object=obj.name, regions=len(planned)
         ) as live:
             try:
                 for region in planned:
@@ -212,7 +212,7 @@ class MultiStageMigrator:
                 partial = stats
                 partial.rolled_back_regions = rolled_back
                 instant(
-                    "migrate.rollback",
+                    "migration.rollback",
                     cat="migration",
                     object=obj.name,
                     regions=rolled_back,

@@ -1,0 +1,85 @@
+"""Causal span contexts: trace/span identity that crosses process forks.
+
+PR 4's tracer records *timing* that survives the pool boundary (the
+fork shares ``CLOCK_MONOTONIC``), but not *causality*: a worker's
+``pool.job`` span and the parent's ``pool.dispatch`` span land on the
+same timeline with no edge between them.  This module adds the edge.
+
+A :class:`SpanContext` is the (trace_id, span_id) pair W3C tracing
+calls the propagation context.  The parent mints one fresh child
+context per submission (one per pool job, one per ``TenantJob``),
+ships it in the submit call, and the worker *activates* it before
+opening any spans — so every worker-side span carries a ``parent_id``
+chain that terminates at the submitting span, and a merged export
+renders one causal tree per figure cell / tenant job across process
+boundaries.
+
+Identity derivation is deterministic, not random: a child id is
+``crc32`` folded over (parent span id, span name, per-parent ordinal).
+Two runs with the same seed and submission order mint identical ids,
+which keeps trace artifacts diffable and lets a killed-and-recovered
+service re-join the same causal tree (its root context derives from
+the service seed).  Randomness would also break the repo-wide rule
+that tracing *off vs on* only ever differs by the trace file.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+#: parent_id value meaning "no parent" (a root span).
+NO_PARENT = 0
+
+_MASK = (1 << 63) - 1  # keep ids positive and JSON/JS-safe-ish
+
+
+def derive_id(*parts: object) -> int:
+    """Deterministic 63-bit id folded from ``parts`` via crc32 chaining.
+
+    crc32 is only 32 bits, so two passes with distinct salts are
+    concatenated — collision resistance far beyond anything a single
+    run's span population can stress, with zero dependencies.
+    """
+    blob = "\x1f".join(str(part) for part in parts).encode("utf-8")
+    lo = zlib.crc32(blob)
+    hi = zlib.crc32(blob, 0x9E3779B9 & 0xFFFFFFFF)
+    value = ((hi << 32) | lo) & _MASK
+    return value or 1  # 0 is reserved for NO_PARENT
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """One node of the causal tree: which trace, which span."""
+
+    trace_id: int
+    span_id: int
+
+    def child(self, name: str, ordinal: int) -> "SpanContext":
+        """The deterministic ``ordinal``-th child named ``name``."""
+        return SpanContext(
+            self.trace_id, derive_id(self.span_id, name, ordinal)
+        )
+
+    def as_dict(self) -> dict:
+        """Picklable/JSON form for shipping across the pool boundary."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanContext":
+        return cls(
+            trace_id=int(payload["trace_id"]),
+            span_id=int(payload["span_id"]),
+        )
+
+
+def root_context(*seed_parts: object) -> SpanContext:
+    """A deterministic root context derived from ``seed_parts``.
+
+    The service derives its root from the run seed so a restart after a
+    kill re-joins the same trace; the pool derives one per run from the
+    dispatch ordinal.  An empty seed is allowed but pointless — pass
+    something that identifies the run.
+    """
+    trace_id = derive_id("trace", *seed_parts)
+    return SpanContext(trace_id=trace_id, span_id=derive_id("root", trace_id))

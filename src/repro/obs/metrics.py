@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import random
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -84,27 +85,48 @@ class Timing:
 
 
 class LatencyTracker:
-    """Retained-sample latency distribution with percentile readout.
+    """Reservoir-sampled latency distribution with percentile readout.
 
     :class:`Timing` keeps only count/total/min/max — enough for stage
     accounting, not for a serving SLO.  The placement service needs p50
     and p99 *decision latency* for its health endpoint, so this tracker
-    retains every observation (service request volumes are small enough
-    that a bounded reservoir is unnecessary; ``cap`` guards the
-    pathological case by keeping the most recent samples).
+    retains up to ``cap`` observations.
+
+    Past the cap it switches to Algorithm R reservoir sampling with a
+    seeded RNG: every observation — old or new — has equal probability
+    of being retained, so long runs report percentiles over the *whole*
+    history instead of a most-recent window (the PR 6 cap silently
+    dropped everything before the last ``cap`` samples, biasing p50/p99
+    toward whatever the service was doing lately).  ``samples_dropped``
+    counts evictions, the true ``count`` and ``max`` are tracked
+    exactly, and the seeded RNG keeps :meth:`summary` deterministic for
+    a given observation sequence.
     """
 
-    def __init__(self, cap: int = 100_000) -> None:
+    def __init__(self, cap: int = 100_000, seed: int = 17) -> None:
         self._cap = max(1, cap)
         self._samples: list[float] = []
+        self._rng = random.Random(seed)
+        self._count = 0
+        self._max = 0.0
+        self.samples_dropped = 0
 
     def observe(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
-        if len(self._samples) > self._cap:
-            del self._samples[: len(self._samples) - self._cap]
+        value = float(seconds)
+        self._count += 1
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self._cap:
+            self._samples.append(value)
+            return
+        # Algorithm R: keep the newcomer with probability cap/count.
+        slot = self._rng.randrange(self._count)
+        self.samples_dropped += 1
+        if slot < self._cap:
+            self._samples[slot] = value
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
@@ -118,12 +140,16 @@ class LatencyTracker:
     def summary(self) -> dict:
         """Count plus p50/p99/max, JSON-ready for health endpoints."""
         if not self._samples:
-            return {"count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+            return {
+                "count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0,
+                "samples_dropped": 0,
+            }
         return {
-            "count": len(self._samples),
+            "count": self._count,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
-            "max": max(self._samples),
+            "max": self._max,
+            "samples_dropped": self.samples_dropped,
         }
 
 

@@ -1,0 +1,321 @@
+"""Per-tenant SLOs: rolling error budgets and multi-window burn rates.
+
+A tenant's :class:`repro.serve.requests.QoS` already carries the
+*enforced* knobs (deadline, reservation).  This module adds the
+*accounted* side: each tenant gets an :class:`SLOPolicy` — a
+decision-latency target plus an admission-success objective — and two
+rolling-window error budgets tracked by :class:`SLOEngine`:
+
+- **latency**: of the jobs that settled, what fraction beat the
+  latency target?  Objective default 99%.
+- **admission**: of the submissions, what fraction was actually served
+  (not rejected, not expired, not failed)?  Objective default 95%.
+
+Burn rate follows the SRE workbook convention: the observed error rate
+divided by the error rate the objective allows, so ``1.0`` means the
+budget is being consumed exactly as provisioned and ``14`` means the
+monthly-equivalent budget dies in hours.  Alerting is multi-window —
+a *page* needs the short window (default 5 min) hot **and** the long
+window (default 1 h) non-trivially burning, so a single slow decision
+after a quiet day cannot page; a *warn* fires on sustained long-window
+burn alone.
+
+State is split for warm restarts: lifetime totals serialize into the
+service journal's checkpoint (:meth:`SLOEngine.to_json` /
+:meth:`SLOEngine.restore`) so cumulative attainment survives a kill,
+while the rolling windows deliberately restart empty — a service that
+was down produced no fresh errors, and replaying stale window samples
+would fire alerts about a past incident.
+
+Everything here is clock-agnostic: the engine is fed a ``clock``
+callable (the service passes its own, tests pass a step clock), so the
+budget math is exactly testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+#: Outcome statuses that count against the admission-success objective.
+ADMISSION_BAD = frozenset({"rejected", "expired", "failed"})
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The objectives one tenant is accounted against."""
+
+    latency_target_s: float = 1.0
+    latency_objective: float = 0.99
+    admission_objective: float = 0.95
+    window_s: float = 3600.0
+    short_window_s: float = 300.0
+    fast_burn: float = 14.0
+    slow_burn: float = 2.0
+
+    @classmethod
+    def from_qos(cls, qos) -> "SLOPolicy":
+        """Derive a policy from a tenant's QoS.
+
+        An explicit ``latency_slo_s`` wins; otherwise the deadline is
+        the natural latency target (a decision slower than its deadline
+        is already a broken promise); otherwise the 1 s default.
+        """
+        target = None
+        if qos is not None:
+            target = getattr(qos, "latency_slo_s", None) or getattr(
+                qos, "deadline_s", None
+            )
+        if target is None:
+            return cls()
+        return cls(latency_target_s=float(target))
+
+    def to_json(self) -> dict:
+        return {
+            "latency_target_s": self.latency_target_s,
+            "latency_objective": self.latency_objective,
+            "admission_objective": self.admission_objective,
+            "window_s": self.window_s,
+            "short_window_s": self.short_window_s,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SLOPolicy":
+        return cls(**{k: float(v) for k, v in payload.items()})
+
+
+class ErrorBudget:
+    """One rolling-window good/bad budget with lifetime totals."""
+
+    def __init__(
+        self, objective: float, window_s: float, short_window_s: float
+    ) -> None:
+        self.objective = min(max(float(objective), 0.0), 1.0)
+        self.window_s = float(window_s)
+        self.short_window_s = float(short_window_s)
+        self._events: deque[tuple[float, bool]] = deque()
+        self.total = 0  # lifetime, survives restarts via to_json
+        self.bad = 0
+
+    def record(self, now: float, bad: bool) -> None:
+        self._events.append((float(now), bool(bad)))
+        self.total += 1
+        self.bad += 1 if bad else 0
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        events = self._events
+        while events and events[0][0] <= horizon:
+            events.popleft()
+
+    def _window_counts(self, now: float, seconds: float) -> tuple[int, int]:
+        horizon = now - seconds
+        n = bad = 0
+        for ts, is_bad in reversed(self._events):
+            if ts <= horizon:
+                break
+            n += 1
+            bad += 1 if is_bad else 0
+        return n, bad
+
+    def burn_rate(self, now: float, seconds: float) -> float:
+        """Observed error rate over ``seconds``, in budget multiples."""
+        n, bad = self._window_counts(now, seconds)
+        if n == 0:
+            return 0.0
+        allowed = 1.0 - self.objective
+        if allowed <= 0.0:
+            return float("inf") if bad else 0.0
+        return (bad / n) / allowed
+
+    def attainment(self, now: float) -> float:
+        """Good fraction over the long window; 1.0 with no events."""
+        n, bad = self._window_counts(now, self.window_s)
+        if n == 0:
+            return 1.0
+        return 1.0 - bad / n
+
+    def lifetime_attainment(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return 1.0 - self.bad / self.total
+
+    def budget_remaining(self, now: float) -> float:
+        """Unspent fraction of the window's error budget, clamped to 0."""
+        n, bad = self._window_counts(now, self.window_s)
+        allowed = (1.0 - self.objective) * n
+        if allowed <= 0.0:
+            return 0.0 if bad else 1.0
+        return max(0.0, 1.0 - bad / allowed)
+
+    def alert(self, now: float, fast_burn: float, slow_burn: float) -> str:
+        """Multi-window alert state: ``"page"``, ``"warn"``, or ``""``."""
+        short = self.burn_rate(now, self.short_window_s)
+        long = self.burn_rate(now, self.window_s)
+        if short >= fast_burn and long >= slow_burn:
+            return "page"
+        if long >= slow_burn:
+            return "warn"
+        return ""
+
+    def snapshot(self, now: float, fast_burn: float, slow_burn: float) -> dict:
+        n, bad = self._window_counts(now, self.window_s)
+        return {
+            "objective": self.objective,
+            "window_events": n,
+            "window_bad": bad,
+            "attainment": round(self.attainment(now), 6),
+            "lifetime_events": self.total,
+            "lifetime_bad": self.bad,
+            "lifetime_attainment": round(self.lifetime_attainment(), 6),
+            "budget_remaining": round(self.budget_remaining(now), 6),
+            "burn_short": round(self.burn_rate(now, self.short_window_s), 4),
+            "burn_long": round(self.burn_rate(now, self.window_s), 4),
+            "alert": self.alert(now, fast_burn, slow_burn),
+        }
+
+    def to_json(self) -> dict:
+        return {"total": self.total, "bad": self.bad}
+
+    def restore(self, payload: dict) -> None:
+        self.total = int(payload.get("total", 0))
+        self.bad = int(payload.get("bad", 0))
+
+
+class TenantSLO:
+    """One tenant's latency + admission budgets under one policy."""
+
+    def __init__(self, tenant: str, policy: SLOPolicy) -> None:
+        self.tenant = tenant
+        self.policy = policy
+        self.latency = ErrorBudget(
+            policy.latency_objective, policy.window_s, policy.short_window_s
+        )
+        self.admission = ErrorBudget(
+            policy.admission_objective, policy.window_s, policy.short_window_s
+        )
+
+    def record_outcome(
+        self, now: float, status: str, latency_s: float
+    ) -> None:
+        self.admission.record(now, status in ADMISSION_BAD)
+        if status not in ADMISSION_BAD:
+            self.latency.record(
+                now, latency_s > self.policy.latency_target_s
+            )
+
+    def record_rejection(self, now: float) -> None:
+        """A submit-time refusal (shed, breaker, duplicate tenant)."""
+        self.admission.record(now, True)
+
+    def burn(self, now: float) -> float:
+        """The tenant's worst long-window burn — the shed ranking key."""
+        return max(
+            self.latency.burn_rate(now, self.policy.window_s),
+            self.admission.burn_rate(now, self.policy.window_s),
+        )
+
+    def snapshot(self, now: float) -> dict:
+        latency = self.latency.snapshot(
+            now, self.policy.fast_burn, self.policy.slow_burn
+        )
+        admission = self.admission.snapshot(
+            now, self.policy.fast_burn, self.policy.slow_burn
+        )
+        alerts = {latency["alert"], admission["alert"]}
+        worst = "page" if "page" in alerts else (
+            "warn" if "warn" in alerts else ""
+        )
+        return {
+            "policy": self.policy.to_json(),
+            "latency": latency,
+            "admission": admission,
+            "burn": round(max(latency["burn_long"], admission["burn_long"]), 4),
+            "alert": worst,
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "policy": self.policy.to_json(),
+            "latency": self.latency.to_json(),
+            "admission": self.admission.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, tenant: str, payload: dict) -> "TenantSLO":
+        slo = cls(tenant, SLOPolicy.from_json(payload.get("policy", {})))
+        slo.latency.restore(payload.get("latency", {}))
+        slo.admission.restore(payload.get("admission", {}))
+        return slo
+
+
+class SLOEngine:
+    """All tenants' budgets, keyed by tenant name.
+
+    The service feeds it per outcome; ``health()`` and the exposition
+    plane read :meth:`snapshot`; budget-aware shedding reads
+    :meth:`burn_rates`.  Departed tenants keep their history — budgets
+    account a name's whole service lifetime, and tenant names are
+    unique per run.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self._tenants: dict[str, TenantSLO] = {}
+
+    def ensure(self, tenant: str, qos=None) -> TenantSLO:
+        """The tenant's budget, minting one from its QoS on first sight."""
+        slo = self._tenants.get(tenant)
+        if slo is None:
+            slo = self._tenants[tenant] = TenantSLO(
+                tenant, SLOPolicy.from_qos(qos)
+            )
+        return slo
+
+    def record_outcome(
+        self, tenant: str, status: str, latency_s: float, qos=None
+    ) -> None:
+        self.ensure(tenant, qos).record_outcome(
+            self.clock(), status, latency_s
+        )
+
+    def record_rejection(self, tenant: str, qos=None) -> None:
+        self.ensure(tenant, qos).record_rejection(self.clock())
+
+    def burn_rates(self) -> dict[str, float]:
+        """tenant -> worst long-window burn rate, for shed ranking."""
+        now = self.clock()
+        return {
+            name: slo.burn(now) for name, slo in sorted(self._tenants.items())
+        }
+
+    def burn_of(self, tenant: str) -> float:
+        slo = self._tenants.get(tenant)
+        return slo.burn(self.clock()) if slo is not None else 0.0
+
+    def snapshot(self) -> dict:
+        now = self.clock()
+        return {
+            name: slo.snapshot(now)
+            for name, slo in sorted(self._tenants.items())
+        }
+
+    def to_json(self) -> dict:
+        return {
+            name: slo.to_json()
+            for name, slo in sorted(self._tenants.items())
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Reinstate lifetime totals from a journal checkpoint.
+
+        Rolling windows restart empty on purpose — see the module
+        docstring — so post-restart burn rates reflect only post-restart
+        traffic.
+        """
+        for tenant, entry in payload.items():
+            self._tenants[tenant] = TenantSLO.from_json(tenant, entry)

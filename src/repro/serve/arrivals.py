@@ -12,6 +12,7 @@ latency quantiles the benchmark (``benchmarks/bench_serve.py``) records.
 from __future__ import annotations
 
 import asyncio
+import json
 import random
 import time
 
@@ -56,6 +57,7 @@ def generate_arrivals(
     max_live: int = 3,
     deadline_s: float | None = None,
     reserve_fast_bytes: int = 0,
+    latency_slo_s: float | None = None,
 ) -> list[TenantJob]:
     """A seeded, self-consistent stream of tenant jobs.
 
@@ -67,7 +69,11 @@ def generate_arrivals(
     """
     rng = random.Random(seed)
     roster = roster or default_roster()
-    qos = QoS(deadline_s=deadline_s, reserve_fast_bytes=reserve_fast_bytes)
+    qos = QoS(
+        deadline_s=deadline_s,
+        reserve_fast_bytes=reserve_fast_bytes,
+        latency_slo_s=latency_slo_s,
+    )
     live: list[str] = []
     next_id = 0
     jobs: list[TenantJob] = []
@@ -133,6 +139,14 @@ def serve_trace(
                 )
         wall = time.perf_counter() - start
         tenant_table = service.tenant_table()
+        exposition = None
+        if service.exposition_port is not None and not killed:
+            # Scrape the *live* endpoint (async — a blocking HTTP client
+            # here would deadlock the loop the server runs on) so the
+            # report's SLO/burn figures provably came over the wire.
+            exposition = await _scrape_exposition(
+                config.expose_host, service.exposition_port
+            )
         health = await service.stop() if not killed else service.health()
         placements = sum(
             1
@@ -149,9 +163,23 @@ def serve_trace(
             "outcomes": outcomes,
             "tenant_table": tenant_table,
             "health": health,
+            "exposition": exposition,
         }
 
     return asyncio.run(_drive())
+
+
+async def _scrape_exposition(host: str, port: int) -> dict:
+    """Pull ``/metrics`` and ``/slo`` off a running exposition server."""
+    from repro.obs.exposition import fetch, parse_prometheus
+
+    metrics_text = await fetch(host, port, "/metrics")
+    slo = json.loads(await fetch(host, port, "/slo"))
+    return {
+        "port": port,
+        "metrics": parse_prometheus(metrics_text),
+        "slo": slo,
+    }
 
 
 def _status_counts(outcomes: list[JobOutcome]) -> dict[str, int]:

@@ -1,6 +1,6 @@
 """AST lint (tier-1 face of ``tools/astlint.py``).
 
-Four checks over every source file under ``src/``:
+Six checks over every source file under ``src/``:
 
 - no silent exception swallowing — a bare ``except:`` or an ``except
   Exception: pass`` turns an injected fault (or a real bug) into
@@ -13,7 +13,13 @@ Four checks over every source file under ``src/``:
   twin of a silent except (the serving layer stores its dispatcher
   task for exactly this reason);
 - no assigned-but-unused locals (``_``-prefixed names allowlisted) —
-  dead assignments are stale refactor remnants.
+  dead assignments are stale refactor remnants;
+- instrumentation names follow the taxonomy — every literal name fed
+  to ``inc``/``gauge``/``observe``/``span``/``instant``/``emit``/
+  ``submission`` is lowercase dotted ``family.name`` with the family
+  registered in ``repro.obs.naming.FAMILIES``;
+- optional dependencies stay lazy — modules in ``LAZY_IMPORT_ONLY``
+  import them inside function bodies only.
 
 The logic lives in ``tools/astlint.py`` so ``make lint`` and this test
 enforce exactly the same rules; the module is imported by file path
@@ -153,6 +159,52 @@ def test_lazy_import_allowlist_is_tight():
     repro_root = astlint.SRC / "repro"
     for relative in astlint.LAZY_IMPORT_ONLY:
         assert (repro_root / relative).is_file(), f"stale entry: {relative}"
+
+
+def test_sources_follow_instrumentation_taxonomy():
+    problems = []
+    for path in sorted(astlint.SRC.rglob("*.py")):
+        problems.extend(astlint.naming_violations(path))
+    assert not problems, (
+        "instrumentation names off the taxonomy (lowercase dotted "
+        "family.name, family registered in repro.obs.naming.FAMILIES):\n  "
+        + "\n  ".join(problems)
+    )
+
+
+def test_naming_families_table_is_sorted_and_shaped():
+    """The registry itself obeys the shape it enforces."""
+    families = list(astlint._naming().FAMILIES)
+    assert families == sorted(families)
+    for family in families:
+        assert astlint._naming().check_name(f"{family}.sample") is None
+
+
+def test_naming_check_flags_bad_instrumentation_names(tmp_path, monkeypatch):
+    astlint._naming()  # prime the taxonomy before SRC is repointed
+    monkeypatch.setattr(astlint, "SRC", tmp_path)
+    sample = tmp_path / "repro" / "mod.py"
+    sample.parent.mkdir()
+    sample.write_text(
+        "def f(registry, name):\n"
+        "    registry.inc('bogus.counter')\n"     # unregistered family
+        "    registry.inc('Serve.Admit')\n"       # not lowercase dotted
+        "    registry.inc('serve')\n"             # missing the .name part
+        "    registry.inc('serve.admitted')\n"    # registered: fine
+        "    registry.inc(f'cache.{name}')\n"     # pinned known family: fine
+        "    registry.inc(f'wat.{name}')\n"       # pinned unknown family
+        "    registry.inc(name)\n"                # fully dynamic: fine
+        "    registry.lookup('Not.A.Metric')\n"   # other callee: fine
+    )
+    problems = astlint.naming_violations(sample)
+    assert len(problems) == 4, problems
+    assert ":2:" in problems[0] and "bogus" in problems[0]
+    assert ":3:" in problems[1]
+    assert ":4:" in problems[2]
+    assert ":7:" in problems[3] and "wat" in problems[3]
+    report = tmp_path / "repro" / "cli.py"  # report surface is exempt
+    report.write_text("def f(bus):\n    bus.emit('whatever text')\n")
+    assert astlint.naming_violations(report) == []
 
 
 def test_lazy_import_check_flags_module_level_import(tmp_path, monkeypatch):

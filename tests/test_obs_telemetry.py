@@ -1,0 +1,642 @@
+"""End-to-end telemetry: causal tracing, SLO budgets, exposition plane.
+
+The PR-9 contracts under test:
+
+- **causal propagation** — span contexts minted at submission time
+  (``pool.submit`` instants, ``serve.submit`` instants) re-parent the
+  remote side's spans, so a merged export renders one causal tree per
+  figure cell / tenant job across process boundaries, and the tree
+  survives worker retries after a chaos kill;
+- **idempotent absorb** — a worker obs blob delivered twice (retry,
+  sidecar replay) folds exactly once;
+- **deterministic merge** — primary trace + worker sidecars dedupe by
+  canonical JSON identity into one stable ordering (``repro trace
+  --merge``);
+- **SLO engine** — rolling error budgets, multi-window burn-rate
+  alerting, QoS-derived policies, and journal round-trips that keep
+  lifetime totals while restarting windows empty;
+- **exposition plane** — Prometheus text + JSON endpoints served live
+  from the placement service, scraped by ``serve_trace`` and rendered
+  by ``repro top``;
+- **zero-cost-off** — tracing off leaves submission contexts unminted
+  and serve results bit-identical.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import cli
+from repro.config import nvm_dram_testbed
+from repro.faults import (
+    FAULT_PLAN_ENV,
+    SITE_POOL_CRASH,
+    FaultPlan,
+    FaultSpec,
+    injected,
+    reset,
+)
+from repro.obs import absorb_all, drain_all, reset_all
+from repro.obs.context import NO_PARENT, SpanContext, derive_id, root_context
+from repro.obs.exposition import (
+    ExpositionServer,
+    fetch,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+    render_top,
+)
+from repro.obs.metrics import process_metrics
+from repro.obs.slo import ErrorBudget, SLOEngine, SLOPolicy
+from repro.obs.tracer import (
+    TRACE_ENV,
+    Tracer,
+    append_jsonl,
+    merge_records,
+    merge_trace_files,
+    process_tracer,
+    sidecar_path,
+    worker_sidecars,
+)
+from repro.serve import QoS, ServiceConfig, generate_arrivals, serve_trace
+from repro.sim.parallel import (
+    JOB_BACKOFF_ENV,
+    JOB_RETRIES_ENV,
+    JOB_TIMEOUT_ENV,
+    AppSpec,
+    ExperimentPool,
+    JobSpec,
+)
+
+TINY_SCALE = 1 << 20
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs(monkeypatch):
+    """Isolated obs state per test; tracing off unless a test arms it."""
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    for env in (FAULT_PLAN_ENV, JOB_TIMEOUT_ENV, JOB_RETRIES_ENV):
+        monkeypatch.delenv(env, raising=False)
+    monkeypatch.setenv(JOB_BACKOFF_ENV, "0")
+    reset()
+    reset_all()
+    yield
+    reset()
+    reset_all()
+
+
+def _config(**kw) -> ServiceConfig:
+    kw.setdefault("platform", nvm_dram_testbed(scale=512))
+    return ServiceConfig(**kw)
+
+
+def _atmem_specs():
+    platform = nvm_dram_testbed(scale=512)
+    return [
+        JobSpec(
+            app=AppSpec.make(app, "twitter", scale=TINY_SCALE),
+            platform=platform,
+            flow="atmem",
+            tag=f"telemetry/{app}",
+        )
+        for app in ("PR", "BFS")
+    ]
+
+
+def _by_name(records, name):
+    return [r for r in records if r.get("name") == name]
+
+
+# ----------------------------------------------------------------------
+# span contexts
+# ----------------------------------------------------------------------
+class TestSpanContext:
+    def test_derive_id_is_deterministic_and_63_bit(self):
+        a = derive_id("span", 7, "pool.job")
+        assert a == derive_id("span", 7, "pool.job")
+        assert a != derive_id("span", 8, "pool.job")
+        assert 0 < a < (1 << 63)
+
+    def test_zero_hash_reserved_for_no_parent(self):
+        assert NO_PARENT == 0
+        assert derive_id() != NO_PARENT
+
+    def test_child_ids_distinct_per_ordinal_and_name(self):
+        parent = root_context("test", 1)
+        kids = {
+            parent.child(name, ordinal).span_id
+            for name in ("pool.job", "serve.job")
+            for ordinal in range(8)
+        }
+        assert len(kids) == 16
+        assert all(
+            parent.child("pool.job", i).trace_id == parent.trace_id
+            for i in range(3)
+        )
+
+    def test_dict_round_trip(self):
+        ctx = root_context("serve", 17).child("serve.submit", 2)
+        assert SpanContext.from_dict(ctx.as_dict()) == ctx
+
+    def test_root_context_deterministic_across_calls(self):
+        assert root_context("serve", 17) == root_context("serve", 17)
+        assert root_context("serve", 17) != root_context("serve", 18)
+
+
+# ----------------------------------------------------------------------
+# causal propagation
+# ----------------------------------------------------------------------
+class TestCausalPropagation:
+    def test_submission_returns_none_when_tracing_off(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.submission("pool.submit", tag="x") is None
+        assert tracer.records == []
+
+    def test_attach_reparents_spans_under_submission(self):
+        tracer = Tracer(enabled=True)
+        ctx = tracer.submission("pool.submit", tag="x")
+        with tracer.attach(ctx):
+            with tracer.span("pool.job", cat="pool"):
+                pass
+        job = _by_name(tracer.records, "pool.job")[0]
+        assert job["parent_id"] == ctx.span_id
+        assert job["trace_id"] == ctx.trace_id
+
+    def test_activate_roots_worker_spans_at_shipped_context(self):
+        ctx = root_context("test", 3).child("pool.submit", 0)
+        worker = Tracer(enabled=True)
+        worker.activate(SpanContext.from_dict(ctx.as_dict()))
+        with worker.span("pool.job", cat="pool"):
+            pass
+        job = _by_name(worker.records, "pool.job")[0]
+        assert job["parent_id"] == ctx.span_id
+        assert job["trace_id"] == ctx.trace_id
+
+    def test_same_submission_order_mints_identical_ids(self):
+        def run():
+            tracer = Tracer(enabled=True)
+            tracer.activate(root_context("run", 9))
+            return [
+                tracer.submission("pool.submit", index=i).span_id
+                for i in range(4)
+            ]
+
+        assert run() == run()
+
+    def test_pool_run_builds_one_causal_tree(self, tmp_path, monkeypatch):
+        target = tmp_path / "pool.trace"
+        monkeypatch.setenv(TRACE_ENV, str(target))
+        reset_all()
+        pool = ExperimentPool(2)
+        pool.run(_atmem_specs())
+        process_tracer().flush(target)
+        merged = merge_trace_files(target)
+        submits = _by_name(merged, "pool.submit")
+        jobs = _by_name(merged, "pool.job")
+        assert len(submits) >= 2 and len(jobs) >= 2
+        submit_ids = {r["span_id"] for r in submits}
+        assert all(r["parent_id"] in submit_ids for r in jobs)
+        assert len({r["trace_id"] for r in submits + jobs}) == 1
+
+    def test_reparenting_survives_worker_retry_after_kill(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "retry.trace"
+        monkeypatch.setenv(TRACE_ENV, str(target))
+        plan = FaultPlan((FaultSpec(SITE_POOL_CRASH, times=0),))
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+        reset_all()
+        pool = ExperimentPool(2)
+        with injected(plan):
+            pool.run(_atmem_specs())
+        assert pool.health.retries >= 1
+        process_tracer().flush(target)
+        merged = merge_trace_files(target)
+        submits = _by_name(merged, "pool.submit")
+        jobs = _by_name(merged, "pool.job")
+        # The retried job minted a fresh submission instant (attempt > 0)
+        # and its worker-side span re-parented under it, not the dead one.
+        assert any(r.get("args", {}).get("attempt", 0) > 0 for r in submits)
+        assert len(jobs) >= 2
+        submit_ids = {r["span_id"] for r in submits}
+        assert all(r["parent_id"] in submit_ids for r in jobs)
+
+
+# ----------------------------------------------------------------------
+# idempotent absorb
+# ----------------------------------------------------------------------
+class TestIdempotentAbsorb:
+    def test_blob_absorbed_at_most_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path / "blob.trace"))
+        reset_all()
+        process_metrics().inc("pool.warm_jobs")
+        with process_tracer().span("pool.job", cat="pool"):
+            pass
+        blob = drain_all()
+        assert blob["blob_id"]
+        assert absorb_all(blob) is True
+        assert absorb_all(blob) is False
+        snapshot = process_metrics().snapshot()
+        assert snapshot["counters"]["pool.warm_jobs"] == 1
+        assert len(_by_name(process_tracer().records, "pool.job")) == 1
+
+    def test_blob_without_id_always_folds(self):
+        blob = {"events": [], "metrics": {"counters": {"pool.retries": 1}}}
+        assert absorb_all(blob) is True
+        assert absorb_all(blob) is True
+        assert process_metrics().snapshot()["counters"]["pool.retries"] == 2
+
+    def test_empty_blob_is_a_noop(self):
+        assert absorb_all({}) is False
+        assert absorb_all(None) is False
+
+
+# ----------------------------------------------------------------------
+# sidecars and deterministic merge
+# ----------------------------------------------------------------------
+def _rec(name, ts, span_id, parent_id=0, trace_id=11):
+    return {
+        "name": name, "cat": "pool", "ts": ts, "dur": 1.0, "pid": 1,
+        "tid": 1, "depth": 0, "trace_id": trace_id, "span_id": span_id,
+        "parent_id": parent_id, "args": {},
+    }
+
+
+class TestMergeTools:
+    def test_merge_records_dedupes_and_orders(self):
+        a = _rec("pool.job", 5.0, 2, parent_id=1)
+        b = _rec("pool.submit", 1.0, 1)
+        c = _rec("pool.job", 3.0, 3, parent_id=1, trace_id=7)
+        merged = merge_records([a, b], [b, c])
+        assert merged == [c, b, a]  # (trace_id, ts, span_id) order, b once
+
+    def test_merge_trace_files_folds_worker_sidecars(self, tmp_path):
+        primary = tmp_path / "run.trace"
+        shared = _rec("pool.job", 2.0, 5, parent_id=4)
+        append_jsonl(primary, [_rec("pool.submit", 1.0, 4), shared])
+        append_jsonl(
+            sidecar_path(primary, pid=4242),
+            [shared, _rec("pool.job", 3.0, 6, parent_id=4)],
+        )
+        assert len(worker_sidecars(primary)) == 1
+        merged = merge_trace_files(primary)
+        assert [r["span_id"] for r in merged] == [4, 5, 6]
+
+    def test_cli_trace_merge_writes_chrome_export(self, tmp_path, capsys):
+        primary = tmp_path / "run.trace"
+        shared = _rec("pool.job", 2.0, 5, parent_id=4)
+        append_jsonl(primary, [_rec("pool.submit", 1.0, 4), shared])
+        append_jsonl(sidecar_path(primary, pid=77), [shared])
+        out = tmp_path / "merged.json"
+        rc = cli.main(
+            ["trace", str(primary), "--merge", "--out", str(out)]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["traceEvents"]) == 2  # shared span deduped
+        assert "merged 1 worker sidecar(s)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# SLO engine
+# ----------------------------------------------------------------------
+class TestErrorBudget:
+    def test_burn_rate_in_budget_multiples(self):
+        budget = ErrorBudget(objective=0.9, window_s=100, short_window_s=10)
+        for i in range(10):
+            budget.record(float(i), bad=i < 2)
+        # 2 bad / 10 events = 20% observed vs 10% allowed -> burn 2.0.
+        assert budget.burn_rate(10.0, 100) == pytest.approx(2.0)
+        assert budget.attainment(10.0) == pytest.approx(0.8)
+        assert budget.budget_remaining(10.0) == pytest.approx(0.0)
+
+    def test_alert_needs_both_windows_to_page(self):
+        budget = ErrorBudget(objective=0.99, window_s=3600, short_window_s=300)
+        for i in range(10):
+            budget.record(float(i), bad=True)
+        # Hot in both windows: burn 100x the 1% allowance -> page.
+        assert budget.alert(10.0, fast_burn=14.0, slow_burn=2.0) == "page"
+        # Same errors viewed 20 min later: short window empty -> warn only.
+        assert budget.alert(1200.0, fast_burn=14.0, slow_burn=2.0) == "warn"
+
+    def test_quiet_budget_never_alerts(self):
+        budget = ErrorBudget(objective=0.99, window_s=3600, short_window_s=300)
+        for i in range(50):
+            budget.record(float(i), bad=False)
+        assert budget.alert(50.0, fast_burn=14.0, slow_burn=2.0) == ""
+        assert budget.budget_remaining(50.0) == 1.0
+
+    def test_window_prunes_but_lifetime_persists(self):
+        budget = ErrorBudget(objective=0.9, window_s=100, short_window_s=10)
+        budget.record(0.0, bad=True)
+        budget.record(1.0, bad=False)
+        budget.record(500.0, bad=False)  # append prunes the stale pair
+        assert budget.attainment(500.0) == 1.0
+        assert budget.total == 3 and budget.bad == 1
+        assert budget.lifetime_attainment() == pytest.approx(2 / 3)
+
+    def test_json_round_trip_restores_lifetime_only(self):
+        budget = ErrorBudget(objective=0.9, window_s=100, short_window_s=10)
+        for i in range(4):
+            budget.record(float(i), bad=i == 0)
+        clone = ErrorBudget(objective=0.9, window_s=100, short_window_s=10)
+        clone.restore(budget.to_json())
+        assert clone.total == 4 and clone.bad == 1
+        assert clone.attainment(4.0) == 1.0  # window restarts empty
+
+
+class TestSLOEngine:
+    def test_policy_prefers_explicit_latency_slo_over_deadline(self):
+        assert SLOPolicy.from_qos(
+            QoS(latency_slo_s=0.25, deadline_s=2.0)
+        ).latency_target_s == 0.25
+        assert SLOPolicy.from_qos(QoS(deadline_s=2.0)).latency_target_s == 2.0
+        assert SLOPolicy.from_qos(None).latency_target_s == 1.0
+
+    def test_outcomes_feed_the_right_budgets(self):
+        clock = {"now": 0.0}
+        engine = SLOEngine(lambda: clock["now"])
+        qos = QoS(latency_slo_s=1.0)
+        engine.record_outcome("a", "ok", 0.1, qos=qos)
+        engine.record_outcome("a", "ok", 5.0, qos=qos)  # latency miss
+        engine.record_outcome("a", "rejected", 0.0, qos=qos)
+        snap = engine.snapshot()["a"]
+        assert snap["admission"]["lifetime_events"] == 3
+        assert snap["admission"]["lifetime_bad"] == 1
+        # Rejected submissions never reach the latency budget.
+        assert snap["latency"]["lifetime_events"] == 2
+        assert snap["latency"]["lifetime_bad"] == 1
+        assert engine.burn_of("a") > 0.0
+        assert engine.burn_of("nobody") == 0.0
+
+    def test_restore_keeps_lifetime_and_empties_windows(self):
+        clock = {"now": 0.0}
+        engine = SLOEngine(lambda: clock["now"])
+        for _ in range(5):
+            engine.record_rejection("a", qos=QoS(latency_slo_s=0.5))
+        warm = SLOEngine(lambda: clock["now"])
+        warm.restore(json.loads(json.dumps(engine.to_json())))
+        snap = warm.snapshot()["a"]
+        assert snap["admission"]["lifetime_bad"] == 5
+        assert snap["admission"]["window_events"] == 0
+        assert snap["policy"]["latency_target_s"] == 0.5
+        assert warm.burn_of("a") == 0.0  # no fresh errors after restart
+
+
+class TestServiceSLOIntegration:
+    def test_serve_trace_accounts_every_settled_job(self):
+        jobs = generate_arrivals(16, seed=17, latency_slo_s=30.0)
+        report = serve_trace(jobs, _config())
+        slo = report["health"]["slo"]
+        assert slo, "service health must expose per-tenant SLO budgets"
+        admitted = sum(
+            entry["admission"]["lifetime_events"] for entry in slo.values()
+        )
+        assert admitted == report["jobs"]
+        for entry in slo.values():
+            assert entry["policy"]["latency_target_s"] == 30.0
+            assert 0.0 <= entry["admission"]["attainment"] <= 1.0
+            assert entry["alert"] in ("", "warn", "page")
+
+    def test_lifetime_totals_survive_journal_restart(self, tmp_path):
+        jobs = generate_arrivals(16, seed=17)
+        root = tmp_path / "journal"
+        first = serve_trace(jobs[:10], _config(journal_root=root))
+        first_total = sum(
+            e["admission"]["lifetime_events"]
+            for e in first["health"]["slo"].values()
+        )
+        resumed = serve_trace(jobs[10:], _config(journal_root=root))
+        resumed_total = sum(
+            e["admission"]["lifetime_events"]
+            for e in resumed["health"]["slo"].values()
+        )
+        assert first_total >= 10
+        assert resumed_total > first_total  # restored lifetime + new jobs
+        for entry in resumed["health"]["slo"].values():
+            assert entry["admission"]["window_events"] <= len(jobs) - 10
+
+
+# ----------------------------------------------------------------------
+# exposition plane
+# ----------------------------------------------------------------------
+class TestExposition:
+    def test_prometheus_render_parse_round_trip(self):
+        snapshot = {
+            "counters": {"serve.admitted": 3},
+            "gauges": {"serve.queue_depth": 2.0},
+            "timings": {"serve.decide": {"count": 4, "total": 0.5}},
+        }
+        samples = [
+            ("slo.burn_rate", {"tenant": "a", "slo": "latency"}, 1.5),
+            ("slo.burn_rate", {"tenant": "b", "slo": "latency"}, 0.25),
+        ]
+        text = render_prometheus(snapshot, samples)
+        series = parse_prometheus(text)
+        assert series["repro_serve_admitted_total"] == 3.0
+        assert series["repro_serve_queue_depth"] == 2.0
+        assert series["repro_serve_decide_seconds_count"] == 4.0
+        assert series["repro_serve_decide_seconds_sum"] == 0.5
+        assert series['repro_slo_burn_rate{slo="latency",tenant="a"}'] == 1.5
+        assert series['repro_slo_burn_rate{slo="latency",tenant="b"}'] == 0.25
+
+    def test_prometheus_name_sanitizes(self):
+        assert prometheus_name("serve.queue_depth") == "repro_serve_queue_depth"
+        assert prometheus_name("a-b.c") == "repro_a_b_c"
+
+    def test_server_serves_metrics_health_slo_and_errors(self):
+        async def scenario():
+            hits = []
+
+            def broken():
+                raise RuntimeError("boom")
+
+            server = ExpositionServer(
+                metrics=lambda: "repro_up 1\n",
+                health=lambda: {"stopped": False, "hits": hits.append(1) or 1},
+                slo=lambda: {"a": {"burn": 0.0}},
+            )
+            port = await server.start()
+            assert port > 0
+            body = await fetch("127.0.0.1", port, "/metrics")
+            assert "repro_up 1" in body
+            health = json.loads(await fetch("127.0.0.1", port, "/health"))
+            assert health["stopped"] is False
+            slo = json.loads(await fetch("127.0.0.1", port, "/slo"))
+            assert slo["a"]["burn"] == 0.0
+            with pytest.raises(ConnectionError, match="404"):
+                await fetch("127.0.0.1", port, "/nope")
+            server._health = broken
+            with pytest.raises(ConnectionError, match="500"):
+                await fetch("127.0.0.1", port, "/health")
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_serve_trace_scrapes_its_own_live_endpoint(self):
+        jobs = generate_arrivals(12, seed=17)
+        report = serve_trace(jobs, _config(expose_port=0))
+        expo = report["exposition"]
+        assert expo["port"] > 0
+        metrics = expo["metrics"]
+        assert "repro_serve_queue_depth" in metrics
+        assert any(key.startswith("repro_slo_burn_rate{") for key in metrics)
+        assert expo["slo"].keys() == report["health"]["slo"].keys()
+        for entry in expo["slo"].values():
+            assert "burn" in entry and "latency" in entry and "admission" in entry
+
+    def test_render_top_frame_shows_tenants_and_alerts(self):
+        health = {
+            "resident_tenants": 2,
+            "queue_depth": 1,
+            "stopped": False,
+            "journal_corruptions": [],
+            "decision_latency": {
+                "count": 9, "p50": 0.001, "p99": 0.01, "samples_dropped": 0,
+            },
+            "counters": {"admitted": 4},
+        }
+        slo = {
+            "a": {
+                "burn": 3.5,
+                "alert": "warn",
+                "latency": {"attainment": 0.9, "budget_remaining": 0.1},
+                "admission": {"attainment": 1.0, "budget_remaining": 1.0},
+            },
+        }
+        frame = render_top(health, slo)
+        assert "repro top" in frame
+        assert "tenants=2" in frame and "journal_corruptions=0" in frame
+        assert "warn" in frame and "3.50" in frame
+        assert "(no tenants yet)" in render_top(health, {})
+
+
+class TestCliTop:
+    def _serve_in_thread(self, health, slo):
+        started = threading.Event()
+        stop = threading.Event()
+        state = {}
+
+        def runner():
+            async def run():
+                server = ExpositionServer(
+                    metrics=lambda: "", health=lambda: health, slo=lambda: slo
+                )
+                state["port"] = await server.start()
+                started.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.01)
+                await server.stop()
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(5.0)
+        return state["port"], stop, thread
+
+    def test_top_once_renders_one_frame(self, capsys):
+        health = {
+            "resident_tenants": 1, "queue_depth": 0, "stopped": False,
+            "journal_corruptions": [],
+            "decision_latency": {"count": 1, "p50": 0.0, "p99": 0.0,
+                                 "samples_dropped": 0},
+        }
+        slo = {
+            "web": {
+                "burn": 0.0, "alert": "",
+                "latency": {"attainment": 1.0, "budget_remaining": 1.0},
+                "admission": {"attainment": 1.0, "budget_remaining": 1.0},
+            },
+        }
+        port, stop, thread = self._serve_in_thread(health, slo)
+        try:
+            rc = cli.main(["top", "--port", str(port), "--once"])
+        finally:
+            stop.set()
+            thread.join(5.0)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "web" in out
+
+    def test_top_unreachable_service_fails_cleanly(self, capsys):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        rc = cli.main(["top", "--port", str(free_port), "--once"])
+        assert rc == 1
+        assert "cannot reach placement service" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# serve-side causal tree + zero-cost-off (the acceptance assertions)
+# ----------------------------------------------------------------------
+class TestServeCausalTree:
+    def test_every_tenant_job_parents_under_its_submission(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "serve.trace"
+        monkeypatch.setenv(TRACE_ENV, str(target))
+        reset_all()
+        jobs = generate_arrivals(12, seed=17)
+        serve_trace(jobs, _config())
+        process_tracer().flush(target)
+        merged = merge_trace_files(target)
+        submits = _by_name(merged, "serve.submit")
+        served = _by_name(merged, "serve.job")
+        assert len(submits) == len(jobs)
+        assert served, "traced serve run must record serve.job spans"
+        submit_ids = {r["span_id"] for r in submits}
+        assert all(r["parent_id"] in submit_ids for r in served)
+        # One trace: the service root is seed-derived, every job joins it.
+        assert len({r["trace_id"] for r in submits + served}) == 1
+        # Runtime spans opened while serving nest under the job spans.
+        served_ids = {r["span_id"] for r in served}
+        assert any(
+            r["parent_id"] in served_ids
+            for r in merged
+            if r["name"] not in ("serve.job", "serve.submit")
+        )
+
+    def test_restarted_service_rejoins_the_same_trace(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "restart.trace"
+        monkeypatch.setenv(TRACE_ENV, str(target))
+        reset_all()
+        jobs = generate_arrivals(12, seed=17)
+        root = tmp_path / "journal"
+        serve_trace(jobs, _config(journal_root=root), kill_after=6)
+        serve_trace(jobs[6:], _config(journal_root=root))
+        process_tracer().flush(target)
+        merged = merge_trace_files(target)
+        submits = _by_name(merged, "serve.submit")
+        assert submits
+        # Seed-derived root context: both service incarnations share it.
+        assert len({r["trace_id"] for r in submits}) == 1
+
+    def test_tracing_off_keeps_serve_results_identical(
+        self, tmp_path, monkeypatch
+    ):
+        jobs = generate_arrivals(12, seed=17)
+
+        def fingerprint(report):
+            return json.dumps(
+                {
+                    "statuses": report["statuses"],
+                    "table": [
+                        {"name": t["name"], "placements": t["placements"]}
+                        for t in report["tenant_table"]
+                    ],
+                },
+                sort_keys=True,
+            )
+
+        off = fingerprint(serve_trace(jobs, _config()))
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path / "on.trace"))
+        reset_all()
+        on = fingerprint(serve_trace(jobs, _config()))
+        assert off == on

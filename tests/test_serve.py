@@ -120,14 +120,42 @@ class TestLatencyTracker:
     def test_empty_tracker_reports_zeros(self):
         assert LatencyTracker().summary() == {
             "count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0,
+            "samples_dropped": 0,
         }
 
-    def test_cap_keeps_most_recent(self):
+    def test_cap_reservoir_keeps_true_count_and_max(self):
         tracker = LatencyTracker(cap=3)
         for v in (1.0, 2.0, 3.0, 4.0):
             tracker.observe(v)
-        assert len(tracker) == 3
-        assert tracker.percentile(0) == 2.0  # the 1.0 sample was trimmed
+        assert len(tracker) == 4  # true observation count, not reservoir size
+        summary = tracker.summary()
+        assert summary["count"] == 4
+        assert summary["max"] == 4.0  # exact even if 4.0 lost the coin flip
+        assert summary["samples_dropped"] == 1
+
+    def test_cap_reservoir_is_deterministic(self):
+        def _filled():
+            tracker = LatencyTracker(cap=50)
+            for v in range(1, 1001):
+                tracker.observe(v / 1000)
+            return tracker
+
+        assert _filled().summary() == _filled().summary()
+
+    def test_cap_reservoir_is_unbiased_not_recency_windowed(self):
+        # 10k early samples at 1ms, then 10k late at 100ms: a recency
+        # window reports p50=100ms, an unbiased reservoir straddles both.
+        tracker = LatencyTracker(cap=200)
+        for _ in range(10_000):
+            tracker.observe(0.001)
+        for _ in range(10_000):
+            tracker.observe(0.100)
+        summary = tracker.summary()
+        assert summary["count"] == 20_000
+        assert summary["samples_dropped"] == 20_000 - 200
+        # Both eras must be represented in the reservoir.
+        assert tracker.percentile(5) == pytest.approx(0.001)
+        assert tracker.percentile(95) == pytest.approx(0.100)
 
 
 class TestAdmissionFairness:

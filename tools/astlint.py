@@ -1,6 +1,6 @@
 """AST lint over ``src/repro``: exception hygiene and output discipline.
 
-Four checks, all pure ``ast`` walks (no third-party linter):
+Six checks, all pure ``ast`` walks (no third-party linter):
 
 - **No silent exception swallowing.**  A bare ``except:`` (which also
   catches ``KeyboardInterrupt``/``SystemExit``) or an ``except
@@ -29,6 +29,16 @@ Four checks, all pure ``ast`` walks (no third-party linter):
   the idiom for "intentionally discarded".  Only simple single-name
   assignments are checked; tuple unpacking and loop targets routinely
   discard legitimately.
+
+- **Instrumentation names follow the taxonomy.**  Every literal name
+  passed to ``inc``/``gauge``/``observe``/``span``/``instant``/
+  ``emit``/``submission`` must be a lowercase dotted ``family.name``
+  whose family is registered in :data:`repro.obs.naming.FAMILIES` —
+  one table, one shape, so dashboards never have to union spelling
+  variants.  F-string names are pinned by their leading literal family
+  prefix; fully dynamic names pass (nothing checkable statically).
+  The report-surface files in :data:`PRINT_ALLOWED` are exempt — their
+  ``emit`` is the artifact writer, not the event bus.
 
 - **Optional dependencies stay lazy.**  Modules in
   :data:`LAZY_IMPORT_ONLY` (``repro.mem.cachejit``'s ``numba`` today)
@@ -279,6 +289,74 @@ def lazy_import_violations(path: Path) -> list[str]:
     return problems
 
 
+#: Call names whose literal first argument is an instrumentation name.
+METRIC_NAME_CALLS = {
+    "inc", "gauge", "observe", "span", "instant", "emit", "submission",
+}
+
+_NAMING = None
+
+
+def _naming():
+    """The taxonomy module, loaded by file path (no package import).
+
+    ``tools/astlint.py`` runs standalone without ``src`` on the path,
+    and importing the ``repro.obs`` package would pull in the whole
+    observability plane just to read one table — so load ``naming.py``
+    directly; it only depends on ``re``.
+    """
+    global _NAMING
+    if _NAMING is None:
+        import importlib.util
+
+        source = SRC / "repro" / "obs" / "naming.py"
+        spec = importlib.util.spec_from_file_location("_astlint_naming", source)
+        _NAMING = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(_NAMING)
+    return _NAMING
+
+
+def naming_violations(path: Path) -> list[str]:
+    """Taxonomy-breaking instrumentation names in one source file."""
+    repro_root = SRC / "repro"
+    try:
+        relative = path.relative_to(repro_root).as_posix()
+    except ValueError:
+        return []
+    if relative in PRINT_ALLOWED:
+        return []
+    naming = _naming()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            call_name = func.attr
+        elif isinstance(func, ast.Name):
+            call_name = func.id
+        else:
+            continue
+        if call_name not in METRIC_NAME_CALLS:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            problem = naming.check_name(first.value)
+        elif (
+            isinstance(first, ast.JoinedStr)
+            and first.values
+            and isinstance(first.values[0], ast.Constant)
+            and isinstance(first.values[0].value, str)
+        ):
+            problem = naming.check_family_prefix(str(first.values[0].value))
+        else:
+            continue
+        if problem:
+            problems.append(f"{_rel(path)}:{node.lineno}: {problem}")
+    return problems
+
+
 def run_lint(root: Path = SRC) -> list[str]:
     """All violations under ``root``, sorted by file and line."""
     files = sorted(root.rglob("*.py"))
@@ -291,6 +369,7 @@ def run_lint(root: Path = SRC) -> list[str]:
         problems.extend(fire_and_forget_task_violations(path))
         problems.extend(unused_local_violations(path))
         problems.extend(lazy_import_violations(path))
+        problems.extend(naming_violations(path))
     return problems
 
 
