@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-fold bench-scaling serve-smoke chaos reproduce examples clean loc
+.PHONY: install test lint bench bench-smoke bench-fold bench-scaling bench-cold serve-smoke chaos reproduce examples clean loc
 
 install:
 	$(PYTHON) -m pip install -e '.[test]' --no-build-isolation || \
@@ -44,6 +44,14 @@ bench-fold:
 # bit-identical (see benchmarks/run_scaling.py).
 bench-scaling:
 	$(PYTHON) benchmarks/run_scaling.py
+
+# Cold-path gate: serial vs cold-2 fig5 only, into a scratch record,
+# then the strict regression gate re-judges the cold_parallel_speedup
+# invariant row (cold parallel must not fall below its recorded floor)
+# alongside the per-stage comparison against the committed baselines.
+bench-cold:
+	$(PYTHON) benchmarks/run_scaling.py --cold
+	PYTHONPATH=src $(PYTHON) -m repro.bench.regression --strict --fresh benchmarks/results/BENCH_cold.json
 
 # Serving-layer gate: stream a short arrival trace through the resident
 # service (repro.serve), record sustained placements/sec + p50/p99

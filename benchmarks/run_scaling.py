@@ -7,11 +7,16 @@ rows:
 
 1. ``serial``  — ``--jobs 1``, no trace store (the baseline the paper
    artifacts were produced with);
-2. ``cold-2``  — ``--jobs 2`` against a *fresh* trace store (workers
-   populate it while racing);
+2. ``cold-2``  — ``--jobs 2`` against a *fresh* trace store (the cold
+   pipeline stages trace builds and folds across workers while the
+   single-flight leases keep every artifact built exactly once);
 3. ``warm-2``  — ``--jobs 2`` against the store phase 2 filled;
 4. ``cold-4``  — ``--jobs 4``, fresh store;
 5. ``warm-4``  — ``--jobs 4``, warm store.
+
+``--cold`` runs only phases 1-2 (the quick ``make bench-cold`` gate)
+and, unless ``--out`` points elsewhere, writes its rows to a scratch
+record instead of refreshing the committed one.
 
 Each phase is a separate process, so nothing leaks between phases except
 the on-disk store.  After every phase the ``fig5.txt`` artifact digest is
@@ -29,12 +34,17 @@ profiles (:mod:`repro.sim.reusepack`); the direct stage only appears
 for cache models the profile cannot describe.
 
 Exit status is non-zero if any phase produces different bytes, if a warm
-parallel run fails to beat serial, or if a cold parallel run regresses
-noticeably below serial (the pre-store failure mode this PR removes).
+parallel run fails to beat serial, or if a cold parallel run falls below
+the machine-calibrated speedup floor.  The floor is also *recorded* as a
+``cold_parallel_speedup`` invariant row in the record file, so
+``repro.bench.regression --strict`` re-enforces it on every bench-smoke
+without rerunning the sweep: cold parallel beating serial is a gated
+invariant now, not a documented regression.
 """
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import json
 import os
@@ -47,21 +57,31 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 ARTIFACT = REPO / "benchmarks" / "results" / "fig5.txt"
 BENCH_JSON = REPO / "BENCH_parallel.json"
+COLD_JSON = REPO / "benchmarks" / "results" / "BENCH_cold.json"
 
 sys.path.insert(0, str(REPO / "src"))
 from repro.bench.regression import diagnose_cold_parallel  # noqa: E402
+from repro.mem.trace import worker_byte_budget  # noqa: E402
 
-#: How much slower a cold parallel run may be than serial.  With >1 core
-#: the store population overlaps compute across workers, so cold must
-#: stay close to serial (the tolerance absorbs fork/IPC cost plus the
-#: ~15% run-to-run scheduling noise repeated identical runs show).  On a
-#: single core nothing overlaps — worker dispatch and ~1.4 GB of store
-#: writes are purely additive (measured: user time flat, all overhead in
-#: sys time) — so the gate there only guards against the pre-store 2x
-#: collapse that motivated this data plane.
-COLD_SLOWDOWN_TOLERANCE = 1.25 if (os.cpu_count() or 1) > 1 else 1.85
+#: Minimum cold-parallel speedup over serial.  With >1 core the staged
+#: trace/fold DAG overlaps store I/O with compute across workers, so
+#: cold parallel must not lose to serial at all.  On a single core the
+#: pipeline can only hide buffered store writeback, not compute, so a
+#: small concession absorbs fork/IPC cost and scheduling noise.
+COLD_SPEEDUP_FLOOR = 1.0 if (os.cpu_count() or 1) > 1 else 0.9
 #: A warm 4-worker run must beat serial by at least this factor.
 WARM_TARGET_SPEEDUP = 1.8
+
+#: Fixed worker-image allowance on top of ``REPRO_WORKER_BYTES`` when
+#: gating peak worker RSS.  ``ru_maxrss`` counts the whole process —
+#: interpreter + JIT, the COW-shared memoised graph datasets, store
+#: ``mmap`` pages — none of which the trace byte budget governs.  The
+#: gate exists to catch the chunked-fold path regressing into flat
+#: multi-GB trace materialisation, which dwarfs this allowance.
+RSS_OVERHEAD_BYTES = 512 * 2**20
+
+#: The record file this invocation appends to (set by ``main``).
+record_path = BENCH_JSON
 
 
 def run_phase(phase: str, jobs: int, store: Path | None) -> tuple[float, str]:
@@ -74,7 +94,7 @@ def run_phase(phase: str, jobs: int, store: Path | None) -> tuple[float, str]:
         cmd += ["--trace-store", str(store)]
     env = os.environ.copy()
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
-    env["REPRO_PARALLEL_JSON"] = str(BENCH_JSON)
+    env["REPRO_PARALLEL_JSON"] = str(record_path)
     before = len(_records())
     os.sync()  # don't bill this phase for the previous phase's writeback
     start = time.perf_counter()
@@ -87,16 +107,16 @@ def run_phase(phase: str, jobs: int, store: Path | None) -> tuple[float, str]:
 
 
 def _records() -> list[dict]:
-    if not BENCH_JSON.exists():
+    if not record_path.exists():
         return []
-    return json.loads(BENCH_JSON.read_text())
+    return json.loads(record_path.read_text())
 
 
 def _tag_new_records(start_index: int, phase: str) -> None:
     records = _records()
     for entry in records[start_index:]:
         entry["phase"] = phase
-    BENCH_JSON.write_text(json.dumps(records, indent=2) + "\n")
+    record_path.write_text(json.dumps(records, indent=2) + "\n")
 
 
 def _stage_summary(phase: str) -> str:
@@ -116,8 +136,10 @@ def _stage_summary(phase: str) -> str:
     if not totals:
         return "(no stage breakdown recorded)"
     return "  ".join(
-        f"{name}={seconds:.1f}s" for name, seconds in sorted(totals.items())
-    )
+        f"{name}={seconds:.1f}s"
+        for name, seconds in sorted(totals.items())
+        if seconds > 0
+    ) or "(all stages zero)"
 
 
 #: Artifact-reuse counters worth a line per phase: how often each lattice
@@ -152,20 +174,79 @@ def _cache_summary(phase: str) -> str:
     )
 
 
-def main() -> int:
-    print(f"cpus={os.cpu_count()}  cold-slowdown tolerance "
-          f"{COLD_SLOWDOWN_TOLERANCE:.2f}x")
-    BENCH_JSON.write_text("[]\n")  # refresh: this sweep IS the record
+def _phase_worker_rss(phase: str) -> int:
+    """The largest worker RSS any of a phase's pool rows reported."""
+    worst = 0
+    for entry in _records():
+        if entry.get("phase") != phase:
+            continue
+        pool = entry.get("pool")
+        if isinstance(pool, dict):
+            worst = max(worst, int(pool.get("worker_rss_bytes", 0)))
+    return worst
+
+
+def _speedup_row(phase: str, jobs: int, serial: float, cold: float) -> dict:
+    """The ``cold_parallel_speedup`` invariant row for one cold phase.
+
+    The row carries its own machine-calibrated floor, so the regression
+    gate (:func:`repro.bench.regression.cold_speedup_violations`) can
+    re-judge it later without knowing anything about this machine — and
+    the worker memory ceiling travels with the speedup it made possible.
+    """
+    return {
+        "kind": "cold_parallel_speedup",
+        "benchmark": "fig5",
+        "phase": phase,
+        "jobs": jobs,
+        "speedup": round(serial / cold, 4),
+        "floor": COLD_SPEEDUP_FLOOR,
+        "serial_seconds": round(serial, 3),
+        "cold_seconds": round(cold, 3),
+        "worker_rss_bytes": _phase_worker_rss(phase),
+        "worker_bytes_budget": worker_byte_budget(),
+        "worker_rss_allowance": RSS_OVERHEAD_BYTES,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    global record_path
+    parser = argparse.ArgumentParser(
+        description="fig5 scaling sweep over serial/cold/warm pool phases"
+    )
+    parser.add_argument(
+        "--cold", action="store_true",
+        help="run only the serial + cold-2 phases (the bench-cold gate) "
+        "and write to a scratch record instead of BENCH_parallel.json",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="record file to (re)write (default: BENCH_parallel.json, "
+        "or benchmarks/results/BENCH_cold.json with --cold)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is not None:
+        record_path = Path(args.out)
+    elif args.cold:
+        record_path = COLD_JSON
+    record_path.parent.mkdir(parents=True, exist_ok=True)
+
+    print(f"cpus={os.cpu_count()}  cold-speedup floor "
+          f"{COLD_SPEEDUP_FLOOR:.2f}x  record={record_path.name}")
+    record_path.write_text("[]\n")  # refresh: this sweep IS the record
     with tempfile.TemporaryDirectory(prefix="repro-scaling-") as tmp:
         store2 = Path(tmp) / "store-j2"
         store4 = Path(tmp) / "store-j4"
         phases = [
             ("serial", 1, None),
             ("cold-2", 2, store2),
-            ("warm-2", 2, store2),
-            ("cold-4", 4, store4),
-            ("warm-4", 4, store4),
         ]
+        if not args.cold:
+            phases += [
+                ("warm-2", 2, store2),
+                ("cold-4", 4, store4),
+                ("warm-4", 4, store4),
+            ]
         timings: dict[str, float] = {}
         digests: dict[str, str] = {}
         for phase, jobs, store in phases:
@@ -176,44 +257,71 @@ def main() -> int:
             print(f"{'':8s} stages: {_stage_summary(phase)}", flush=True)
             print(f"{'':8s} cache:  {_cache_summary(phase)}", flush=True)
 
-    # Annotate the record with a structured diagnosis of any cold phase
-    # that lost to serial, so the committed file documents the regression
-    # (suspected cause + stage deltas) instead of silently carrying it.
-    records = _records()
-    diagnoses = diagnose_cold_parallel(records)
-    if diagnoses:
-        BENCH_JSON.write_text(json.dumps(records + diagnoses, indent=2) + "\n")
-        for diag in diagnoses:
-            print(f"\ncold-parallel diagnosis ({diag['phase']}): "
-                  f"{diag['suspected_cause']}")
-
     serial = timings["serial"]
+    parallel_phases = [name for name, _, _ in phases if name != "serial"]
+    cold_phases = [
+        (name, jobs) for name, jobs, _ in phases if name.startswith("cold-")
+    ]
+
+    # Append the gated invariant rows (cold speedup with self-carried
+    # floor) and, should a cold phase still lose to serial, a structured
+    # diagnosis naming the suspected cause and per-stage deltas.
+    records = _records()
+    invariants = [
+        _speedup_row(name, jobs, serial, timings[name])
+        for name, jobs in cold_phases
+    ]
+    diagnoses = diagnose_cold_parallel(records)
+    record_path.write_text(
+        json.dumps(records + invariants + diagnoses, indent=2) + "\n"
+    )
+    for diag in diagnoses:
+        print(f"\ncold-parallel diagnosis ({diag['phase']}): "
+              f"{diag['suspected_cause']}")
+
     failures = []
-    for phase in ("cold-2", "warm-2", "cold-4", "warm-4"):
+    for phase in parallel_phases:
         if digests[phase] != digests["serial"]:
             failures.append(f"{phase}: fig5.txt differs from serial")
     print("\nspeedup vs serial:")
-    for phase in ("cold-2", "warm-2", "cold-4", "warm-4"):
+    for phase in parallel_phases:
         speedup = serial / timings[phase]
         print(f"  {phase:8s} {speedup:5.2f}x  ({timings[phase]:.1f} s)")
-    for phase in ("cold-2", "cold-4"):
-        if timings[phase] > serial * COLD_SLOWDOWN_TOLERANCE:
+    for row in invariants:
+        if row["speedup"] < row["floor"]:
             failures.append(
-                f"{phase}: {timings[phase]:.1f} s vs serial {serial:.1f} s "
-                f"(> {COLD_SLOWDOWN_TOLERANCE:.2f}x tolerance)"
+                f"{row['phase']}: cold speedup {row['speedup']:.2f}x is "
+                f"below the {row['floor']:.2f}x floor "
+                f"({row['cold_seconds']:.1f} s vs serial "
+                f"{row['serial_seconds']:.1f} s)"
             )
-    warm4 = serial / timings["warm-4"]
-    if warm4 < WARM_TARGET_SPEEDUP:
-        failures.append(
-            f"warm-4: {warm4:.2f}x < target {WARM_TARGET_SPEEDUP:.1f}x"
-        )
+        budget = int(row["worker_bytes_budget"])
+        rss = int(row["worker_rss_bytes"])
+        if rss and budget and rss > budget + RSS_OVERHEAD_BYTES:
+            failures.append(
+                f"{row['phase']}: worker RSS {rss / 2**20:.0f} MiB exceeds "
+                f"the REPRO_WORKER_BYTES budget {budget / 2**20:.0f} MiB "
+                f"plus the {RSS_OVERHEAD_BYTES / 2**20:.0f} MiB process-"
+                f"image allowance"
+            )
+    if not args.cold:
+        warm4 = serial / timings["warm-4"]
+        if warm4 < WARM_TARGET_SPEEDUP:
+            failures.append(
+                f"warm-4: {warm4:.2f}x < target {WARM_TARGET_SPEEDUP:.1f}x"
+            )
     if failures:
         print("\nFAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"\nall artifacts bit-identical; warm-4 speedup {warm4:.2f}x "
-          f"(target {WARM_TARGET_SPEEDUP:.1f}x)")
+    cold2 = serial / timings["cold-2"]
+    summary = (f"\nall artifacts bit-identical; cold-2 speedup {cold2:.2f}x "
+               f"(floor {COLD_SPEEDUP_FLOOR:.2f}x)")
+    if not args.cold:
+        summary += (f"; warm-4 speedup {serial / timings['warm-4']:.2f}x "
+                    f"(target {WARM_TARGET_SPEEDUP:.1f}x)")
+    print(summary)
     return 0
 
 

@@ -118,6 +118,15 @@ class GraphApp(ABC):
 
         Must be idempotent — the experiment flow runs it once for profiling
         and again for measurement, and both runs must do identical work.
+
+        Emit through phase-granular ``trace.add`` calls (the ``_gather``
+        / ``_scatter`` / ``_scan`` helpers do) rather than one giant
+        concatenated array: downstream consumers stream the trace in
+        bounded program-order chunks (:meth:`repro.mem.trace.AccessTrace.
+        iter_chunks` — checksums, reuse folds, and store writes all avoid
+        materialising a flat copy of an over-``REPRO_WORKER_BYTES``
+        trace), and a chunk never spans a phase boundary, so per-phase
+        emission is what keeps individual chunks bounded too.
         """
 
     @abstractmethod

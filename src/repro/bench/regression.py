@@ -30,6 +30,15 @@ DEFAULT_THRESHOLD = 0.25
 #: Wall-overhead budget for the telemetry plane (``obs_overhead`` rows).
 OBS_OVERHEAD_LIMIT = 0.03
 
+#: Fractional wall noise ignored before a cold phase counts as "slower
+#: than serial" in :func:`diagnose_cold_parallel`.  Cold runs are the
+#: noisiest timings we take (store I/O, fork, page-cache state); a 5%
+#: loss is indistinguishable from run-to-run jitter.
+COLD_NOISE_TOLERANCE = 0.05
+
+#: Row kinds that are annotations/invariants, never wall timings.
+ANNOTATION_KINDS = ("cold_parallel_warning", "cold_parallel_speedup")
+
 #: The committed baseline record file (repository root).
 BASELINE_PATH = Path(__file__).resolve().parents[3] / "BENCH_parallel.json"
 
@@ -84,7 +93,7 @@ def compare(
     exact: dict[tuple[str, int, str], float] = {}
     loose: dict[tuple[str, int], float] = {}
     for row in baseline:
-        if row.get("kind") == "cold_parallel_warning":
+        if row.get("kind") in ANNOTATION_KINDS:
             continue
         wall = float(row.get("wall_seconds", 0.0))
         if wall <= 0:
@@ -96,8 +105,8 @@ def compare(
         loose[loose_key] = max(loose.get(loose_key, 0.0), wall)
     regressions: list[Regression] = []
     for row in fresh:
-        if row.get("kind") == "cold_parallel_warning":
-            continue  # diagnosis rows are annotations, not timings
+        if row.get("kind") in ANNOTATION_KINDS:
+            continue  # diagnosis/invariant rows are annotations, not timings
         wall = float(row.get("wall_seconds", 0.0))
         if wall <= 0:
             continue
@@ -203,7 +212,7 @@ def diagnose_cold_parallel(rows: list[dict]) -> list[dict]:
                 serial_rows[benchmark] = row
     diagnoses: list[dict] = []
     for row in rows:
-        if row.get("kind") == "cold_parallel_warning":
+        if row.get("kind") in ANNOTATION_KINDS:
             continue  # never re-diagnose an annotation row
         phase = str(row.get("phase", ""))
         if not phase.startswith("cold-"):
@@ -214,7 +223,7 @@ def diagnose_cold_parallel(rows: list[dict]) -> list[dict]:
             float(serial_row.get("wall_seconds", 0.0)) if serial_row else 0.0
         )
         wall = float(row.get("wall_seconds", 0.0))
-        if serial_row is None or wall <= base:
+        if serial_row is None or wall <= base * (1.0 + COLD_NOISE_TOLERANCE):
             continue
         stages = _stage_seconds(row)
         serial_stages = _stage_seconds(serial_row)
@@ -243,9 +252,10 @@ def diagnose_cold_parallel(rows: list[dict]) -> list[dict]:
 def cold_parallel_warnings(rows: list[dict]) -> list[str]:
     """Textual rendering of :func:`diagnose_cold_parallel` (warn-only).
 
-    Cold timings are the noisiest rows we record, and ``run_scaling.py``
-    applies its own calibrated tolerance gate, so these never fail the
-    build on their own.
+    Cold timings are the noisiest rows we record, and the sweep's
+    ``cold_parallel_speedup`` invariant rows carry the enforced gate
+    (:func:`cold_speedup_violations`), so these annotations never fail
+    the build on their own.
     """
     warnings: list[str] = []
     for diag in diagnose_cold_parallel(rows):
@@ -287,6 +297,34 @@ def obs_overhead_violations(fresh: list[dict]) -> list[str]:
                 f"{overhead:.1%} exceeds the {limit:.0%} budget "
                 f"(tracing on {float(row.get('wall_seconds', 0.0)):.4f} s "
                 f"vs off {float(row.get('baseline_seconds', 0.0)):.4f} s)"
+            )
+    return problems
+
+
+def cold_speedup_violations(rows: list[dict]) -> list[str]:
+    """``cold_parallel_speedup`` rows that fell below their own floor.
+
+    The scaling sweep records the cold-parallel-vs-serial speedup as an
+    invariant row carrying its own machine-calibrated ``floor`` (1.0 on
+    multicore hosts, slightly under on single-CPU machines where the
+    pipeline can only hide store I/O, not compute).  Like
+    :func:`obs_overhead_violations` this gate is absolute — no committed
+    baseline is needed, so both the fresh record and the committed one
+    can be judged, and ``--strict`` fails either falling below floor.
+    """
+    problems: list[str] = []
+    for row in rows:
+        if row.get("kind") != "cold_parallel_speedup":
+            continue
+        speedup = float(row.get("speedup", 0.0))
+        floor = float(row.get("floor", 1.0))
+        if speedup < floor:
+            problems.append(
+                f"bench-regression: WARNING — cold parallel speedup "
+                f"{speedup:.3f}x for {row.get('benchmark', '?')} at "
+                f"{int(row.get('jobs', 0))} jobs is below the "
+                f"{floor:.2f}x floor (cold parallel must not lose to "
+                f"serial)"
             )
     return problems
 
@@ -352,7 +390,17 @@ def main(argv: list[str] | None = None) -> int:
     overhead_problems = obs_overhead_violations(fresh)
     for warning in overhead_problems:
         print(warning)
-    if (regressions or overhead_problems) and args.strict:
+    # The cold-speedup invariant is self-judging (the row carries its
+    # floor), so enforce it on the fresh record *and* the committed one:
+    # a refresh must never land a below-floor speedup in the baseline.
+    speedup_problems = cold_speedup_violations(fresh) + [
+        f"{problem} [committed baseline]"
+        for problem in cold_speedup_violations(baseline)
+    ]
+    for warning in speedup_problems:
+        print(warning)
+    failures = regressions or overhead_problems or speedup_problems
+    if failures and args.strict:
         return 1
     return 0
 

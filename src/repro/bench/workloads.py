@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 from repro.config import PlatformConfig, platform_by_name
 from repro.graph.datasets import DATASET_NAMES
+from repro.mem.trace import worker_byte_budget
 from repro.sim.experiment import AtMemRunResult, StaticRunResult
 from repro.sim.parallel import (
     AppSpec,
@@ -181,6 +182,12 @@ def prime_overall_grid(
                 "cold": pool.health.cold_jobs,
                 "warm": pool.health.warm_jobs,
                 "store": pool.health.store_jobs,
+            },
+            "pool": {
+                "cold_keys": pool.health.cold_keys,
+                "cold_admitted": pool.health.cold_admitted,
+                "worker_rss_bytes": pool.health.max_worker_rss_bytes,
+                "worker_bytes_budget": worker_byte_budget(),
             },
         }
     )

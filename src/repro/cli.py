@@ -15,7 +15,11 @@ Subcommands:
 - ``top`` — poll a running service's exposition endpoint
   (``repro serve --expose``) and render a live per-tenant SLO/burn view;
 - ``stats`` — pretty-print the metrics snapshot the last experiment
-  command left behind.
+  command left behind;
+- ``store`` — inventory verbs over a persistent trace store:
+  ``repro store ls`` lists entries (digest, size, artifact kinds, any
+  in-flight or stale single-flight leases), ``repro store rm DIGEST``
+  prunes entries, ``repro store stat`` prints one aggregate summary.
 
 ``run``, ``sweep``, ``migrate``, and ``reproduce`` accept ``--jobs N``
 (defaulting to the ``REPRO_JOBS`` environment variable, then 1) to fan
@@ -419,6 +423,61 @@ def cmd_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inventory verbs (``ls`` / ``rm`` / ``stat``) over a trace store."""
+    from pathlib import Path
+
+    from repro.sim.tracestore import TraceStore, store_root
+
+    root = Path(args.store) if args.store else store_root()
+    if root is None:
+        print("no store configured: pass --store DIR or set "
+              "REPRO_TRACE_STORE")
+        return 1
+    store = TraceStore(root)
+    rows = list(store.entries())
+    if args.verb == "rm":
+        missing = 0
+        for digest in args.digests:
+            if store.remove_entry(digest):
+                print(f"removed {digest}")
+            else:
+                print(f"no entry {digest}")
+                missing += 1
+        return 1 if missing else 0
+    if not rows:
+        print(f"store {root}: empty")
+        return 0
+    if args.verb == "ls":
+        print(f"{'digest':24s} {'MiB':>9s} {'files':>5s} {'accesses':>11s}"
+              "  artifacts")
+        for row in rows:
+            note = ""
+            if row["leases"]:
+                stale = sum(1 for lease in row["leases"] if lease["stale"])
+                note = f"  [{len(row['leases'])} lease(s), {stale} stale]"
+            print(f"{row['digest']:24s} {row['bytes'] / 2**20:9.2f} "
+                  f"{row['files']:5d} {row['accesses']:11,d}  "
+                  f"{','.join(row['artifacts']) or '-'}{note}")
+        return 0
+    # stat: one aggregate view of the whole store.
+    kinds: dict[str, int] = {}
+    for row in rows:
+        for kind in row["artifacts"]:
+            kinds[kind] = kinds.get(kind, 0) + 1
+    leases = [lease for row in rows for lease in row["leases"]]
+    stale = sum(1 for lease in leases if lease["stale"])
+    print(f"store {root}")
+    print(f"  entries:   {len(rows)}")
+    print(f"  bytes:     {sum(r['bytes'] for r in rows) / 2**20:.2f} MiB")
+    print(f"  accesses:  {sum(r['accesses'] for r in rows):,}")
+    print("  artifacts: " + (", ".join(
+        f"{kind}={count}" for kind, count in sorted(kinds.items())
+    ) or "-"))
+    print(f"  leases:    {len(leases)} in flight, {stale} stale")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -613,6 +672,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="results JSON directory (default: benchmarks/results/json)",
     )
     sum_p.set_defaults(func=cmd_summary)
+
+    store_p = sub.add_parser(
+        "store", help="inspect or prune a persistent trace store"
+    )
+    store_sub = store_p.add_subparsers(dest="verb", required=True)
+    store_ls = store_sub.add_parser(
+        "ls", help="list entries: digest, size, artifact kinds, leases"
+    )
+    store_rm = store_sub.add_parser("rm", help="remove entries by digest")
+    store_rm.add_argument(
+        "digests", nargs="+", help="entry digests (see `repro store ls`)"
+    )
+    store_stat = store_sub.add_parser(
+        "stat", help="aggregate size / artifact / lease summary"
+    )
+    for verb_p in (store_ls, store_rm, store_stat):
+        verb_p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="store directory (default: REPRO_TRACE_STORE)",
+        )
+    store_p.set_defaults(func=cmd_store)
     return parser
 
 
@@ -654,7 +734,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.tracer import TRACE_ENV
 
         os.environ[TRACE_ENV] = args.trace
-    rc = args.func(args)
+    try:
+        rc = args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed early (`repro store ls | head`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise the same error again, and exit pipe-politely.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     if args.command in _OBS_COMMANDS:
         _flush_observability()
     return rc

@@ -41,7 +41,7 @@ from repro.config import PlatformConfig, nvm_dram_testbed
 from repro.core.analyzer import AtMemAnalyzer
 from repro.core.runtime import AtMemRuntime, RuntimeConfig
 from repro.mem.address_space import PAGE_SIZE
-from repro.faults.injector import injected
+from repro.faults.injector import InjectedWorkerCrash, injected
 from repro.faults.plan import (
     FAULT_PLAN_ENV,
     SITE_ALLOC,
@@ -53,6 +53,7 @@ from repro.faults.plan import (
     SITE_POOL_CRASH,
     SITE_POOL_EXIT,
     SITE_POOL_HANG,
+    SITE_STORE_LEASE_CRASH,
     SITE_STORE_TORN,
     FaultPlan,
     FaultSpec,
@@ -172,6 +173,11 @@ def seed_matrix() -> tuple[ChaosCase, ...]:
             "store-torn-write",
             FaultPlan((FaultSpec(SITE_STORE_TORN),), seed=110),
             kind="store",
+        ),
+        ChaosCase(
+            "store-lease-crash",
+            FaultPlan((FaultSpec(SITE_STORE_LEASE_CRASH),), seed=121),
+            kind="store-lease",
         ),
         ChaosCase(
             "profile-stale-crc",
@@ -539,6 +545,71 @@ def _run_store_case(case: ChaosCase, platform: PlatformConfig) -> ChaosOutcome:
         f"{'y' if reader_store.stats.rejects == 1 else 'ies'} rejected and rebuilt"
         if outcome.consistent
         else "torn store entry was not detected on re-read"
+    )
+    return outcome
+
+
+def _run_store_lease_case(
+    case: ChaosCase, platform: PlatformConfig
+) -> ChaosOutcome:
+    """A primer dies right after winning a single-flight lease.
+
+    The injected fault kills the writer inside ``acquire_lease`` — the
+    lease file stays on disk naming a holder that will never release it.
+    The recovery contract: the next contender must observe the lease as
+    *stale* (the holder pid is not actually holding it), reclaim it,
+    rebuild the artifact exactly once, and release cleanly — no waiter
+    may block until the lease timeout on a corpse, and the rebuilt
+    figures must be bit-identical to the fault-free run.
+    """
+    outcome = ChaosOutcome(case=case.name)
+    spec = JobSpec(
+        app=_default_app(), platform=platform, flow="cell", placement="fast"
+    )
+    reference = committed_figures(
+        execute_job(spec, trace_cache=TraceCache(store=None))
+    )
+    outcome.reference = reference
+    crashed = False
+    with tempfile.TemporaryDirectory(prefix="chaos-lease-") as root:
+        with _watching("fault.", "store.") as events, injected(case.plan):
+            writer_store = TraceStore(Path(root))
+            try:
+                execute_job(spec, trace_cache=TraceCache(store=writer_store))
+            except InjectedWorkerCrash:
+                crashed = True
+        outcome.fired = sum(
+            1 for e in events if e.kind.startswith("fault.")
+        )
+        orphans = list(Path(root).rglob(".lease-*"))
+        recovery_store = TraceStore(Path(root))
+        with _watching("store.lease_reclaim") as reclaims:
+            result = execute_job(
+                spec, trace_cache=TraceCache(store=recovery_store)
+            )
+        leftovers = list(Path(root).rglob(".lease-*"))
+    outcome.completed = True
+    outcome.figures = committed_figures(result)
+    outcome.identical = figures_identical(outcome.figures, reference)
+    recovered_cleanly = (
+        crashed
+        and len(orphans) >= 1
+        and recovery_store.stats.lease_reclaims >= 1
+        and len(reclaims) >= 1
+        and recovery_store.stats.trace_saves >= 1
+        and not leftovers
+    )
+    outcome.consistent = recovered_cleanly
+    outcome.detail = (
+        f"{len(orphans)} orphaned lease(s) reclaimed, artifact rebuilt once, "
+        "no leases left behind"
+        if recovered_cleanly
+        else (
+            f"crashed={crashed} orphans={len(orphans)} "
+            f"reclaims={recovery_store.stats.lease_reclaims} "
+            f"trace_saves={recovery_store.stats.trace_saves} "
+            f"leftovers={len(leftovers)}"
+        )
     )
     return outcome
 
@@ -1380,6 +1451,8 @@ def run_case(
         return _run_squeeze_case(case, platform)
     if case.kind == "store":
         return _run_store_case(case, platform)
+    if case.kind == "store-lease":
+        return _run_store_lease_case(case, platform)
     if case.kind == "profile-crc":
         return _run_profile_crc_case(case, platform)
     if case.kind == "reuse-crc":

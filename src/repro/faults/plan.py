@@ -55,6 +55,10 @@ SITE_CACHE_CORRUPT = "cache.corrupt"
 #: of a writer that died mid-write or a lost page flush, which the
 #: store's CRC guard must catch on the next load.
 SITE_STORE_TORN = "cache.store_torn"
+#: A store writer dies right after winning a single-flight lease — the
+#: lease file stays on disk with a dead pid, and the next contender must
+#: reclaim it (stale-lease recovery) instead of waiting forever.
+SITE_STORE_LEASE_CRASH = "store.lease_crash"
 #: The matched tier hides ``param`` fraction of its capacity.
 SITE_CAPACITY_SQUEEZE = "capacity.squeeze"
 
@@ -68,6 +72,7 @@ SITES = (
     SITE_POOL_HANG,
     SITE_CACHE_CORRUPT,
     SITE_STORE_TORN,
+    SITE_STORE_LEASE_CRASH,
     SITE_CAPACITY_SQUEEZE,
 )
 

@@ -15,11 +15,36 @@ element.  The cache, TLB, and cost models derive line/page numbers from them.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import TraceError
+
+#: Peak resident bytes one worker may spend on trace material (flat
+#: copies, fold chunks).  The budget bounds *extra* allocations — the
+#: phase arrays themselves are the application's output and always
+#: resident; what the budget forbids is doubling them with a flat
+#: concatenated copy when chunked folds can stream instead.
+WORKER_BYTES_ENV = "REPRO_WORKER_BYTES"
+DEFAULT_WORKER_BYTES = 1 << 30
+
+
+def worker_byte_budget() -> int:
+    """The per-worker trace-memory budget in bytes (env-tunable)."""
+    raw = os.environ.get(WORKER_BYTES_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise TraceError(
+                f"{WORKER_BYTES_ENV} must be an integer byte count, got {raw!r}"
+            ) from None
+        if value > 0:
+            return value
+    return DEFAULT_WORKER_BYTES
 
 
 class AccessKind(enum.Enum):
@@ -156,6 +181,27 @@ class AccessTrace:
                 self._flat = np.concatenate([p.addrs for p in self.phases])
             self._flat_sources = tuple(p.addrs for p in self.phases)
         return self._flat
+
+    def iter_chunks(self, max_bytes: int) -> Iterator[np.ndarray]:
+        """Program-order address chunks of at most ``max_bytes`` each.
+
+        Yields contiguous zero-copy ``int64`` views — slices of the
+        phase arrays, so a phase larger than the bound is split across
+        chunks and small phases are *not* merged (each chunk stays a
+        view; merging would allocate).  Concatenating every yielded
+        chunk reproduces :meth:`all_addresses` exactly, which is the
+        invariant the chunked-fold parity suite pins down.  Nothing is
+        yielded for an empty trace.
+        """
+        if max_bytes < 8:
+            raise TraceError(
+                f"chunk budget must fit one int64 address, got {max_bytes}"
+            )
+        per_chunk = max_bytes // 8
+        for phase in self.phases:
+            addrs = phase.addrs
+            for start in range(0, int(addrs.size), per_chunk):
+                yield addrs[start : start + per_chunk]
 
     # ------------------------------------------------------------------
     # columnar (de)serialisation, used by repro.sim.tracestore

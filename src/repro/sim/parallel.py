@@ -33,15 +33,24 @@ pool restarts for post-run inspection.
 
 The pool is **cache-aware**: before fanning out it derives a dispatch
 plan from the jobs' trace keys and the persistent trace store
-(:mod:`repro.sim.tracestore`).  One "primer" job per store-cold trace
-key runs first (the heaviest of its group, so the expensive artifact is
-computed exactly once and written to the store), then the warm remainder
-fans out longest-expected-first.  ``REPRO_POOL_SCHEDULE=fifo`` restores
-plain submission order.  The parent also pre-builds every referenced
-dataset and publishes its CSR arrays as read-only shared-memory segments
+(:mod:`repro.sim.tracestore`).  Store-cold keys go through the **cold
+pipeline** first: each key is decomposed into a *trace* stage (build the
+raw trace and land it in the store) and a *fold* stage (load it back as
+a shared mmap and derive the reuse / mask / profile artifacts), chained
+completion-driven so a key's fold starts the moment its trace lands and
+its cells dispatch store-warm right after.  Cold-stage concurrency is
+**admission-clamped** to the machine (``REPRO_POOL_CPUS``, default the
+CPU count) and to the worker memory budget (``REPRO_WORKER_BYTES`` over
+the largest projected trace); when the clamp admits a single lane the
+parent primes keys in-process instead of paying fork and store
+round-trips for serialised work.  The warm remainder then fans out
+longest-expected-first.  ``REPRO_POOL_SCHEDULE=fifo`` restores plain
+submission order.  The parent also pre-builds every referenced dataset
+and publishes its CSR arrays as read-only shared-memory segments
 (:mod:`repro.graph.shm`), released in a ``finally`` even when workers
-crash.  Per-job cache telemetry (cold / warm / warm-from-store) lands in
-:class:`PoolHealth` and the ``BENCH_parallel.json`` records.
+crash.  Per-job cache telemetry (cold / warm / warm-from-store), the
+admission decision, and peak worker RSS land in :class:`PoolHealth` and
+the ``BENCH_parallel.json`` records.
 
 Determinism: every job runs :func:`execute_job`, which seeds NumPy's
 global RNG from the spec's content hash before executing, and all model
@@ -59,10 +68,16 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 import zlib
-from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -82,6 +97,7 @@ from repro.faults.injector import (
 )
 from repro.faults.plan import SITE_POOL_CRASH, SITE_POOL_EXIT, SITE_POOL_HANG
 from repro.graph import shm as graph_shm
+from repro.mem.trace import worker_byte_budget
 from repro.obs import absorb_all, drain_all, reset_all
 from repro.obs.bus import Event, process_bus
 from repro.obs.context import SpanContext
@@ -122,6 +138,11 @@ DEFAULT_HANG_SECONDS = 30.0
 #: or ``fifo`` (plain submission order).
 SCHEDULE_ENV = "REPRO_POOL_SCHEDULE"
 
+#: CPU count the cold-admission clamp believes in (default: the machine's).
+#: Overridable so tests can exercise the multicore staged DAG on one core
+#: and the bench harness can pin a reproducible width.
+POOL_CPUS_ENV = "REPRO_POOL_CPUS"
+
 #: Environment variable overriding where wall-clock timings are recorded.
 PARALLEL_JSON_ENV = "REPRO_PARALLEL_JSON"
 
@@ -156,6 +177,27 @@ def pool_schedule() -> str:
     raise ConfigurationError(
         f"{SCHEDULE_ENV} must be 'cache' or 'fifo', got {raw!r}"
     )
+
+
+def pool_cpus() -> int:
+    """How many CPUs cold stages may assume (``REPRO_POOL_CPUS`` override).
+
+    Worker *count* is a user choice; cold-stage *concurrency* is an
+    admission decision — priming jobs are CPU- and memory-bound, so
+    running more of them than there are cores only adds contention.
+    """
+    raw = os.environ.get(POOL_CPUS_ENV)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{POOL_CPUS_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if value > 0:
+            return value
+        raise ConfigurationError(f"{POOL_CPUS_ENV} must be >= 1, got {value}")
+    return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------
@@ -473,6 +515,13 @@ class PoolHealth:
     warm_jobs: int = 0
     #: Jobs that loaded at least one artifact from the persistent store.
     store_jobs: int = 0
+    #: Store-cold trace keys the dispatch plan had to prime.
+    cold_keys: int = 0
+    #: Cold-stage concurrency after the admission clamp (0: no cold plan).
+    cold_admitted: int = 0
+    #: Peak worker RSS in bytes reported by any worker this run (0: none
+    #: reported — serial runs, or a platform without ``getrusage``).
+    max_worker_rss_bytes: int = 0
     notes: list[str] = field(default_factory=list)
 
     def note(self, message: str) -> None:
@@ -498,6 +547,9 @@ class PoolHealth:
             "cold_jobs": self.cold_jobs,
             "warm_jobs": self.warm_jobs,
             "store_jobs": self.store_jobs,
+            "cold_keys": self.cold_keys,
+            "cold_admitted": self.cold_admitted,
+            "max_worker_rss_bytes": self.max_worker_rss_bytes,
             "notes": list(self.notes),
         }
 
@@ -629,6 +681,7 @@ def _pool_entry(spec: JobSpec, attempt: int = 0, ctx: dict | None = None):
                 "pool.cache_use", kind, source="pool", tag=spec.tag
             )
             process_metrics().inc(f"pool.{kind}_jobs")
+            _emit_worker_rss()
             blob = drain_all()
             _flush_worker_sidecar(blob)
             return ("ok", result, kind, blob)
@@ -660,6 +713,158 @@ def _submission_ctx(job: "_Job") -> dict | None:
         attempt=job.attempt,
     )
     return ctx.as_dict() if ctx is not None else None
+
+
+# ----------------------------------------------------------------------
+# cold-path priming stages
+# ----------------------------------------------------------------------
+def _emit_worker_rss() -> None:
+    """Buffer this process's peak RSS for the parent's health accounting.
+
+    The amount rides the obs blob home as a ``pool.worker_rss`` event and
+    max-folds into :attr:`PoolHealth.max_worker_rss_bytes` — the evidence
+    behind the bench-row claim that chunked streaming folds keep workers
+    under ``REPRO_WORKER_BYTES``.  ``ru_maxrss`` is kilobytes on Linux
+    and bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:
+        return
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1 if sys.platform == "darwin" else 1024
+    process_bus().emit(
+        "pool.worker_rss",
+        source="pool",
+        amount=float(rss) * scale,
+    )
+
+
+def _registered_app(spec: JobSpec):
+    """The spec's app, registered on a throwaway runtime, plus its system.
+
+    ``run_once`` requires registration first (virtual addresses are
+    assigned in registration order).  Placement does not affect trace
+    content — addresses are virtual — so priming registers everything on
+    the slow tier like the baseline flow does.
+    """
+    from repro.core.runtime import AtMemRuntime
+
+    system = spec.platform.build_system()
+    runtime = AtMemRuntime(system, platform=spec.platform)
+    runtime.default_tier = system.slow_tier
+    app = spec.app()
+    app.register(runtime)
+    return app, system
+
+
+def _stage_build_trace(
+    spec: JobSpec, cache: TraceCache | None = None, *, handoff: bool = True
+) -> None:
+    """DAG stage 1: build one cold key's trace and land it in the store.
+
+    With ``handoff`` (the DAG default) the explicit ``save_trace`` is
+    coordination, not economics: the fold stage may run in a different
+    worker, so the trace must be on disk whatever the adaptive write
+    policy would have chosen.  (``TraceStore.save_*`` are unconditional;
+    the policy lives in the cache's save gates.)  The single-lane serial
+    primer passes ``handoff=False`` — build and fold share one cache, so
+    persisting the raw trace is pure warm-start economics and is left to
+    the policy inside ``cache.trace`` (skipping a multi-GB write the
+    workers can rebuild in milliseconds is exactly its job).
+    """
+    cache = process_trace_cache() if cache is None else cache
+    key = spec.trace_key()
+    app, _ = _registered_app(spec)
+    trace = cache.trace(key, app.run_once)
+    store = cache.store
+    if handoff and store is not None and not store.has_trace(key):
+        store.save_trace(key, trace)
+
+
+def _stage_fold_artifacts(spec: JobSpec, cache: TraceCache | None = None) -> None:
+    """DAG stage 2: derive one cold key's fold artifacts from its trace.
+
+    Loads the trace back (a shared mmap when stage 1 persisted it in this
+    store, a rebuild otherwise) and folds the reuse profile, LLC hit
+    mask, and page miss profile through the cache, which persists each
+    one under the adaptive write policy.  After this stage the key's
+    cells dispatch store-warm.
+    """
+    cache = process_trace_cache() if cache is None else cache
+    key = spec.trace_key()
+
+    def builder():
+        app, _ = _registered_app(spec)
+        return app.run_once()
+
+    system = spec.platform.build_system()
+    trace = cache.trace(key, builder)
+    hits = cache.hit_mask(key, system.llc, trace)
+    cache.profile(key, system.llc, trace, hits)
+
+
+def prime_artifacts(spec: JobSpec, cache: TraceCache | None = None) -> None:
+    """Build one spec's full artifact lattice in the current process.
+
+    Equivalent to running both DAG stages back to back; the single-lane
+    cold path uses it to prime keys in-parent before fanning cells out.
+    Both stages share ``cache``, so no store handoff is forced — the
+    adaptive write policy decides which artifacts are worth persisting.
+    """
+    _stage_build_trace(spec, cache, handoff=False)
+    _stage_fold_artifacts(spec, cache)
+
+
+def _stage_entry(
+    stage: str, spec: JobSpec, attempt: int = 0, ctx: dict | None = None
+):
+    """Worker-side wrapper for one priming stage (mirrors ``_pool_entry``).
+
+    Same obs contract — reset at entry, drain into the payload — and the
+    same never-raise rule, but no pool fault sites: priming is best
+    effort, so a failed stage is reported and *not* retried (the key's
+    cells rebuild whatever is missing).
+    """
+    reset_all()
+    if ctx is not None:
+        process_tracer().activate(SpanContext.from_dict(ctx))
+    try:
+        with job_context(attempt=attempt, tag=spec.tag):
+            with span(
+                "pool.stage",
+                cat="pool",
+                stage=stage,
+                tag=spec.tag or spec.flow,
+                attempt=attempt,
+            ):
+                if stage == "trace":
+                    _stage_build_trace(spec)
+                else:
+                    _stage_fold_artifacts(spec)
+            _emit_worker_rss()
+            blob = drain_all()
+            _flush_worker_sidecar(blob)
+            return ("ok", None, None, blob)
+    except Exception as exc:  # noqa: BLE001 — reported best-effort in parent
+        blob = drain_all()
+        _flush_worker_sidecar(blob)
+        return (
+            "err", type(exc).__name__, str(exc), traceback.format_exc(),
+            blob,
+        )
+
+
+@dataclass
+class _ColdPlan:
+    """Store-cold keys to prime, and how wide the cold stages may run."""
+
+    #: One representative (heaviest) job per store-cold trace key.
+    jobs_by_key: dict
+    #: Projected peak resident bytes of the largest single priming job.
+    projected_bytes: int
+    #: Cold-stage concurrency after the admission clamp.
+    admitted: int
 
 
 # ----------------------------------------------------------------------
@@ -702,6 +907,11 @@ class ExperimentPool:
         #: (kept after release, so tests can assert they were unlinked).
         self.last_segments: list[str] = []
         self._executor: ProcessPoolExecutor | None = None
+        #: Trace keys whose artifact lattice the cold pipeline completed
+        #: this run.  Tracked separately from ``store.has_trace`` because
+        #: the adaptive write policy may prime a key without persisting
+        #: its raw trace.
+        self._primed_keys: set = set()
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> list:
@@ -709,6 +919,7 @@ class ExperimentPool:
         specs = list(specs)
         self.health = PoolHealth()
         self.last_segments = []
+        self._primed_keys = set()
         if not specs:
             self.last_mode = "empty"
             return []
@@ -766,6 +977,10 @@ class ExperimentPool:
             self.health.pool_restarts += 1
         elif kind == "pool.serial_fallback":
             self.health.serial_fallbacks += 1
+        elif kind == "pool.worker_rss":
+            amount = int(event.amount)
+            if amount > self.health.max_worker_rss_bytes:
+                self.health.max_worker_rss_bytes = amount
         elif kind == "pool.note":
             self.health.note(event.detail)
 
@@ -789,12 +1004,23 @@ class ExperimentPool:
         timeout = job_timeout()
         retries = job_retries()
         max_restarts = retries + 2
+        plan = self._cold_plan(jobs, workers)
+        if plan is not None and plan.admitted <= 1:
+            # One admitted cold lane: a separate process would do the same
+            # serial work with fork and store round-trips on top, so the
+            # parent primes the keys directly — and because workers fork
+            # from this process, the freshly calibrated write policy (and
+            # the hottest cache entries) are inherited copy-on-write.
+            self._prime_serially(plan)
         try:
             self._executor = self._make_executor(workers)
         except (OSError, ValueError, PermissionError):
             return
         self.last_mode = f"parallel[{workers}]"
         try:
+            if plan is not None and plan.admitted > 1:
+                if not self._drive_dag(plan, workers, timeout):
+                    return
             for wave in self._dispatch_waves(jobs):
                 if not self._drive_wave(
                     wave, results, done, workers, timeout, retries, max_restarts
@@ -804,6 +1030,177 @@ class ExperimentPool:
             if self._executor is not None:
                 self._kill_executor(self._executor)
                 self._executor = None
+
+    def _cold_plan(self, jobs: list[_Job], workers: int) -> _ColdPlan | None:
+        """Derive the cold pipeline's plan: which keys, and how wide.
+
+        A key is *cold* when the store has no entry for it at all
+        (:meth:`repro.sim.tracestore.TraceStore.has_entry`) — a key with
+        any committed artifact was primed by an earlier run, and whatever
+        the write policy left out is rebuild-cheap by construction.
+
+        Cold stages hold a whole trace plus its fold state resident, so
+        admitted concurrency is clamped to the machine (:func:`pool_cpus`)
+        and to the worker memory budget (``REPRO_WORKER_BYTES`` over the
+        largest projected trace).  The clamp governs only priming — cell
+        dispatch keeps the full worker count, because warm cells stream
+        artifacts from the store instead of materialising them.
+        """
+        if pool_schedule() == "fifo":
+            return None
+        store = process_trace_store()
+        if store is None:
+            return None
+        ordered = sorted(jobs, key=lambda j: (-j.spec.expected_cost(), j.index))
+        cold: dict = {}
+        for job in ordered:
+            spec = job.spec
+            if spec.app is None:
+                continue
+            key = spec.trace_key()
+            if key in cold or key in self._primed_keys or store.has_entry(key):
+                continue
+            cold[key] = job
+        if not cold:
+            return None
+        # expected_cost() is paper-edges/scale; one edge is roughly eight
+        # traced accesses of eight bytes each (validated against fig5:
+        # cost 0.73M -> a 47 MB trace), so bytes ~= cost * 64.
+        projected = max(
+            int(job.spec.app.expected_cost() * 64) for job in cold.values()
+        )
+        budget = worker_byte_budget()
+        by_budget = max(1, budget // max(1, projected))
+        admitted = max(1, min(workers, pool_cpus(), by_budget, len(cold)))
+        self.health.cold_keys = len(cold)
+        self.health.cold_admitted = admitted
+        process_bus().emit(
+            "pool.note",
+            f"cold plan: {len(cold)} store-cold key(s), admitted "
+            f"{admitted} of {workers} worker(s) (cpus {pool_cpus()}, "
+            f"~{max(1, projected >> 20)} MiB/key, "
+            f"budget {budget >> 20} MiB)",
+            source="pool",
+        )
+        return _ColdPlan(
+            jobs_by_key=cold, projected_bytes=projected, admitted=admitted
+        )
+
+    def _prime_serially(self, plan: _ColdPlan) -> None:
+        """Prime every cold key in-parent when admission allows one lane.
+
+        Uses a throwaway single-entry cache so the parent's resident set
+        stays one key deep — the artifacts' home is the store, and the
+        point of the exercise is keeping peak RSS bounded.  Priming is
+        best effort: a failed key is noted and left for its cells to
+        rebuild.
+        """
+        cache = TraceCache(max_traces=1)
+        with span("pool.prime_serial", cat="pool", keys=len(plan.jobs_by_key)):
+            for key, job in plan.jobs_by_key.items():
+                try:
+                    prime_artifacts(job.spec, cache)
+                except Exception as exc:  # noqa: BLE001 — best-effort priming
+                    process_bus().emit(
+                        "pool.note",
+                        f"serial prime failed for job {job.index} "
+                        f"({type(exc).__name__}: {exc}); cells will rebuild",
+                        source="pool",
+                    )
+                    continue
+                self._primed_keys.add(key)
+
+    def _drive_dag(
+        self, plan: _ColdPlan, workers: int, timeout: float | None
+    ) -> bool:
+        """Prime store-cold keys through the staged trace → fold DAG.
+
+        Each key's trace stage builds and persists the raw trace; its
+        fold stage is submitted the moment that trace lands
+        (completion-driven, no cross-key barrier), loads it back as a
+        shared mmap, and derives the reuse / mask / profile artifacts.
+        In-flight stages are bounded by the admission clamp, not the
+        worker count, and fold stages are submitted ahead of queued trace
+        stages so finished keys free their memory early.
+
+        Priming is *best effort*: a failed stage means only that the
+        key's cells rebuild the artifacts themselves, so any pool-level
+        failure (dead pool, stage timeout) abandons the remaining DAG
+        rather than spending the wave machinery's retry budget.
+        ``False`` means the executor could not be revived and the batch
+        should fall back to the serial path.
+        """
+        queue: list[tuple[str, Any, _Job]] = [
+            ("trace", key, job) for key, job in plan.jobs_by_key.items()
+        ]
+        pending: dict = {}
+        with span(
+            "pool.prime_dag",
+            cat="pool",
+            keys=len(plan.jobs_by_key),
+            admitted=plan.admitted,
+        ):
+            while queue or pending:
+                while queue and len(pending) < plan.admitted:
+                    stage, key, job = queue.pop(0)
+                    try:
+                        future = self._executor.submit(
+                            _stage_entry, stage, job.spec, job.attempt,
+                            _submission_ctx(job),
+                        )
+                    except (RuntimeError, BrokenProcessPool):
+                        return self._abandon_dag("stage submit failed", workers)
+                    pending[future] = (stage, key, job)
+                finished, _ = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not finished:
+                    return self._abandon_dag(
+                        f"stage exceeded {timeout}s", workers
+                    )
+                for future in finished:
+                    stage, key, job = pending.pop(future)
+                    try:
+                        payload = future.result(timeout=0)
+                    except (BrokenProcessPool, CancelledError, OSError) as exc:
+                        return self._abandon_dag(
+                            f"pool died mid-stage ({type(exc).__name__})",
+                            workers,
+                        )
+                    blob = payload[-1] if isinstance(payload[-1], dict) else None
+                    if blob is not None:
+                        absorb_all(blob)
+                    if payload[0] != "ok":
+                        process_bus().emit(
+                            "pool.note",
+                            f"prime stage {stage!r} failed for job "
+                            f"{job.index} ({payload[1]}: {payload[2]}); "
+                            "cells will rebuild",
+                            source="pool",
+                        )
+                        continue
+                    if stage == "trace":
+                        queue.insert(0, ("fold", key, job))
+                    else:
+                        self._primed_keys.add(key)
+        return True
+
+    def _abandon_dag(self, reason: str, workers: int) -> bool:
+        """Give up priming but keep the batch alive on a fresh executor."""
+        process_bus().emit(
+            "pool.note",
+            f"cold priming abandoned ({reason}); cells will rebuild "
+            "artifacts themselves",
+            source="pool",
+        )
+        if self._executor is not None:
+            self._kill_executor(self._executor)
+            self._executor = None
+        try:
+            self._executor = self._make_executor(workers)
+        except (OSError, ValueError, PermissionError):
+            return False
+        return True
 
     def _dispatch_waves(self, jobs: list[_Job]) -> list[list[_Job]]:
         """Split the batch into dispatch waves.
@@ -828,7 +1225,12 @@ class ExperimentPool:
         primed: set = set()
         for job in ordered:
             key = job.spec.trace_key()
-            if job.spec.app is None or key in primed or store.has_trace(key):
+            if (
+                job.spec.app is None
+                or key in primed
+                or key in self._primed_keys
+                or store.has_entry(key)
+            ):
                 rest.append(job)
                 continue
             primed.add(key)
@@ -1127,26 +1529,46 @@ def parallel_json_path(path: str | Path | None = None) -> Path | None:
     return Path(env) if env else None
 
 
+#: Stage timings every ``BENCH_parallel.json`` row carries, zero-filled
+#: when a stage never ran.  A missing key is indistinguishable from "not
+#: measured", and rows are diffed field-by-field across PRs — so the set
+#: of keys is part of the record's contract, not an accident of which
+#: code paths the run happened to take.
+CANONICAL_STAGES = (
+    "graph_build",
+    "trace_gen",
+    "hit_mask",
+    "mask_derive",
+    "reuse_build",
+    "reuse_extend",
+    "profile_build",
+    "pricing",
+)
+
+
 def stage_breakdown() -> dict[str, dict[str, float]]:
     """Per-stage wall-clock totals accumulated so far in this process.
 
-    The instrumented stages — ``graph_build``, ``trace_gen``,
-    ``hit_mask``, ``profile_build``, ``pricing`` — cover the expensive
-    halves of a cell, so a slow row in ``BENCH_parallel.json`` names its
-    own bottleneck.  Wall clocks are non-deterministic, which is why this
-    lives next to ``wall_seconds`` in the record rather than inside the
-    deterministic ``metrics`` snapshot.  Worker stage timings reach the
-    parent through the obs drain/absorb path, so pool runs include them.
+    Every canonical stage (:data:`CANONICAL_STAGES`) is present — zeroed
+    when it never ran — plus any extra ``stage.*`` timing the process
+    observed.  The stages cover the expensive halves of a cell, so a slow
+    row in ``BENCH_parallel.json`` names its own bottleneck.  Wall clocks
+    are non-deterministic, which is why this lives next to
+    ``wall_seconds`` in the record rather than inside the deterministic
+    ``metrics`` snapshot.  Worker stage timings reach the parent through
+    the obs drain/absorb path, so pool runs include them.
     """
     registry = process_metrics()
-    return {
-        name[len("stage."):]: {
-            "seconds": round(timing.total, 6),
-            "count": timing.count,
-        }
-        for name, timing in sorted(registry.timings.items())
-        if name.startswith("stage.")
+    breakdown = {
+        name: {"seconds": 0.0, "count": 0} for name in CANONICAL_STAGES
     }
+    for name, timing in sorted(registry.timings.items()):
+        if name.startswith("stage."):
+            breakdown[name[len("stage."):]] = {
+                "seconds": round(timing.total, 6),
+                "count": timing.count,
+            }
+    return breakdown
 
 
 def record_parallel_timing(entry: dict, path: str | Path | None = None) -> Path | None:

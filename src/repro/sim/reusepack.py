@@ -328,6 +328,45 @@ def build_reuse_profile(
     )
 
 
+def fold_reuse_chunks(
+    chunks, line_size: int = LINE_SIZE
+) -> ReuseProfile:
+    """Fold an address stream delivered in program-order chunks.
+
+    The streaming twin of :func:`build_reuse_profile`: the first
+    non-empty chunk seeds the profile and every later chunk arrives via
+    :meth:`ReuseProfile.extend` — bit-identical to the one-shot fold of
+    the concatenation (extend's contract), without ever materialising
+    the flat stream.  When a chunk is too sparse for the dense last-seen
+    table the chain stops carrying state (:attr:`~ReuseProfile.
+    can_extend` goes false) and the fold falls back to concatenating the
+    chunks seen so far and refolding once — correctness over memory in
+    the pathological case.  Chunks are retained as views, so the
+    streaming path allocates nothing beyond the fold's own rows.
+    """
+    profile: ReuseProfile | None = None
+    seen: list[np.ndarray] = []
+    chained = True
+    for chunk in chunks:
+        chunk = np.ascontiguousarray(chunk, dtype=np.int64)
+        if chunk.size == 0:
+            continue
+        seen.append(chunk)
+        if not chained:
+            continue
+        if profile is None:
+            profile = build_reuse_profile(chunk, line_size)
+        elif profile.can_extend:
+            profile = profile.extend(chunk)
+        else:
+            chained = False
+    if not seen:
+        return build_reuse_profile(np.empty(0, dtype=np.int64), line_size)
+    if not chained:
+        return build_reuse_profile(np.concatenate(seen), line_size)
+    return profile
+
+
 def validate_reuse(profile: ReuseProfile) -> None:
     """Structural validation; raises :class:`TraceError` on any defect.
 

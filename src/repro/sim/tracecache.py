@@ -73,11 +73,16 @@ from repro.errors import TraceError
 from repro.faults.injector import active_injector, fault_point
 from repro.faults.plan import SITE_CACHE_CORRUPT
 from repro.mem.cache import LINE_SIZE, VERIFY_REUSE_ENV
-from repro.mem.trace import AccessTrace
+from repro.mem.trace import AccessTrace, worker_byte_budget
 from repro.obs.metrics import process_metrics
 from repro.obs.tracer import span
 from repro.sim.profilepack import TraceProfile, build_profile
-from repro.sim.reusepack import ReuseProfile, build_reuse_profile, derivable
+from repro.sim.reusepack import (
+    ReuseProfile,
+    build_reuse_profile,
+    derivable,
+    fold_reuse_chunks,
+)
 from repro.sim.tracestore import TraceStore, process_trace_store
 
 #: Environment variable overriding the trace-entry bound (0 disables).
@@ -119,6 +124,39 @@ def trace_checksum(trace: AccessTrace) -> int:
     of a trace), so any phase-level corruption changes the checksum.
     """
     return zlib.crc32(_flat_of(trace).view(np.uint8).data)
+
+
+def _chunked_checksum(trace: AccessTrace, chunk_bytes: int) -> int:
+    """:func:`trace_checksum` folded chunk-by-chunk — same CRC, no flat.
+
+    CRC32 folds associatively over a byte stream, so running it over
+    :meth:`~repro.mem.trace.AccessTrace.iter_chunks` yields the exact
+    checksum of the concatenated array without materialising it.
+    """
+    crc = 0
+    for chunk in trace.iter_chunks(chunk_bytes):
+        crc = zlib.crc32(
+            np.ascontiguousarray(chunk, dtype=np.int64).view(np.uint8).data,
+            crc,
+        )
+    return crc
+
+
+def _over_budget(trace) -> bool:
+    """Whether flat-copy materialisation would blow the worker budget.
+
+    True when doubling the trace with a flat ``all_addresses`` copy
+    would spend more than a quarter of ``REPRO_WORKER_BYTES`` — the
+    signal to switch every fold onto the chunked streaming path.
+    """
+    if not isinstance(trace, AccessTrace):
+        return False
+    return trace.total_accesses * 8 > worker_byte_budget() // 4
+
+
+def _fold_chunk_bytes() -> int:
+    """Chunk size for streaming folds: an eighth of the worker budget."""
+    return max(8, worker_byte_budget() // 8)
 
 
 def llc_signature(llc) -> tuple:
@@ -185,12 +223,15 @@ class _TraceEntry:
     ``flat`` is the program-order address array, materialised once at
     insertion and shared by every fold over the trace (checksum, hit
     masks, reuse profiles) — previously each ``llc_sig`` of the same
-    trace re-derived it.
+    trace re-derived it.  For traces whose flat copy would blow the
+    ``REPRO_WORKER_BYTES`` budget it stays ``None``: the checksum is
+    folded chunk-by-chunk at insertion and every fold takes the chunked
+    streaming path instead.
     """
 
     trace: AccessTrace
     checksum: int
-    flat: np.ndarray
+    flat: np.ndarray | None
 
 
 class TraceCache:
@@ -249,7 +290,7 @@ class TraceCache:
         or an evicted entry) falls back to a direct materialisation.
         """
         entry = self._traces.get(key)
-        if entry is not None and entry.trace is trace:
+        if entry is not None and entry.trace is trace and entry.flat is not None:
             return entry.flat
         return _flat_of(trace)
 
@@ -267,7 +308,12 @@ class TraceCache:
         if active_injector() is not None:
             if fault_point(SITE_CACHE_CORRUPT, tag=str(key)):
                 _corrupt_trace(entry.trace)
-            if trace_checksum(entry.trace) != entry.checksum:
+            current = (
+                _chunked_checksum(entry.trace, _fold_chunk_bytes())
+                if entry.flat is None and isinstance(entry.trace, AccessTrace)
+                else trace_checksum(entry.trace)
+            )
+            if current != entry.checksum:
                 self._discard(key)
                 return None
         return entry.trace
@@ -275,23 +321,48 @@ class TraceCache:
     def _trace_from_store_or_builder(
         self, key: Hashable, builder: Callable[[], AccessTrace]
     ) -> AccessTrace:
-        """Store load on a memory miss, else build (and write back)."""
+        """Store load on a memory miss, else build (and write back).
+
+        Store-cold builds run under the ``trace`` single-flight lease so
+        two workers reaching the same cold key never generate (and
+        persist) the same trace concurrently: the loser waits, then
+        adopts the committed entry — or builds in-memory when the winner
+        skipped persistence under the write policy.
+        """
         store = self.store
-        if store is not None:
-            trace = store.load_trace(key)
-            if trace is not None:
-                self.stats.store_trace_hits += 1
-                _count("store_trace_hits")
-                return trace
+        if store is None:
+            return self._build_trace(key, builder)[0]
+        trace = store.load_trace(key)
+        if trace is not None:
+            self.stats.store_trace_hits += 1
+            _count("store_trace_hits")
+            return trace
+        with store.single_flight(
+            key, "trace", done=lambda: store.has_trace(key)
+        ) as winner:
+            if not winner:
+                adopted = store.load_trace(key)
+                if adopted is not None:
+                    self.stats.store_trace_hits += 1
+                    _count("store_trace_hits")
+                    return adopted
+            trace, build_seconds = self._build_trace(key, builder)
+            if isinstance(trace, AccessTrace) and store.should_persist(
+                trace.total_accesses * 8, build_seconds
+            ):
+                store.save_trace(key, trace)
+        return trace
+
+    def _build_trace(
+        self, key: Hashable, builder: Callable[[], AccessTrace]
+    ) -> tuple[AccessTrace, float]:
+        """Run the builder under the trace-generation span and timer."""
         started = time.perf_counter()
         with span("cache.build_trace", cat="cache", key=str(key)):
             trace = builder()
-        process_metrics().observe(
-            "stage.trace_gen", time.perf_counter() - started
-        )
-        if store is not None and isinstance(trace, AccessTrace):
-            store.save_trace(key, trace)
-        return trace
+        elapsed = time.perf_counter() - started
+        process_metrics().observe("stage.trace_gen", elapsed)
+        return trace, elapsed
 
     def trace(self, key: Hashable, builder: Callable[[], AccessTrace]) -> AccessTrace:
         """The trace under ``key``, built once via ``builder()``."""
@@ -308,10 +379,15 @@ class TraceCache:
         self.stats.trace_misses += 1
         _count("trace_misses")
         trace = self._trace_from_store_or_builder(key, builder)
-        flat = _flat_of(trace)
+        if _over_budget(trace):
+            flat = None
+            checksum = _chunked_checksum(trace, _fold_chunk_bytes())
+        else:
+            flat = _flat_of(trace)
+            checksum = zlib.crc32(flat.view(np.uint8).data)
         self._traces[key] = _TraceEntry(
             trace=trace,
-            checksum=zlib.crc32(flat.view(np.uint8).data),
+            checksum=checksum,
             flat=flat,
         )
         self._masks.setdefault(key, {})
@@ -377,19 +453,22 @@ class TraceCache:
                 started = time.perf_counter()
                 with span("cache.derive_mask", cat="cache", key=str(key)):
                     mask = profile.hit_mask_for(llc)
-                process_metrics().observe(
-                    "stage.mask_derive", time.perf_counter() - started
-                )
+                fold_seconds = time.perf_counter() - started
+                process_metrics().observe("stage.mask_derive", fold_seconds)
                 if os.environ.get(VERIFY_MASK_ENV):
                     self._verify_mask(key, llc, trace, mask)
             else:
                 started = time.perf_counter()
                 with span("cache.build_mask", cat="cache", key=str(key)):
                     mask = llc.hit_mask(self._flat_addrs(key, trace))
-                process_metrics().observe(
-                    "stage.hit_mask", time.perf_counter() - started
-                )
-            if store is not None and store.has_trace(key):
+                fold_seconds = time.perf_counter() - started
+                process_metrics().observe("stage.hit_mask", fold_seconds)
+            # Masks persist on their own merit — the trace may legitimately
+            # be absent (the write policy can skip huge trace payloads while
+            # the 8x-packed mask is still a bargain).
+            if store is not None and store.should_persist(
+                (int(mask.size) + 7) // 8, fold_seconds
+            ):
                 store.save_mask(key, llc_sig, mask)
         if masks is not None:
             masks[llc_sig] = mask
@@ -446,11 +525,35 @@ class TraceCache:
                 self.stats.store_reuse_hits += 1
                 _count("store_reuse_hits")
         if profile is None:
-            profile = self._fold_reuse(
-                key, extend_from, trace, line_size, expected
-            )
-            if store is not None and store.has_trace(key):
-                store.save_reuse(key, line_size, profile)
+            if store is None:
+                profile = self._fold_reuse(
+                    key, extend_from, trace, line_size, expected
+                )
+            else:
+                # Store-cold fold: single-flight so concurrent workers
+                # never fold (and persist) the same reuse curve twice.
+                with store.single_flight(
+                    key,
+                    f"reuse-{line_size}",
+                    done=lambda: store.has_reuse(key, line_size),
+                ) as winner:
+                    if not winner and expected is not None:
+                        profile = store.load_reuse(key, line_size, expected)
+                        if profile is not None:
+                            self.stats.store_reuse_hits += 1
+                            _count("store_reuse_hits")
+                    if profile is None:
+                        started = time.perf_counter()
+                        profile = self._fold_reuse(
+                            key, extend_from, trace, line_size, expected
+                        )
+                        fold_seconds = time.perf_counter() - started
+                        store.heartbeat_lease(key, f"reuse-{line_size}")
+                        # v2 artifact is float64 [4, n + 1].
+                        if store.should_persist(
+                            32 * (profile.n + 1), fold_seconds
+                        ):
+                            store.save_reuse(key, line_size, profile)
         if cache is not None:
             cache[line_size] = profile
         return profile
@@ -486,6 +589,21 @@ class TraceCache:
                 self._verify_reuse(key, trace, line_size, profile)
             return profile
         started = time.perf_counter()
+        if _over_budget(trace):
+            # Streaming fold: seed on the first chunk, extend per chunk —
+            # bit-identical to the one-shot fold (extend's contract, and
+            # REPRO_VERIFY_REUSE re-proves it below), without the flat
+            # all_addresses copy the worker budget forbids.
+            with span("cache.build_reuse", cat="cache", key=str(key)):
+                profile = fold_reuse_chunks(
+                    trace.iter_chunks(_fold_chunk_bytes()), line_size
+                )
+            process_metrics().observe(
+                "stage.reuse_build", time.perf_counter() - started
+            )
+            if os.environ.get(VERIFY_REUSE_ENV):
+                self._verify_reuse(key, trace, line_size, profile)
+            return profile
         with span("cache.build_reuse", cat="cache", key=str(key)):
             profile = build_reuse_profile(
                 self._flat_addrs(key, trace), line_size
@@ -575,10 +693,13 @@ class TraceCache:
             started = time.perf_counter()
             with span("cache.build_profile", cat="cache", key=str(key)):
                 profile = build_profile(trace, hits)
-            process_metrics().observe(
-                "stage.profile_build", time.perf_counter() - started
-            )
-            if store is not None and store.has_trace(key):
+            fold_seconds = time.perf_counter() - started
+            process_metrics().observe("stage.profile_build", fold_seconds)
+            # Stacked CSR is int64 [2, nnz]; like masks, profiles persist
+            # independently of whether the (much larger) trace did.
+            if store is not None and store.should_persist(
+                16 * profile.nnz, fold_seconds
+            ):
                 store.save_profile(key, llc_sig, profile)
         if profiles is not None:
             profiles[llc_sig] = profile

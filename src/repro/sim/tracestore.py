@@ -46,6 +46,31 @@ everything from scratch.  :class:`TraceStore` closes that gap:
 - **Budget** — writes are followed by an eviction pass against the
   shared ``REPRO_CACHE_BYTES`` budget (:mod:`repro.cachebudget`); loads
   bump the entry's mtime so eviction is LRU-ish.
+
+- **Leases** — a cross-process single-flight protocol
+  (:meth:`TraceStore.single_flight`): the first worker to reach a cold
+  (key, artifact) pair creates ``.lease-<what>`` in the entry directory
+  with ``O_EXCL`` and folds the artifact; contenders wait (bounded by
+  ``REPRO_LEASE_TIMEOUT``) and then *adopt* the committed entry instead
+  of folding the same bytes concurrently.  A lease whose pid is dead —
+  or that outlived the timeout — is *stale* and reclaimed, so a crashed
+  primer never wedges the pipeline (see the ``store.lease_crash`` chaos
+  case).  Leases are advisory: losing one never blocks a caller from
+  building in-memory, it only stops duplicate *store* work.
+
+- **Write policy** — persisting an artifact is only worth it when the
+  write costs less than the rebuild it saves.  :meth:`TraceStore.
+  should_persist` consults a process-wide EWMA of observed commit
+  throughput and skips writes whose projected cost exceeds
+  ``rebuild_seconds * 0.5`` (``REPRO_STORE_POLICY=always|adaptive|never``
+  overrides).  Small writes (< 4 MiB) always persist — the policy
+  exists to stop multi-hundred-MB folds from drowning the cold path in
+  buffered-write system time, not to starve tests and tiny scales.
+  Throughput is measured *durably*: large commits fsync before the
+  rename and the first large decision is preceded by a one-time 4 MiB
+  fsynced probe, because buffered writes land in the page cache at RAM
+  speed and would teach the EWMA a bandwidth the disk cannot sustain —
+  the deferred writeback then stalls the whole run off-stage.
 """
 
 from __future__ import annotations
@@ -54,17 +79,19 @@ import hashlib
 import json
 import os
 import shutil
+import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable
+from typing import Callable, Hashable, Iterable, Iterator
 
 import numpy as np
 
 from repro.cachebudget import TRACE_STORE_ENV, enforce_cache_budget, touch_entry
 from repro.errors import TraceError
-from repro.faults.injector import fault_point
-from repro.faults.plan import SITE_STORE_TORN
+from repro.faults.injector import InjectedWorkerCrash, fault_point
+from repro.faults.plan import SITE_STORE_LEASE_CRASH, SITE_STORE_TORN
 from repro.mem.trace import AccessTrace
 from repro.obs.bus import emit
 from repro.obs.metrics import process_metrics
@@ -91,7 +118,98 @@ MASK_FORMAT = 2
 TRACE_ARRAY = "trace.npy"
 TRACE_MANIFEST = "trace.json"
 
+#: Seconds before a lease with a live-looking file is considered stale.
+LEASE_TIMEOUT_ENV = "REPRO_LEASE_TIMEOUT"
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Write policy override: ``always`` | ``adaptive`` (default) | ``never``.
+STORE_POLICY_ENV = "REPRO_STORE_POLICY"
+
+#: Writes at or below this size always persist (adaptive mode) — the
+#: policy targets multi-hundred-MB artifact folds, not tiny-scale tests.
+SMALL_WRITE_BYTES = 4 << 20
+
+#: An adaptive write must pay for itself at least twice over: projected
+#: write seconds must not exceed ``rebuild_seconds * WRITE_PAYBACK``.
+WRITE_PAYBACK = 0.5
+
+#: Commit samples below this size are too noisy to inform the EWMA.
+_POLICY_SAMPLE_BYTES = 1 << 20
+
+#: Streamed trace commits write at most this many bytes per chunk.
+TRACE_WRITE_CHUNK_BYTES = 32 << 20
+
 _TMP_SEQ = 0
+
+#: Lease files held by this *process* (shared across handles so two
+#: in-process store views never reclaim each other's live lease).
+_HELD: set[Path] = set()
+
+
+def lease_timeout() -> float:
+    """Seconds before a lease is presumed abandoned (env-tunable)."""
+    raw = os.environ.get(LEASE_TIMEOUT_ENV)
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise TraceError(
+                f"{LEASE_TIMEOUT_ENV} must be a number, got {raw!r}"
+            ) from None
+        if value > 0:
+            return value
+    return DEFAULT_LEASE_TIMEOUT
+
+
+class _WritePolicy:
+    """Process-wide adaptive write-value policy.
+
+    Tracks an EWMA of observed *durable* commit throughput (bytes per
+    second over the tempfile write + fsync + rename) and answers "is
+    persisting ``nbytes`` worth ``rebuild_seconds``?".  With no samples
+    yet a large write is admitted blind, so :class:`TraceStore` runs a
+    cheap fsynced probe (:meth:`TraceStore._calibrate_policy`) before
+    the first large decision — a multi-hundred-MB artifact must never
+    be the calibration sample on a slow disk.
+    """
+
+    def __init__(self) -> None:
+        self.ewma_bps: float | None = None
+        self.samples = 0
+        #: One-shot probe guard (set even when the probe write fails).
+        self.probed = False
+
+    def observe(self, nbytes: int, seconds: float) -> None:
+        if nbytes < _POLICY_SAMPLE_BYTES or seconds <= 0:
+            return
+        bps = nbytes / seconds
+        self.ewma_bps = (
+            bps if self.ewma_bps is None else 0.5 * self.ewma_bps + 0.5 * bps
+        )
+        self.samples += 1
+
+    def should_persist(
+        self, nbytes: int, rebuild_seconds: float | None
+    ) -> bool:
+        mode = os.environ.get(STORE_POLICY_ENV, "adaptive")
+        if mode == "never":
+            return False
+        if mode != "adaptive" or rebuild_seconds is None:
+            return True
+        if nbytes <= SMALL_WRITE_BYTES:
+            return True
+        if self.ewma_bps is None:
+            return True  # calibration write: measure, then decide
+        projected = nbytes / self.ewma_bps
+        return projected <= rebuild_seconds * WRITE_PAYBACK
+
+
+_WRITE_POLICY = _WritePolicy()
+
+
+def write_policy() -> _WritePolicy:
+    """The per-process adaptive write policy singleton."""
+    return _WRITE_POLICY
 
 
 def store_root() -> Path | None:
@@ -130,6 +248,14 @@ class TraceStoreStats:
     reuse_saves: int = 0
     #: Entries dropped because they failed CRC / shape / format checks.
     rejects: int = 0
+    #: Single-flight leases won / waited-on / adopted-after-wait /
+    #: reclaimed-from-a-dead-holder by this handle.
+    lease_acquires: int = 0
+    lease_waits: int = 0
+    lease_adoptions: int = 0
+    lease_reclaims: int = 0
+    #: Writes skipped by the adaptive write-value policy.
+    policy_skips: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -142,6 +268,11 @@ class TraceStoreStats:
             "reuse_loads": self.reuse_loads,
             "reuse_saves": self.reuse_saves,
             "rejects": self.rejects,
+            "lease_acquires": self.lease_acquires,
+            "lease_waits": self.lease_waits,
+            "lease_adoptions": self.lease_adoptions,
+            "lease_reclaims": self.lease_reclaims,
+            "policy_skips": self.policy_skips,
         }
 
 
@@ -154,6 +285,8 @@ class TraceStore:
         #: Array files CRC-verified by this process already (mmap loads
         #: re-verify nothing; the page cache is trusted once checked).
         self._verified: set[Path] = set()
+        #: Lease files this handle currently holds (release targets).
+        self._held: set[Path] = set()
 
     # ------------------------------------------------------------------
     # paths
@@ -178,31 +311,330 @@ class TraceStore:
         return entry / f"{stem}.npy", entry / f"{stem}.json"
 
     # ------------------------------------------------------------------
+    # write policy
+    # ------------------------------------------------------------------
+    def should_persist(
+        self, nbytes: int, rebuild_seconds: float | None = None
+    ) -> bool:
+        """Whether persisting ``nbytes`` is worth ``rebuild_seconds``.
+
+        Consults the process-wide adaptive write policy (see the module
+        docstring).  Callers that skip a save on ``False`` keep the
+        artifact purely in-memory — correctness never depends on the
+        store, only warm-start time does.
+        """
+        if (
+            rebuild_seconds is not None
+            and nbytes > SMALL_WRITE_BYTES
+            and os.environ.get(STORE_POLICY_ENV, "adaptive") == "adaptive"
+        ):
+            self._calibrate_policy()
+        verdict = _WRITE_POLICY.should_persist(nbytes, rebuild_seconds)
+        if not verdict:
+            self.stats.policy_skips += 1
+            process_metrics().inc("store.policy_skips")
+        return verdict
+
+    def _calibrate_policy(self) -> None:
+        """One-time durable-throughput probe before the first large call.
+
+        Writes and fsyncs 4 MiB under the store root, feeds the timing
+        to the policy EWMA, and deletes the file.  Costs well under a
+        second even on a saturated disk; letting a ~190 MB reuse fold
+        be the blind first sample instead can cost tens of seconds of
+        writeback on a shared host.  Probe failures (read-only root,
+        quota) leave the policy in its admit-blind fallback.
+        """
+        if _WRITE_POLICY.probed or _WRITE_POLICY.ewma_bps is not None:
+            return
+        _WRITE_POLICY.probed = True
+        probe = self.root / f".probe-{os.getpid()}.tmp"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            started = time.monotonic()
+            with open(probe, "wb") as handle:
+                handle.write(b"\0" * SMALL_WRITE_BYTES)
+                handle.flush()
+                os.fsync(handle.fileno())
+            _WRITE_POLICY.observe(
+                SMALL_WRITE_BYTES, time.monotonic() - started
+            )
+        except OSError:
+            pass
+        finally:
+            try:
+                probe.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # single-flight leases
+    # ------------------------------------------------------------------
+    def _lease_path(self, key: Hashable, what: str) -> Path:
+        # Dot-prefixed so the cache-budget walker never counts or evicts
+        # lease files as artifacts.
+        return self.entry_dir(key) / f".lease-{what}"
+
+    def acquire_lease(self, key: Hashable, what: str) -> bool:
+        """Try to win the single-flight lease for ``(key, what)``.
+
+        ``True`` means this process now holds the lease and must
+        :meth:`release_lease` when its fold commits (or fails).  A lease
+        held by a *dead* pid — or older than ``REPRO_LEASE_TIMEOUT`` —
+        is stale and reclaimed before retrying.  An unwritable store
+        degrades to ``True`` without a lease file: single-flight is an
+        optimisation, never a correctness gate.
+        """
+        path = self._lease_path(key, what)
+        for attempt in range(2):
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt or not self._lease_stale(path):
+                    return False
+                self._reclaim_lease(path)
+                continue
+            except OSError:
+                return True  # read-only/full disk: build unleased
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"pid": os.getpid(), "born": time.time()}, handle)
+            _HELD.add(path)
+            self.stats.lease_acquires += 1
+            process_metrics().inc("store.lease_acquires")
+            if (
+                fault_point(
+                    SITE_STORE_LEASE_CRASH,
+                    tag=f"{path.parent.name}/{what}",
+                    detail=str(path),
+                )
+                is not None
+            ):
+                # The holder "dies": its lease file stays on disk with a
+                # pid that will never release it — the exact residue a
+                # crashed primer leaves for stale-lease reclamation.
+                _HELD.discard(path)
+                raise InjectedWorkerCrash(
+                    f"injected lease-holder crash at {path.name}"
+                )
+            return True
+        return False
+
+    def release_lease(self, key: Hashable, what: str) -> None:
+        """Release a lease this process holds (no-op otherwise)."""
+        path = self._lease_path(key, what)
+        if path not in _HELD:
+            return
+        _HELD.discard(path)
+        try:
+            path.unlink()
+        except OSError:
+            return  # already reclaimed or evicted with the entry
+
+    def heartbeat_lease(self, key: Hashable, what: str) -> None:
+        """Refresh a held lease's mtime so long folds never look stale."""
+        path = self._lease_path(key, what)
+        if path not in _HELD:
+            return
+        try:
+            os.utime(path)
+        except OSError:
+            _HELD.discard(path)  # lost to reclamation; stop claiming it
+
+    def wait_for_lease(
+        self,
+        key: Hashable,
+        what: str,
+        done: Callable[[], bool],
+        timeout: float | None = None,
+    ) -> bool:
+        """Wait for another holder's fold; ``True`` when ``done()`` holds.
+
+        Polls until the artifact lands (``done()``), the lease file
+        vanishes (released — the winner may have *skipped* persisting
+        under the write policy, so absence does not imply an artifact),
+        the lease goes stale, or the bounded wait expires.  ``True``
+        counts as an adoption: the caller reads the committed artifact
+        instead of folding it again.
+        """
+        path = self._lease_path(key, what)
+        deadline = time.monotonic() + (
+            lease_timeout() if timeout is None else timeout
+        )
+        self.stats.lease_waits += 1
+        process_metrics().inc("store.lease_waits")
+        with span("store.lease_wait", cat="store", entry=path.parent.name):
+            while time.monotonic() < deadline:
+                if done():
+                    break
+                if not path.exists() or self._lease_stale(path):
+                    break
+                time.sleep(0.05)
+        if done():
+            self.stats.lease_adoptions += 1
+            process_metrics().inc("store.lease_adoptions")
+            return True
+        return False
+
+    @contextmanager
+    def single_flight(
+        self,
+        key: Hashable,
+        what: str,
+        done: Callable[[], bool] | None = None,
+    ) -> Iterator[bool]:
+        """Cross-process single-flight around one artifact fold.
+
+        Yields ``True`` when this process won the lease — the caller
+        folds and saves, and the lease is released on exit even if the
+        fold raises.  Yields ``False`` after a bounded wait on another
+        holder — the caller re-checks the store (``done`` turning true
+        means the artifact landed) and folds in-memory otherwise.
+        """
+        if self.acquire_lease(key, what):
+            try:
+                yield True
+            finally:
+                self.release_lease(key, what)
+            return
+        self.wait_for_lease(key, what, done if done is not None else lambda: False)
+        yield False
+
+    def _lease_stale(self, path: Path) -> bool:
+        """Whether a lease file no longer protects a live fold."""
+        try:
+            mtime = path.stat().st_mtime
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            pid = int(payload["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Vanished = released (not stale); present but unreadable =
+            # a torn lease write, which only reclamation can clear.
+            return path.exists()
+        if pid == os.getpid():
+            # Our own pid but not held by this process's live handles:
+            # a previous incarnation crashed mid-lease and we inherited
+            # its pid-slot (in-process retry after InjectedWorkerCrash).
+            return path not in _HELD
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # holder is dead
+        except PermissionError:
+            # Alive under another uid; fall through to the age check.
+            return (time.time() - mtime) > lease_timeout()
+        return (time.time() - mtime) > lease_timeout()
+
+    def _reclaim_lease(self, path: Path) -> None:
+        self.stats.lease_reclaims += 1
+        process_metrics().inc("store.lease_reclaims")
+        emit(
+            "store.lease_reclaim",
+            "stale lease reclaimed",
+            source="store",
+            entry=path.parent.name,
+            lease=path.name,
+        )
+        _HELD.discard(path)
+        try:
+            path.unlink()
+        except OSError:
+            return  # another contender reclaimed it first
+
+    # ------------------------------------------------------------------
+    # inventory (the `repro store` CLI surface)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[dict]:
+        """One inventory row per store entry (committed or in-flight)."""
+        if not self.root.is_dir():
+            return
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir():
+                continue
+            files = [f for f in entry.iterdir() if f.is_file()]
+            visible = [f for f in files if not f.name.startswith(".")]
+            leases = [f for f in files if f.name.startswith(".lease-")]
+            manifest = self._read_json(entry / TRACE_MANIFEST) or {}
+            kinds = sorted(
+                {f.name.split("-")[0].split(".")[0] for f in visible}
+            )
+            yield {
+                "digest": entry.name,
+                "key": manifest.get("key", ""),
+                "accesses": int(manifest.get("total", 0)),
+                "bytes": sum(f.stat().st_size for f in visible),
+                "files": len(visible),
+                "artifacts": kinds,
+                "leases": [
+                    {
+                        "what": f.name[len(".lease-"):],
+                        "stale": self._lease_stale(f),
+                    }
+                    for f in leases
+                ],
+            }
+
+    def remove_entry(self, digest: str) -> bool:
+        """Drop one entry directory by digest (the ``store rm`` verb)."""
+        entry = self.root / digest
+        if not entry.is_dir():
+            return False
+        self._verified = {p for p in self._verified if p.parent != entry}
+        shutil.rmtree(entry, ignore_errors=True)
+        return True
+
+    # ------------------------------------------------------------------
     # traces
     # ------------------------------------------------------------------
     def has_trace(self, key: Hashable) -> bool:
         """Whether a committed trace entry exists (manifest present)."""
         return (self.entry_dir(key) / TRACE_MANIFEST).exists()
 
+    def has_entry(self, key: Hashable) -> bool:
+        """Whether the store holds *any* committed artifact for this key.
+
+        Weaker than :meth:`has_trace`: the adaptive write policy may skip
+        the raw trace yet persist the small derived artifacts, and a key
+        whose entry already has visible files has been primed once —
+        whatever is missing was judged cheaper to rebuild than to store.
+        The cold-dispatch planner keys off this, so a policy-thinned
+        store does not get re-primed on every warm run.
+        """
+        entry = self.entry_dir(key)
+        if not entry.is_dir():
+            return False
+        return any(
+            f.is_file() and not f.name.startswith(".") for f in entry.iterdir()
+        )
+
     def save_trace(self, key: Hashable, trace: AccessTrace) -> bool:
-        """Persist a trace (no-op when the entry already exists)."""
+        """Persist a trace (no-op when the entry already exists).
+
+        The address stream is written *chunk by chunk* straight from the
+        trace's phase arrays (:meth:`repro.mem.trace.AccessTrace.
+        iter_chunks`) — no flat ``all_addresses`` copy is materialised,
+        so saving a multi-GB trace costs zero extra resident bytes and
+        the CRC folds incrementally over the same chunks.
+        """
         entry = self.entry_dir(key)
         if (entry / TRACE_MANIFEST).exists():
             return False
-        flat = np.ascontiguousarray(trace.all_addresses(), dtype=np.int64)
-        manifest = {
-            "format": FORMAT_VERSION,
-            "key": repr(key),
-            "total": int(flat.size),
-            "crc32": _crc32(flat),
-            "phases": trace.phase_records(),
-        }
+        total = trace.total_accesses
         try:
             with span("store.save_trace", cat="store", entry=entry.name):
                 entry.mkdir(parents=True, exist_ok=True)
-                self._commit_array(
-                    entry / TRACE_ARRAY, flat, tag=f"{entry.name}/trace"
+                crc = self._commit_trace_stream(
+                    entry / TRACE_ARRAY,
+                    trace.iter_chunks(TRACE_WRITE_CHUNK_BYTES),
+                    total,
+                    tag=f"{entry.name}/trace",
                 )
+                manifest = {
+                    "format": FORMAT_VERSION,
+                    "key": repr(key),
+                    "total": int(total),
+                    "crc32": crc,
+                    "phases": trace.phase_records(),
+                }
                 self._commit_json(entry / TRACE_MANIFEST, manifest)
         except OSError:
             return False  # a full/read-only disk degrades to no caching
@@ -503,13 +935,74 @@ class TraceStore:
         global _TMP_SEQ
         _TMP_SEQ += 1
         tmp = path.parent / f".{path.name}.{os.getpid()}.{_TMP_SEQ}.tmp"
+        started = time.monotonic()
         with open(tmp, "wb") as handle:
             np.save(handle, array)
+            if int(array.nbytes) >= _POLICY_SAMPLE_BYTES:
+                # Durable timing: without the fsync the page cache
+                # absorbs the write at RAM speed, the EWMA learns a
+                # fictional bandwidth, and the deferred writeback
+                # stalls the run off-stage instead.
+                handle.flush()
+                os.fsync(handle.fileno())
         if fault_point(SITE_STORE_TORN, tag=tag, detail=str(path)) is not None:
             size = tmp.stat().st_size
             with open(tmp, "r+b") as handle:
                 handle.truncate(max(1, size // 2))
         os.replace(tmp, path)
+        _WRITE_POLICY.observe(int(array.nbytes), time.monotonic() - started)
+
+    def _commit_trace_stream(
+        self,
+        path: Path,
+        chunks: Iterable[np.ndarray],
+        total: int,
+        *,
+        tag: str,
+    ) -> int:
+        """Atomic commit of one int64 ``.npy`` written chunk-by-chunk.
+
+        Hand-writes the 1.0 array header (``np.load`` reads it exactly
+        like ``np.save``'s output) and streams each chunk's buffer, so
+        the flat address array never exists in memory.  Returns the
+        CRC32 folded over the chunk bytes — identical to the CRC of the
+        concatenated array, so load-side verification is unchanged.
+        """
+        global _TMP_SEQ
+        _TMP_SEQ += 1
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{_TMP_SEQ}.tmp"
+        header = {
+            "descr": np.lib.format.dtype_to_descr(np.dtype(np.int64)),
+            "fortran_order": False,
+            "shape": (int(total),),
+        }
+        started = time.monotonic()
+        crc = 0
+        written = 0
+        with open(tmp, "wb") as handle:
+            np.lib.format.write_array_header_1_0(handle, header)
+            for chunk in chunks:
+                chunk = np.ascontiguousarray(chunk, dtype=np.int64)
+                crc = zlib.crc32(chunk.view(np.uint8).data, crc)
+                handle.write(chunk.data)
+                written += chunk.size
+            if written * 8 >= _POLICY_SAMPLE_BYTES:
+                # Durable timing — same rationale as _commit_array.
+                handle.flush()
+                os.fsync(handle.fileno())
+        if written != int(total):
+            tmp.unlink()
+            raise TraceError(
+                f"trace chunks yielded {written} accesses, header promised "
+                f"{total}"
+            )
+        if fault_point(SITE_STORE_TORN, tag=tag, detail=str(path)) is not None:
+            size = tmp.stat().st_size
+            with open(tmp, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        os.replace(tmp, path)
+        _WRITE_POLICY.observe(written * 8, time.monotonic() - started)
+        return crc
 
     def _commit_json(self, path: Path, payload: dict) -> None:
         global _TMP_SEQ
